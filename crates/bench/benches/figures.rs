@@ -1,0 +1,94 @@
+//! Figure regenerators, run under Criterion timing so `cargo bench`
+//! exercises (and times) every pure-simulation figure of the paper.
+//! The compute-heavy model figures (7, 8, 13) live in the `exp_*`
+//! binaries, which print the full series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rhb_bench::experiments;
+
+fn bench_fig2_sparsity(c: &mut Criterion) {
+    c.bench_function("fig2_sparsity_8192_pages", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig2(8192, seed)
+        })
+    });
+}
+
+fn bench_fig5_sides_curve(c: &mut Criterion) {
+    c.bench_function("fig5_flips_vs_sides", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig5(seed)
+        })
+    });
+}
+
+fn bench_fig6_pattern_contrast(c: &mut Criterion) {
+    c.bench_function("fig6_15_vs_7_sided", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig6(seed)
+        })
+    });
+}
+
+fn bench_fig9_probability_curves(c: &mut Criterion) {
+    c.bench_function("fig9_probability_curves", |b| b.iter(experiments::fig9));
+}
+
+fn bench_fig10_chip_curves(c: &mut Criterion) {
+    c.bench_function("fig10_chip_curves", |b| b.iter(experiments::fig10));
+}
+
+fn bench_fig11_spoiler(c: &mut Criterion) {
+    c.bench_function("fig11_spoiler_scan", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig11(seed)
+        })
+    });
+}
+
+fn bench_fig12_rowconflict(c: &mut Criterion) {
+    c.bench_function("fig12_rowconflict_scan", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            experiments::fig12(seed)
+        })
+    });
+}
+
+fn bench_attack_time_model(c: &mut Criterion) {
+    c.bench_function("attack_time_model", |b| b.iter(experiments::attack_time_model));
+}
+
+fn bench_plundervolt(c: &mut Criterion) {
+    c.bench_function("plundervolt_negative_result", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            experiments::plundervolt(seed)
+        })
+    });
+}
+
+criterion_group!(
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2_sparsity,
+        bench_fig5_sides_curve,
+        bench_fig6_pattern_contrast,
+        bench_fig9_probability_curves,
+        bench_fig10_chip_curves,
+        bench_fig11_spoiler,
+        bench_fig12_rowconflict,
+        bench_attack_time_model,
+        bench_plundervolt
+);
+criterion_main!(figures);

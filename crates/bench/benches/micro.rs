@@ -1,0 +1,117 @@
+//! Microbenchmarks of the kernels the attack's inner loop lives in:
+//! matmul/conv forward-backward, quantization, bit reduction, templating,
+//! and target matching.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rhb_dram::chips::ChipModel;
+use rhb_dram::profile::{FlipDirection, FlipProfile};
+use rhb_nn::conv::{Conv2d, ConvGeometry};
+use rhb_nn::init::Rng;
+use rhb_nn::layer::{Layer, Mode};
+use rhb_nn::quant::{bit_reduce, QuantizedTensor};
+use rhb_nn::tensor::Tensor;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(1);
+    let mut a = Tensor::zeros(&[64, 128]);
+    let mut b = Tensor::zeros(&[128, 64]);
+    for v in a.data_mut() {
+        *v = rng.uniform(-1.0, 1.0);
+    }
+    for v in b.data_mut() {
+        *v = rng.uniform(-1.0, 1.0);
+    }
+    c.bench_function("matmul_64x128x64", |bench| {
+        bench.iter(|| a.matmul(&b).expect("shapes fixed"))
+    });
+}
+
+fn bench_conv_forward_backward(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(2);
+    let mut conv = Conv2d::new(
+        ConvGeometry {
+            in_channels: 8,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
+        false,
+        &mut rng,
+    );
+    let mut x = Tensor::zeros(&[4, 8, 16, 16]);
+    for v in x.data_mut() {
+        *v = rng.uniform(-1.0, 1.0);
+    }
+    c.bench_function("conv8x8x16_fwd_bwd", |bench| {
+        bench.iter(|| {
+            let y = conv.forward_mode(&x, Mode::Frozen);
+            conv.backward(&y)
+        })
+    });
+}
+
+fn bench_quantize(c: &mut Criterion) {
+    let mut rng = Rng::seed_from(3);
+    let mut t = Tensor::zeros(&[16_384]);
+    for v in t.data_mut() {
+        *v = rng.uniform(-1.0, 1.0);
+    }
+    c.bench_function("quantize_16k_weights", |bench| {
+        bench.iter(|| QuantizedTensor::from_tensor(&t).expect("nonzero tensor"))
+    });
+}
+
+fn bench_bit_reduce(c: &mut Criterion) {
+    c.bench_function("bit_reduce_4k_weights", |bench| {
+        bench.iter_batched(
+            || {
+                (0..4096)
+                    .map(|i| ((i % 251) as i8, ((i * 7) % 253) as i8))
+                    .collect::<Vec<_>>()
+            },
+            |pairs| {
+                pairs
+                    .into_iter()
+                    .map(|(a, b)| bit_reduce(a, b))
+                    .fold(0i32, |acc, v| acc + i32::from(v))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_templating(c: &mut Criterion) {
+    c.bench_function("template_1024_pages_k1", |bench| {
+        let mut seed = 0u64;
+        bench.iter(|| {
+            seed += 1;
+            FlipProfile::template(ChipModel::online_ddr4(), 1024, seed)
+        })
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let profile = FlipProfile::template(ChipModel::reference_ddr3(), 8192, 9);
+    c.bench_function("find_matching_page_128mb_equiv", |bench| {
+        let mut offset = 0usize;
+        bench.iter(|| {
+            offset = (offset + 977) % 32_768;
+            profile
+                .find_matching_page(offset, FlipDirection::ZeroToOne, 1.0, &[])
+                .ok()
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_matmul,
+        bench_conv_forward_backward,
+        bench_quantize,
+        bench_bit_reduce,
+        bench_templating,
+        bench_matching
+);
+criterion_main!(micro);

@@ -1,0 +1,127 @@
+//! Table regenerators under Criterion. Table I is pure simulation and
+//! runs at full size; the model-scale tables (II–IV) are represented by
+//! abbreviated attack cells (short optimization schedules on tiny
+//! victims) so `cargo bench` completes on a CPU budget — the
+//! `exp_table*` binaries regenerate the complete tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rhb_bench::experiments;
+use rhb_core::cft::{run as run_cft, CftConfig};
+use rhb_core::trigger::{Trigger, TriggerMask};
+use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+use rhb_nn::weightfile::WeightFile;
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_all_chips_512_pages", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            experiments::table1(512, seed)
+        })
+    });
+}
+
+/// One abbreviated CFT+BR cell: the optimization loop that dominates
+/// every Table II/III row, on a pre-trained victim with a short schedule.
+fn bench_table2_cft_br_cell(c: &mut Criterion) {
+    let zoo = ZooConfig::tiny();
+    c.bench_function("table2_cft_br_abbrev_cell", |b| {
+        b.iter_batched(
+            || pretrained(Architecture::ResNet20, &zoo, 41),
+            |mut model| {
+                let wf = WeightFile::from_network(model.net.as_ref());
+                let cfg = CftConfig {
+                    iterations: 25,
+                    bit_reduction_period: 12,
+                    batch_size: 24,
+                    eta: 0.5,
+                    ..CftConfig::cft_br(wf.num_pages().clamp(1, 100), 2)
+                };
+                let mask = TriggerMask::paper_default(3, model.test_data.side());
+                run_cft(
+                    model.net.as_mut(),
+                    &model.test_data,
+                    &cfg,
+                    Trigger::black_square(mask),
+                )
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+}
+
+/// The Table IV primitive: one BadNet restore-sweep step (snapshot diff +
+/// partial restore), isolated from training.
+fn bench_table4_restore_step(c: &mut Criterion) {
+    use rhb_core::baselines::restore_parameters;
+    let zoo = ZooConfig::tiny();
+    let model = pretrained(Architecture::ResNet20, &zoo, 61);
+    let original: Vec<_> = model.net.params().iter().map(|p| p.value.clone()).collect();
+    c.bench_function("table4_restore_half", |b| {
+        b.iter_batched(
+            || {
+                let mut m = pretrained(Architecture::ResNet20, &zoo, 61);
+                // Perturb every weight so the restore pass has work to do.
+                for p in m.net.params_mut() {
+                    for v in p.value.data_mut() {
+                        *v += 0.01;
+                    }
+                }
+                m
+            },
+            |mut m| {
+                let grads: Vec<_> = m.net.params().iter().map(|p| p.grad.clone()).collect();
+                restore_parameters(m.net.as_mut(), &original, &grads, 0.5)
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+}
+
+/// Table II's online half: matching + placement + hammering, without the
+/// offline optimization.
+fn bench_table2_online_phase(c: &mut Criterion) {
+    use rhb_dram::hammer::{HammerConfig, HammerPattern};
+    use rhb_dram::online::{OnlineAttack, TargetBit};
+    use rhb_dram::profile::FlipProfile;
+    use rhb_dram::ChipModel;
+    let profile = FlipProfile::template(ChipModel::reference_ddr3(), 8192, 9);
+    c.bench_function("table2_online_phase_10_targets", |b| {
+        b.iter_batched(
+            || {
+                (
+                    OnlineAttack::new(
+                        profile.clone(),
+                        HammerConfig {
+                            pattern: HammerPattern::double_sided(),
+                            reliability: 1.0,
+                        },
+                    )
+                    .expect("double-sided works on DDR3"),
+                    vec![0b0101_0101u8; 16 * 4096],
+                )
+            },
+            |(mut attack, mut data)| {
+                let targets: Vec<TargetBit> = (0..10)
+                    .map(|i| TargetBit {
+                        file_page: i,
+                        bit_offset: (i * 3001) % 32_768,
+                        zero_to_one: i % 2 == 0,
+                    })
+                    .collect();
+                attack.execute(&mut data, &targets)
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+}
+
+criterion_group!(
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1,
+        bench_table2_cft_br_cell,
+        bench_table4_restore_step,
+        bench_table2_online_phase
+);
+criterion_main!(tables);

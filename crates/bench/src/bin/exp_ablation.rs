@@ -1,0 +1,7 @@
+//! Ablation study over Algorithm 1's design choices (not a paper
+//! artifact): trigger learning, alpha, flip budget, and bit masks.
+use rhb_bench::scale::Scale;
+fn main() {
+    let rows = rhb_bench::experiments::ablation(Scale::from_env(), 41);
+    print!("{}", rhb_bench::report::ablation(&rows));
+}

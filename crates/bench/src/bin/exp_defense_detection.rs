@@ -1,0 +1,6 @@
+//! Regenerates §VI-B: DeepDyve, weight encoding, RADAR (+ adaptive bypass).
+use rhb_bench::scale::Scale;
+fn main() {
+    let s = rhb_bench::experiments::defense_detection(Scale::from_env(), 121);
+    print!("{}", rhb_bench::report::detection(&s));
+}

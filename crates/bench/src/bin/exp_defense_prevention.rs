@@ -1,0 +1,6 @@
+//! Regenerates §VI-A: binarization-aware training and PWC.
+use rhb_bench::scale::Scale;
+fn main() {
+    let s = rhb_bench::experiments::defense_prevention(Scale::from_env(), 111);
+    print!("{}", rhb_bench::report::prevention(&s));
+}

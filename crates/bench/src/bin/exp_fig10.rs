@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10: single-offset P(find page) for every chip.
+fn main() {
+    for (tag, curve) in rhb_bench::experiments::fig10() {
+        print!("{}", rhb_bench::report::series(&format!("Fig. 10, chip {tag}"), &curve));
+    }
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 13: bit-flip page spread, CFT+BR vs TBT.
+use rhb_bench::scale::Scale;
+fn main() {
+    let s = rhb_bench::experiments::fig13(Scale::from_env(), 101);
+    print!("{}", rhb_bench::report::fig13(&s));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 2: flip sparsity of the templated buffer.
+fn main() {
+    let s = rhb_bench::experiments::fig2(32_768, 2);
+    print!("{}", rhb_bench::report::fig2(&s));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Fig. 6: per-page flips, 15- vs 7-sided hammering.
+fn main() {
+    let s = rhb_bench::experiments::fig6(4);
+    print!("{}", rhb_bench::report::fig6(&s));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 8: saliency focus shift onto the trigger.
+use rhb_bench::scale::Scale;
+fn main() {
+    let s = rhb_bench::experiments::fig8(Scale::from_env(), 71);
+    print!("{}", rhb_bench::report::fig8(&s));
+}

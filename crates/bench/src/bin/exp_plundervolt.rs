@@ -1,0 +1,5 @@
+//! Regenerates Appendix F: the Plundervolt negative result.
+fn main() {
+    let s = rhb_bench::experiments::plundervolt(5);
+    print!("{}", rhb_bench::report::plundervolt(&s));
+}

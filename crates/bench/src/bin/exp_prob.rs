@@ -1,0 +1,6 @@
+//! Regenerates the §IV-A2 worked probabilities (Eqs. 1-2).
+fn main() {
+    for (k, p) in rhb_bench::experiments::headline_probabilities() {
+        println!("P(target page | {k} offsets, 128MB) = {p:.6}");
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table I: average bit flips per page for all 20 chips.
+fn main() {
+    let rows = rhb_bench::experiments::table1(2048, 1);
+    print!("{}", rhb_bench::report::table1(&rows));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table II: the five methods on the five victims, offline
+//! and online. `RHB_ARCHS=cifar|imagenet|all` restricts the victim set
+//! (default cifar); `RHB_SCALE=tiny|standard` sets the victim size.
+use rhb_bench::scale::Scale;
+use rhb_models::zoo::Architecture;
+fn main() {
+    let scale = Scale::from_env();
+    let archs: Vec<Architecture> = match std::env::var("RHB_ARCHS").as_deref() {
+        Ok("all") => Architecture::ALL[..5].to_vec(),
+        Ok("imagenet") => vec![Architecture::ResNet34, Architecture::ResNet50],
+        _ => vec![Architecture::ResNet20, Architecture::ResNet32, Architecture::ResNet18],
+    };
+    eprintln!("running Table II at scale {} over {} victims…", scale.name(), archs.len());
+    let rows = rhb_bench::experiments::table2(&archs, scale, 41);
+    print!("{}", rhb_bench::report::table2(&rows));
+}

@@ -1,0 +1,13 @@
+//! Experiment harness: one regenerator per table and figure of the
+//! paper's evaluation, shared by the `exp_*` binaries and the Criterion
+//! benches.
+//!
+//! Each function in [`experiments`] computes the rows/series of one paper
+//! artifact and returns plain data; [`report`] renders paper-style text
+//! tables. The [`scale`] module picks the victim size — experiments
+//! default to the CPU-budget `Standard` scale and can be shrunk via
+//! `RHB_SCALE=tiny` for smoke runs.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;

@@ -1,0 +1,246 @@
+//! Paper-style text rendering of experiment results.
+
+use crate::experiments::{
+    DetectionSummary, Fig13Summary, Fig2Summary, Fig6Summary, Fig8Summary, PlundervoltSummary,
+    PreventionSummary, RecoverySummary, Table1Row, Table2Row, Table3Row, Table4Row,
+};
+
+/// Renders Table I.
+pub fn table1(rows: &[Table1Row]) -> String {
+    let mut out = String::from(
+        "Table I: Average number of bit flips per memory page\n\
+         chip  kind  paper-avg  simulated-avg\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<5} {:<5} {:>9.2} {:>14.2}\n",
+            r.tag, r.kind, r.paper_avg, r.measured_avg
+        ));
+    }
+    out
+}
+
+/// Renders the Fig. 2 sparsity summary.
+pub fn fig2(s: &Fig2Summary) -> String {
+    format!(
+        "Fig. 2: templated {} pages → {} vulnerable cells ({:.4}% of cells; \
+         paper: 381,962 = 0.036%), densest page holds {} flips (paper: 34)\n",
+        s.pages,
+        s.total_flips,
+        s.sparsity * 100.0,
+        s.max_flips_in_page
+    )
+}
+
+/// Renders an `(x, y)` series as two columns.
+pub fn series(title: &str, xy: &[(usize, f64)]) -> String {
+    let mut out = format!("{title}\n");
+    for &(x, y) in xy {
+        out.push_str(&format!("{x:>10} {y:>14.6}\n"));
+    }
+    out
+}
+
+/// Renders the Fig. 6 summary.
+pub fn fig6(s: &Fig6Summary) -> String {
+    format!(
+        "Fig. 6: flips per page — 15-sided {:.2}, 7-sided {:.2} \
+         (paper: 7-sided reduces additional flips to ~4/page)\n",
+        s.fifteen_sided_per_page, s.seven_sided_per_page
+    )
+}
+
+/// Renders Table II.
+pub fn table2(rows: &[Table2Row]) -> String {
+    let mut out = String::from(
+        "Table II: offline/online comparison\n\
+         net        method   offNflip  offTA%  offASR%  onNflip  onTA%  onASR%  rmatch%\n",
+    );
+    let mut last_net = String::new();
+    for r in rows {
+        if r.net != last_net {
+            out.push_str(&format!(
+                "-- {} (base acc {:.2}%, {} bits, {} pages)\n",
+                r.net, r.base_accuracy, r.bits, r.pages
+            ));
+            last_net = r.net.clone();
+        }
+        out.push_str(&format!(
+            "{:<10} {:<8} {:>8} {:>7.2} {:>8.2} {:>8} {:>6.2} {:>7.2} {:>8.2}\n",
+            r.net,
+            r.method,
+            r.offline_n_flip,
+            r.offline_ta,
+            r.offline_asr,
+            r.online_n_flip,
+            r.online_ta,
+            r.online_asr,
+            r.r_match
+        ));
+    }
+    out
+}
+
+/// Renders Table III.
+pub fn table3(rows: &[Table3Row]) -> String {
+    let mut out = String::from(
+        "Table III: CFT+BR on VGG architectures\n\
+         model   base%    TA%    ASR%   Nflip\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<7} {:>6.2} {:>6.2} {:>7.2} {:>7}\n",
+            r.model, r.base_acc, r.ta, r.asr, r.n_flip
+        ));
+    }
+    out
+}
+
+/// Renders Table IV.
+pub fn table4(rows: &[Table4Row]) -> String {
+    let mut out = String::from(
+        "Table IV: BadNet with restored parameters\n\
+         kept%    TA%    ASR%\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:>5.0} {:>7.2} {:>7.2}\n",
+            r.kept_percent, r.ta, r.asr
+        ));
+    }
+    out
+}
+
+/// Renders the Fig. 8 focus summary.
+pub fn fig8(s: &Fig8Summary) -> String {
+    format!(
+        "Fig. 8: trigger-region saliency mass — clean {:.3}, backdoored {:.3} \
+         (trigger covers {:.3} of the image; focus shifting far above that \
+         fraction reproduces the paper's heatmap collapse)\n",
+        s.clean_focus, s.backdoored_focus, s.trigger_area_fraction
+    )
+}
+
+/// Renders the Fig. 13 spread summary.
+pub fn fig13(s: &Fig13Summary) -> String {
+    format!(
+        "Fig. 13: CFT+BR spreads {} flips over {} of {} pages; \
+         TBT concentrates {} flips in {} page(s)\n",
+        s.cft_br_flips, s.cft_br_pages, s.total_pages, s.tbt_flips, s.tbt_pages
+    )
+}
+
+/// Renders the Plundervolt appendix summary.
+pub fn plundervolt(s: &PlundervoltSummary) -> String {
+    format!(
+        "Appendix F (negative result): {} faults in {} quantized dot products; \
+         {} faults in {} large-operand multiplications\n",
+        s.quantized_faults, s.trials, s.large_operand_faults, s.trials
+    )
+}
+
+/// Renders §VI-A prevention results.
+pub fn prevention(s: &PreventionSummary) -> String {
+    format!(
+        "§VI-A prevention:\n\
+         BNN: {} pages (was {}), accuracy {:.2}% (base {:.2}%) — caps N_flip at {}\n\
+         PWC: clustering score {:.4} vs plain {:.4} (lower = more clustered)\n",
+        s.bnn_pages,
+        s.original_pages,
+        s.bnn_accuracy,
+        s.base_accuracy,
+        s.bnn_pages,
+        s.pwc_cluster_score,
+        s.plain_cluster_score
+    )
+}
+
+/// Renders §VI-B detection results.
+pub fn detection(s: &DetectionSummary) -> String {
+    format!(
+        "§VI-B detection:\n\
+         DeepDyve: {}/{} alarms, {} corrections (persistent faults are never undone)\n\
+         WeightEncoding (last 2 tensors): detected={} — overhead 834 s-class: {:.2} s, {:.2} MB\n\
+         RADAR (MSB checksums): vanilla detected={}, adaptive detected={}, adaptive ASR {:.2}%\n",
+        s.dyve_alarms,
+        s.dyve_total,
+        s.dyve_corrections,
+        s.weight_encoding_detected,
+        s.weight_encoding_seconds,
+        s.weight_encoding_mb,
+        s.radar_detected_vanilla,
+        s.radar_detected_adaptive,
+        s.adaptive_asr
+    )
+}
+
+/// Renders §VI-C recovery results.
+pub fn recovery(s: &RecoverySummary) -> String {
+    format!(
+        "§VI-C recovery (weight reconstruction):\n\
+         unaware attacker: ASR {:.2}% → {:.2}% after reconstruction ({} weights repaired)\n\
+         aware attacker:   ASR {:.2}% after reconstruction ({} weights repaired)\n",
+        s.unaware_asr_before, s.unaware_asr_after, s.repaired_unaware, s.aware_asr_after,
+        s.repaired_aware
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let rows = vec![Table1Row {
+            tag: "A1".into(),
+            kind: "DDR3",
+            paper_avg: 12.48,
+            measured_avg: 12.3,
+        }];
+        let text = table1(&rows);
+        assert!(text.contains("A1"));
+        assert!(text.contains("12.48"));
+    }
+
+    #[test]
+    fn series_renders_pairs() {
+        let text = series("Fig. X", &[(1, 0.5), (2, 0.75)]);
+        assert!(text.lines().count() == 3);
+    }
+
+    #[test]
+    fn table2_groups_by_net() {
+        let row = Table2Row {
+            net: "ResNet20".into(),
+            method: "CFT+BR".into(),
+            offline_n_flip: 10,
+            offline_ta: 91.2,
+            offline_asr: 94.6,
+            online_n_flip: 10,
+            online_ta: 89.0,
+            online_asr: 92.7,
+            r_match: 99.99,
+            bits: 2_200_000,
+            pages: 69,
+            base_accuracy: 91.78,
+        };
+        let text = table2(&[row]);
+        assert!(text.contains("-- ResNet20"));
+        assert!(text.contains("99.99"));
+    }
+}
+
+/// Renders the ablation study.
+pub fn ablation(rows: &[crate::experiments::AblationRow]) -> String {
+    let mut out = String::from(
+        "Ablation: CFT+BR design choices\n\
+         variant                        Nflip    TA%    ASR%\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<30} {:>5} {:>7.2} {:>7.2}\n",
+            r.variant, r.n_flip, r.ta, r.asr
+        ));
+    }
+    out
+}

@@ -1,0 +1,432 @@
+//! Algorithm 1: Constrained Fine-Tuning with Bit Reduction (CFT / CFT+BR).
+//!
+//! Each iteration:
+//!
+//! 1. *(optional)* FGSM-step the trigger Δx (Step 1, Eq. 4);
+//! 2. compute the joint objective's weight gradients and run
+//!    `Group_Sort_Select` to pick at most one weight per page group
+//!    (Step 2, Eq. 5, constraints C1/C2);
+//! 3. apply a masked SGD step to exactly those weights (Step 3, Eq. 6);
+//! 4. *(CFT+BR only, every `bit_reduction_period` iterations)* snap every
+//!    modified weight to a single-bit change via
+//!    `θ* ← Floor((θ+Δθ*) ⊕ θ) ⊕ θ` (Step 4), which produces the loss
+//!    spikes visible in Fig. 7.
+//!
+//! The output is the modified quantized model plus the learned trigger —
+//! everything the online phase needs.
+
+use crate::groupsel::{group_sort_select, GroupPlan};
+use crate::objective::Objective;
+use crate::trigger::Trigger;
+use rhb_models::data::Dataset;
+use rhb_nn::network::Network;
+use rhb_nn::optim::{Sgd, SgdConfig};
+use rhb_nn::quant::bit_reduce_masked;
+use rhb_nn::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of Algorithm 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CftConfig {
+    /// Bits the attacker is allowed to flip (`N_flip`).
+    pub n_flip: usize,
+    /// Trade-off α between clean and triggered loss (paper: 0.5).
+    pub alpha: f32,
+    /// FGSM step ε for the trigger (paper: 0.001).
+    pub epsilon: f32,
+    /// Learning rate η for the masked weight update.
+    pub eta: f32,
+    /// Total iterations T.
+    pub iterations: usize,
+    /// Whether the trigger is optimized (Algorithm 1's `update the trigger`).
+    pub update_trigger: bool,
+    /// Whether bit reduction runs (CFT+BR vs plain CFT).
+    pub bit_reduction: bool,
+    /// Iterations between bit reductions (the paper applies it every 100).
+    pub bit_reduction_period: usize,
+    /// Target label ỹ.
+    pub target_label: usize,
+    /// Samples drawn from the attacker's test split per iteration (the
+    /// paper uses one batch of 128 CIFAR images throughout).
+    pub batch_size: usize,
+    /// Bit positions reduction may flip (bitmask over the 8 weight bits).
+    /// `0xFF` is the unconstrained attack; adaptive variants clear defended
+    /// bits, e.g. `0x7F` avoids the MSBs that RADAR checksums (§VI-B).
+    pub allowed_bits: u8,
+}
+
+impl CftConfig {
+    /// Paper-style defaults for CFT+BR with the given flip budget.
+    pub fn cft_br(n_flip: usize, target_label: usize) -> Self {
+        CftConfig {
+            n_flip,
+            alpha: 0.5,
+            epsilon: 0.001,
+            eta: 0.3,
+            iterations: 300,
+            update_trigger: true,
+            bit_reduction: true,
+            bit_reduction_period: 100,
+            target_label,
+            batch_size: 64,
+            allowed_bits: 0xFF,
+        }
+    }
+
+    /// Plain CFT: identical but without bit reduction.
+    pub fn cft(n_flip: usize, target_label: usize) -> Self {
+        CftConfig {
+            bit_reduction: false,
+            ..Self::cft_br(n_flip, target_label)
+        }
+    }
+}
+
+/// One loss sample from the optimization (Fig. 7's curve).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LossPoint {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Joint loss F after this iteration.
+    pub loss: f32,
+    /// Whether bit reduction ran at this iteration (spike locations).
+    pub bit_reduced: bool,
+}
+
+/// Output of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct CftResult {
+    /// The learned trigger Δx*.
+    pub trigger: Trigger,
+    /// Loss trace for Fig. 7.
+    pub loss_history: Vec<LossPoint>,
+    /// Flat indices of the weights the final mask selected.
+    pub final_mask: Vec<usize>,
+}
+
+/// Runs Algorithm 1 against a deployed network, modifying it in place.
+///
+/// The network must be deployed (quantized): the optimizer reads each
+/// parameter's frozen [`rhb_nn::quant::QuantScheme`] both to keep the
+/// effective weights on the quantization grid and to perform bit reduction
+/// in the integer domain.
+///
+/// # Panics
+///
+/// Panics if the network is not deployed or `data` has fewer samples than
+/// `config.batch_size` requires (one batch is enough).
+pub fn run(
+    net: &mut dyn Network,
+    data: &Dataset,
+    config: &CftConfig,
+    trigger: Trigger,
+) -> CftResult {
+    assert!(net.is_deployed(), "CFT attacks deployed (quantized) models");
+    assert!(!data.is_empty(), "attacker data required");
+    let mut trigger = trigger;
+    let objective = Objective {
+        alpha: config.alpha,
+        target_label: config.target_label,
+    };
+    let plan = GroupPlan::new(net.num_params(), config.n_flip);
+    let mut opt = Sgd::new(
+        net,
+        SgdConfig {
+            lr: config.eta,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        },
+    );
+
+    // Snapshot the original deployed weights θ: bit reduction is always
+    // relative to the *original* model, not the previous iterate.
+    let theta: Vec<Tensor> = net.params().iter().map(|p| p.value.clone()).collect();
+
+    // The paper uses one fixed batch of attacker-held test data.
+    let indices: Vec<usize> = (0..config.batch_size.min(data.len())).collect();
+    let (batch, labels) = data.batch(&indices);
+
+    let mut loss_history = Vec::with_capacity(config.iterations);
+    let mut final_mask: Vec<usize> = Vec::new();
+    // Best deployable (post-bit-reduction) state seen so far: the paper
+    // reports the optimization "eventually converges to a solution"; we
+    // make that operational by checkpointing the reduced state with the
+    // lowest joint loss.
+    let mut best: Option<(f32, Vec<Tensor>, Trigger)> = None;
+    let period = config.bit_reduction_period.max(1);
+    for t in 0..config.iterations {
+        // Step 1: trigger update.
+        if config.update_trigger {
+            net.zero_grad();
+            let eval = objective.evaluate(net, &batch, &labels, &trigger);
+            trigger.fgsm_step(&eval.grad_triggered_input, config.epsilon);
+        }
+
+        // Step 2: locate vulnerable weights.
+        net.zero_grad();
+        let eval = objective.evaluate(net, &batch, &labels, &trigger);
+        // With bit reduction enabled the mask is held fixed within each
+        // reduction period: re-selecting every iteration spreads the drift
+        // over several weights of the same group, and reduction would then
+        // discard all but one of them. Freezing the mask between
+        // reductions concentrates the drift on the weights that survive.
+        if !config.bit_reduction || t % period == 0 || final_mask.is_empty() {
+            final_mask = group_sort_select(net, &plan);
+        }
+
+        // Step 3: adversarial fine-tuning on the mask only. The float
+        // master weights drift freely between bit reductions; the forward
+        // pass always fake-quantizes ([`rhb_nn::param::Parameter::effective`]),
+        // so gradients reflect the deployable model (straight-through
+        // estimation). Snapping the masters every step would erase any
+        // update smaller than half a quantization step and stall.
+        opt.step_masked(net, &final_mask);
+
+        // Step 4: bit reduction.
+        let mut bit_reduced = false;
+        if config.bit_reduction && (t + 1) % period == 0 {
+            apply_bit_reduction(net, &theta, &plan, config.allowed_bits);
+            bit_reduced = true;
+            // Score the deployable state and checkpoint the best.
+            net.zero_grad();
+            let reduced_eval = objective.evaluate(net, &batch, &labels, &trigger);
+            let better = best
+                .as_ref()
+                .map_or(true, |(l, _, _)| reduced_eval.loss < *l);
+            if better {
+                let snapshot = net.params().iter().map(|p| p.value.clone()).collect();
+                best = Some((reduced_eval.loss, snapshot, trigger.clone()));
+            }
+        }
+        loss_history.push(LossPoint {
+            iteration: t,
+            loss: eval.loss,
+            bit_reduced,
+        });
+    }
+
+    if config.bit_reduction {
+        // Final reduction, then keep whichever deployable state won.
+        apply_bit_reduction(net, &theta, &plan, config.allowed_bits);
+        net.zero_grad();
+        let final_eval = objective.evaluate(net, &batch, &labels, &trigger);
+        if let Some((loss, snapshot, best_trigger)) = best {
+            if loss < final_eval.loss {
+                let mut params = net.params_mut();
+                for (p, s) in params.iter_mut().zip(&snapshot) {
+                    p.value = s.clone();
+                }
+                trigger = best_trigger;
+            }
+        }
+    } else {
+        // Plain CFT: snap the float masters onto the quantization grid —
+        // that is the model the victim serves.
+        for p in net.params_mut() {
+            let scheme = p.scheme.expect("deployed parameter");
+            p.value.map_inplace(|v| scheme.fake(v));
+        }
+    }
+
+    CftResult {
+        trigger,
+        loss_history,
+        final_mask,
+    }
+}
+
+/// Applies `θ* ← Floor((θ+Δθ*) ⊕ θ) ⊕ θ` per weight in the i8 domain, then
+/// re-imposes the page-group constraint: because `Group_Sort_Select` may
+/// pick *different* weights of a group across iterations, several weights
+/// of one group can carry modifications by the time reduction runs. Only
+/// the largest change per group survives; the rest revert to θ. This is
+/// what guarantees the paper's claim that no more than one bit per memory
+/// page ends up flipped.
+fn apply_bit_reduction(net: &mut dyn Network, theta: &[Tensor], plan: &GroupPlan, allowed_bits: u8) {
+    // Pass 1: snap every modified weight to a single-bit change and record
+    // (group, flat index, |change|).
+    let mut modified: Vec<(usize, usize, f32)> = Vec::new();
+    {
+        let mut params = net.params_mut();
+        let mut base = 0usize;
+        for (p, orig) in params.iter_mut().zip(theta) {
+            let scheme = p.scheme.expect("deployed parameter");
+            for (i, (v, &o)) in p.value.data_mut().iter_mut().zip(orig.data()).enumerate() {
+                let q_orig = scheme.quantize(o);
+                let q_new = scheme.quantize(*v);
+                if q_orig != q_new {
+                    let reduced = bit_reduce_masked(q_orig, q_new, allowed_bits);
+                    *v = scheme.dequantize(reduced);
+                    if reduced != q_orig {
+                        let flat = base + i;
+                        modified.push((plan.group_of(flat), flat, (*v - o).abs()));
+                    }
+                } else if *v != o {
+                    // Sub-quantum drift: snap back exactly.
+                    *v = o;
+                }
+            }
+            base += p.numel();
+        }
+    }
+
+    // Pass 2: keep the largest change per group, revert the others.
+    let mut best: Vec<Option<(usize, f32)>> = vec![None; plan.n_flip];
+    for &(g, flat, mag) in &modified {
+        match best[g] {
+            Some((_, cur)) if cur >= mag => {}
+            _ => best[g] = Some((flat, mag)),
+        }
+    }
+    let keep: std::collections::HashSet<usize> =
+        best.into_iter().flatten().map(|(i, _)| i).collect();
+    let revert: Vec<usize> = modified
+        .iter()
+        .map(|&(_, flat, _)| flat)
+        .filter(|i| !keep.contains(i))
+        .collect();
+    if revert.is_empty() {
+        return;
+    }
+    let mut params = net.params_mut();
+    let mut base = 0usize;
+    let mut cursor = 0usize;
+    let mut sorted = revert;
+    sorted.sort_unstable();
+    for (p, orig) in params.iter_mut().zip(theta) {
+        let len = p.numel();
+        while cursor < sorted.len() && sorted[cursor] < base + len {
+            let local = sorted[cursor] - base;
+            p.value.data_mut()[local] = orig.data()[local];
+            cursor += 1;
+        }
+        base += len;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{attack_success_rate, n_flip, test_accuracy};
+    use crate::trigger::TriggerMask;
+    use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+    use rhb_nn::weightfile::WeightFile;
+
+    fn quick_config(n_flip: usize) -> CftConfig {
+        CftConfig {
+            iterations: 150,
+            bit_reduction_period: 25,
+            batch_size: 48,
+            eta: 0.5,
+            epsilon: 0.005,
+            ..CftConfig::cft_br(n_flip, 2)
+        }
+    }
+
+    #[test]
+    fn cft_br_injects_backdoor_with_few_flips() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 11);
+        let base_wf = WeightFile::from_network(model.net.as_ref());
+        let pages = base_wf.num_pages();
+        let budget = pages.min(6);
+        let mask = TriggerMask::paper_default(3, model.test_data.side());
+        let result = run(
+            model.net.as_mut(),
+            &model.test_data,
+            &quick_config(budget),
+            Trigger::black_square(mask),
+        );
+        let attacked_wf = WeightFile::from_network(model.net.as_ref());
+        let flips = n_flip(&base_wf, &attacked_wf);
+        assert!(flips > 0, "no bits flipped");
+        assert!(flips <= budget as u64, "flips {flips} exceed budget {budget}");
+        // One bit per page (C2 via grouping + BR).
+        let targets = base_wf.diff(&attacked_wf);
+        let mut pages_hit: Vec<usize> = targets.iter().map(|t| t.location.page).collect();
+        pages_hit.sort_unstable();
+        pages_hit.dedup();
+        assert_eq!(pages_hit.len(), targets.len(), "multiple flips in a page");
+        // Attack must beat chance by a wide margin.
+        let asr = attack_success_rate(
+            model.net.as_mut(),
+            &model.test_data,
+            &result.trigger,
+            2,
+        );
+        assert!(asr > 0.5, "attack success rate {asr}");
+        let ta = test_accuracy(model.net.as_mut(), &model.test_data);
+        assert!(
+            ta > model.base_accuracy - 0.3,
+            "test accuracy collapsed: {ta} vs base {}",
+            model.base_accuracy
+        );
+    }
+
+    #[test]
+    fn plain_cft_flips_more_bits_than_cft_br() {
+        let cfg = ZooConfig::tiny();
+        let mut a = pretrained(Architecture::ResNet20, &cfg, 11);
+        let mut b = pretrained(Architecture::ResNet20, &cfg, 11);
+        let base = WeightFile::from_network(a.net.as_ref());
+        let side = a.test_data.side();
+        let budget = base.num_pages().min(6);
+        let mask = TriggerMask::paper_default(3, side);
+        run(
+            a.net.as_mut(),
+            &a.test_data,
+            &CftConfig {
+                bit_reduction: false,
+                ..quick_config(budget)
+            },
+            Trigger::black_square(mask.clone()),
+        );
+        run(
+            b.net.as_mut(),
+            &b.test_data,
+            &quick_config(budget),
+            Trigger::black_square(mask),
+        );
+        let cft_flips = n_flip(&base, &WeightFile::from_network(a.net.as_ref()));
+        let br_flips = n_flip(&base, &WeightFile::from_network(b.net.as_ref()));
+        assert!(
+            cft_flips >= br_flips,
+            "CFT {cft_flips} flips vs CFT+BR {br_flips}"
+        );
+    }
+
+    #[test]
+    fn loss_history_marks_bit_reduction_spikes() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 13);
+        let mask = TriggerMask::paper_default(3, model.test_data.side());
+        let wf = WeightFile::from_network(model.net.as_ref());
+        let result = run(
+            model.net.as_mut(),
+            &model.test_data,
+            &quick_config(wf.num_pages().min(4)),
+            Trigger::black_square(mask),
+        );
+        let reduced: Vec<usize> = result
+            .loss_history
+            .iter()
+            .filter(|p| p.bit_reduced)
+            .map(|p| p.iteration)
+            .collect();
+        assert_eq!(reduced, vec![24, 49, 74, 99, 124, 149]);
+    }
+
+    #[test]
+    #[should_panic(expected = "deployed")]
+    fn undeployed_model_is_rejected() {
+        let cfg = ZooConfig::tiny();
+        let (train, _) = rhb_models::zoo::dataset_for(Architecture::ResNet20, &cfg, 1);
+        let mut rng = rhb_nn::init::Rng::seed_from(1);
+        let mut net = rhb_models::zoo::build(Architecture::ResNet20, &cfg, &mut rng);
+        let mask = TriggerMask::paper_default(3, train.side());
+        run(
+            net.as_mut(),
+            &train,
+            &quick_config(2),
+            Trigger::black_square(mask),
+        );
+    }
+}

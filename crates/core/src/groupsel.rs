@@ -1,0 +1,196 @@
+//! `Group_Sort_Select` (Eq. 5): the page-grouped weight selector behind
+//! constraints C1 and C2.
+//!
+//! The weight file is one long byte vector split into 4 KB pages (4096
+//! 8-bit weights per page). To guarantee at most one flipped bit per page,
+//! the optimizer divides the flat weight vector into `N_flip` groups of
+//! whole pages — group id = `i_w div (4096 · N_group)` with
+//! `N_group = N_w div (4096 · N_flip)` — and keeps only the single weight
+//! with the largest gradient magnitude per group.
+
+use rhb_nn::network::Network;
+
+/// Weights per 4 KB page (8-bit quantized weights are one byte each).
+pub const WEIGHTS_PER_PAGE: usize = 4096;
+
+/// The page-group partition used by `Group_Sort_Select`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupPlan {
+    /// Total number of weights `N_w`.
+    pub total_weights: usize,
+    /// Flips requested `N_flip`.
+    pub n_flip: usize,
+    /// Pages per group `N_group`.
+    pub pages_per_group: usize,
+}
+
+impl GroupPlan {
+    /// Builds the paper's partition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_flip` is zero or exceeds the number of pages the
+    /// weights occupy — the paper notes `N_flip` cannot exceed the page
+    /// count, or some group would have no full page.
+    pub fn new(total_weights: usize, n_flip: usize) -> Self {
+        assert!(n_flip > 0, "n_flip must be positive");
+        let pages = total_weights.div_ceil(WEIGHTS_PER_PAGE);
+        assert!(
+            n_flip <= pages,
+            "n_flip {n_flip} exceeds the {pages} pages the model occupies"
+        );
+        let pages_per_group = total_weights / (WEIGHTS_PER_PAGE * n_flip);
+        GroupPlan {
+            total_weights,
+            n_flip,
+            pages_per_group: pages_per_group.max(1),
+        }
+    }
+
+    /// Group id of flat weight index `i_w` (integer division, per §IV-A3).
+    pub fn group_of(&self, i_w: usize) -> usize {
+        let g = i_w / (WEIGHTS_PER_PAGE * self.pages_per_group);
+        // The division may create a ragged tail beyond n_flip groups; the
+        // tail folds into the last group so every weight belongs somewhere.
+        g.min(self.n_flip - 1)
+    }
+
+    /// Weights per group (except the possibly larger last group).
+    pub fn group_span(&self) -> usize {
+        WEIGHTS_PER_PAGE * self.pages_per_group
+    }
+}
+
+/// Selects the top-1 weight per group by gradient magnitude over the
+/// network's concatenated gradient vector. Returns sorted flat indices —
+/// the mask `M` of Algorithm 1. Groups whose gradients are all exactly
+/// zero contribute no index.
+pub fn group_sort_select(net: &dyn Network, plan: &GroupPlan) -> Vec<usize> {
+    let mut best: Vec<Option<(usize, f32)>> = vec![None; plan.n_flip];
+    let mut base = 0usize;
+    for p in net.params() {
+        for (i, &g) in p.grad.data().iter().enumerate() {
+            let flat = base + i;
+            let mag = g.abs();
+            if mag == 0.0 {
+                continue;
+            }
+            let group = plan.group_of(flat);
+            match best[group] {
+                Some((_, cur)) if cur >= mag => {}
+                _ => best[group] = Some((flat, mag)),
+            }
+        }
+        base += p.numel();
+    }
+    debug_assert_eq!(base, plan.total_weights, "plan built for another model");
+    let mut mask: Vec<usize> = best.into_iter().flatten().map(|(i, _)| i).collect();
+    mask.sort_unstable();
+    mask
+}
+
+/// Verifies the C2 invariant: a set of flat weight indices touches each
+/// 4 KB page at most once.
+pub fn at_most_one_per_page(indices: &[usize]) -> bool {
+    let mut pages: Vec<usize> = indices.iter().map(|i| i / WEIGHTS_PER_PAGE).collect();
+    pages.sort_unstable();
+    pages.windows(2).all(|w| w[0] != w[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn plan_rejects_more_flips_than_pages() {
+        let result = std::panic::catch_unwind(|| GroupPlan::new(WEIGHTS_PER_PAGE * 2, 5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn groups_partition_the_weight_vector() {
+        let plan = GroupPlan::new(WEIGHTS_PER_PAGE * 10, 5);
+        assert_eq!(plan.pages_per_group, 2);
+        assert_eq!(plan.group_of(0), 0);
+        assert_eq!(plan.group_of(WEIGHTS_PER_PAGE * 2), 1);
+        assert_eq!(plan.group_of(WEIGHTS_PER_PAGE * 10 - 1), 4);
+    }
+
+    #[test]
+    fn ragged_tail_folds_into_last_group() {
+        // 11 pages, 5 flips → N_group = 2, pages 10..11 fold into group 4.
+        let plan = GroupPlan::new(WEIGHTS_PER_PAGE * 11, 5);
+        assert_eq!(plan.group_of(WEIGHTS_PER_PAGE * 10 + 7), 4);
+    }
+
+    #[test]
+    fn selection_yields_one_index_per_group_max() {
+        use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 1);
+        // Paint a synthetic gradient: every weight gets a unique magnitude.
+        let mut k = 0f32;
+        for p in model.net.params_mut() {
+            for g in p.grad.data_mut() {
+                *g = (k * 0.017).sin();
+                k += 1.0;
+            }
+        }
+        let n = model.net.num_params();
+        let pages = n.div_ceil(WEIGHTS_PER_PAGE);
+        let n_flip = pages.min(4);
+        let plan = GroupPlan::new(n, n_flip);
+        let mask = group_sort_select(model.net.as_ref(), &plan);
+        assert!(mask.len() <= n_flip);
+        assert!(!mask.is_empty());
+        assert!(at_most_one_per_page(&mask));
+        // Indices must be sorted and unique.
+        assert!(mask.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn at_most_one_per_page_detects_collisions() {
+        assert!(at_most_one_per_page(&[0, 5000, 9000]));
+        assert!(!at_most_one_per_page(&[0, 5000, 5001]));
+    }
+
+    proptest! {
+        #[test]
+        fn every_weight_maps_to_a_valid_group(
+            pages in 1usize..40,
+            n_flip in 1usize..10,
+        ) {
+            prop_assume!(n_flip <= pages);
+            let total = pages * WEIGHTS_PER_PAGE;
+            let plan = GroupPlan::new(total, n_flip);
+            for i in [0, total / 3, total / 2, total - 1] {
+                prop_assert!(plan.group_of(i) < n_flip);
+            }
+            // Group ids are monotone in the weight index.
+            let mut prev = 0;
+            for i in (0..total).step_by(WEIGHTS_PER_PAGE) {
+                let g = plan.group_of(i);
+                prop_assert!(g >= prev);
+                prev = g;
+            }
+        }
+
+        #[test]
+        fn distinct_groups_never_share_pages(
+            pages in 2usize..30,
+            n_flip in 2usize..8,
+        ) {
+            prop_assume!(n_flip <= pages);
+            let total = pages * WEIGHTS_PER_PAGE;
+            let plan = GroupPlan::new(total, n_flip);
+            // If two weights land in different groups, their pages differ.
+            for a in (0..total).step_by(1713) {
+                for b in (0..total).step_by(2311) {
+                    if plan.group_of(a) != plan.group_of(b) {
+                        prop_assert_ne!(a / WEIGHTS_PER_PAGE, b / WEIGHTS_PER_PAGE);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! The paper's contribution: constrained-optimization backdoor injection
+//! for Rowhammer ("CFT+BR"), its baselines, metrics, and the end-to-end
+//! offline + online pipeline.
+//!
+//! * [`trigger`] — data trigger patterns Δx and the FGSM learning step
+//!   (Algorithm 1, Step 1);
+//! * [`objective`] — the joint objective of Eq. (3): a weighted sum of the
+//!   clean-data loss and the triggered-data loss toward the target label;
+//! * [`groupsel`] — `Group_Sort_Select` (Eq. 5): one weight per page group,
+//!   ranked by gradient magnitude (constraints C1/C2);
+//! * [`cft`] — Algorithm 1 itself: constrained fine-tuning with optional
+//!   bit reduction (CFT and CFT+BR);
+//! * [`baselines`] — BadNet, last-layer fine-tuning (FT), and TBT,
+//!   plus the parameter-restoration sweep of Appendix D / Table IV;
+//! * [`metrics`] — N_flip, Test Accuracy, Attack Success Rate, and the
+//!   paper's new DRAM Match Rate r_match (§V-B);
+//! * [`probability`] — the target-page matching probabilities of
+//!   Eqs. (1)–(2) and Figs. 9–10;
+//! * [`pipeline`] — glue: run any method offline, convert the weight diff
+//!   into DRAM bit targets, execute the online Rowhammer phase, and
+//!   evaluate the corrupted model.
+
+pub mod baselines;
+pub mod cft;
+pub mod groupsel;
+pub mod metrics;
+pub mod objective;
+pub mod pipeline;
+pub mod probability;
+pub mod trigger;
+
+pub use cft::{CftConfig, CftResult};
+pub use metrics::{attack_success_rate, r_match, test_accuracy};
+pub use pipeline::{AttackMethod, AttackPipeline, OfflineReport, OnlineReport};
+pub use trigger::{Trigger, TriggerMask};

@@ -1,0 +1,121 @@
+//! Evaluation metrics of §V-B: `N_flip`, Test Accuracy, Attack Success
+//! Rate, and the paper's new DRAM Match Rate `r_match`.
+
+use crate::trigger::Trigger;
+use rhb_models::data::Dataset;
+use rhb_nn::layer::Mode;
+use rhb_nn::network::Network;
+use rhb_nn::weightfile::{WeightFile, PAGE_BITS};
+
+/// Number of flipped bits between two weight files — the Hamming distance
+/// summed over all layers.
+pub fn n_flip(original: &WeightFile, modified: &WeightFile) -> u64 {
+    original.hamming_distance(modified)
+}
+
+/// Test Accuracy (TA): correct classifications on clean test data.
+pub fn test_accuracy(net: &mut dyn Network, data: &Dataset) -> f64 {
+    rhb_models::train::evaluate(net, data, 64)
+}
+
+/// Attack Success Rate (ASR): the fraction of *non-target-class* test
+/// samples classified as the target class once the trigger is added.
+///
+/// Samples whose true label already equals the target are excluded so a
+/// clean model does not get ASR credit for correct classifications.
+pub fn attack_success_rate(
+    net: &mut dyn Network,
+    data: &Dataset,
+    trigger: &Trigger,
+    target_label: usize,
+) -> f64 {
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    let idx: Vec<usize> = (0..data.len())
+        .filter(|&i| data.label(i) != target_label)
+        .collect();
+    for chunk in idx.chunks(64) {
+        let (x, _) = data.batch(chunk);
+        let triggered = trigger.apply(&x);
+        let logits = net.forward(&triggered, Mode::Eval);
+        let classes = logits.shape().dim(1);
+        for b in 0..chunk.len() {
+            let row = &logits.data()[b * classes..(b + 1) * classes];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            if best == target_label {
+                hits += 1;
+            }
+            total += 1;
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+/// DRAM Match Rate (§V-B):
+/// `r_match = n_match / N_flip × (1 − δ/S) × 100`
+/// where `n_match` counts required flips that line up with vulnerable DRAM
+/// cells, `δ` is the number of accidental flips within a target page, and
+/// `S` is the bits per page.
+///
+/// Returns a percentage in `[0, 100]`. An attack is only viable on real
+/// hardware when this is near 100.
+pub fn r_match(n_match: usize, n_flip: usize, accidental_in_pages: usize) -> f64 {
+    if n_flip == 0 {
+        return 0.0;
+    }
+    let coverage = n_match as f64 / n_flip as f64;
+    let purity = 1.0 - accidental_in_pages as f64 / PAGE_BITS as f64;
+    (coverage * purity * 100.0).clamp(0.0, 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trigger::TriggerMask;
+    use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+
+    #[test]
+    fn r_match_full_coverage_no_accidents_is_100() {
+        assert_eq!(r_match(10, 10, 0), 100.0);
+    }
+
+    #[test]
+    fn r_match_matches_paper_examples() {
+        // CFT+BR: all matched, ~4 accidental flips per page → 99.9x%.
+        let v = r_match(10, 10, 4);
+        assert!(v > 99.9 && v < 100.0, "{v}");
+        // TBT on ResNet20: 1 of 44 matched → ~2.27%.
+        let v = r_match(1, 44, 0);
+        assert!((v - 2.27).abs() < 0.01, "{v}");
+    }
+
+    #[test]
+    fn r_match_zero_flip_budget_is_zero() {
+        assert_eq!(r_match(0, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn asr_of_clean_model_is_low_and_excludes_target_class() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 21);
+        let trigger = Trigger::black_square(TriggerMask::paper_default(
+            3,
+            model.test_data.side(),
+        ));
+        let asr = attack_success_rate(model.net.as_mut(), &model.test_data, &trigger, 0);
+        // A clean model may misclassify some triggered samples but should
+        // not funnel them into class 0.
+        assert!(asr < 0.5, "clean-model ASR {asr}");
+    }
+
+    #[test]
+    fn test_accuracy_matches_zoo_measurement() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 5);
+        let ta = test_accuracy(model.net.as_mut(), &model.test_data);
+        assert!((ta - model.base_accuracy).abs() < 1e-9);
+    }
+}

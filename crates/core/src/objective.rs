@@ -1,0 +1,148 @@
+//! The joint backdoor objective of Eq. (3).
+//!
+//! `F(Δθ, Δx) = Σ_i [(1−α)·ℓ(f(x_i, θ+Δθ), y_i) + α·ℓ(f(x_i+Δx, θ+Δθ), ỹ)]`
+//!
+//! One evaluation runs two forward/backward passes — a clean pass against
+//! the true labels and a triggered pass against the target label — and
+//! accumulates both weight gradients (for locating vulnerable bits) and
+//! the input gradient of the triggered pass (for FGSM trigger learning).
+
+use crate::trigger::Trigger;
+use rhb_nn::layer::Mode;
+use rhb_nn::loss::cross_entropy;
+use rhb_nn::network::Network;
+use rhb_nn::tensor::Tensor;
+
+/// Configuration of the joint objective.
+#[derive(Debug, Clone, Copy)]
+pub struct Objective {
+    /// Trade-off α between clean-data loss (weight 1−α) and triggered loss
+    /// (weight α). The paper uses α = 0.5 everywhere.
+    pub alpha: f32,
+    /// The target label ỹ.
+    pub target_label: usize,
+}
+
+/// One evaluation of the joint objective.
+#[derive(Debug, Clone)]
+pub struct ObjectiveEval {
+    /// Total weighted loss F.
+    pub loss: f32,
+    /// Clean-term loss (unweighted).
+    pub clean_loss: f32,
+    /// Triggered-term loss (unweighted).
+    pub triggered_loss: f32,
+    /// Gradient of F w.r.t. the *triggered* input batch, for FGSM.
+    pub grad_triggered_input: Tensor,
+}
+
+impl Objective {
+    /// Creates the paper's default objective (α = 0.5) for a target label.
+    pub fn balanced(target_label: usize) -> Self {
+        Objective {
+            alpha: 0.5,
+            target_label,
+        }
+    }
+
+    /// Evaluates F on a batch and **accumulates weight gradients** into the
+    /// network (callers zero them first). Returns the losses and the
+    /// triggered-input gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch and label counts disagree.
+    pub fn evaluate(
+        &self,
+        net: &mut dyn Network,
+        batch: &Tensor,
+        labels: &[usize],
+        trigger: &Trigger,
+    ) -> ObjectiveEval {
+        let batch_size = batch.shape().dim(0);
+        assert_eq!(batch_size, labels.len(), "one label per sample");
+
+        // Clean pass: (1−α)·ℓ(f(x), y). `Frozen` mode differentiates the
+        // deployed network — frozen batch-norm statistics, exactly the
+        // arithmetic inference runs — which is what the attacker targets.
+        let logits = net.forward(batch, Mode::Frozen);
+        let clean = cross_entropy(&logits, labels);
+        let mut grad = clean.grad_logits.clone();
+        grad.scale(1.0 - self.alpha);
+        net.backward(&grad);
+
+        // Triggered pass: α·ℓ(f(x+Δx), ỹ).
+        let triggered = trigger.apply(batch);
+        let target_labels = vec![self.target_label; batch_size];
+        let logits_t = net.forward(&triggered, Mode::Frozen);
+        let trig = cross_entropy(&logits_t, &target_labels);
+        let mut grad_t = trig.grad_logits.clone();
+        grad_t.scale(self.alpha);
+        let grad_triggered_input = net.backward(&grad_t);
+
+        ObjectiveEval {
+            loss: (1.0 - self.alpha) * clean.loss + self.alpha * trig.loss,
+            clean_loss: clean.loss,
+            triggered_loss: trig.loss,
+            grad_triggered_input,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trigger::TriggerMask;
+    use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+
+    fn setup() -> (Box<dyn Network>, Tensor, Vec<usize>, Trigger) {
+        let model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 3);
+        let (x, y) = model.test_data.head(8);
+        let trigger = Trigger::black_square(TriggerMask::paper_default(3, model.test_data.side()));
+        (model.net, x, y, trigger)
+    }
+
+    #[test]
+    fn evaluate_accumulates_weight_gradients() {
+        let (mut net, x, y, trigger) = setup();
+        net.zero_grad();
+        let obj = Objective::balanced(2);
+        obj.evaluate(net.as_mut(), &x, &y, &trigger);
+        let any_grad = net.params().iter().any(|p| p.grad.max_abs() > 0.0);
+        assert!(any_grad, "no weight gradient accumulated");
+    }
+
+    #[test]
+    fn loss_is_weighted_sum_of_terms() {
+        let (mut net, x, y, trigger) = setup();
+        net.zero_grad();
+        let obj = Objective {
+            alpha: 0.25,
+            target_label: 1,
+        };
+        let eval = obj.evaluate(net.as_mut(), &x, &y, &trigger);
+        let expect = 0.75 * eval.clean_loss + 0.25 * eval.triggered_loss;
+        assert!((eval.loss - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn alpha_zero_ignores_trigger_term_gradient() {
+        let (mut net, x, y, trigger) = setup();
+        net.zero_grad();
+        let obj = Objective {
+            alpha: 0.0,
+            target_label: 1,
+        };
+        let eval = obj.evaluate(net.as_mut(), &x, &y, &trigger);
+        assert_eq!(eval.grad_triggered_input.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn triggered_input_gradient_has_batch_shape() {
+        let (mut net, x, y, trigger) = setup();
+        net.zero_grad();
+        let obj = Objective::balanced(0);
+        let eval = obj.evaluate(net.as_mut(), &x, &y, &trigger);
+        assert_eq!(eval.grad_triggered_input.shape(), x.shape());
+    }
+}

@@ -1,0 +1,433 @@
+//! End-to-end attack pipeline: offline optimization → DRAM matching →
+//! page placement → hammering → post-attack evaluation (the structure of
+//! Table II, with its Offline Phase and Online Phase column groups).
+//!
+//! For the unconstrained baselines the pipeline also implements the
+//! paper's online-phase concession (§V-D): when a method demands several
+//! flips in one page, keep only the flip with the largest gradient per
+//! page and restore the rest — only pages with a single targeted bit can
+//! realistically be found in DRAM.
+
+use crate::baselines::{badnet, ft_last_layer, tbt, BaselineConfig};
+use crate::cft::{run as run_cft, CftConfig, CftResult, LossPoint};
+use crate::metrics::{attack_success_rate, n_flip, r_match, test_accuracy};
+use crate::trigger::{Trigger, TriggerMask};
+use rhb_dram::hammer::HammerConfig;
+use rhb_dram::online::{OnlineAttack, TargetBit};
+use rhb_dram::profile::FlipProfile;
+use rhb_dram::ChipModel;
+use rhb_models::zoo::PretrainedModel;
+use rhb_nn::weightfile::{BitTarget, WeightFile, PAGE_SIZE};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// The five methods compared in Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackMethod {
+    /// BadNet: unconstrained fine-tuning of all weights, fixed trigger.
+    BadNet,
+    /// FT: last-layer fine-tuning, fixed trigger.
+    Ft,
+    /// TBT: trigger optimization + limited last-layer weight edits.
+    Tbt,
+    /// CFT: constrained fine-tuning without bit reduction.
+    Cft,
+    /// CFT+BR: the paper's full method.
+    CftBr,
+}
+
+impl AttackMethod {
+    /// All methods in Table II row order.
+    pub const ALL: [AttackMethod; 5] = [
+        AttackMethod::BadNet,
+        AttackMethod::Ft,
+        AttackMethod::Tbt,
+        AttackMethod::Cft,
+        AttackMethod::CftBr,
+    ];
+
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AttackMethod::BadNet => "BadNet",
+            AttackMethod::Ft => "FT",
+            AttackMethod::Tbt => "TBT",
+            AttackMethod::Cft => "CFT",
+            AttackMethod::CftBr => "CFT+BR",
+        }
+    }
+}
+
+/// Results of the offline phase (left half of Table II).
+#[derive(Debug, Clone)]
+pub struct OfflineReport {
+    /// The method that produced this report.
+    pub method: AttackMethod,
+    /// Bits flipped by the offline optimizer.
+    pub n_flip: u64,
+    /// Test accuracy of the offline-backdoored model.
+    pub test_accuracy: f64,
+    /// Attack success rate of the offline-backdoored model.
+    pub attack_success_rate: f64,
+    /// The learned (or fixed) trigger.
+    pub trigger: Trigger,
+    /// Original deployed weight file.
+    pub base_weights: WeightFile,
+    /// Offline-modified weight file.
+    pub attacked_weights: WeightFile,
+    /// Loss trace (CFT/CFT+BR only), for Fig. 7.
+    pub loss_history: Vec<LossPoint>,
+}
+
+/// Results of the online phase (right half of Table II).
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// The method that produced this report.
+    pub method: AttackMethod,
+    /// Bits actually flipped in DRAM.
+    pub n_flip: u64,
+    /// Test accuracy of the hardware-backdoored model.
+    pub test_accuracy: f64,
+    /// Attack success rate of the hardware-backdoored model.
+    pub attack_success_rate: f64,
+    /// The paper's DRAM match rate metric, in percent.
+    pub r_match: f64,
+    /// Matched targets vs requested.
+    pub n_matched: usize,
+    /// Targets requested after per-page reduction.
+    pub n_targets: usize,
+    /// Accidental flips inside target pages (δ).
+    pub accidental: usize,
+    /// Modeled wall-clock hammering time.
+    pub attack_time: Duration,
+}
+
+/// Drives one victim model through offline and online phases.
+pub struct AttackPipeline {
+    /// The victim (trained, deployed, with data splits).
+    pub model: PretrainedModel,
+    /// The target label every trigger drives inputs toward.
+    pub target_label: usize,
+    /// DRAM device for the online phase.
+    pub chip: ChipModel,
+    /// Templated pages available to the attacker.
+    pub profile_pages: usize,
+    /// Seed for templating and any stochastic choices.
+    pub seed: u64,
+    /// Online hammer configuration.
+    pub hammer: HammerConfig,
+}
+
+impl std::fmt::Debug for AttackPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "AttackPipeline({:?} on {} / {} pages)",
+            self.model, self.chip.tag, self.profile_pages
+        )
+    }
+}
+
+impl AttackPipeline {
+    /// Creates a pipeline with the paper's online setup: a DDR4 device
+    /// hammered 7-sided over a 128 MB-equivalent templated buffer (scaled
+    /// to 8192 pages to keep simulation fast — still orders of magnitude
+    /// more pages than any scaled victim occupies).
+    pub fn new(model: PretrainedModel, target_label: usize, seed: u64) -> Self {
+        AttackPipeline {
+            model,
+            target_label,
+            chip: ChipModel::online_ddr4(),
+            profile_pages: 8192,
+            seed,
+            hammer: HammerConfig::default(),
+        }
+    }
+
+    /// The victim's trigger mask (paper proportions for its image size).
+    pub fn trigger_mask(&self) -> TriggerMask {
+        TriggerMask::paper_default(
+            self.model.test_data.channels(),
+            self.model.test_data.side(),
+        )
+    }
+
+    /// Flip budget for the constrained methods. The paper's only hard
+    /// constraint is `N_flip ≤ #pages` (one flip per page group); it uses
+    /// 10–100 flips depending on the model. Our width-scaled victims have
+    /// far fewer pages, so the budget defaults to the page count itself,
+    /// capped at the paper's maximum of 100.
+    pub fn default_flip_budget(&self) -> usize {
+        let pages = WeightFile::from_network(self.model.net.as_ref()).num_pages();
+        pages.clamp(1, 100)
+    }
+
+    /// Runs the offline phase of a method, mutating the victim in place.
+    pub fn run_offline(&mut self, method: AttackMethod) -> OfflineReport {
+        let base_weights = WeightFile::from_network(self.model.net.as_ref());
+        let trigger0 = Trigger::black_square(self.trigger_mask());
+        let net = self.model.net.as_mut();
+        let data = &self.model.test_data;
+        let bl = BaselineConfig::new(self.target_label);
+        let budget = {
+            let pages = base_weights.num_pages();
+            pages.clamp(1, 100)
+        };
+        let (trigger, loss_history) = match method {
+            AttackMethod::BadNet => (badnet(net, data, &bl, trigger0), Vec::new()),
+            AttackMethod::Ft => (ft_last_layer(net, data, &bl, trigger0), Vec::new()),
+            AttackMethod::Tbt => (tbt(net, data, &bl, trigger0, 24), Vec::new()),
+            AttackMethod::Cft => {
+                let cfg = CftConfig {
+                    iterations: 150,
+                    bit_reduction_period: 25,
+                    eta: 0.5,
+                    epsilon: 0.005,
+                    ..CftConfig::cft(budget, self.target_label)
+                };
+                let CftResult {
+                    trigger,
+                    loss_history,
+                    ..
+                } = run_cft(net, data, &cfg, trigger0);
+                (trigger, loss_history)
+            }
+            AttackMethod::CftBr => {
+                let cfg = CftConfig {
+                    iterations: 150,
+                    bit_reduction_period: 25,
+                    eta: 0.5,
+                    epsilon: 0.005,
+                    ..CftConfig::cft_br(budget, self.target_label)
+                };
+                let CftResult {
+                    trigger,
+                    loss_history,
+                    ..
+                } = run_cft(net, data, &cfg, trigger0);
+                (trigger, loss_history)
+            }
+        };
+        let attacked_weights = WeightFile::from_network(self.model.net.as_ref());
+        OfflineReport {
+            method,
+            n_flip: n_flip(&base_weights, &attacked_weights),
+            test_accuracy: test_accuracy(self.model.net.as_mut(), &self.model.test_data),
+            attack_success_rate: attack_success_rate(
+                self.model.net.as_mut(),
+                &self.model.test_data,
+                &trigger,
+                self.target_label,
+            ),
+            trigger,
+            base_weights,
+            attacked_weights,
+            loss_history,
+        }
+    }
+
+    /// Runs the online phase: reduce per-page demands, match against the
+    /// templated profile, place, hammer, and evaluate the corrupted model.
+    ///
+    /// The victim network ends up loaded with the *hardware*-corrupted
+    /// weights (not the offline ideal).
+    pub fn run_online(&mut self, offline: &OfflineReport) -> OnlineReport {
+        // Per the paper's evaluation: when a method demands several bits in
+        // one page, keep the most significant demand per page (largest
+        // weight-gradient proxy: we use the most significant differing bit,
+        // matching the spirit of "largest gradient") and restore the rest.
+        let wanted = offline.base_weights.diff(&offline.attacked_weights);
+        let targets = reduce_to_one_per_page(&wanted);
+
+        let profile = FlipProfile::template(self.chip, self.profile_pages, self.seed);
+        // Beyond the explicit buffer, the attacker templates most of the
+        // 16 GB DIMM (§IV-A2: "multiple buffers of 128MB can be taken at a
+        // time to profile most of the available memory") — ~4M pages.
+        let mut attack = OnlineAttack::new(profile, self.hammer)
+            .expect("online pattern is valid for the chip")
+            .with_extended_templating(4_000_000, self.seed ^ 0xd1a5);
+        let mut bytes = offline.base_weights.bytes().to_vec();
+        let dram_targets: Vec<TargetBit> = targets
+            .iter()
+            .map(|t| TargetBit {
+                file_page: t.location.page,
+                bit_offset: t.location.offset * 8 + t.bit as usize,
+                zero_to_one: t.zero_to_one,
+            })
+            .collect();
+        let outcome = attack.execute(&mut bytes, &dram_targets);
+
+        // Rebuild the weight file from hammered bytes and load the victim.
+        let mut corrupted = offline.base_weights.clone();
+        for flip in &outcome.applied {
+            let byte = flip.bit_offset / 8;
+            let bit = (flip.bit_offset % 8) as u8;
+            corrupted
+                .flip_bit(
+                    rhb_nn::weightfile::ByteLocation {
+                        page: flip.file_page,
+                        offset: byte,
+                    },
+                    bit,
+                )
+                .expect("applied flips are in range");
+        }
+        debug_assert_eq!(corrupted.bytes(), &bytes[..]);
+        corrupted
+            .load_into(self.model.net.as_mut())
+            .expect("weight file matches the network");
+
+        let realized_flips = n_flip(&offline.base_weights, &corrupted);
+        OnlineReport {
+            method: offline.method,
+            n_flip: realized_flips,
+            test_accuracy: test_accuracy(self.model.net.as_mut(), &self.model.test_data),
+            attack_success_rate: attack_success_rate(
+                self.model.net.as_mut(),
+                &self.model.test_data,
+                &offline.trigger,
+                self.target_label,
+            ),
+            // The paper's denominator is the method's *offline* N_flip:
+            // a baseline that demanded 44 flips but realized 1 scores
+            // 1/44 ≈ 2.3 %, even though its single post-reduction target
+            // matched (§V-B, Table II).
+            r_match: r_match(
+                outcome.n_matched,
+                (offline.n_flip as usize).max(1),
+                outcome.accidental_in_target_pages,
+            ),
+            n_matched: outcome.n_matched,
+            n_targets: outcome.n_targets,
+            accidental: outcome.accidental_in_target_pages,
+            attack_time: outcome.attack_time,
+        }
+    }
+
+    /// Convenience: number of pages and bits the victim's weight file
+    /// occupies (Table II's "#Bits" / "#Pages" row labels).
+    pub fn model_footprint(&self) -> (u64, usize) {
+        let wf = WeightFile::from_network(self.model.net.as_ref());
+        (wf.num_bits(), wf.num_pages())
+    }
+}
+
+/// Keeps at most one required flip per weight-file page: the highest-order
+/// differing bit wins (the paper keeps the largest-gradient flip).
+pub fn reduce_to_one_per_page(targets: &[BitTarget]) -> Vec<BitTarget> {
+    let mut best: std::collections::HashMap<usize, BitTarget> = std::collections::HashMap::new();
+    for &t in targets {
+        let page = t.location.page;
+        match best.get(&page) {
+            Some(cur) => {
+                let cur_rank = (cur.bit, usize::MAX - cur.location.offset);
+                let new_rank = (t.bit, usize::MAX - t.location.offset);
+                if new_rank > cur_rank {
+                    best.insert(page, t);
+                }
+            }
+            None => {
+                best.insert(page, t);
+            }
+        }
+    }
+    let mut out: Vec<BitTarget> = best.into_values().collect();
+    out.sort_by_key(|t| (t.location.page, t.location.offset, t.bit));
+    out
+}
+
+/// Helper for bench binaries: the weight-file page size re-exported so
+/// downstream code does not need to depend on `rhb-nn` directly.
+pub const WEIGHT_PAGE_SIZE: usize = PAGE_SIZE;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+    use rhb_nn::weightfile::ByteLocation;
+
+    fn pipeline(seed: u64) -> AttackPipeline {
+        let model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), seed);
+        AttackPipeline::new(model, 2, seed)
+    }
+
+    #[test]
+    fn reduce_keeps_highest_bit_per_page() {
+        let t = |page, offset, bit| BitTarget {
+            location: ByteLocation { page, offset },
+            bit,
+            zero_to_one: true,
+        };
+        let reduced = reduce_to_one_per_page(&[t(0, 5, 2), t(0, 9, 6), t(1, 0, 0)]);
+        assert_eq!(reduced.len(), 2);
+        assert_eq!(reduced[0].bit, 6);
+        assert_eq!(reduced[1].location.page, 1);
+    }
+
+    #[test]
+    fn cft_br_end_to_end_keeps_high_rmatch_and_survives_hardware() {
+        let mut pipe = pipeline(41);
+        let offline = pipe.run_offline(AttackMethod::CftBr);
+        assert!(offline.n_flip > 0);
+        let online = pipe.run_online(&offline);
+        assert!(
+            online.r_match > 95.0,
+            "CFT+BR r_match {} should be ~100%",
+            online.r_match
+        );
+        // The online-phase claim: the hardware attack realizes the offline
+        // backdoor — every target matched, and the ASR carries over instead
+        // of collapsing as it does for the baselines.
+        assert_eq!(online.n_matched, online.n_targets);
+        assert!(
+            online.attack_success_rate > offline.attack_success_rate - 0.15,
+            "online ASR {} fell away from offline {}",
+            online.attack_success_rate,
+            offline.attack_success_rate
+        );
+    }
+
+    #[test]
+    fn ft_online_phase_collapses() {
+        let mut pipe = pipeline(43);
+        let offline = pipe.run_offline(AttackMethod::Ft);
+        let offline_asr = offline.attack_success_rate;
+        let online = pipe.run_online(&offline);
+        // FT's flips concentrate in the last-layer page(s); after per-page
+        // reduction only one or two intended bits survive (total realized
+        // flips also include accidental ones in the hammered pages), so
+        // r_match (relative to the offline demand) and ASR drop hard.
+        assert!(online.n_matched <= 2, "online matched {}", online.n_matched);
+        assert!(
+            online.attack_success_rate < offline_asr,
+            "online ASR {} did not drop from {}",
+            online.attack_success_rate,
+            offline_asr
+        );
+    }
+
+    #[test]
+    fn online_restores_test_accuracy_for_weak_attacks() {
+        let mut pipe = pipeline(44);
+        let base_acc = pipe.model.base_accuracy;
+        let offline = pipe.run_offline(AttackMethod::Ft);
+        let online = pipe.run_online(&offline);
+        // With almost no surviving flips the model returns to (near) its
+        // clean accuracy, as Table II's online TA columns show.
+        assert!(
+            (online.test_accuracy - base_acc).abs() < 0.25,
+            "online TA {} vs base {}",
+            online.test_accuracy,
+            base_acc
+        );
+    }
+
+    #[test]
+    fn footprint_reports_pages_and_bits() {
+        let pipe = pipeline(45);
+        let (bits, pages) = pipe.model_footprint();
+        assert_eq!(bits % 8, 0);
+        assert!(pages >= 1);
+        assert!(bits / 8 <= (pages * WEIGHT_PAGE_SIZE) as u64);
+    }
+}

@@ -1,0 +1,172 @@
+//! Target-page matching probabilities (§IV-A2, Eqs. 1–2, Figs. 9–10).
+//!
+//! Given a chip's average flips per page, these closed forms compute the
+//! probability that a buffer of `N` templated pages contains at least one
+//! page whose vulnerable cells line up with a required set of bit offsets
+//! and directions. The headline numbers the paper derives for its
+//! reference DDR3 device (34 flips per page, S = 32,768, N = 32,768):
+//! one offset matches almost surely, two offsets with 3 % probability,
+//! three with 0.003 %.
+
+/// Bits per 4 KB page (the paper's `S`).
+pub const S_BITS: usize = 4096 * 8;
+
+/// Probability that a *single* page with the given average flip counts
+/// covers `k` required 0→1 offsets and `l` required 1→0 offsets — the
+/// product term of Eq. (1).
+///
+/// `n_zero_to_one`/`n_one_to_zero` are the average numbers of cells per
+/// page flippable in each direction.
+pub fn single_page_match_exact(
+    n_zero_to_one: f64,
+    n_one_to_zero: f64,
+    k: usize,
+    l: usize,
+    s: usize,
+) -> f64 {
+    let s = s as f64;
+    let mut p = 1.0;
+    for i in 0..k {
+        p *= ((n_zero_to_one - i as f64) / (s - i as f64)).max(0.0);
+    }
+    for j in 0..l {
+        p *= ((n_one_to_zero - j as f64) / (s - k as f64 - j as f64)).max(0.0);
+    }
+    p
+}
+
+/// The reduced single-page probability of Eq. (2), valid when the two
+/// directions are equally common: a product over the combined offset count
+/// `k + l` with the combined flip density `n = n_{0→1} + n_{1→0}`.
+pub fn single_page_match_reduced(total_flips_per_page: f64, k_plus_l: usize, s: usize) -> f64 {
+    let s = s as f64;
+    let mut p = 1.0;
+    for i in 0..k_plus_l {
+        p *= ((total_flips_per_page - i as f64) / (s - i as f64)).max(0.0);
+    }
+    p
+}
+
+/// Eq. (1): probability of finding at least one suitable page among `N`.
+pub fn target_page_probability_exact(
+    n_zero_to_one: f64,
+    n_one_to_zero: f64,
+    k: usize,
+    l: usize,
+    s: usize,
+    num_pages: usize,
+) -> f64 {
+    let p1 = single_page_match_exact(n_zero_to_one, n_one_to_zero, k, l, s);
+    1.0 - (1.0 - p1).powi(num_pages as i32)
+}
+
+/// Eq. (2): the reduced form over `k + l` combined offsets.
+pub fn target_page_probability(
+    total_flips_per_page: f64,
+    k_plus_l: usize,
+    s: usize,
+    num_pages: usize,
+) -> f64 {
+    let p1 = single_page_match_reduced(total_flips_per_page, k_plus_l, s);
+    1.0 - (1.0 - p1).powi(num_pages as i32)
+}
+
+/// One point of Fig. 9/10: `(N, probability)` pairs over a page-count sweep.
+pub fn probability_curve(
+    total_flips_per_page: f64,
+    k_plus_l: usize,
+    page_counts: &[usize],
+) -> Vec<(usize, f64)> {
+    page_counts
+        .iter()
+        .map(|&n| (n, target_page_probability(total_flips_per_page, k_plus_l, S_BITS, n)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's reference density: 34 combined flips per page.
+    const REF: f64 = 34.0;
+    /// 128 MB of 4 KB pages.
+    const N128MB: usize = 32_768;
+
+    #[test]
+    fn one_offset_matches_almost_surely() {
+        let p = target_page_probability(REF, 1, S_BITS, N128MB);
+        assert!(p > 0.999_999, "p(t|{{b0}}) = {p}, paper says ≈1");
+    }
+
+    #[test]
+    fn two_offsets_match_three_percent() {
+        let p = target_page_probability(REF, 2, S_BITS, N128MB);
+        assert!((p - 0.03).abs() < 0.01, "p(t|{{b0,b1}}) = {p}, paper says 0.03");
+    }
+
+    #[test]
+    fn three_offsets_vanish() {
+        let p = target_page_probability(REF, 3, S_BITS, N128MB);
+        assert!(
+            (p - 0.000_03).abs() < 0.000_03,
+            "p(t|{{b0,b1,b2}}) = {p}, paper says 0.00003"
+        );
+    }
+
+    #[test]
+    fn reduced_form_upper_bounds_exact_form() {
+        // Eq. (2) lets any of the n combined cells match any offset, so it
+        // upper-bounds Eq. (1) (which pins directions) while staying within
+        // a factor of 2^(k+l) for balanced directions.
+        let exact = target_page_probability_exact(17.0, 17.0, 1, 1, S_BITS, 2048);
+        let reduced = target_page_probability(34.0, 2, S_BITS, 2048);
+        assert!(reduced >= exact, "exact {exact} vs reduced {reduced}");
+        assert!(reduced <= exact * 4.5, "exact {exact} vs reduced {reduced}");
+    }
+
+    #[test]
+    fn fig9_k1_needs_2200_pages_for_one_offset() {
+        // Fig. 9: on chip K1 (100.68 flips/page), 2200 pages give ≥99.99%
+        // for one bit per page.
+        let p = target_page_probability(100.68, 1, S_BITS, 2200);
+        assert!(p > 0.99, "K1 single-offset p at 2200 pages = {p}");
+        // Two offsets at the same page count stay marginal (paper: ~2%).
+        let p2 = target_page_probability(100.68, 2, S_BITS, 2200);
+        assert!((0.005..0.08).contains(&p2), "two-offset p = {p2}");
+    }
+
+    #[test]
+    fn probability_grows_with_pages_and_density() {
+        let sparse = target_page_probability(1.05, 1, S_BITS, 4096);
+        let dense = target_page_probability(28.77, 1, S_BITS, 4096);
+        assert!(dense > sparse);
+        let few = target_page_probability(1.05, 1, S_BITS, 512);
+        assert!(sparse > few);
+    }
+
+    #[test]
+    fn fig10_least_flippy_chip_converges_with_enough_pages() {
+        // Fig. 10: even B1 (1.05 flips/page) approaches p = 1 given enough
+        // templated pages.
+        let p = target_page_probability(1.05, 1, S_BITS, 3_000_000);
+        assert!(p > 0.99, "B1 with 3M pages p = {p}");
+    }
+
+    #[test]
+    fn curve_is_monotone_in_n() {
+        let curve = probability_curve(12.48, 1, &[128, 1024, 8192, 65536]);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn more_offsets_never_increase_probability() {
+        for &n in &[1024usize, 32_768] {
+            let p1 = target_page_probability(REF, 1, S_BITS, n);
+            let p2 = target_page_probability(REF, 2, S_BITS, n);
+            let p3 = target_page_probability(REF, 3, S_BITS, n);
+            assert!(p1 >= p2 && p2 >= p3);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Binarization-aware deployment (paper §VI-A).
+//!
+//! Binarized networks store one *bit* per weight, so a model that occupied
+//! hundreds of 4 KB pages as int8 shrinks to a handful of pages — and the
+//! attack's hard constraint `N_flip ≤ #pages` (one flip per page group)
+//! starves it of levers. The paper finds this defense *effective*, at the
+//! cost of accuracy.
+//!
+//! The paper trains with binarization in the loop; this reproduction
+//! applies deterministic post-training binarization (`sign(w)·E[|w|]` per
+//! tensor, the classic BinaryConnect deployment rule) followed by the
+//! victim's normal evaluation, which exposes the same two quantities the
+//! defense argument needs: the page-count cap and the accuracy cost.
+
+use rhb_nn::network::Network;
+use rhb_nn::tensor::Tensor;
+
+/// Bits per binarized weight.
+pub const BNN_BITS: usize = 1;
+
+/// Result of binarizing a deployed network.
+#[derive(Debug, Clone, Copy)]
+pub struct BinarizationReport {
+    /// 4 KB pages the binarized weight file occupies.
+    pub pages: usize,
+    /// 4 KB pages the original 8-bit file occupied.
+    pub original_pages: usize,
+    /// Maximum `N_flip` the attacker can use against the binarized model.
+    pub max_n_flip: usize,
+}
+
+/// Binarizes every parameter in place: `w ← sign(w)·mean(|w|)` per tensor.
+///
+/// Returns the page accounting that caps the attack. The quantization
+/// schemes are refitted so the model still deploys as int8 arithmetic (the
+/// binary values occupy two quantization levels).
+///
+/// # Panics
+///
+/// Panics if the network has no parameters.
+pub fn binarize(net: &mut dyn Network) -> BinarizationReport {
+    let total_weights = net.num_params();
+    assert!(total_weights > 0, "cannot binarize an empty network");
+    let original_pages = total_weights.div_ceil(4096);
+    for p in net.params_mut() {
+        let mean_abs = mean_abs(&p.value).max(f32::EPSILON);
+        p.value
+            .map_inplace(|v| if v >= 0.0 { mean_abs } else { -mean_abs });
+        // Refit deployment so ±mean_abs are exactly representable.
+        p.deploy().expect("binarized weights are finite and nonzero");
+    }
+    // One bit per weight: 32,768 weights per 4 KB page.
+    let pages = total_weights.div_ceil(4096 * 8 / BNN_BITS);
+    BinarizationReport {
+        pages,
+        original_pages,
+        max_n_flip: pages,
+    }
+}
+
+/// Binarization-aware fine-tuning with a straight-through estimator: the
+/// forward/backward pass runs on the binarized weights, gradients update
+/// float shadow weights, and the final call to [`binarize`] deploys the
+/// 1-bit model. This is the training-side half of the paper's defense
+/// (He et al.'s binarization-aware training), which recovers most of the
+/// accuracy that naive post-training binarization destroys.
+pub fn binarize_aware_finetune(
+    net: &mut dyn Network,
+    data: &rhb_models::data::Dataset,
+    epochs: usize,
+    lr: f32,
+    seed: u64,
+) -> BinarizationReport {
+    use rhb_nn::layer::Mode;
+    use rhb_nn::loss::cross_entropy;
+
+    let mut rng = rhb_nn::init::Rng::seed_from(seed);
+    let mut order: Vec<usize> = (0..data.len()).collect();
+    for _ in 0..epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.below(i + 1);
+            order.swap(i, j);
+        }
+        for chunk in order.chunks(32) {
+            let (x, y) = data.batch(chunk);
+            // Shadow-swap: binarize for the pass, keep floats for updates.
+            let shadows: Vec<Tensor> = net.params().iter().map(|p| p.value.clone()).collect();
+            for p in net.params_mut() {
+                let m = mean_abs(&p.value).max(f32::EPSILON);
+                p.value.map_inplace(|v| if v >= 0.0 { m } else { -m });
+            }
+            net.zero_grad();
+            let logits = net.forward(&x, Mode::Train);
+            let out = cross_entropy(&logits, &y);
+            net.backward(&out.grad_logits);
+            // STE: apply the binary-point gradient to the float shadows.
+            let mut params = net.params_mut();
+            for (p, shadow) in params.iter_mut().zip(&shadows) {
+                for ((v, &s), &g) in p
+                    .value
+                    .data_mut()
+                    .iter_mut()
+                    .zip(shadow.data())
+                    .zip(p.grad.data())
+                {
+                    *v = (s - lr * g).clamp(-1.5, 1.5);
+                }
+            }
+        }
+    }
+    binarize(net)
+}
+
+fn mean_abs(t: &Tensor) -> f32 {
+    if t.numel() == 0 {
+        return 0.0;
+    }
+    t.data().iter().map(|v| v.abs()).sum::<f32>() / t.numel() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_models::train::evaluate;
+    use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+
+    #[test]
+    fn binarized_weights_take_two_values_per_tensor() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 3);
+        binarize(model.net.as_mut());
+        for p in model.net.params() {
+            let mut distinct: Vec<f32> = p.value.data().to_vec();
+            distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            distinct.dedup();
+            assert!(
+                distinct.len() <= 2,
+                "{} has {} distinct values",
+                p.name,
+                distinct.len()
+            );
+        }
+    }
+
+    #[test]
+    fn page_footprint_shrinks_8x() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 3);
+        let report = binarize(model.net.as_mut());
+        assert!(report.pages <= report.original_pages.div_ceil(8));
+        assert_eq!(report.max_n_flip, report.pages);
+    }
+
+    #[test]
+    fn aware_finetuning_recovers_usable_accuracy() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 3);
+        let before = model.base_accuracy;
+        binarize_aware_finetune(model.net.as_mut(), &model.train_data, 4, 0.05, 1);
+        let after = evaluate(model.net.as_mut(), &model.test_data, 64);
+        assert!(
+            after <= before + 0.05,
+            "binarization should not beat the full-precision model"
+        );
+        assert!(after > 0.3, "binarized accuracy {after} near chance");
+    }
+
+    #[test]
+    fn naive_binarization_is_much_worse_than_aware_training() {
+        let cfg = ZooConfig::tiny();
+        let mut naive = pretrained(Architecture::ResNet20, &cfg, 3);
+        binarize(naive.net.as_mut());
+        let naive_acc = evaluate(naive.net.as_mut(), &naive.test_data, 64);
+        let mut aware = pretrained(Architecture::ResNet20, &cfg, 3);
+        binarize_aware_finetune(aware.net.as_mut(), &aware.train_data, 4, 0.05, 1);
+        let aware_acc = evaluate(aware.net.as_mut(), &aware.test_data, 64);
+        assert!(
+            aware_acc > naive_acc,
+            "aware {aware_acc} should beat naive {naive_acc}"
+        );
+    }
+
+    #[test]
+    fn binarized_model_is_still_deployed() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 4);
+        binarize(model.net.as_mut());
+        assert!(model.net.is_deployed());
+    }
+}

@@ -1,0 +1,157 @@
+//! DeepDyve dynamic verification (paper §VI-B).
+//!
+//! DeepDyve pairs the served model with a small checker model. When the
+//! two disagree on an input, the inference is repeated on the original
+//! model and that second answer is accepted — sound against *transient*
+//! faults, which have vanished by the re-run. Rowhammer flips are
+//! persistent: the re-run consults the same corrupted weights, so the
+//! backdoored answer stands even when the checker raises an alarm.
+
+use parking_lot::Mutex;
+use rhb_nn::layer::Mode;
+use rhb_nn::network::Network;
+use rhb_nn::tensor::Tensor;
+
+/// Statistics from a batch of dynamically verified inferences.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DyveStats {
+    /// Inputs classified.
+    pub total: usize,
+    /// Checker disagreements (alarms raised).
+    pub alarms: usize,
+    /// Alarmed inputs whose re-run answer *differed* from the first run —
+    /// the only case where verification changed anything. Zero under a
+    /// persistent-fault attack.
+    pub corrected: usize,
+}
+
+/// A served model guarded by a checker.
+///
+/// Wrapped in mutexes so a service can verify concurrently arriving
+/// requests; the guard serializes each model's stateful forward pass.
+pub struct DeepDyve {
+    main: Mutex<Box<dyn Network>>,
+    checker: Mutex<Box<dyn Network>>,
+}
+
+impl std::fmt::Debug for DeepDyve {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DeepDyve(main + checker)")
+    }
+}
+
+impl DeepDyve {
+    /// Pairs a served model with its checker.
+    pub fn new(main: Box<dyn Network>, checker: Box<dyn Network>) -> Self {
+        DeepDyve {
+            main: Mutex::new(main),
+            checker: Mutex::new(checker),
+        }
+    }
+
+    /// Classifies one `[1, C, H, W]` input under dynamic verification,
+    /// returning the accepted label and updating `stats`.
+    pub fn classify(&self, input: &Tensor, stats: &mut DyveStats) -> usize {
+        let first = argmax_label(&mut **self.main.lock(), input);
+        let check = argmax_label(&mut **self.checker.lock(), input);
+        stats.total += 1;
+        if first == check {
+            return first;
+        }
+        stats.alarms += 1;
+        // Alarm: repeat the inference on the original model and accept it.
+        let second = argmax_label(&mut **self.main.lock(), input);
+        if second != first {
+            stats.corrected += 1;
+        }
+        second
+    }
+
+    /// Classifies a batch one input at a time (the verification protocol is
+    /// inherently per-query).
+    pub fn classify_batch(&self, batch: &Tensor, stats: &mut DyveStats) -> Vec<usize> {
+        let dims = batch.shape().dims();
+        let image_len: usize = dims[1..].iter().product();
+        (0..dims[0])
+            .map(|b| {
+                let img = Tensor::from_vec(
+                    batch.data()[b * image_len..(b + 1) * image_len].to_vec(),
+                    &[1, dims[1], dims[2], dims[3]],
+                );
+                self.classify(&img, stats)
+            })
+            .collect()
+    }
+
+    /// Releases the wrapped models.
+    pub fn into_inner(self) -> (Box<dyn Network>, Box<dyn Network>) {
+        (self.main.into_inner(), self.checker.into_inner())
+    }
+}
+
+fn argmax_label(net: &mut dyn Network, input: &Tensor) -> usize {
+    let logits = net.forward(input, Mode::Eval);
+    logits.argmax() % logits.shape().dim(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+
+    fn two_models() -> (Box<dyn Network>, Box<dyn Network>, rhb_models::data::Dataset) {
+        let cfg = ZooConfig::tiny();
+        let a = pretrained(Architecture::ResNet20, &cfg, 7);
+        // The checker must learn the *same task*: same zoo seed (hence the
+        // same dataset), different architecture.
+        let b = pretrained(Architecture::ResNet32, &cfg, 7);
+        (a.net, b.net, a.test_data)
+    }
+
+    #[test]
+    fn agreeing_models_raise_few_alarms_on_clean_data() {
+        let (main, checker, data) = two_models();
+        let dyve = DeepDyve::new(main, checker);
+        let (batch, _) = data.head(24);
+        let mut stats = DyveStats::default();
+        dyve.classify_batch(&batch, &mut stats);
+        assert_eq!(stats.total, 24);
+        // Both models are decent on clean data, so most inputs agree.
+        assert!(stats.alarms < 20, "alarms {} of 24", stats.alarms);
+    }
+
+    #[test]
+    fn persistent_fault_is_never_corrected() {
+        let (main, checker, data) = two_models();
+        let dyve = DeepDyve::new(main, checker);
+        let (batch, _) = data.head(32);
+        let mut stats = DyveStats::default();
+        dyve.classify_batch(&batch, &mut stats);
+        // The re-run consults the same weights; deterministic inference
+        // means the "verified" answer always equals the first answer.
+        assert_eq!(stats.corrected, 0);
+    }
+
+    #[test]
+    fn classify_returns_main_model_answer() {
+        let (main, checker, data) = two_models();
+        let cfg = ZooConfig::tiny();
+        let mut reference = pretrained(Architecture::ResNet20, &cfg, 7);
+        let dyve = DeepDyve::new(main, checker);
+        let (batch, _) = data.head(8);
+        let mut stats = DyveStats::default();
+        let answers = dyve.classify_batch(&batch, &mut stats);
+        let logits = reference.net.forward(&batch, Mode::Eval);
+        let classes = logits.shape().dim(1);
+        for (b, &a) in answers.iter().enumerate() {
+            let row = &logits.data()[b * classes..(b + 1) * classes];
+            let mut best = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            assert_eq!(a, best, "input {b}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Countermeasures against bit-flip attacks, as evaluated in the paper's
+//! §VI — two prevention-based, four detection-based, one recovery-based:
+//!
+//! * [`bnn`] — binarization-aware deployment: shrinks the weight file so
+//!   hard that the page-count cap on `N_flip` starves the attack (at an
+//!   accuracy cost);
+//! * [`pwc`] — piecewise weight clustering: a training penalty that forms
+//!   two weight clusters, strengthening the TA/ASR trade-off;
+//! * [`deepdyve`] — dynamic verification with a checker model; defeated
+//!   because Rowhammer flips are persistent, not transient;
+//! * [`weight_encoding`] — concurrent weight-encoding detection with its
+//!   quadratic time / linear storage overhead model; defeated because it
+//!   only covers the most sensitive layers while CFT+BR touches all;
+//! * [`radar`] — checksum groups over weight MSBs, plus the adaptive
+//!   MSB-avoiding attack that bypasses it;
+//! * [`sentinet`] — GradCAM-style saliency analysis of triggered inputs
+//!   (Fig. 8);
+//! * [`reconstruction`] — weight reconstruction recovery, and the aware
+//!   attacker that optimizes straight through it.
+
+pub mod bnn;
+pub mod deepdyve;
+pub mod pwc;
+pub mod radar;
+pub mod reconstruction;
+pub mod sentinet;
+pub mod weight_encoding;

@@ -1,0 +1,150 @@
+//! Weight reconstruction recovery (paper §VI-C).
+//!
+//! Li et al.'s defense exploits weight redundancy: alongside the model it
+//! keeps a compact reference encoding from which the high-order content of
+//! every weight can be re-derived; after (suspected) corruption each
+//! weight is reconstructed toward that reference, redistributing a large
+//! corrupted weight's effect instead of letting it dominate. Modeled here
+//! as a per-weight reference of the top `protected_bits` two's-complement
+//! bits: reconstruction forces those bits back, keeping the low bits. An
+//! MSB flip (the unaware attack's favorite, it carries the most magnitude)
+//! is repaired, which is why the paper sees ASR fall from ~91 % to ~33 %.
+//!
+//! The bypass: an attacker *aware* of the defense confines bit reduction
+//! to the unprotected low bits
+//! ([`WeightReconstruction::aware_attacker_mask`]) and sails straight
+//! through — the paper recovers 94 % ASR.
+
+use rhb_nn::network::Network;
+use rhb_nn::quant::QuantizedTensor;
+
+/// Reference encoding captured at deployment.
+#[derive(Debug, Clone)]
+pub struct WeightReconstruction {
+    /// Top-bits reference per parameter tensor.
+    references: Vec<Vec<u8>>,
+    /// How many high-order bits of each weight the encoding can restore.
+    pub protected_bits: u8,
+}
+
+impl WeightReconstruction {
+    /// Captures the reference encoding of a clean deployed model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `protected_bits` is outside 1..=8 or the network is not
+    /// deployed.
+    pub fn deploy(net: &dyn Network, protected_bits: u8) -> Self {
+        assert!((1..=8).contains(&protected_bits), "protected_bits in 1..=8");
+        let shift = 8 - protected_bits;
+        let references = net
+            .quantized_params()
+            .iter()
+            .map(|q| q.values().iter().map(|&v| (v as u8) >> shift).collect())
+            .collect();
+        WeightReconstruction {
+            references,
+            protected_bits,
+        }
+    }
+
+    /// Reconstructs a (possibly corrupted) model in place, returning how
+    /// many weights had their protected bits restored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's parameter structure changed since deployment.
+    pub fn reconstruct(&self, net: &mut dyn Network) -> usize {
+        let shift = 8 - self.protected_bits;
+        let low_mask = if shift == 0 { 0u8 } else { 0xFFu8 >> self.protected_bits };
+        let mut images: Vec<QuantizedTensor> = net.quantized_params();
+        assert_eq!(images.len(), self.references.len(), "parameter count changed");
+        let mut repaired = 0usize;
+        for (img, reference) in images.iter_mut().zip(&self.references) {
+            for (v, &r) in img.values_mut().iter_mut().zip(reference) {
+                let current = *v as u8;
+                let restored = (r << shift) | (current & low_mask);
+                if restored != current {
+                    *v = restored as i8;
+                    repaired += 1;
+                }
+            }
+        }
+        net.load_quantized(&images);
+        repaired
+    }
+
+    /// The bit mask an *aware* attacker passes to
+    /// `CftConfig::allowed_bits` so every single-bit change lands in the
+    /// unprotected low bits and survives reconstruction.
+    pub fn aware_attacker_mask(&self) -> u8 {
+        if self.protected_bits >= 8 {
+            0
+        } else {
+            0xFFu8 >> self.protected_bits
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+
+    #[test]
+    fn clean_model_needs_no_repair() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 14);
+        let rec = WeightReconstruction::deploy(model.net.as_ref(), 2);
+        assert_eq!(rec.reconstruct(model.net.as_mut()), 0);
+    }
+
+    #[test]
+    fn msb_flip_is_repaired_exactly() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 14);
+        let rec = WeightReconstruction::deploy(model.net.as_ref(), 2);
+        let clean = model.net.quantized_params();
+        let mut images = model.net.quantized_params();
+        images[0].flip_bit(0, 7).unwrap();
+        model.net.load_quantized(&images);
+        let repaired = rec.reconstruct(model.net.as_mut());
+        assert_eq!(repaired, 1);
+        let after = model.net.quantized_params();
+        assert_eq!(clean[0].values()[0], after[0].values()[0]);
+    }
+
+    #[test]
+    fn low_bit_flip_survives_reconstruction() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 14);
+        let rec = WeightReconstruction::deploy(model.net.as_ref(), 2);
+        let mut images = model.net.quantized_params();
+        images[0].flip_bit(0, 4).unwrap(); // within the unprotected low bits
+        let tampered = images[0].values()[0];
+        model.net.load_quantized(&images);
+        assert_eq!(rec.reconstruct(model.net.as_mut()), 0);
+        assert_eq!(model.net.quantized_params()[0].values()[0], tampered);
+    }
+
+    #[test]
+    fn aware_mask_matches_protection_level() {
+        let model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 14);
+        let rec = WeightReconstruction::deploy(model.net.as_ref(), 2);
+        assert_eq!(rec.aware_attacker_mask(), 0b0011_1111);
+        let full = WeightReconstruction::deploy(model.net.as_ref(), 8);
+        assert_eq!(full.aware_attacker_mask(), 0);
+    }
+
+    #[test]
+    fn reconstruction_repairs_many_random_msb_flips() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 15);
+        let rec = WeightReconstruction::deploy(model.net.as_ref(), 1);
+        let clean = model.net.quantized_params();
+        let mut images = model.net.quantized_params();
+        for i in (0..images[0].numel()).step_by(37) {
+            images[0].flip_bit(i, 7).unwrap();
+        }
+        model.net.load_quantized(&images);
+        rec.reconstruct(model.net.as_mut());
+        let after = model.net.quantized_params();
+        assert_eq!(clean[0].hamming_distance(&after[0]), 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Concurrent weight-encoding detection (paper §VI-B).
+//!
+//! Weight encoding adds a matrix-multiplication-based signature check to
+//! inference. Because the check costs `O(N²)` in the number of covered
+//! weights, deployments restrict it to the topmost-sensitive layers — and
+//! that spatial-locality assumption is what CFT+BR breaks: its flips are
+//! spread uniformly across *all* layers, so most land outside the covered
+//! region. The paper also estimates the overhead of protecting a
+//! ResNet-34 outright: 834.27 s of extra execution time and 374.86 MB of
+//! extra storage (446 %).
+
+use rhb_nn::network::Network;
+use rhb_nn::tensor::Tensor;
+use std::time::Duration;
+
+/// A deployed weight-encoding detector covering the last `covered_layers`
+/// parameter tensors of the victim.
+#[derive(Debug, Clone)]
+pub struct WeightEncoding {
+    covered_layers: usize,
+    signatures: Vec<u64>,
+    covered_from: usize,
+}
+
+impl WeightEncoding {
+    /// Snapshots signatures of the last `covered_layers` parameter tensors
+    /// (the "topmost sensitive" layers the method can afford to cover).
+    pub fn deploy(net: &dyn Network, covered_layers: usize) -> Self {
+        let params = net.params();
+        let covered_from = params.len().saturating_sub(covered_layers);
+        let signatures = params[covered_from..]
+            .iter()
+            .map(|p| signature(&p.value))
+            .collect();
+        WeightEncoding {
+            covered_layers,
+            signatures,
+            covered_from,
+        }
+    }
+
+    /// Index of the first covered parameter tensor.
+    pub fn covered_from(&self) -> usize {
+        self.covered_from
+    }
+
+    /// Verifies the covered layers; `true` means tampering detected.
+    pub fn detect(&self, net: &dyn Network) -> bool {
+        let params = net.params();
+        params[self.covered_from..]
+            .iter()
+            .zip(&self.signatures)
+            .any(|(p, &sig)| signature(&p.value) != sig)
+    }
+
+    /// Estimated extra execution time to cover `n_weights` weights, from
+    /// the paper's quadratic-cost model calibrated to its ResNet-34
+    /// estimate (834.27 s for ~21.8 M weights).
+    pub fn time_overhead(n_weights: usize) -> Duration {
+        const REF_WEIGHTS: f64 = 21_779_648.0;
+        const REF_SECONDS: f64 = 834.27;
+        let scale = (n_weights as f64 / REF_WEIGHTS).powi(2);
+        Duration::from_secs_f64(REF_SECONDS * scale)
+    }
+
+    /// Estimated extra storage in bytes (linear model; the paper reports
+    /// 374.86 MB = 446 % for ResNet-34).
+    pub fn storage_overhead(n_weights: usize) -> u64 {
+        const REF_WEIGHTS: f64 = 21_779_648.0;
+        const REF_BYTES: f64 = 374.86 * 1024.0 * 1024.0;
+        (REF_BYTES * n_weights as f64 / REF_WEIGHTS) as u64
+    }
+
+    /// Number of covered parameter tensors.
+    pub fn covered_layers(&self) -> usize {
+        self.covered_layers
+    }
+}
+
+/// Order-sensitive 64-bit signature of a tensor's bit pattern.
+fn signature(t: &Tensor) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in t.data() {
+        h ^= u64::from(v.to_bits());
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+
+    #[test]
+    fn untouched_model_passes_verification() {
+        let model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 2);
+        let enc = WeightEncoding::deploy(model.net.as_ref(), 2);
+        assert!(!enc.detect(model.net.as_ref()));
+    }
+
+    #[test]
+    fn covered_layer_tampering_is_detected() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 2);
+        let enc = WeightEncoding::deploy(model.net.as_ref(), 2);
+        let n = model.net.params().len();
+        model.net.params_mut()[n - 1].value.data_mut()[0] += 0.5;
+        assert!(enc.detect(model.net.as_ref()));
+    }
+
+    #[test]
+    fn uncovered_layer_tampering_evades_detection() {
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 2);
+        let enc = WeightEncoding::deploy(model.net.as_ref(), 2);
+        // Flip a first-layer weight — far outside the covered region,
+        // exactly where CFT+BR puts most of its flips.
+        model.net.params_mut()[0].value.data_mut()[0] += 0.5;
+        assert!(!enc.detect(model.net.as_ref()));
+    }
+
+    #[test]
+    fn overhead_model_reproduces_paper_estimates() {
+        let t = WeightEncoding::time_overhead(21_779_648);
+        assert!((t.as_secs_f64() - 834.27).abs() < 0.01);
+        let s = WeightEncoding::storage_overhead(21_779_648);
+        assert!((s as f64 / (1024.0 * 1024.0) - 374.86).abs() < 0.01);
+    }
+
+    #[test]
+    fn time_overhead_is_quadratic() {
+        let half = WeightEncoding::time_overhead(10_889_824);
+        let full = WeightEncoding::time_overhead(21_779_648);
+        let ratio = full.as_secs_f64() / half.as_secs_f64();
+        assert!((ratio - 4.0).abs() < 0.01, "ratio {ratio}");
+    }
+}

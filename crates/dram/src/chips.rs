@@ -1,0 +1,132 @@
+//! The DRAM chip catalog of Table I.
+//!
+//! The paper profiles 14 DDR3 chips (double-sided Rowhammer, numbers derived
+//! from the profiles published by Tatar et al.) and 6 DDR4 chips (n-sided
+//! Rowhammer), reporting the *average number of bit flips per 4 KB page*
+//! for each. Those averages are the only chip parameter the rest of the
+//! pipeline needs: they drive flip-profile density, target-page matching
+//! probability (Eqs. 1–2), and accidental-flip counts.
+
+use serde::Serialize;
+
+/// DRAM generation, which determines the effective hammer patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum ChipKind {
+    /// DDR3: double-sided hammering works; no TRR.
+    Ddr3,
+    /// DDR4: TRR defeats double-sided; needs many-sided patterns.
+    Ddr4,
+}
+
+/// One profiled DRAM chip.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ChipModel {
+    /// Brand/model tag as used in Table I (A1, …, N1).
+    pub tag: &'static str,
+    /// DRAM generation.
+    pub kind: ChipKind,
+    /// Average bit flips found per 4 KB page when fully templated.
+    pub avg_flips_per_page: f64,
+}
+
+impl ChipModel {
+    /// The 14 DDR3 chips of Table I.
+    pub const DDR3: [ChipModel; 14] = [
+        ChipModel { tag: "A1", kind: ChipKind::Ddr3, avg_flips_per_page: 12.48 },
+        ChipModel { tag: "A2", kind: ChipKind::Ddr3, avg_flips_per_page: 1.92 },
+        ChipModel { tag: "A3", kind: ChipKind::Ddr3, avg_flips_per_page: 1.11 },
+        ChipModel { tag: "A4", kind: ChipKind::Ddr3, avg_flips_per_page: 15.85 },
+        ChipModel { tag: "B1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.05 },
+        ChipModel { tag: "C1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.60 },
+        ChipModel { tag: "D1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.08 },
+        ChipModel { tag: "E1", kind: ChipKind::Ddr3, avg_flips_per_page: 12.46 },
+        ChipModel { tag: "E2", kind: ChipKind::Ddr3, avg_flips_per_page: 2.02 },
+        ChipModel { tag: "F1", kind: ChipKind::Ddr3, avg_flips_per_page: 28.77 },
+        ChipModel { tag: "G1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.62 },
+        ChipModel { tag: "H1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.66 },
+        ChipModel { tag: "I1", kind: ChipKind::Ddr3, avg_flips_per_page: 8.28 },
+        ChipModel { tag: "J1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.25 },
+    ];
+
+    /// The 6 DDR4 chips of Table I.
+    pub const DDR4: [ChipModel; 6] = [
+        ChipModel { tag: "K1", kind: ChipKind::Ddr4, avg_flips_per_page: 100.68 },
+        ChipModel { tag: "K2", kind: ChipKind::Ddr4, avg_flips_per_page: 109.48 },
+        ChipModel { tag: "L1", kind: ChipKind::Ddr4, avg_flips_per_page: 3.12 },
+        ChipModel { tag: "L2", kind: ChipKind::Ddr4, avg_flips_per_page: 13.98 },
+        ChipModel { tag: "M1", kind: ChipKind::Ddr4, avg_flips_per_page: 2.04 },
+        ChipModel { tag: "N1", kind: ChipKind::Ddr4, avg_flips_per_page: 2.72 },
+    ];
+
+    /// All 20 chips in Table I order.
+    pub fn all() -> Vec<ChipModel> {
+        Self::DDR3.iter().chain(Self::DDR4.iter()).copied().collect()
+    }
+
+    /// Looks a chip up by Table I tag.
+    pub fn by_tag(tag: &str) -> Option<ChipModel> {
+        Self::all().into_iter().find(|c| c.tag == tag)
+    }
+
+    /// The DDR3 chip whose density matches the paper's reference
+    /// measurement: 34 flips in a 4 KB page, 381,962 flips in 128 MB
+    /// (0.036 % of cells). Used as the default templating device.
+    pub fn reference_ddr3() -> ChipModel {
+        ChipModel {
+            tag: "REF3",
+            kind: ChipKind::Ddr3,
+            // 381,962 flips / 32,768 pages ≈ 11.66 per page on average.
+            avg_flips_per_page: 381_962.0 / 32_768.0,
+        }
+    }
+
+    /// The DDR4 device the paper runs the online phase on (K1-like).
+    pub fn online_ddr4() -> ChipModel {
+        Self::DDR4[0]
+    }
+
+    /// Fraction of all cells in a buffer that are flippable under full
+    /// templating (the paper's 0.036 % sparsity figure for the reference
+    /// chip).
+    pub fn flippable_fraction(&self) -> f64 {
+        self.avg_flips_per_page / (4096.0 * 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_twenty_chips() {
+        assert_eq!(ChipModel::all().len(), 20);
+    }
+
+    #[test]
+    fn lookup_by_tag() {
+        let k1 = ChipModel::by_tag("K1").unwrap();
+        assert_eq!(k1.kind, ChipKind::Ddr4);
+        assert!((k1.avg_flips_per_page - 100.68).abs() < 1e-9);
+        assert!(ChipModel::by_tag("Z9").is_none());
+    }
+
+    #[test]
+    fn reference_chip_matches_paper_sparsity() {
+        let frac = ChipModel::reference_ddr3().flippable_fraction();
+        // The paper reports ~0.036% of cells flippable in the 128MB buffer.
+        assert!((frac - 0.000_36 / 1.0).abs() < 5e-5, "fraction {frac}");
+    }
+
+    #[test]
+    fn ddr4_chips_span_two_orders_of_magnitude() {
+        let min = ChipModel::DDR4
+            .iter()
+            .map(|c| c.avg_flips_per_page)
+            .fold(f64::INFINITY, f64::min);
+        let max = ChipModel::DDR4
+            .iter()
+            .map(|c| c.avg_flips_per_page)
+            .fold(0.0, f64::max);
+        assert!(max / min > 50.0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Error type for the DRAM simulator.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, DramError>;
+
+/// Errors raised by the DRAM and placement simulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DramError {
+    /// A frame, row, or page index was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        len: usize,
+        /// What was being indexed.
+        what: &'static str,
+    },
+    /// The page-frame cache cannot satisfy an allocation.
+    CacheExhausted {
+        /// Frames requested.
+        requested: usize,
+        /// Frames available.
+        available: usize,
+    },
+    /// No flippy page in the profile matches a required bit target.
+    NoMatchingPage {
+        /// Bit offset within the page that was required.
+        page_bit_offset: usize,
+    },
+    /// A hammer pattern cannot run on this chip (e.g. double-sided vs TRR).
+    PatternIneffective(String),
+}
+
+impl fmt::Display for DramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DramError::IndexOutOfRange { index, len, what } => {
+                write!(f, "index {index} out of range for {what} of length {len}")
+            }
+            DramError::CacheExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "page frame cache exhausted: requested {requested}, available {available}"
+            ),
+            DramError::NoMatchingPage { page_bit_offset } => write!(
+                f,
+                "no flippy page matches bit offset {page_bit_offset} in the profile"
+            ),
+            DramError::PatternIneffective(msg) => write!(f, "hammer pattern ineffective: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        let e = DramError::NoMatchingPage {
+            page_bit_offset: 77,
+        };
+        assert!(e.to_string().contains("77"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DramError>();
+    }
+}

@@ -1,0 +1,165 @@
+//! DRAM organization: banks, rows, and 4 KB page frames.
+
+use serde::{Deserialize, Serialize};
+
+/// Bytes per 4 KB page frame (x86-64 base pages).
+pub const FRAME_SIZE: usize = 4096;
+
+/// Bytes per DRAM row (8 KB, as in the paper's huge-page discussion).
+pub const ROW_SIZE: usize = 8192;
+
+/// Page frames per DRAM row.
+pub const FRAMES_PER_ROW: usize = ROW_SIZE / FRAME_SIZE;
+
+/// Physical layout of a DRAM device: how physical frame numbers map onto
+/// (bank, row, slot) coordinates.
+///
+/// The mapping interleaves consecutive rows across banks, mimicking the
+/// rank/bank interleaving that memory controllers use to maximize
+/// parallelism (§VIII's huge-page discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DramGeometry {
+    /// Number of banks in the device.
+    pub banks: usize,
+    /// Rows per bank.
+    pub rows_per_bank: usize,
+}
+
+impl DramGeometry {
+    /// A 2 GB DDR3-like device (the paper's M378B5773DH0-CH9).
+    pub fn ddr3_2gb() -> Self {
+        DramGeometry {
+            banks: 8,
+            rows_per_bank: 2 * 1024 * 1024 * 1024 / ROW_SIZE / 8,
+        }
+    }
+
+    /// A 16 GB DDR4-like device (the paper's CMU64GX4M4C3200C16), scaled to
+    /// bank/row counts typical of a single rank.
+    pub fn ddr4_16gb() -> Self {
+        DramGeometry {
+            banks: 16,
+            rows_per_bank: 16 * 1024 * 1024 * 1024usize / ROW_SIZE / 16,
+        }
+    }
+
+    /// A small geometry for fast tests (64 MB).
+    pub fn small() -> Self {
+        DramGeometry {
+            banks: 4,
+            rows_per_bank: 64 * 1024 * 1024 / ROW_SIZE / 4,
+        }
+    }
+
+    /// Total DRAM rows.
+    pub fn total_rows(&self) -> usize {
+        self.banks * self.rows_per_bank
+    }
+
+    /// Total 4 KB page frames.
+    pub fn total_frames(&self) -> usize {
+        self.total_rows() * FRAMES_PER_ROW
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.total_rows() * ROW_SIZE
+    }
+
+    /// The (bank, row-within-bank) holding a global row index.
+    ///
+    /// Consecutive row indices rotate across banks.
+    pub fn bank_of_row(&self, row: usize) -> usize {
+        row % self.banks
+    }
+
+    /// The global DRAM row containing a page frame.
+    pub fn row_of_frame(&self, frame: usize) -> usize {
+        frame / FRAMES_PER_ROW
+    }
+
+    /// The slot (0 or 1) of a frame within its row.
+    pub fn slot_of_frame(&self, frame: usize) -> usize {
+        frame % FRAMES_PER_ROW
+    }
+
+    /// The frames contained in a global row.
+    pub fn frames_of_row(&self, row: usize) -> [usize; FRAMES_PER_ROW] {
+        [row * FRAMES_PER_ROW, row * FRAMES_PER_ROW + 1]
+    }
+
+    /// Whether two frames live in the same bank (a Rowhammer prerequisite:
+    /// aggressors and victim must share a bank).
+    pub fn same_bank(&self, frame_a: usize, frame_b: usize) -> bool {
+        self.bank_of_row(self.row_of_frame(frame_a)) == self.bank_of_row(self.row_of_frame(frame_b))
+    }
+
+    /// Rows adjacent to `row` within the same bank — the aggressor
+    /// positions for double-sided hammering. Adjacency within a bank means
+    /// a stride of `banks` in global row index.
+    pub fn neighbors_in_bank(&self, row: usize) -> (Option<usize>, Option<usize>) {
+        let below = row.checked_sub(self.banks);
+        let above = row + self.banks;
+        (
+            below,
+            (above < self.total_rows()).then_some(above),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_matches_construction() {
+        assert_eq!(DramGeometry::ddr3_2gb().capacity(), 2 * 1024 * 1024 * 1024);
+        assert_eq!(DramGeometry::small().capacity(), 64 * 1024 * 1024);
+    }
+
+    #[test]
+    fn frames_per_row_is_two() {
+        // The paper: a fixed 8 KB row always spans two 4 KB pages.
+        assert_eq!(FRAMES_PER_ROW, 2);
+    }
+
+    #[test]
+    fn row_frame_round_trip() {
+        let g = DramGeometry::small();
+        for frame in [0usize, 1, 2, 17, 999] {
+            let row = g.row_of_frame(frame);
+            let frames = g.frames_of_row(row);
+            assert!(frames.contains(&frame));
+        }
+    }
+
+    #[test]
+    fn bank_rotation_spreads_consecutive_rows() {
+        let g = DramGeometry::small();
+        let banks: Vec<usize> = (0..8).map(|r| g.bank_of_row(r)).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn neighbors_stay_in_same_bank() {
+        let g = DramGeometry::small();
+        let row = 42;
+        let (below, above) = g.neighbors_in_bank(row);
+        assert_eq!(g.bank_of_row(below.unwrap()), g.bank_of_row(row));
+        assert_eq!(g.bank_of_row(above.unwrap()), g.bank_of_row(row));
+    }
+
+    #[test]
+    fn first_row_has_no_lower_neighbor() {
+        let g = DramGeometry::small();
+        let (below, above) = g.neighbors_in_bank(2);
+        assert!(below.is_none());
+        assert!(above.is_some());
+    }
+
+    #[test]
+    fn same_bank_is_reflexive_for_row_siblings() {
+        let g = DramGeometry::small();
+        assert!(g.same_bank(10, 11)); // both frames of row 5
+    }
+}

@@ -1,0 +1,38 @@
+//! DRAM, Rowhammer, and memory-placement simulator.
+//!
+//! The paper's online attack phase runs on physical DDR3/DDR4 DIMMs. This
+//! crate simulates every hardware mechanism that phase depends on, with
+//! parameters measured by the paper:
+//!
+//! * [`geometry`] — banks, rows, frames, and the physical-address mapping;
+//! * [`chips`] — the 20-chip catalog of Table I (average flips per page);
+//! * [`profile`] — memory templating: which cells flip, in which direction,
+//!   and how aggressively they must be hammered (sparsity of Fig. 2);
+//! * [`hammer`] — n-sided Rowhammer patterns, the TRR mitigation model,
+//!   per-row hammering time, and accidental-flip behaviour (Figs. 5–6);
+//! * [`spoiler`] — the SPOILER contiguity side channel (Fig. 11);
+//! * [`rowconflict`] — row-buffer-conflict bank detection (Fig. 12);
+//! * [`placement`] — the Linux per-CPU page-frame cache exploit that steers
+//!   weight-file pages onto flippy frames (Listing 1, Fig. 4);
+//! * [`online`] — the end-to-end online executor: template → match →
+//!   place → hammer, producing the corrupted weight bytes plus match
+//!   statistics;
+//! * [`plundervolt`] — the appendix's negative-result fault model.
+
+pub mod chips;
+pub mod error;
+pub mod geometry;
+pub mod hammer;
+pub mod online;
+pub mod placement;
+pub mod plundervolt;
+pub mod profile;
+pub mod rowconflict;
+pub mod spoiler;
+
+pub use chips::{ChipKind, ChipModel};
+pub use error::{DramError, Result};
+pub use geometry::DramGeometry;
+pub use hammer::{HammerConfig, HammerPattern};
+pub use online::{OnlineAttack, OnlineOutcome};
+pub use profile::{FlipCell, FlipDirection, FlipProfile};

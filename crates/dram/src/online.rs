@@ -1,0 +1,496 @@
+//! The online attack phase: template → match → place → hammer
+//! (paper §IV-B, evaluated in §V-C).
+//!
+//! Given the bit flips the offline optimizer wants (page, bit offset,
+//! direction), the executor:
+//!
+//! 1. **matches** each target against the flip profile — is there a flippy
+//!    page whose vulnerable cell sits at exactly that page offset and flips
+//!    the right way under the online hammer pattern?
+//! 2. **places** the weight file so each matched file page is resident in
+//!    its flippy frame (via the page-frame-cache exploit), with bait frames
+//!    (pages with no reachable flips) backing everything else;
+//! 3. **hammers** each flippy frame, applying the intended flip *and* every
+//!    accidental flip the pattern reaches in that page, honoring each
+//!    cell's pinned direction (a 0→1 cell does nothing to a stored 1).
+//!
+//! The outcome records matches, intended and accidental flips, and the
+//! attack-time model — everything the paper's `r_match` metric and online
+//! TA/ASR evaluation need.
+
+use crate::error::Result;
+use crate::hammer::{hammer_page, validate_pattern, HammerConfig};
+use crate::placement::{steer_weight_file, PlacementPlan};
+use crate::profile::{sample_poisson, FlipCell, FlipDirection, FlipProfile, PAGE_BITS};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Bytes per weight-file page (must agree with `rhb_nn::weightfile`).
+pub const PAGE_SIZE: usize = 4096;
+
+/// One bit flip the offline phase requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetBit {
+    /// Page index within the weight file.
+    pub file_page: usize,
+    /// Bit offset within the page (0..32768).
+    pub bit_offset: usize,
+    /// Required direction: `true` for 0→1.
+    pub zero_to_one: bool,
+}
+
+impl TargetBit {
+    /// The flip direction as a profile type.
+    pub fn direction(&self) -> FlipDirection {
+        if self.zero_to_one {
+            FlipDirection::ZeroToOne
+        } else {
+            FlipDirection::OneToZero
+        }
+    }
+}
+
+/// A flip that was actually applied to the weight file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AppliedFlip {
+    /// Weight-file page.
+    pub file_page: usize,
+    /// Bit offset within the page.
+    pub bit_offset: usize,
+    /// Whether this was an optimizer-intended flip (vs accidental).
+    pub intended: bool,
+}
+
+/// Result of one online attack execution.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineOutcome {
+    /// Targets requested by the offline phase.
+    pub n_targets: usize,
+    /// Targets for which a flippy page was found (the paper's `n_match`).
+    pub n_matched: usize,
+    /// Every flip applied to the file, intended and accidental.
+    pub applied: Vec<AppliedFlip>,
+    /// Accidental flips per *target* page (the `δ` of the r_match formula).
+    pub accidental_in_target_pages: usize,
+    /// Targets that could not be matched, with the failing offset.
+    pub unmatched: Vec<TargetBit>,
+    /// Wall-clock attack time under the paper's hammer-time model.
+    pub attack_time: Duration,
+    /// The realized placement, for diagnostics.
+    pub placement: PlacementPlan,
+}
+
+impl OnlineOutcome {
+    /// Intended flips actually applied.
+    pub fn intended_applied(&self) -> usize {
+        self.applied.iter().filter(|f| f.intended).count()
+    }
+
+    /// Accidental flips actually applied (anywhere).
+    pub fn accidental_applied(&self) -> usize {
+        self.applied.iter().filter(|f| !f.intended).count()
+    }
+}
+
+/// The online attack executor.
+#[derive(Debug, Clone)]
+pub struct OnlineAttack {
+    profile: FlipProfile,
+    config: HammerConfig,
+    /// Additional templated pages beyond the explicit profile, matched
+    /// lazily (see [`OnlineAttack::with_extended_templating`]).
+    extended_pages: usize,
+    extended_seed: u64,
+    /// Synthesized cell lists for lazily-matched frames, keyed by frame id
+    /// (ids start at `profile.num_pages()`).
+    synthesized: HashMap<usize, Vec<crate::profile::FlipCell>>,
+}
+
+impl OnlineAttack {
+    /// Creates an executor over a templated profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::DramError::PatternIneffective`] if the configured
+    /// hammer pattern cannot flip bits on the profiled chip (e.g.
+    /// double-sided on TRR-protected DDR4).
+    pub fn new(profile: FlipProfile, config: HammerConfig) -> Result<Self> {
+        validate_pattern(config.pattern, profile.chip())?;
+        Ok(OnlineAttack {
+            profile,
+            config,
+            extended_pages: 0,
+            extended_seed: 0,
+            synthesized: HashMap::new(),
+        })
+    }
+
+    /// Extends matching over `pages` *additional* templated pages without
+    /// materializing their cells.
+    ///
+    /// The paper's attacker templates "most of the available memory" of a
+    /// 16 GB DIMM (millions of pages); holding every vulnerable cell of
+    /// such a region in memory is wasteful when only the handful of matched
+    /// pages matter. Matching against the extended region is statistically
+    /// exact: a required (offset, direction) finds a page with probability
+    /// `1 − (1 − p₁)^pages` where `p₁` is the per-page hit probability at
+    /// the current hammer intensity, and a successful match synthesizes
+    /// that page's remaining (accidental) cells from the same distribution
+    /// the explicit profile uses.
+    pub fn with_extended_templating(mut self, pages: usize, seed: u64) -> Self {
+        self.extended_pages = pages;
+        self.extended_seed = seed;
+        self
+    }
+
+    /// The profile in use.
+    pub fn profile(&self) -> &FlipProfile {
+        &self.profile
+    }
+
+    /// Vulnerable cells of a frame, whether explicit or synthesized.
+    fn cells_of_frame(&self, frame: usize) -> Vec<FlipCell> {
+        if frame < self.profile.num_pages() {
+            self.profile.flips_in_page(frame).into_iter().copied().collect()
+        } else {
+            self.synthesized.get(&frame).cloned().unwrap_or_default()
+        }
+    }
+
+    /// Attempts to match a target against the extended templated region.
+    ///
+    /// Statistically exact: the probability that at least one of the
+    /// extended pages carries a reachable cell at exactly this offset and
+    /// direction is `1 − (1 − p₁)^pages`; on success the matched page's
+    /// accidental cells are synthesized from the chip's flip distribution
+    /// thinned to the current hammer intensity.
+    fn match_extended(
+        &mut self,
+        target: &TargetBit,
+        intensity: f64,
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        if self.extended_pages == 0 || intensity <= 0.0 {
+            return None;
+        }
+        let visible_avg = self.profile.chip().avg_flips_per_page * intensity;
+        let p1 = (visible_avg / PAGE_BITS as f64 / 2.0).min(1.0);
+        let p_any = 1.0 - (1.0 - p1).powf(self.extended_pages as f64);
+        if !rng.gen_bool(p_any.clamp(0.0, 1.0)) {
+            return None;
+        }
+        let frame = self.profile.num_pages() + self.synthesized.len();
+        let mut cells = vec![FlipCell {
+            page: frame,
+            bit_offset: target.bit_offset,
+            direction: target.direction(),
+            threshold: intensity / 2.0,
+        }];
+        // Accidental company: the rest of the page's visible cells.
+        let extras = sample_poisson(visible_avg, rng);
+        for _ in 0..extras {
+            cells.push(FlipCell {
+                page: frame,
+                bit_offset: rng.gen_range(0..PAGE_BITS),
+                direction: if rng.gen_bool(0.5) {
+                    FlipDirection::ZeroToOne
+                } else {
+                    FlipDirection::OneToZero
+                },
+                threshold: rng.gen_range(f64::EPSILON..=intensity),
+            });
+        }
+        self.synthesized.insert(frame, cells);
+        Some(frame)
+    }
+
+    /// Executes the attack on a weight file image (`data` must be a whole
+    /// number of 4 KB pages). Unmatched targets are skipped, mirroring the
+    /// paper's online-phase evaluation where only realizable flips land.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not page-aligned or a target page is
+    /// outside the file.
+    pub fn execute(&mut self, data: &mut [u8], targets: &[TargetBit]) -> OnlineOutcome {
+        assert_eq!(data.len() % PAGE_SIZE, 0, "weight file must be page-aligned");
+        let file_pages = data.len() / PAGE_SIZE;
+        let intensity = self.config.pattern.intensity(self.profile.chip().kind);
+        let mut ext_rng = StdRng::seed_from_u64(self.extended_seed.wrapping_add(0x5eed));
+
+        // Phase 1: match targets to flippy pages (one flippy frame can host
+        // only one file page, so consume pages as they match).
+        let mut used_frames: Vec<usize> = Vec::new();
+        let mut frame_of_file_page: HashMap<usize, usize> = HashMap::new();
+        let mut matched: Vec<TargetBit> = Vec::new();
+        let mut unmatched: Vec<TargetBit> = Vec::new();
+        for &t in targets {
+            assert!(t.file_page < file_pages, "target page outside weight file");
+            // If this file page is already pinned to a frame (a second flip
+            // in the same page), the existing frame must also cover the new
+            // offset — almost never true, matching the paper's observation.
+            if let Some(&frame) = frame_of_file_page.get(&t.file_page) {
+                let covered = self.cells_of_frame(frame).iter().any(|c| {
+                    c.bit_offset == t.bit_offset
+                        && c.direction == t.direction()
+                        && c.threshold <= intensity
+                });
+                if covered {
+                    matched.push(t);
+                } else {
+                    unmatched.push(t);
+                }
+                continue;
+            }
+            let found = self
+                .profile
+                .find_matching_page(t.bit_offset, t.direction(), intensity, &used_frames)
+                .ok()
+                .or_else(|| self.match_extended(&t, intensity, &mut ext_rng));
+            match found {
+                Some(frame) => {
+                    used_frames.push(frame);
+                    frame_of_file_page.insert(t.file_page, frame);
+                    matched.push(t);
+                }
+                None => unmatched.push(t),
+            }
+        }
+
+        // Phase 2: placement. Bait frames preferentially come from profile
+        // pages with no flips reachable at this intensity so untargeted
+        // weights stay intact; if the buffer is too flippy to supply enough
+        // clean frames, any unused frame works — rows that are never
+        // hammered never flip.
+        let clean = (0..self.profile.num_pages()).filter(|&p| {
+            !used_frames.contains(&p)
+                && !self
+                    .profile
+                    .flips_in_page(p)
+                    .iter()
+                    .any(|c| c.threshold <= intensity)
+        });
+        let dirty = (0..self.profile.num_pages()).filter(|&p| {
+            !used_frames.contains(&p)
+                && self
+                    .profile
+                    .flips_in_page(p)
+                    .iter()
+                    .any(|c| c.threshold <= intensity)
+        });
+        let bait: Vec<usize> = clean.chain(dirty).take(file_pages).collect();
+        let placement = steer_weight_file(file_pages, &frame_of_file_page, &bait)
+            .expect("matched frames plus clean bait cover the file");
+
+        // Phase 3: hammer each flippy frame hosting a target page.
+        let mut applied = Vec::new();
+        let mut accidental_in_target_pages = 0usize;
+        for (&file_page, &frame) in &frame_of_file_page {
+            let wanted: Vec<&TargetBit> = matched
+                .iter()
+                .filter(|t| t.file_page == file_page)
+                .collect();
+            let reachable: Vec<crate::profile::FlipCell> = if frame < self.profile.num_pages() {
+                hammer_page(&self.profile, frame, &self.config)
+                    .into_iter()
+                    .copied()
+                    .collect()
+            } else {
+                self.synthesized
+                    .get(&frame)
+                    .map(|cells| {
+                        cells
+                            .iter()
+                            .filter(|c| c.threshold <= intensity)
+                            .copied()
+                            .collect()
+                    })
+                    .unwrap_or_default()
+            };
+            for cell in &reachable {
+                let byte = file_page * PAGE_SIZE + cell.bit_offset / 8;
+                let bit = (cell.bit_offset % 8) as u8;
+                let mask = 1u8 << bit;
+                let stored_zero = data[byte] & mask == 0;
+                // A cell flips only in its pinned direction.
+                let flips = match cell.direction {
+                    FlipDirection::ZeroToOne => stored_zero,
+                    FlipDirection::OneToZero => !stored_zero,
+                };
+                if !flips {
+                    continue;
+                }
+                data[byte] ^= mask;
+                let intended = wanted.iter().any(|t| t.bit_offset == cell.bit_offset);
+                if !intended {
+                    accidental_in_target_pages += 1;
+                }
+                applied.push(AppliedFlip {
+                    file_page,
+                    bit_offset: cell.bit_offset,
+                    intended,
+                });
+            }
+        }
+
+        let attack_time = self.config.pattern.attack_time(frame_of_file_page.len());
+        OnlineOutcome {
+            n_targets: targets.len(),
+            n_matched: matched.len(),
+            applied,
+            accidental_in_target_pages,
+            unmatched,
+            attack_time,
+            placement,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chips::ChipModel;
+    use crate::hammer::HammerPattern;
+
+    fn ddr3_attack(pages: usize, seed: u64) -> OnlineAttack {
+        let profile = FlipProfile::template(ChipModel::reference_ddr3(), pages, seed);
+        OnlineAttack::new(
+            profile,
+            HammerConfig {
+                pattern: HammerPattern::double_sided(),
+                reliability: 1.0,
+            },
+        )
+        .unwrap()
+    }
+
+    /// Builds targets straight from profile cells so matching must succeed.
+    fn easy_targets(attack: &OnlineAttack, n: usize, data: &[u8]) -> Vec<TargetBit> {
+        let intensity = attack
+            .config
+            .pattern
+            .intensity(attack.profile.chip().kind);
+        let mut seen_pages = Vec::new();
+        let mut targets = Vec::new();
+        for (i, cell) in attack.profile.cells().iter().enumerate() {
+            if targets.len() == n {
+                break;
+            }
+            if cell.threshold > intensity || seen_pages.contains(&cell.page) {
+                continue;
+            }
+            // Pick a distinct file page per target; direction must match
+            // what is stored there.
+            let file_page = targets.len() % (data.len() / PAGE_SIZE);
+            let byte = file_page * PAGE_SIZE + cell.bit_offset / 8;
+            let stored_zero = data[byte] & (1 << (cell.bit_offset % 8)) == 0;
+            let needed = FlipDirection::for_flip_of(stored_zero);
+            if needed != cell.direction {
+                continue;
+            }
+            seen_pages.push(cell.page);
+            targets.push(TargetBit {
+                file_page,
+                bit_offset: cell.bit_offset,
+                zero_to_one: stored_zero,
+            });
+            let _ = i;
+        }
+        targets
+    }
+
+    #[test]
+    fn single_bit_targets_all_match_and_apply() {
+        let mut attack = ddr3_attack(4096, 1);
+        let mut data = vec![0b1010_1010u8; 4 * PAGE_SIZE];
+        let targets = easy_targets(&attack, 4, &data);
+        assert_eq!(targets.len(), 4, "profile too sparse for test setup");
+        let before = data.clone();
+        let outcome = attack.execute(&mut data, &targets);
+        assert_eq!(outcome.n_matched, 4);
+        assert_eq!(outcome.intended_applied(), 4);
+        // Every intended target bit actually changed.
+        for t in &targets {
+            let byte = t.file_page * PAGE_SIZE + t.bit_offset / 8;
+            let mask = 1u8 << (t.bit_offset % 8);
+            assert_ne!(before[byte] & mask, data[byte] & mask);
+        }
+    }
+
+    #[test]
+    fn two_targets_in_same_page_rarely_both_match() {
+        let mut attack = ddr3_attack(2048, 2);
+        let data = vec![0u8; 2 * PAGE_SIZE];
+        // Two flips wanted in file page 0 at arbitrary distinct offsets.
+        let targets = vec![
+            TargetBit { file_page: 0, bit_offset: 123, zero_to_one: true },
+            TargetBit { file_page: 0, bit_offset: 20_456, zero_to_one: true },
+        ];
+        let mut buf = data;
+        let outcome = attack.execute(&mut buf, &targets);
+        // The first may match; requiring the *same* flippy frame to also
+        // cover the second offset practically never succeeds.
+        assert!(outcome.n_matched <= 1, "both offsets matched one page");
+    }
+
+    #[test]
+    fn direction_pinning_blocks_wrong_way_flips() {
+        let mut attack = ddr3_attack(4096, 3);
+        // All-ones data: 0→1 cells can never fire.
+        let mut data = vec![0xFFu8; PAGE_SIZE];
+        let cell = attack
+            .profile
+            .cells()
+            .iter()
+            .find(|c| c.direction == FlipDirection::ZeroToOne)
+            .copied()
+            .unwrap();
+        let targets = vec![TargetBit {
+            file_page: 0,
+            bit_offset: cell.bit_offset,
+            zero_to_one: true,
+        }];
+        let outcome = attack.execute(&mut data, &targets);
+        // Matching succeeds (profile has the cell) but the stored bit is 1,
+        // so the 0→1 cell cannot flip it.
+        let flipped_intended = outcome.applied.iter().any(|f| f.intended);
+        assert!(!flipped_intended, "0→1 cell flipped a stored 1");
+    }
+
+    #[test]
+    fn unmatched_targets_are_reported() {
+        // A tiny profile cannot match most offsets.
+        let mut attack = ddr3_attack(4, 4);
+        let mut data = vec![0u8; PAGE_SIZE];
+        let targets = vec![TargetBit { file_page: 0, bit_offset: 31_999, zero_to_one: true }];
+        let outcome = attack.execute(&mut data, &targets);
+        assert_eq!(outcome.n_matched + outcome.unmatched.len(), 1);
+    }
+
+    #[test]
+    fn attack_time_uses_pattern_model() {
+        let mut attack = ddr3_attack(4096, 5);
+        let mut data = vec![0b0101_0101u8; 2 * PAGE_SIZE];
+        let targets = easy_targets(&attack, 2, &data);
+        let outcome = attack.execute(&mut data, &targets);
+        let per_row = HammerPattern::double_sided().time_per_row();
+        assert_eq!(outcome.attack_time, per_row * outcome.n_matched as u32);
+    }
+
+    #[test]
+    fn ddr4_online_attack_uses_seven_sided() {
+        let profile = FlipProfile::template(ChipModel::online_ddr4(), 4096, 6);
+        let mut attack = OnlineAttack::new(profile, HammerConfig::default()).unwrap();
+        let mut data = vec![0b1100_0011u8; 2 * PAGE_SIZE];
+        let targets = easy_targets(&attack, 2, &data);
+        assert!(!targets.is_empty(), "K1 profile should offer matches");
+        let outcome = attack.execute(&mut data, &targets);
+        assert_eq!(outcome.n_matched, targets.len());
+        // Accidental flips stay small per page under the 7-sided pattern.
+        let per_page = outcome.accidental_in_target_pages as f64 / targets.len() as f64;
+        assert!(per_page < 12.0, "accidental flips per page {per_page}");
+    }
+}

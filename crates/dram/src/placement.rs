@@ -1,0 +1,267 @@
+//! The Linux per-CPU page-frame cache exploit (paper §IV-B1/2, Listing 1,
+//! Fig. 4).
+//!
+//! The kernel reallocates recently-unmapped page frames in first-in-last-out
+//! order from a per-CPU cache. An unprivileged attacker exploits this to
+//! steer the victim's weight-file pages onto specific physical frames: it
+//! unmaps the flippy frames and a bait buffer in exactly the reverse of the
+//! order the file's pages will be faulted in, then lets the victim `mmap`
+//! the weight file — page 0 of the file pops the *last*-released frame.
+
+use crate::error::{DramError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The kernel's per-CPU page-frame cache: a LIFO stack of free frames.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PageFrameCache {
+    stack: Vec<usize>,
+}
+
+impl PageFrameCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PageFrameCache { stack: Vec::new() }
+    }
+
+    /// Number of cached frames.
+    pub fn len(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// `munmap`: releases one frame to the cache (most recent on top).
+    pub fn release(&mut self, frame: usize) {
+        self.stack.push(frame);
+    }
+
+    /// `mmap` of `n` pages: pops `n` frames in LIFO order. The i-th element
+    /// of the result backs file page i.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::CacheExhausted`] if fewer than `n` frames are
+    /// cached.
+    pub fn allocate(&mut self, n: usize) -> Result<Vec<usize>> {
+        if self.stack.len() < n {
+            return Err(DramError::CacheExhausted {
+                requested: n,
+                available: self.stack.len(),
+            });
+        }
+        Ok((0..n).map(|_| self.stack.pop().expect("length checked")).collect())
+    }
+
+    /// Peeks at the stack contents (top last), for diagnostics.
+    pub fn frames(&self) -> &[usize] {
+        &self.stack
+    }
+}
+
+/// A plan assigning each weight-file page to a physical frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// `frame_of_page[i]` is the physical frame backing file page `i`.
+    pub frame_of_page: Vec<usize>,
+}
+
+impl PlacementPlan {
+    /// The physical frame backing a file page.
+    pub fn frame_of(&self, page: usize) -> Option<usize> {
+        self.frame_of_page.get(page).copied()
+    }
+
+    /// The file page resident in a physical frame, if any.
+    pub fn page_in_frame(&self, frame: usize) -> Option<usize> {
+        self.frame_of_page.iter().position(|&f| f == frame)
+    }
+
+    /// Verifies the plan is a one-to-one mapping.
+    pub fn is_injective(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.frame_of_page.iter().all(|&f| seen.insert(f))
+    }
+}
+
+/// Steers the weight file onto chosen frames via the page-frame cache.
+///
+/// `targets` maps file-page index → required physical frame (the flippy
+/// frames found by templating); `bait_frames` supplies enough additional
+/// frames (the attacker's bait buffer) to back every remaining file page.
+/// Returns the placement plan the victim's `mmap` will realize.
+///
+/// # Errors
+///
+/// Returns [`DramError::CacheExhausted`] if `targets` plus `bait_frames`
+/// cannot cover `file_pages`, or [`DramError::IndexOutOfRange`] if a target
+/// page index is outside the file.
+pub fn steer_weight_file(
+    file_pages: usize,
+    targets: &HashMap<usize, usize>,
+    bait_frames: &[usize],
+) -> Result<PlacementPlan> {
+    for &page in targets.keys() {
+        if page >= file_pages {
+            return Err(DramError::IndexOutOfRange {
+                index: page,
+                len: file_pages,
+                what: "weight file pages",
+            });
+        }
+    }
+    let needed_bait = file_pages - targets.len();
+    if bait_frames.len() < needed_bait {
+        return Err(DramError::CacheExhausted {
+            requested: needed_bait,
+            available: bait_frames.len(),
+        });
+    }
+
+    // Desired final assignment: target pages on their flippy frames, all
+    // other pages on bait frames in order.
+    let mut desired = Vec::with_capacity(file_pages);
+    let mut bait_iter = bait_frames.iter();
+    for page in 0..file_pages {
+        match targets.get(&page) {
+            Some(&frame) => desired.push(frame),
+            None => desired.push(*bait_iter.next().expect("bait counted above")),
+        }
+    }
+
+    // Attacker releases frames in *reverse* file order so the kernel's LIFO
+    // cache hands them back in forward order when the victim maps the file
+    // (Listing 1; Fig. 4 shows the resulting anti-diagonal).
+    let mut cache = PageFrameCache::new();
+    for &frame in desired.iter().rev() {
+        cache.release(frame);
+    }
+
+    // Victim maps the weight file; the kernel pops the cache per page fault
+    // in file order.
+    let frame_of_page = cache.allocate(file_pages)?;
+    Ok(PlacementPlan { frame_of_page })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_is_lifo() {
+        let mut cache = PageFrameCache::new();
+        cache.release(10);
+        cache.release(20);
+        cache.release(30);
+        assert_eq!(cache.allocate(3).unwrap(), vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn allocate_more_than_cached_fails() {
+        let mut cache = PageFrameCache::new();
+        cache.release(1);
+        assert!(matches!(
+            cache.allocate(2),
+            Err(DramError::CacheExhausted { requested: 2, available: 1 })
+        ));
+    }
+
+    #[test]
+    fn steering_places_targets_exactly() {
+        let mut targets = HashMap::new();
+        targets.insert(0usize, 500usize);
+        targets.insert(3, 777);
+        let bait: Vec<usize> = (100..110).collect();
+        let plan = steer_weight_file(6, &targets, &bait).unwrap();
+        assert_eq!(plan.frame_of(0), Some(500));
+        assert_eq!(plan.frame_of(3), Some(777));
+        assert!(plan.is_injective());
+    }
+
+    #[test]
+    fn first_file_pages_get_last_released_frames() {
+        // Fig. 4's anti-diagonal: with no targets, file page 0 lands on the
+        // frame released last.
+        let plan = steer_weight_file(4, &HashMap::new(), &[1, 2, 3, 4]).unwrap();
+        assert_eq!(plan.frame_of_page, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn insufficient_bait_is_detected() {
+        let mut targets = HashMap::new();
+        targets.insert(0usize, 9usize);
+        assert!(steer_weight_file(5, &targets, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn out_of_file_target_is_rejected() {
+        let mut targets = HashMap::new();
+        targets.insert(10usize, 9usize);
+        assert!(matches!(
+            steer_weight_file(5, &targets, &[1, 2, 3, 4, 5]),
+            Err(DramError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn page_in_frame_inverts_frame_of() {
+        let mut targets = HashMap::new();
+        targets.insert(2usize, 42usize);
+        let plan = steer_weight_file(4, &targets, &[7, 8, 9]).unwrap();
+        assert_eq!(plan.page_in_frame(42), Some(2));
+        assert_eq!(plan.page_in_frame(12345), None);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The cache is exactly LIFO for any release sequence.
+        #[test]
+        fn cache_pops_in_reverse_release_order(frames in prop::collection::vec(0usize..100_000, 1..64)) {
+            let mut cache = PageFrameCache::new();
+            for &f in &frames {
+                cache.release(f);
+            }
+            let popped = cache.allocate(frames.len()).unwrap();
+            let mut expected = frames.clone();
+            expected.reverse();
+            prop_assert_eq!(popped, expected);
+        }
+
+        /// Steering always realizes every target exactly and injectively.
+        #[test]
+        fn steering_realizes_all_targets(
+            file_pages in 1usize..40,
+            n_targets in 0usize..10,
+            seed in 0u64..500,
+        ) {
+            prop_assume!(n_targets <= file_pages);
+            use rand::{Rng as _, SeedableRng as _};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut targets = HashMap::new();
+            // Distinct target pages, distinct high frame numbers.
+            let mut pages: Vec<usize> = (0..file_pages).collect();
+            for i in 0..n_targets {
+                let j = rng.gen_range(i..pages.len());
+                pages.swap(i, j);
+                targets.insert(pages[i], 1_000_000 + i);
+            }
+            let bait: Vec<usize> = (0..file_pages).collect();
+            let plan = steer_weight_file(file_pages, &targets, &bait).unwrap();
+            for (&page, &frame) in &targets {
+                prop_assert_eq!(plan.frame_of(page), Some(frame));
+            }
+            prop_assert!(plan.is_injective());
+            prop_assert_eq!(plan.frame_of_page.len(), file_pages);
+        }
+    }
+}

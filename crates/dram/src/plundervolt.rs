@@ -1,0 +1,116 @@
+//! Plundervolt fault model — the paper's negative result (Appendix F).
+//!
+//! The authors tried undervolting (Plundervolt) as an alternative fault
+//! vector against DNN inference and found it does *not* work on quantized
+//! models: multiplications only fault when the second operand exceeds
+//! `0xFFFF`, but 8-bit quantized weights bound every operand at 255. This
+//! module reproduces that operand-magnitude gate so the negative result is
+//! testable.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A CPU core undervolted to the paper's fault-producing frequency/voltage
+/// pair.
+#[derive(Debug, Clone)]
+pub struct UndervoltedCpu {
+    rng: StdRng,
+    /// Probability that an eligible multiplication faults.
+    fault_rate: f64,
+}
+
+impl UndervoltedCpu {
+    /// Configures the undervolted core (fault point verified with the PoC).
+    pub fn new(seed: u64) -> Self {
+        UndervoltedCpu {
+            rng: StdRng::seed_from_u64(seed),
+            fault_rate: 0.05,
+        }
+    }
+
+    /// Whether a multiplication with these operands is *eligible* to fault.
+    ///
+    /// Matches the paper's observations: the second operand must exceed
+    /// `0xFFFF`; small (quantized-scale) operands never fault.
+    pub fn multiplication_eligible(a: u64, b: u64) -> bool {
+        let _ = a;
+        b > 0xFFFF
+    }
+
+    /// Executes one multiplication under undervolting. Faults (single bit
+    /// error in the product) occur only for eligible operand pairs.
+    pub fn multiply(&mut self, a: u64, b: u64) -> u64 {
+        let correct = a.wrapping_mul(b);
+        if Self::multiplication_eligible(a, b) && self.rng.gen_bool(self.fault_rate) {
+            let bit = self.rng.gen_range(0..64);
+            correct ^ (1u64 << bit)
+        } else {
+            correct
+        }
+    }
+
+    /// Runs a quantized dot product (operands ≤ 255) under undervolting and
+    /// reports whether any fault occurred — it never does, which is the
+    /// paper's conclusion that Plundervolt cannot backdoor quantized DNNs.
+    pub fn quantized_dot_product_faults(&mut self, a: &[u8], b: &[u8]) -> bool {
+        let mut faulted = false;
+        for (&x, &y) in a.iter().zip(b) {
+            let product = self.multiply(x as u64, y as u64);
+            if product != (x as u64) * (y as u64) {
+                faulted = true;
+            }
+        }
+        faulted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantized_operands_never_fault() {
+        let mut cpu = UndervoltedCpu::new(1);
+        let a: Vec<u8> = (0..=255).collect();
+        let b: Vec<u8> = (0..=255).rev().collect();
+        for _ in 0..200 {
+            assert!(!cpu.quantized_dot_product_faults(&a, &b));
+        }
+    }
+
+    #[test]
+    fn large_second_operand_eventually_faults() {
+        let mut cpu = UndervoltedCpu::new(2);
+        let mut faulted = false;
+        for i in 0..2_000u64 {
+            let product = cpu.multiply(3, 0x10000 + i);
+            if product != 3 * (0x10000 + i) {
+                faulted = true;
+                break;
+            }
+        }
+        assert!(faulted, "undervolted large multiplications must fault");
+    }
+
+    #[test]
+    fn eligibility_gate_matches_paper() {
+        assert!(!UndervoltedCpu::multiplication_eligible(u64::MAX, 0xFFFF));
+        assert!(UndervoltedCpu::multiplication_eligible(1, 0x10000));
+    }
+
+    #[test]
+    fn faults_are_single_bit() {
+        let mut cpu = UndervoltedCpu::new(3);
+        for i in 0..5_000u64 {
+            let a = 7u64;
+            let b = 0x20000 + i;
+            let product = cpu.multiply(a, b);
+            let correct = a * b;
+            if product != correct {
+                assert_eq!((product ^ correct).count_ones(), 1);
+                return;
+            }
+        }
+        panic!("no fault observed in 5000 eligible multiplications");
+    }
+}

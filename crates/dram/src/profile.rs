@@ -1,0 +1,379 @@
+//! Memory templating: the flip profile of a buffer.
+//!
+//! Templating (paper §IV-A2) hammers a large attacker-owned buffer with
+//! all-ones/all-zeros data patterns and records every cell that flips, its
+//! direction, and — implicitly, by varying the hammer pattern — how much
+//! aggression it needs. The outcome is a *flip profile*: a sparse list of
+//! `(page, bit-offset, direction, threshold)` tuples. The paper measures
+//! 94 minutes to template 128 MB and finds only ~0.036 % of cells
+//! vulnerable on its reference DDR3 chip.
+
+use crate::chips::ChipModel;
+use crate::error::{DramError, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Bits in a 4 KB page.
+pub const PAGE_BITS: usize = 4096 * 8;
+
+/// The direction a faulty cell flips. A physical cell flips in exactly one
+/// direction (determined by its true-cell/anti-cell wiring), which is why
+/// matching a target page must respect direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FlipDirection {
+    /// Charged cell discharges: stored 0 becomes 1 in anti-cell encoding.
+    ZeroToOne,
+    /// Stored 1 becomes 0.
+    OneToZero,
+}
+
+impl FlipDirection {
+    /// Direction needed to take a bit with current value `bit` to its
+    /// complement.
+    pub fn for_flip_of(bit_is_zero: bool) -> Self {
+        if bit_is_zero {
+            FlipDirection::ZeroToOne
+        } else {
+            FlipDirection::OneToZero
+        }
+    }
+}
+
+/// One vulnerable DRAM cell found by templating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlipCell {
+    /// Page index within the templated buffer.
+    pub page: usize,
+    /// Bit offset within the page (0..32768).
+    pub bit_offset: usize,
+    /// The only direction this cell can flip.
+    pub direction: FlipDirection,
+    /// Hammer-aggression threshold in (0, 1]: the cell flips when a hammer
+    /// pattern's intensity reaches this value. Full templating (intensity
+    /// 1.0) reveals every cell; gentler online patterns reach only cells
+    /// with low thresholds (this models Fig. 6's 15- vs 7-sided contrast).
+    pub threshold: f64,
+}
+
+/// The flip profile of a templated buffer.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlipProfile {
+    chip: ChipModel,
+    num_pages: usize,
+    cells: Vec<FlipCell>,
+    /// Cells indexed by page for fast lookup.
+    #[serde(skip)]
+    by_page: HashMap<usize, Vec<usize>>,
+}
+
+impl FlipProfile {
+    /// Templates `num_pages` pages of a buffer on the given chip.
+    ///
+    /// Each page receives a Poisson-distributed number of vulnerable cells
+    /// with mean [`ChipModel::avg_flips_per_page`], at uniform bit offsets,
+    /// each pinned to a uniform direction — the paper observes 0→1 and 1→0
+    /// counts to be nearly equal — and a uniform aggression threshold.
+    pub fn template(chip: ChipModel, num_pages: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cells = Vec::new();
+        for page in 0..num_pages {
+            let n = sample_poisson(chip.avg_flips_per_page, &mut rng);
+            for _ in 0..n {
+                cells.push(FlipCell {
+                    page,
+                    bit_offset: rng.gen_range(0..PAGE_BITS),
+                    direction: if rng.gen_bool(0.5) {
+                        FlipDirection::ZeroToOne
+                    } else {
+                        FlipDirection::OneToZero
+                    },
+                    threshold: rng.gen_range(f64::EPSILON..=1.0),
+                });
+            }
+        }
+        let mut profile = FlipProfile {
+            chip,
+            num_pages,
+            cells,
+            by_page: HashMap::new(),
+        };
+        profile.rebuild_index();
+        profile
+    }
+
+    fn rebuild_index(&mut self) {
+        self.by_page.clear();
+        for (i, c) in self.cells.iter().enumerate() {
+            self.by_page.entry(c.page).or_default().push(i);
+        }
+    }
+
+    /// The chip this profile was measured on.
+    pub fn chip(&self) -> ChipModel {
+        self.chip
+    }
+
+    /// Number of templated pages.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// All vulnerable cells.
+    pub fn cells(&self) -> &[FlipCell] {
+        &self.cells
+    }
+
+    /// Total vulnerable cells found.
+    pub fn total_flips(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Fraction of all templated cells that are vulnerable (Fig. 2's
+    /// sparsity number).
+    pub fn sparsity(&self) -> f64 {
+        self.total_flips() as f64 / (self.num_pages as f64 * PAGE_BITS as f64)
+    }
+
+    /// Vulnerable cells in one page.
+    pub fn flips_in_page(&self, page: usize) -> Vec<&FlipCell> {
+        self.by_page
+            .get(&page)
+            .map(|idx| idx.iter().map(|&i| &self.cells[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Average flips per page actually realized in this profile.
+    pub fn measured_avg_flips_per_page(&self) -> f64 {
+        self.total_flips() as f64 / self.num_pages as f64
+    }
+
+    /// Finds a page containing a cell at exactly `bit_offset` flipping in
+    /// `direction`, whose threshold is reachable by a hammer pattern of the
+    /// given `intensity`, and which is not in `exclude`.
+    ///
+    /// This is the matching step of the online phase: the attacker needs a
+    /// flippy page whose vulnerable cell lines up with the weight bit the
+    /// optimizer chose.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::NoMatchingPage`] when the profile has no such
+    /// page — the situation the paper shows is almost certain for two or
+    /// more required offsets in a single page.
+    pub fn find_matching_page(
+        &self,
+        bit_offset: usize,
+        direction: FlipDirection,
+        intensity: f64,
+        exclude: &[usize],
+    ) -> Result<usize> {
+        self.cells
+            .iter()
+            .find(|c| {
+                c.bit_offset == bit_offset
+                    && c.direction == direction
+                    && c.threshold <= intensity
+                    && !exclude.contains(&c.page)
+            })
+            .map(|c| c.page)
+            .ok_or(DramError::NoMatchingPage {
+                page_bit_offset: bit_offset,
+            })
+    }
+
+    /// Finds a page whose vulnerable cells cover *all* the given
+    /// (offset, direction) pairs — needed by the baselines, which demand
+    /// several specific flips inside one page. Almost always fails, per the
+    /// paper's probability analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::NoMatchingPage`] when no single page covers
+    /// every requirement.
+    pub fn find_page_covering(
+        &self,
+        requirements: &[(usize, FlipDirection)],
+        intensity: f64,
+        exclude: &[usize],
+    ) -> Result<usize> {
+        if requirements.is_empty() {
+            return Err(DramError::NoMatchingPage { page_bit_offset: 0 });
+        }
+        'pages: for (&page, idx) in &self.by_page {
+            if exclude.contains(&page) {
+                continue;
+            }
+            for &(offset, dir) in requirements {
+                let covered = idx.iter().any(|&i| {
+                    let c = &self.cells[i];
+                    c.bit_offset == offset && c.direction == dir && c.threshold <= intensity
+                });
+                if !covered {
+                    continue 'pages;
+                }
+            }
+            return Ok(page);
+        }
+        Err(DramError::NoMatchingPage {
+            page_bit_offset: requirements[0].0,
+        })
+    }
+
+    /// Templating wall-clock time model: the paper measures 94 minutes for
+    /// 128 MB (32,768 pages).
+    pub fn templating_time(num_pages: usize) -> Duration {
+        let minutes = 94.0 * num_pages as f64 / 32_768.0;
+        Duration::from_secs_f64(minutes * 60.0)
+    }
+}
+
+/// Knuth's Poisson sampler, adequate for the per-page means in Table I.
+/// Falls back to a normal approximation for large means to avoid the
+/// exponential underflow regime.
+pub(crate) fn sample_poisson(mean: f64, rng: &mut StdRng) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean > 60.0 {
+        let sample = mean + mean.sqrt() * normal(rng);
+        return sample.max(0.0).round() as usize;
+    }
+    let limit = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen_range(0.0..1.0);
+        if p <= limit {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_profile_matches_paper_sparsity() {
+        // 128 MB = 32,768 pages on the reference DDR3 chip should find
+        // roughly 382k flips = 0.036% of cells (Fig. 2).
+        let profile = FlipProfile::template(ChipModel::reference_ddr3(), 32_768, 1);
+        let sparsity = profile.sparsity();
+        assert!(
+            (sparsity - 0.000_356).abs() < 0.000_05,
+            "sparsity {sparsity} deviates from the paper's 0.036%"
+        );
+        let flips = profile.total_flips();
+        assert!(
+            (300_000..460_000).contains(&flips),
+            "total flips {flips} far from the paper's 381,962"
+        );
+    }
+
+    #[test]
+    fn profile_is_deterministic_per_seed() {
+        let chip = ChipModel::by_tag("L1").unwrap();
+        let a = FlipProfile::template(chip, 512, 9);
+        let b = FlipProfile::template(chip, 512, 9);
+        assert_eq!(a.cells(), b.cells());
+    }
+
+    #[test]
+    fn direction_split_is_roughly_even() {
+        let profile = FlipProfile::template(ChipModel::reference_ddr3(), 4096, 3);
+        let zto = profile
+            .cells()
+            .iter()
+            .filter(|c| c.direction == FlipDirection::ZeroToOne)
+            .count();
+        let total = profile.total_flips();
+        let frac = zto as f64 / total as f64;
+        assert!((0.45..0.55).contains(&frac), "0→1 fraction {frac}");
+    }
+
+    #[test]
+    fn flippy_chip_has_denser_profile() {
+        let sparse = FlipProfile::template(ChipModel::by_tag("M1").unwrap(), 1024, 5);
+        let dense = FlipProfile::template(ChipModel::by_tag("K2").unwrap(), 1024, 5);
+        assert!(dense.total_flips() > 10 * sparse.total_flips());
+    }
+
+    #[test]
+    fn single_offset_match_succeeds_on_large_buffer() {
+        // The paper: p(target page | one offset) ≈ 1 for a 128MB buffer.
+        let profile = FlipProfile::template(ChipModel::reference_ddr3(), 32_768, 7);
+        let hits = (0..20)
+            .filter(|i| {
+                profile
+                    .find_matching_page(i * 1000 + 13, FlipDirection::ZeroToOne, 1.0, &[])
+                    .is_ok()
+            })
+            .count();
+        assert!(hits >= 19, "only {hits}/20 single-offset matches found");
+    }
+
+    #[test]
+    fn multi_offset_match_fails_in_practice() {
+        // The paper: p vanishes for 3 offsets in the same page.
+        let profile = FlipProfile::template(ChipModel::reference_ddr3(), 8192, 11);
+        let reqs = [
+            (100, FlipDirection::ZeroToOne),
+            (8_000, FlipDirection::OneToZero),
+            (20_000, FlipDirection::ZeroToOne),
+        ];
+        assert!(profile.find_page_covering(&reqs, 1.0, &[]).is_err());
+    }
+
+    #[test]
+    fn exclusion_list_is_respected() {
+        let profile = FlipProfile::template(ChipModel::by_tag("K1").unwrap(), 256, 2);
+        let cell = profile.cells()[0];
+        let page = profile
+            .find_matching_page(cell.bit_offset, cell.direction, 1.0, &[])
+            .unwrap();
+        // Excluding every page must fail.
+        let all: Vec<usize> = (0..256).collect();
+        assert!(profile
+            .find_matching_page(cell.bit_offset, cell.direction, 1.0, &all)
+            .is_err());
+        assert!(!all.is_empty() && page < 256);
+    }
+
+    #[test]
+    fn templating_time_scales_linearly() {
+        let t128 = FlipProfile::templating_time(32_768);
+        assert_eq!(t128.as_secs(), 94 * 60);
+        let t64 = FlipProfile::templating_time(16_384);
+        assert_eq!(t64.as_secs(), 47 * 60);
+    }
+
+    #[test]
+    fn poisson_mean_is_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean = 3.7;
+        let sum: usize = (0..n).map(|_| sample_poisson(mean, &mut rng)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!((observed - mean).abs() < 0.1, "observed {observed}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_tail() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 5_000;
+        let mean = 100.68; // chip K1
+        let sum: usize = (0..n).map(|_| sample_poisson(mean, &mut rng)).sum();
+        let observed = sum as f64 / n as f64;
+        assert!((observed - mean).abs() < 1.0, "observed {observed}");
+    }
+}

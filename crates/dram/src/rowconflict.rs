@@ -1,0 +1,162 @@
+//! Row-buffer-conflict timing: detecting same-bank address pairs
+//! (paper §IV-A1, Appendix C, Fig. 12).
+//!
+//! Each DRAM bank has a row buffer caching the last-activated row. Reading
+//! two addresses in the *same bank but different rows* forces a precharge +
+//! activate cycle (~400 cycles in the paper's Fig. 12); any other pair is
+//! served faster. Timing pairs of physically contiguous addresses therefore
+//! reveals which of them share a bank — the prerequisite for placing
+//! aggressor rows around a victim.
+
+use crate::geometry::DramGeometry;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Measured access latency when the pair conflicts in a bank (cycles).
+pub const CONFLICT_LATENCY: f64 = 400.0;
+
+/// Measured access latency without a conflict (cycles).
+pub const NO_CONFLICT_LATENCY: f64 = 230.0;
+
+/// Timing oracle over a simulated device.
+#[derive(Debug, Clone)]
+pub struct RowConflictOracle {
+    geometry: DramGeometry,
+    rng: StdRng,
+    noise: f64,
+}
+
+impl RowConflictOracle {
+    /// Creates an oracle with the paper-like noise floor.
+    pub fn new(geometry: DramGeometry, seed: u64) -> Self {
+        RowConflictOracle {
+            geometry,
+            rng: StdRng::seed_from_u64(seed),
+            noise: 12.0,
+        }
+    }
+
+    /// Times alternating accesses to two frames, returning cycles.
+    pub fn time_pair(&mut self, frame_a: usize, frame_b: usize) -> f64 {
+        let row_a = self.geometry.row_of_frame(frame_a);
+        let row_b = self.geometry.row_of_frame(frame_b);
+        let conflict = row_a != row_b && self.geometry.same_bank(frame_a, frame_b);
+        let base = if conflict {
+            CONFLICT_LATENCY
+        } else {
+            NO_CONFLICT_LATENCY
+        };
+        base + self.rng.gen_range(-self.noise..self.noise)
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> DramGeometry {
+        self.geometry
+    }
+}
+
+/// Latency histogram of one reference frame against many probe frames —
+/// the distribution of Fig. 12, where roughly `1/banks` of probes conflict.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ConflictScan {
+    /// Latency of each probe pair, in cycles.
+    pub latencies: Vec<f64>,
+    /// Probe frames, parallel to `latencies`.
+    pub probes: Vec<usize>,
+}
+
+impl ConflictScan {
+    /// Measures `reference` against every frame in `probes`.
+    pub fn run(oracle: &mut RowConflictOracle, reference: usize, probes: &[usize]) -> Self {
+        let latencies = probes
+            .iter()
+            .map(|&p| oracle.time_pair(reference, p))
+            .collect();
+        ConflictScan {
+            latencies,
+            probes: probes.to_vec(),
+        }
+    }
+
+    /// Classifies probes as same-bank using a latency threshold halfway
+    /// between the two latency modes.
+    pub fn same_bank_frames(&self) -> Vec<usize> {
+        let threshold = (CONFLICT_LATENCY + NO_CONFLICT_LATENCY) / 2.0;
+        self.latencies
+            .iter()
+            .zip(&self.probes)
+            .filter_map(|(&l, &p)| (l > threshold).then_some(p))
+            .collect()
+    }
+
+    /// Fraction of probes classified same-bank.
+    pub fn conflict_fraction(&self) -> f64 {
+        self.same_bank_frames().len() as f64 / self.probes.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::FRAMES_PER_ROW;
+
+    #[test]
+    fn same_row_never_conflicts() {
+        let g = DramGeometry::small();
+        let mut oracle = RowConflictOracle::new(g, 1);
+        // Frames 0 and 1 share row 0.
+        let t = oracle.time_pair(0, 1);
+        assert!(t < 300.0, "same-row latency {t}");
+    }
+
+    #[test]
+    fn same_bank_different_row_conflicts() {
+        let g = DramGeometry::small();
+        let mut oracle = RowConflictOracle::new(g, 2);
+        // Row 0 and row `banks` share bank 0.
+        let other = g.banks * FRAMES_PER_ROW;
+        let t = oracle.time_pair(0, other);
+        assert!(t > 350.0, "conflict latency {t}");
+    }
+
+    #[test]
+    fn conflict_fraction_is_about_one_over_banks() {
+        // Fig. 12: about 1/16 of contiguous addresses conflict on a
+        // 16-bank device. Our small geometry has 4 banks → ~1/4, but
+        // same-row/adjacent-frame pairs dilute it slightly.
+        let g = DramGeometry::ddr4_16gb();
+        let mut oracle = RowConflictOracle::new(g, 3);
+        let probes: Vec<usize> = (1..2049).collect();
+        let scan = ConflictScan::run(&mut oracle, 0, &probes);
+        let frac = scan.conflict_fraction();
+        let expect = 1.0 / g.banks as f64;
+        assert!(
+            (frac - expect).abs() < expect * 0.3,
+            "conflict fraction {frac}, expected ≈{expect}"
+        );
+    }
+
+    #[test]
+    fn detected_frames_truly_share_the_bank() {
+        let g = DramGeometry::small();
+        let mut oracle = RowConflictOracle::new(g, 4);
+        let probes: Vec<usize> = (2..512).collect();
+        let scan = ConflictScan::run(&mut oracle, 0, &probes);
+        for f in scan.same_bank_frames() {
+            assert!(g.same_bank(0, f), "frame {f} misclassified");
+        }
+    }
+
+    #[test]
+    fn latencies_form_two_modes() {
+        let g = DramGeometry::ddr4_16gb();
+        let mut oracle = RowConflictOracle::new(g, 5);
+        let probes: Vec<usize> = (1..1025).collect();
+        let scan = ConflictScan::run(&mut oracle, 0, &probes);
+        let fast = scan.latencies.iter().filter(|&&l| l < 300.0).count();
+        let slow = scan.latencies.iter().filter(|&&l| l > 350.0).count();
+        assert_eq!(fast + slow, scan.latencies.len(), "no in-between latencies");
+        assert!(fast > slow, "fast mode must dominate");
+    }
+}

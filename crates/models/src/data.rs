@@ -1,0 +1,436 @@
+//! Procedurally generated, class-structured image datasets.
+//!
+//! The attack is agnostic to what the victim classifier was trained on; it
+//! only needs a trained, quantized model plus a held-out test split for the
+//! optimization and metrics. These generators build datasets whose classes
+//! are separated by learnable structure — per-class spatial templates,
+//! color casts, and frequency content — degraded with noise so a CNN must
+//! actually learn features (a linear probe does poorly; see tests).
+
+use rhb_nn::init::Rng;
+use rhb_nn::tensor::Tensor;
+
+/// A labeled image dataset in `[N, C, H, W]` layout.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    images: Vec<f32>,
+    labels: Vec<usize>,
+    channels: usize,
+    side: usize,
+    classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset from raw storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images.len() != labels.len() * channels * side * side`.
+    pub fn new(
+        images: Vec<f32>,
+        labels: Vec<usize>,
+        channels: usize,
+        side: usize,
+        classes: usize,
+    ) -> Self {
+        assert_eq!(
+            images.len(),
+            labels.len() * channels * side * side,
+            "image storage does not match label count"
+        );
+        Dataset {
+            images,
+            labels,
+            channels,
+            side,
+            classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Image channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Image side length (square images).
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Elements per image.
+    pub fn image_len(&self) -> usize {
+        self.channels * self.side * self.side
+    }
+
+    /// Label of sample `i`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Raw pixels of sample `i`.
+    pub fn image(&self, i: usize) -> &[f32] {
+        let len = self.image_len();
+        &self.images[i * len..(i + 1) * len]
+    }
+
+    /// Collects samples `indices` into a `[batch, C, H, W]` tensor plus
+    /// label vector.
+    pub fn batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
+        let len = self.image_len();
+        let mut data = Vec::with_capacity(indices.len() * len);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(self.image(i));
+            labels.push(self.labels[i]);
+        }
+        (
+            Tensor::from_vec(data, &[indices.len(), self.channels, self.side, self.side]),
+            labels,
+        )
+    }
+
+    /// The first `n` samples as one batch (deterministic evaluation split).
+    pub fn head(&self, n: usize) -> (Tensor, Vec<usize>) {
+        let idx: Vec<usize> = (0..n.min(self.len())).collect();
+        self.batch(&idx)
+    }
+
+    /// Splits off the last `n` samples into a separate dataset (held-out
+    /// test data "not in the training set", per the paper's threat model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > len()`.
+    pub fn split_off(&mut self, n: usize) -> Dataset {
+        assert!(n <= self.len(), "cannot split {n} from {}", self.len());
+        let keep = self.len() - n;
+        let len = self.image_len();
+        let images = self.images.split_off(keep * len);
+        let labels = self.labels.split_off(keep);
+        Dataset {
+            images,
+            labels,
+            channels: self.channels,
+            side: self.side,
+            classes: self.classes,
+        }
+    }
+}
+
+/// Shared generator machinery for the synthetic datasets.
+fn generate(
+    samples: usize,
+    classes: usize,
+    channels: usize,
+    side: usize,
+    noise: f32,
+    overlap: f32,
+    rng: &mut Rng,
+) -> Dataset {
+    // A base pattern shared by all classes; `overlap` controls how much of
+    // each class template it contributes. High overlap makes classes hard
+    // to separate, softening the trained model's logit margins toward the
+    // realistic 85-95% accuracy regime of the paper's victims.
+    let mut base = vec![0.0f32; channels * side * side];
+    for v in base.iter_mut() {
+        *v = rng.uniform(-0.8, 0.8);
+    }
+    // Per-class structure: a low-frequency template per channel plus a
+    // class-specific color cast and stripe frequency.
+    let mut templates = Vec::with_capacity(classes);
+    for _ in 0..classes {
+        let mut tmpl = vec![0.0f32; channels * side * side];
+        let fx = rng.uniform(0.5, 3.0);
+        let fy = rng.uniform(0.5, 3.0);
+        let phase = rng.uniform(0.0, std::f32::consts::TAU);
+        let cast: Vec<f32> = (0..channels).map(|_| rng.uniform(-0.6, 0.6)).collect();
+        // A couple of random blob centers give each class local structure.
+        let blobs: Vec<(f32, f32, f32)> = (0..3)
+            .map(|_| {
+                (
+                    rng.uniform(0.0, side as f32),
+                    rng.uniform(0.0, side as f32),
+                    rng.uniform(1.0, side as f32 / 2.0),
+                )
+            })
+            .collect();
+        for c in 0..channels {
+            for y in 0..side {
+                for x in 0..side {
+                    let xf = x as f32 / side as f32;
+                    let yf = y as f32 / side as f32;
+                    let stripe =
+                        (fx * xf * std::f32::consts::TAU + fy * yf * std::f32::consts::TAU + phase)
+                            .sin();
+                    let mut blob = 0.0;
+                    for &(bx, by, r) in &blobs {
+                        let d2 = (x as f32 - bx).powi(2) + (y as f32 - by).powi(2);
+                        blob += (-d2 / (r * r)).exp();
+                    }
+                    let own = 0.5 * stripe + 0.6 * blob + cast[c];
+                    let i = (c * side + y) * side + x;
+                    tmpl[i] = overlap * base[i] + (1.0 - overlap) * own;
+                }
+            }
+        }
+        templates.push(tmpl);
+    }
+
+    let image_len = channels * side * side;
+    let mut images = Vec::with_capacity(samples * image_len);
+    let mut labels = Vec::with_capacity(samples);
+    for i in 0..samples {
+        let class = i % classes; // balanced classes
+        let gain = rng.uniform(0.7, 1.3);
+        let shift = rng.uniform(-0.15, 0.15);
+        for &t in &templates[class] {
+            let v = gain * t + shift + noise * rng.normal();
+            images.push(v.clamp(-1.0, 1.0));
+        }
+        labels.push(class);
+    }
+    // Shuffle so contiguous slices are class-balanced but not ordered.
+    let mut order: Vec<usize> = (0..samples).collect();
+    for i in (1..samples).rev() {
+        let j = rng.below(i + 1);
+        order.swap(i, j);
+    }
+    let mut shuffled_images = Vec::with_capacity(images.len());
+    let mut shuffled_labels = Vec::with_capacity(labels.len());
+    for &i in &order {
+        shuffled_images.extend_from_slice(&images[i * image_len..(i + 1) * image_len]);
+        shuffled_labels.push(labels[i]);
+    }
+    Dataset::new(shuffled_images, shuffled_labels, channels, side, classes)
+}
+
+/// CIFAR-10-like synthetic dataset: 10 classes of 3-channel square images.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthCifar {
+    /// Image side (the real CIFAR uses 32; tests shrink this).
+    pub side: usize,
+    /// Per-pixel Gaussian noise amplitude.
+    pub noise: f32,
+    /// Fraction of each class template shared with a common base pattern
+    /// (0 = fully distinct classes, →1 = indistinguishable).
+    pub overlap: f32,
+}
+
+impl Default for SynthCifar {
+    fn default() -> Self {
+        SynthCifar {
+            side: 16,
+            noise: 0.25,
+            overlap: 0.0,
+        }
+    }
+}
+
+impl SynthCifar {
+    /// Generates `samples` labeled images with the given seed.
+    pub fn generate(&self, samples: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        generate(samples, 10, 3, self.side, self.noise, self.overlap, &mut rng)
+    }
+}
+
+/// ImageNet-like synthetic dataset: more classes, larger images.
+#[derive(Debug, Clone, Copy)]
+pub struct SynthImageNet {
+    /// Image side (scaled down from the real 224).
+    pub side: usize,
+    /// Number of classes (scaled down from the real 1000).
+    pub classes: usize,
+    /// Per-pixel Gaussian noise amplitude.
+    pub noise: f32,
+    /// Fraction of each class template shared with a common base pattern.
+    pub overlap: f32,
+}
+
+impl Default for SynthImageNet {
+    fn default() -> Self {
+        SynthImageNet {
+            side: 24,
+            classes: 20,
+            noise: 0.3,
+            overlap: 0.0,
+        }
+    }
+}
+
+impl SynthImageNet {
+    /// Generates `samples` labeled images with the given seed.
+    pub fn generate(&self, samples: usize, seed: u64) -> Dataset {
+        let mut rng = Rng::seed_from(seed);
+        generate(samples, self.classes, 3, self.side, self.noise, self.overlap, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthCifar::default();
+        let a = cfg.generate(50, 7);
+        let b = cfg.generate(50, 7);
+        assert_eq!(a.image(13), b.image(13));
+        assert_eq!(a.labels(), b.labels());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let cfg = SynthCifar::default();
+        let a = cfg.generate(50, 7);
+        let b = cfg.generate(50, 8);
+        assert_ne!(a.image(0), b.image(0));
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let d = SynthCifar::default().generate(200, 3);
+        let mut counts = [0usize; 10];
+        for &l in d.labels() {
+            counts[l] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20), "{counts:?}");
+    }
+
+    #[test]
+    fn pixels_are_bounded() {
+        let d = SynthCifar::default().generate(30, 1);
+        for i in 0..d.len() {
+            for &p in d.image(i) {
+                assert!((-1.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_collects_requested_samples() {
+        let d = SynthCifar::default().generate(20, 5);
+        let (x, y) = d.batch(&[3, 7]);
+        assert_eq!(x.shape().dims(), &[2, 3, 16, 16]);
+        assert_eq!(y, vec![d.label(3), d.label(7)]);
+        assert_eq!(&x.data()[..d.image_len()], d.image(3));
+    }
+
+    #[test]
+    fn split_off_partitions_samples() {
+        let mut d = SynthCifar::default().generate(30, 5);
+        let test = d.split_off(10);
+        assert_eq!(d.len(), 20);
+        assert_eq!(test.len(), 10);
+    }
+
+    #[test]
+    fn classes_have_distinct_means() {
+        // Sanity: per-class mean images must differ enough to learn from.
+        let d = SynthCifar::default().generate(100, 11);
+        let len = d.image_len();
+        let mut means = vec![vec![0.0f32; len]; 10];
+        let mut counts = [0usize; 10];
+        for i in 0..d.len() {
+            let l = d.label(i);
+            counts[l] += 1;
+            for (m, &p) in means[l].iter_mut().zip(d.image(i)) {
+                *m += p;
+            }
+        }
+        for (m, &c) in means.iter_mut().zip(&counts) {
+            for v in m.iter_mut() {
+                *v /= c as f32;
+            }
+        }
+        let dist: f32 = means[0]
+            .iter()
+            .zip(&means[1])
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
+        assert!(dist > 1.0, "class means too close: {dist}");
+    }
+
+    #[test]
+    fn imagenet_variant_has_more_classes() {
+        let d = SynthImageNet::default().generate(40, 2);
+        assert_eq!(d.classes(), 20);
+        assert_eq!(d.side(), 24);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn generated_pixels_stay_in_range(
+            samples in 10usize..60,
+            side in 4usize..12,
+            noise in 0.0f32..1.5,
+            overlap in 0.0f32..0.95,
+            seed in 0u64..1000,
+        ) {
+            let d = SynthCifar { side, noise, overlap }.generate(samples, seed);
+            prop_assert_eq!(d.len(), samples);
+            for i in 0..d.len() {
+                for &p in d.image(i) {
+                    prop_assert!((-1.0..=1.0).contains(&p));
+                }
+            }
+        }
+
+        #[test]
+        fn class_counts_differ_by_at_most_one(
+            samples in 10usize..100,
+            seed in 0u64..1000,
+        ) {
+            let d = SynthCifar { side: 6, noise: 0.3, overlap: 0.2 }.generate(samples, seed);
+            let mut counts = [0usize; 10];
+            for &l in d.labels() {
+                counts[l] += 1;
+            }
+            let min = counts.iter().min().unwrap();
+            let max = counts.iter().max().unwrap();
+            prop_assert!(max - min <= 1, "{counts:?}");
+        }
+
+        #[test]
+        fn split_off_preserves_total(
+            samples in 4usize..50,
+            take in 0usize..50,
+            seed in 0u64..100,
+        ) {
+            prop_assume!(take <= samples);
+            let mut d = SynthCifar { side: 4, noise: 0.2, overlap: 0.0 }.generate(samples, seed);
+            let test = d.split_off(take);
+            prop_assert_eq!(d.len() + test.len(), samples);
+            prop_assert_eq!(test.len(), take);
+        }
+    }
+}

@@ -1,0 +1,437 @@
+//! ResNet-style residual classifiers (CIFAR and ImageNet variants).
+//!
+//! Depth-faithful reproductions of the victims in the paper's Table II:
+//! ResNet-20/32 (the 6n+2 CIFAR family), a CIFAR-style ResNet-18, and
+//! scaled ResNet-34/50 stand-ins. Widths are configurable so the CPU-only
+//! reproduction can shrink parameter counts while keeping the layer
+//! topology — and therefore the weight-file page structure the attack
+//! exploits — realistic.
+
+use rhb_nn::activation::Relu;
+use rhb_nn::conv::{Conv2d, ConvGeometry};
+use rhb_nn::init::Rng;
+use rhb_nn::layer::{Layer, Mode};
+use rhb_nn::linear::Linear;
+use rhb_nn::network::Network;
+use rhb_nn::norm::BatchNorm2d;
+use rhb_nn::param::Parameter;
+use rhb_nn::pool::GlobalAvgPool;
+use rhb_nn::tensor::Tensor;
+
+/// Configuration for a ResNet victim.
+#[derive(Debug, Clone, Copy)]
+pub struct ResNetConfig {
+    /// Residual blocks per stage.
+    pub blocks_per_stage: &'static [usize],
+    /// Base width (filters in the first stage).
+    pub base_width: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Input channels.
+    pub in_channels: usize,
+}
+
+impl ResNetConfig {
+    /// ResNet-20-style (3 stages × 3 blocks), the paper's smallest victim.
+    pub fn resnet20(base_width: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            blocks_per_stage: &[3, 3, 3],
+            base_width,
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    /// ResNet-32-style (3 stages × 5 blocks).
+    pub fn resnet32(base_width: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            blocks_per_stage: &[5, 5, 5],
+            base_width,
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    /// ResNet-18-style (4 stages × 2 blocks, CIFAR stem).
+    pub fn resnet18(base_width: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            blocks_per_stage: &[2, 2, 2, 2],
+            base_width,
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    /// ResNet-34-style (4 stages, 3/4/6/3 blocks).
+    pub fn resnet34(base_width: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            blocks_per_stage: &[3, 4, 6, 3],
+            base_width,
+            num_classes,
+            in_channels: 3,
+        }
+    }
+
+    /// ResNet-50-style stand-in (4 stages, 3/4/6/3 basic blocks at higher
+    /// width; the real ResNet-50 uses bottlenecks, which change parameter
+    /// count but not the page-granularity structure the attack depends on).
+    pub fn resnet50(base_width: usize, num_classes: usize) -> Self {
+        ResNetConfig {
+            blocks_per_stage: &[3, 4, 6, 3],
+            base_width: base_width + base_width / 2,
+            num_classes,
+            in_channels: 3,
+        }
+    }
+}
+
+/// One basic residual block: two 3×3 conv/bn pairs with identity or
+/// projection skip.
+struct BasicBlock {
+    conv1: Conv2d,
+    bn1: BatchNorm2d,
+    relu1: Relu,
+    conv2: Conv2d,
+    bn2: BatchNorm2d,
+    relu2: Relu,
+    downsample: Option<(Conv2d, BatchNorm2d)>,
+    cached_skip_needed: bool,
+}
+
+impl BasicBlock {
+    fn new(in_ch: usize, out_ch: usize, stride: usize, rng: &mut Rng) -> Self {
+        let conv1 = Conv2d::new(
+            ConvGeometry {
+                in_channels: in_ch,
+                out_channels: out_ch,
+                kernel: 3,
+                stride,
+                padding: 1,
+            },
+            false,
+            rng,
+        );
+        let conv2 = Conv2d::new(
+            ConvGeometry {
+                in_channels: out_ch,
+                out_channels: out_ch,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            false,
+            rng,
+        );
+        let downsample = (stride != 1 || in_ch != out_ch).then(|| {
+            (
+                Conv2d::new(
+                    ConvGeometry {
+                        in_channels: in_ch,
+                        out_channels: out_ch,
+                        kernel: 1,
+                        stride,
+                        padding: 0,
+                    },
+                    false,
+                    rng,
+                ),
+                BatchNorm2d::new(out_ch),
+            )
+        });
+        BasicBlock {
+            conv1,
+            bn1: BatchNorm2d::new(out_ch),
+            relu1: Relu::new(),
+            conv2,
+            bn2: BatchNorm2d::new(out_ch),
+            relu2: Relu::new(),
+            downsample,
+            cached_skip_needed: false,
+        }
+    }
+
+    fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
+        let main = self.conv1.forward_mode(x, mode);
+        let main = self.bn1.forward_mode(&main, mode);
+        let main = self.relu1.forward_mode(&main, mode);
+        let main = self.conv2.forward_mode(&main, mode);
+        let mut main = self.bn2.forward_mode(&main, mode);
+        let skip = match &mut self.downsample {
+            Some((conv, bn)) => {
+                let s = conv.forward_mode(x, mode);
+                bn.forward_mode(&s, mode)
+            }
+            None => x.clone(),
+        };
+        main.axpy(1.0, &skip);
+        self.cached_skip_needed = mode.caches();
+        self.relu2.forward_mode(&main, mode)
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        assert!(
+            self.cached_skip_needed,
+            "backward called without training-mode forward"
+        );
+        self.cached_skip_needed = false;
+        let g_sum = self.relu2.backward(grad);
+        // Main path.
+        let g = self.bn2.backward(&g_sum);
+        let g = self.conv2.backward(&g);
+        let g = self.relu1.backward(&g);
+        let g = self.bn1.backward(&g);
+        let mut g_input = self.conv1.backward(&g);
+        // Skip path.
+        match &mut self.downsample {
+            Some((conv, bn)) => {
+                let gs = bn.backward(&g_sum);
+                let gs = conv.backward(&gs);
+                g_input.axpy(1.0, &gs);
+            }
+            None => g_input.axpy(1.0, &g_sum),
+        }
+        g_input
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = Vec::new();
+        v.extend(self.conv1.params());
+        v.extend(self.bn1.params());
+        v.extend(self.conv2.params());
+        v.extend(self.bn2.params());
+        if let Some((conv, bn)) = &self.downsample {
+            v.extend(conv.params());
+            v.extend(bn.params());
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = Vec::new();
+        v.extend(self.conv1.params_mut());
+        v.extend(self.bn1.params_mut());
+        v.extend(self.conv2.params_mut());
+        v.extend(self.bn2.params_mut());
+        if let Some((conv, bn)) = &mut self.downsample {
+            v.extend(conv.params_mut());
+            v.extend(bn.params_mut());
+        }
+        v
+    }
+}
+
+/// A ResNet-style classifier implementing [`Network`].
+pub struct ResNet {
+    config: ResNetConfig,
+    stem_conv: Conv2d,
+    stem_bn: BatchNorm2d,
+    stem_relu: Relu,
+    blocks: Vec<BasicBlock>,
+    pool: GlobalAvgPool,
+    fc: Linear,
+}
+
+impl std::fmt::Debug for ResNet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ResNet({:?})", self.config)
+    }
+}
+
+impl ResNet {
+    /// Builds a randomly initialized ResNet.
+    pub fn new(config: ResNetConfig, rng: &mut Rng) -> Self {
+        let stem_conv = Conv2d::new(
+            ConvGeometry {
+                in_channels: config.in_channels,
+                out_channels: config.base_width,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+            },
+            false,
+            rng,
+        );
+        let mut blocks = Vec::new();
+        let mut in_ch = config.base_width;
+        for (stage, &n) in config.blocks_per_stage.iter().enumerate() {
+            let out_ch = config.base_width << stage;
+            for b in 0..n {
+                let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+                blocks.push(BasicBlock::new(in_ch, out_ch, stride, rng));
+                in_ch = out_ch;
+            }
+        }
+        let fc = Linear::new(in_ch, config.num_classes, true, rng);
+        ResNet {
+            config,
+            stem_conv,
+            stem_bn: BatchNorm2d::new(config.base_width),
+            stem_relu: Relu::new(),
+            blocks,
+            pool: GlobalAvgPool::new(),
+            fc,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> ResNetConfig {
+        self.config
+    }
+
+    /// Number of weight layers (the "20" in ResNet-20).
+    pub fn depth(&self) -> usize {
+        // stem + 2 convs per block + fc
+        2 + 2 * self.blocks.len()
+    }
+}
+
+impl Network for ResNet {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let x = self.stem_conv.forward_mode(input, mode);
+        let x = self.stem_bn.forward_mode(&x, mode);
+        let mut x = self.stem_relu.forward_mode(&x, mode);
+        for block in &mut self.blocks {
+            x = block.forward(&x, mode);
+        }
+        let x = self.pool.forward_mode(&x, mode);
+        self.fc.forward_mode(&x, mode)
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let g = self.fc.backward(grad_logits);
+        let mut g = self.pool.backward(&g);
+        for block in self.blocks.iter_mut().rev() {
+            g = block.backward(&g);
+        }
+        let g = self.stem_relu.backward(&g);
+        let g = self.stem_bn.backward(&g);
+        self.stem_conv.backward(&g)
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = Vec::new();
+        v.extend(self.stem_conv.params());
+        v.extend(self.stem_bn.params());
+        for b in &self.blocks {
+            v.extend(b.params());
+        }
+        v.extend(self.fc.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = Vec::new();
+        v.extend(self.stem_conv.params_mut());
+        v.extend(self.stem_bn.params_mut());
+        for b in &mut self.blocks {
+            v.extend(b.params_mut());
+        }
+        v.extend(self.fc.params_mut());
+        v
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ResNet(depth={}, width={}, classes={}, params={})",
+            self.depth(),
+            self.config.base_width,
+            self.config.num_classes,
+            self.num_params()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_nn::loss::cross_entropy;
+
+    fn tiny() -> ResNet {
+        let mut rng = Rng::seed_from(1);
+        ResNet::new(ResNetConfig::resnet20(4, 10), &mut rng)
+    }
+
+    #[test]
+    fn depth_matches_naming() {
+        assert_eq!(tiny().depth(), 20);
+        let mut rng = Rng::seed_from(1);
+        assert_eq!(
+            ResNet::new(ResNetConfig::resnet32(4, 10), &mut rng).depth(),
+            32
+        );
+        assert_eq!(
+            ResNet::new(ResNetConfig::resnet18(4, 10), &mut rng).depth(),
+            18
+        );
+    }
+
+    #[test]
+    fn forward_shape_is_batch_by_classes() {
+        let mut net = tiny();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn backward_returns_input_gradient() {
+        let mut net = tiny();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.1);
+        let y = net.forward(&x, Mode::Train);
+        let out = cross_entropy(&y, &[3]);
+        let gin = net.backward(&out.grad_logits);
+        assert_eq!(gin.shape().dims(), x.shape().dims());
+        assert!(gin.max_abs() > 0.0, "input gradient must be nonzero");
+    }
+
+    #[test]
+    fn one_sgd_step_reduces_loss() {
+        use rhb_nn::optim::{Sgd, SgdConfig};
+        let mut net = tiny();
+        let x = Tensor::full(&[2, 3, 16, 16], 0.2);
+        let targets = [1usize, 1];
+        let mut opt = Sgd::new(&net, SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        net.zero_grad();
+        let before = {
+            let y = net.forward(&x, Mode::Train);
+            let out = cross_entropy(&y, &targets);
+            net.backward(&out.grad_logits);
+            opt.step(&mut net);
+            out.loss
+        };
+        let y = net.forward(&x, Mode::Train);
+        let after = cross_entropy(&y, &targets).loss;
+        assert!(after < before, "loss {after} !< {before}");
+    }
+
+    #[test]
+    fn param_order_is_stable() {
+        let a: Vec<String> = tiny().params().iter().map(|p| p.name.clone()).collect();
+        let b: Vec<String> = tiny().params().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(a, b);
+        // Stem first, classifier last.
+        assert!(a.first().unwrap().starts_with("conv3x4"));
+        assert!(a.last().unwrap().contains("bias"));
+    }
+
+    #[test]
+    fn deployed_resnet_keeps_eval_output_on_quant_grid_round_trip() {
+        let mut net = tiny();
+        net.deploy().unwrap();
+        let x = Tensor::full(&[1, 3, 16, 16], 0.3);
+        let before = net.forward(&x, Mode::Eval);
+        let images = net.quantized_params();
+        net.load_quantized(&images);
+        let after = net.forward(&x, Mode::Eval);
+        for (a, b) in before.data().iter().zip(after.data()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn wider_network_has_more_params() {
+        let mut rng = Rng::seed_from(1);
+        let narrow = ResNet::new(ResNetConfig::resnet20(4, 10), &mut rng).num_params();
+        let wide = ResNet::new(ResNetConfig::resnet20(8, 10), &mut rng).num_params();
+        assert!(wide > 3 * narrow);
+    }
+}

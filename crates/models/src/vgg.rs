@@ -1,0 +1,204 @@
+//! VGG-style plain convolutional classifiers.
+//!
+//! Used by the paper's Table III generalization experiment (VGG-11/16).
+//! Depth-faithful conv stacks with max-pooling between stages, width-scaled
+//! for the CPU budget.
+
+use rhb_nn::activation::Relu;
+use rhb_nn::conv::{Conv2d, ConvGeometry};
+use rhb_nn::init::Rng;
+use rhb_nn::layer::{Layer, Mode, Sequential};
+use rhb_nn::linear::Linear;
+use rhb_nn::network::Network;
+use rhb_nn::norm::BatchNorm2d;
+use rhb_nn::param::Parameter;
+use rhb_nn::pool::{GlobalAvgPool, MaxPool2d};
+use rhb_nn::tensor::Tensor;
+
+/// Configuration for a VGG victim.
+#[derive(Debug, Clone)]
+pub struct VggConfig {
+    /// Width multipliers per conv layer; `0` marks a max-pool.
+    pub plan: Vec<usize>,
+    /// Base width multiplied into each entry of `plan`.
+    pub base_width: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl VggConfig {
+    /// VGG-11-style plan (8 convs + pools).
+    pub fn vgg11(base_width: usize, num_classes: usize) -> Self {
+        VggConfig {
+            plan: vec![1, 0, 2, 0, 4, 4, 0, 8, 8, 0, 8, 8, 0],
+            base_width,
+            num_classes,
+        }
+    }
+
+    /// VGG-16-style plan (13 convs + pools).
+    pub fn vgg16(base_width: usize, num_classes: usize) -> Self {
+        VggConfig {
+            plan: vec![1, 1, 0, 2, 2, 0, 4, 4, 4, 0, 8, 8, 8, 0, 8, 8, 8, 0],
+            base_width,
+            num_classes,
+        }
+    }
+
+    /// Number of convolution layers in the plan.
+    pub fn conv_layers(&self) -> usize {
+        self.plan.iter().filter(|&&w| w != 0).count()
+    }
+}
+
+/// A VGG-style classifier implementing [`Network`].
+pub struct Vgg {
+    config: VggConfig,
+    features: Sequential,
+    pool: GlobalAvgPool,
+    fc: Linear,
+}
+
+impl std::fmt::Debug for Vgg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Vgg({:?})", self.config)
+    }
+}
+
+impl Vgg {
+    /// Builds a randomly initialized VGG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan contains no convolution layers.
+    pub fn new(config: VggConfig, rng: &mut Rng) -> Self {
+        assert!(config.conv_layers() > 0, "plan needs at least one conv");
+        let mut features = Sequential::new();
+        let mut in_ch = 3;
+        let mut last_width = config.base_width;
+        for &w in &config.plan {
+            if w == 0 {
+                features.push(Box::new(MaxPool2d::new(2)));
+                continue;
+            }
+            let out_ch = w * config.base_width;
+            features.push(Box::new(Conv2d::new(
+                ConvGeometry {
+                    in_channels: in_ch,
+                    out_channels: out_ch,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                },
+                false,
+                rng,
+            )));
+            features.push(Box::new(BatchNorm2d::new(out_ch)));
+            features.push(Box::new(Relu::new()));
+            in_ch = out_ch;
+            last_width = out_ch;
+        }
+        let fc = Linear::new(last_width, config.num_classes, true, rng);
+        Vgg {
+            config,
+            features,
+            pool: GlobalAvgPool::new(),
+            fc,
+        }
+    }
+
+    /// The architecture configuration.
+    pub fn config(&self) -> &VggConfig {
+        &self.config
+    }
+}
+
+impl Network for Vgg {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let x = self.features.forward_mode(input, mode);
+        let x = self.pool.forward_mode(&x, mode);
+        self.fc.forward_mode(&x, mode)
+    }
+
+    fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let g = self.fc.backward(grad_logits);
+        let g = self.pool.backward(&g);
+        self.features.backward(&g)
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = self.features.params();
+        v.extend(self.fc.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = self.features.params_mut();
+        v.extend(self.fc.params_mut());
+        v
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "VGG({} convs, width={}, classes={}, params={})",
+            self.config.conv_layers(),
+            self.config.base_width,
+            self.config.num_classes,
+            self.num_params()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_nn::loss::cross_entropy;
+
+    #[test]
+    fn vgg11_has_8_convs_and_vgg16_has_13() {
+        assert_eq!(VggConfig::vgg11(4, 10).conv_layers(), 8);
+        assert_eq!(VggConfig::vgg16(4, 10).conv_layers(), 13);
+    }
+
+    #[test]
+    fn forward_shape_is_batch_by_classes() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = Vgg::new(VggConfig::vgg11(4, 10), &mut rng);
+        let y = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval);
+        assert_eq!(y.shape().dims(), &[2, 10]);
+    }
+
+    #[test]
+    fn backward_flows_to_input() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = Vgg::new(VggConfig::vgg11(4, 10), &mut rng);
+        // Varied pixels and batch > 1: batch-norm provably zeroes the input
+        // gradient of a constant image, and the deepest VGG stages run at
+        // 1x1 spatial resolution where single-sample statistics degenerate.
+        let mut x = Tensor::zeros(&[4, 3, 16, 16]);
+        for (i, v) in x.data_mut().iter_mut().enumerate() {
+            *v = ((i as f32) * 0.37).sin() * 0.5;
+        }
+        let y = net.forward(&x, Mode::Train);
+        let out = cross_entropy(&y, &[0, 1, 2, 3]);
+        let gin = net.backward(&out.grad_logits);
+        assert_eq!(gin.shape().dims(), x.shape().dims());
+        assert!(gin.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn vgg16_has_more_params_than_vgg11() {
+        let mut rng = Rng::seed_from(4);
+        let a = Vgg::new(VggConfig::vgg11(4, 10), &mut rng).num_params();
+        let b = Vgg::new(VggConfig::vgg16(4, 10), &mut rng).num_params();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn deploys_cleanly() {
+        let mut rng = Rng::seed_from(5);
+        let mut net = Vgg::new(VggConfig::vgg11(4, 10), &mut rng);
+        net.deploy().unwrap();
+        assert!(net.is_deployed());
+    }
+}

@@ -1,0 +1,429 @@
+//! 2-D convolution via im2col.
+
+use crate::init::{kaiming_normal, Rng};
+use crate::layer::{Layer, Mode};
+use crate::param::Parameter;
+use crate::tensor::Tensor;
+
+/// Spatial geometry of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel side.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on every side.
+    pub padding: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial side for an input of side `in_side`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn out_side(&self, in_side: usize) -> usize {
+        let padded = in_side + 2 * self.padding;
+        assert!(
+            padded >= self.kernel,
+            "kernel {} larger than padded input {padded}",
+            self.kernel
+        );
+        (padded - self.kernel) / self.stride + 1
+    }
+}
+
+/// A 2-D convolution layer over `[batch, channels, height, width]` tensors.
+///
+/// The kernel tensor has shape `[out_ch, in_ch, k, k]`. The forward pass
+/// lowers each image to a column matrix (im2col) and multiplies by the
+/// flattened kernel, the standard CPU formulation; the backward pass runs the
+/// transposed lowering (col2im) to recover input gradients — which the
+/// trigger-learning step of the attack needs all the way back to the pixels.
+pub struct Conv2d {
+    geom: ConvGeometry,
+    weight: Parameter,
+    bias: Option<Parameter>,
+    cached: Option<ForwardCache>,
+}
+
+struct ForwardCache {
+    cols: Vec<Tensor>,
+    in_side: usize,
+}
+
+impl std::fmt::Debug for Conv2d {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Conv2d({:?})", self.geom)
+    }
+}
+
+impl Conv2d {
+    /// Creates a Kaiming-initialized convolution.
+    pub fn new(geom: ConvGeometry, bias: bool, rng: &mut Rng) -> Self {
+        let fan_in = geom.in_channels * geom.kernel * geom.kernel;
+        let weight = Parameter::new(
+            format!(
+                "conv{}x{}k{}.weight",
+                geom.in_channels, geom.out_channels, geom.kernel
+            ),
+            kaiming_normal(
+                &[geom.out_channels, geom.in_channels, geom.kernel, geom.kernel],
+                fan_in,
+                rng,
+            ),
+        );
+        let bias = bias.then(|| {
+            Parameter::new(
+                format!(
+                    "conv{}x{}k{}.bias",
+                    geom.in_channels, geom.out_channels, geom.kernel
+                ),
+                Tensor::zeros(&[geom.out_channels]),
+            )
+        });
+        Conv2d {
+            geom,
+            weight,
+            bias,
+            cached: None,
+        }
+    }
+
+    /// The convolution geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geom
+    }
+
+    /// Lowers one image `[C, H, W]` into a `[C*k*k, out*out]` column matrix.
+    fn im2col(&self, image: &[f32], in_side: usize) -> Tensor {
+        let g = self.geom;
+        let out = g.out_side(in_side);
+        let rows = g.in_channels * g.kernel * g.kernel;
+        let mut cols = vec![0.0f32; rows * out * out];
+        for c in 0..g.in_channels {
+            let chan = &image[c * in_side * in_side..(c + 1) * in_side * in_side];
+            for ky in 0..g.kernel {
+                for kx in 0..g.kernel {
+                    let row = (c * g.kernel + ky) * g.kernel + kx;
+                    let row_base = row * out * out;
+                    for oy in 0..out {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy as usize >= in_side {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..out {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix as usize >= in_side {
+                                continue;
+                            }
+                            cols[row_base + oy * out + ox] = chan[iy * in_side + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(cols, &[rows, out * out])
+    }
+
+    /// Scatters a `[C*k*k, out*out]` column-gradient back onto an image.
+    fn col2im(&self, cols: &Tensor, in_side: usize) -> Vec<f32> {
+        let g = self.geom;
+        let out = g.out_side(in_side);
+        let mut image = vec![0.0f32; g.in_channels * in_side * in_side];
+        let data = cols.data();
+        for c in 0..g.in_channels {
+            for ky in 0..g.kernel {
+                for kx in 0..g.kernel {
+                    let row = (c * g.kernel + ky) * g.kernel + kx;
+                    let row_base = row * out * out;
+                    for oy in 0..out {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy as usize >= in_side {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..out {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix as usize >= in_side {
+                                continue;
+                            }
+                            image[(c * in_side + iy) * in_side + ix as usize] +=
+                                data[row_base + oy * out + ox];
+                        }
+                    }
+                }
+            }
+        }
+        image
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "conv input must be [batch, C, H, W]");
+        let (batch, chans, in_side) = (dims[0], dims[1], dims[2]);
+        assert_eq!(chans, self.geom.in_channels, "channel mismatch");
+        assert_eq!(dims[2], dims[3], "only square inputs supported");
+        let g = self.geom;
+        let out = g.out_side(in_side);
+        let w = self.weight.effective();
+        let wmat = w
+            .reshaped(&[g.out_channels, g.in_channels * g.kernel * g.kernel])
+            .expect("kernel reshape is exact");
+
+        let image_len = chans * in_side * in_side;
+        let mut output = vec![0.0f32; batch * g.out_channels * out * out];
+        let mut cols_cache = Vec::with_capacity(if mode.caches() { batch } else { 0 });
+        for b in 0..batch {
+            let image = &input.data()[b * image_len..(b + 1) * image_len];
+            let cols = self.im2col(image, in_side);
+            let y = wmat.matmul(&cols).expect("im2col shapes are consistent");
+            let dst = &mut output[b * g.out_channels * out * out..(b + 1) * g.out_channels * out * out];
+            dst.copy_from_slice(y.data());
+            if let Some(bias) = &self.bias {
+                let bv = bias.effective();
+                for (oc, &bval) in bv.data().iter().enumerate() {
+                    for v in &mut dst[oc * out * out..(oc + 1) * out * out] {
+                        *v += bval;
+                    }
+                }
+            }
+            if mode.caches() {
+                cols_cache.push(cols);
+            }
+        }
+        if mode.caches() {
+            self.cached = Some(ForwardCache {
+                cols: cols_cache,
+                in_side,
+            });
+        }
+        Tensor::from_vec(output, &[batch, g.out_channels, out, out])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cached
+            .take()
+            .expect("backward called without training-mode forward");
+        let g = self.geom;
+        let dims = grad_output.shape().dims();
+        let (batch, out) = (dims[0], dims[2]);
+        let in_side = cache.in_side;
+        let w = self.weight.effective();
+        let wmat = w
+            .reshaped(&[g.out_channels, g.in_channels * g.kernel * g.kernel])
+            .expect("kernel reshape is exact");
+        let wmat_t = wmat.transposed().expect("rank-2");
+
+        let gout_len = g.out_channels * out * out;
+        let image_len = g.in_channels * in_side * in_side;
+        let mut grad_input = vec![0.0f32; batch * image_len];
+        let mut dw_acc = Tensor::zeros(&[g.out_channels, g.in_channels * g.kernel * g.kernel]);
+        for b in 0..batch {
+            let gy = Tensor::from_vec(
+                grad_output.data()[b * gout_len..(b + 1) * gout_len].to_vec(),
+                &[g.out_channels, out * out],
+            );
+            // dW += dY cols^T; cols is [rows, out*out], so matmul_transposed
+            // against it directly yields [out_ch, rows].
+            let dw = gy
+                .matmul_transposed(&cache.cols[b])
+                .expect("conv gradient shapes are consistent");
+            dw_acc.axpy(1.0, &dw);
+            if let Some(bias) = &mut self.bias {
+                for oc in 0..g.out_channels {
+                    let s: f32 = gy.data()[oc * out * out..(oc + 1) * out * out].iter().sum();
+                    bias.grad.data_mut()[oc] += s;
+                }
+            }
+            // dcols = W^T dY, then scatter back to the image.
+            let dcols = wmat_t.matmul(&gy).expect("conv gradient shapes");
+            let dimage = self.col2im(&dcols, in_side);
+            grad_input[b * image_len..(b + 1) * image_len].copy_from_slice(&dimage);
+        }
+        let dw_shaped = dw_acc
+            .reshaped(&[g.out_channels, g.in_channels, g.kernel, g.kernel])
+            .expect("kernel reshape is exact");
+        self.weight.grad.axpy(1.0, &dw_shaped);
+        Tensor::from_vec(grad_input, &[batch, g.in_channels, in_side, in_side])
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "Conv2d({}->{}, k{}, s{}, p{})",
+            self.geom.in_channels,
+            self.geom.out_channels,
+            self.geom.kernel,
+            self.geom.stride,
+            self.geom.padding
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+
+    fn tiny_conv(stride: usize, padding: usize) -> Conv2d {
+        let mut rng = Rng::seed_from(9);
+        Conv2d::new(
+            ConvGeometry {
+                in_channels: 2,
+                out_channels: 3,
+                kernel: 3,
+                stride,
+                padding,
+            },
+            true,
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn output_shape_follows_geometry() {
+        let mut conv = tiny_conv(1, 1);
+        let y = conv.forward_mode(&Tensor::zeros(&[2, 2, 8, 8]), Mode::Eval);
+        assert_eq!(y.shape().dims(), &[2, 3, 8, 8]);
+        let mut strided = tiny_conv(2, 1);
+        let y = strided.forward_mode(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval);
+        assert_eq!(y.shape().dims(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn identity_kernel_copies_input() {
+        let mut rng = Rng::seed_from(0);
+        let mut conv = Conv2d::new(
+            ConvGeometry {
+                in_channels: 1,
+                out_channels: 1,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+            },
+            false,
+            &mut rng,
+        );
+        conv.weight.value.data_mut()[0] = 1.0;
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let y = conv.forward_mode(&x, Mode::Eval);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn known_3x3_convolution_value() {
+        let mut rng = Rng::seed_from(0);
+        let mut conv = Conv2d::new(
+            ConvGeometry {
+                in_channels: 1,
+                out_channels: 1,
+                kernel: 3,
+                stride: 1,
+                padding: 0,
+            },
+            false,
+            &mut rng,
+        );
+        // All-ones kernel: output = sum of the 3x3 window.
+        for v in conv.weight.value.data_mut() {
+            *v = 1.0;
+        }
+        let x = Tensor::from_vec((1..=9).map(|v| v as f32).collect(), &[1, 1, 3, 3]);
+        let y = conv.forward_mode(&x, Mode::Eval);
+        assert_eq!(y.data(), &[45.0]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut conv = tiny_conv(1, 1);
+        let mut rng = Rng::seed_from(21);
+        let mut x = Tensor::zeros(&[1, 2, 5, 5]);
+        for v in x.data_mut() {
+            *v = rng.uniform(-1.0, 1.0);
+        }
+        let y = conv.forward(&x);
+        let gin = conv.backward(&y.clone());
+        let loss = |c: &mut Conv2d, x: &Tensor| -> f32 {
+            c.forward_mode(x, Mode::Eval)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum()
+        };
+        let eps = 1e-2;
+        // Spot-check a spread of weight coordinates.
+        for idx in [0usize, 7, 19, 33, 53] {
+            let analytic = conv.weight.grad.data()[idx];
+            let orig = conv.weight.value.data()[idx];
+            conv.weight.value.data_mut()[idx] = orig + eps;
+            let lp = loss(&mut conv, &x);
+            conv.weight.value.data_mut()[idx] = orig - eps;
+            let lm = loss(&mut conv, &x);
+            conv.weight.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "weight[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        // Spot-check input coordinates.
+        for idx in [0usize, 12, 24, 40] {
+            let analytic = gin.data()[idx];
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let numeric = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "input[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_gradient_sums_over_spatial_positions() {
+        let mut conv = tiny_conv(1, 1);
+        let x = Tensor::full(&[1, 2, 4, 4], 0.1);
+        let y = conv.forward(&x);
+        let ones = Tensor::full(y.shape().dims(), 1.0);
+        conv.backward(&ones);
+        let bias = conv.params()[1];
+        for &g in bias.grad.data() {
+            assert_eq!(g, 16.0); // 4x4 spatial positions, dY = 1 everywhere
+        }
+    }
+
+    #[test]
+    fn padding_zeroes_do_not_leak_gradient() {
+        let mut conv = tiny_conv(1, 1);
+        let x = Tensor::full(&[1, 2, 4, 4], 1.0);
+        let y = conv.forward(&x);
+        let gin = conv.backward(&y.clone());
+        assert_eq!(gin.shape().dims(), x.shape().dims());
+    }
+}

@@ -1,0 +1,92 @@
+//! Error type shared by the neural-network substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, NnError>;
+
+/// Errors raised by tensor and network operations.
+///
+/// Shape errors are recoverable programming mistakes surfaced through
+/// `Result` on fallible entry points; hot-loop internals use debug
+/// assertions instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// What the operation expected.
+        expected: Vec<usize>,
+        /// What it received.
+        actual: Vec<usize>,
+        /// The operation that failed.
+        op: &'static str,
+    },
+    /// An index into a tensor, page, or parameter table was out of range.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        len: usize,
+        /// What was being indexed.
+        what: &'static str,
+    },
+    /// The weight file being decoded is malformed.
+    MalformedWeightFile(String),
+    /// A quantization scheme was asked to operate on data it cannot express.
+    Quantization(String),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch {
+                expected,
+                actual,
+                op,
+            } => write!(
+                f,
+                "shape mismatch in {op}: expected {expected:?}, got {actual:?}"
+            ),
+            NnError::IndexOutOfRange { index, len, what } => {
+                write!(f, "index {index} out of range for {what} of length {len}")
+            }
+            NnError::MalformedWeightFile(msg) => write!(f, "malformed weight file: {msg}"),
+            NnError::Quantization(msg) => write!(f, "quantization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let err = NnError::ShapeMismatch {
+            expected: vec![2, 3],
+            actual: vec![3, 2],
+            op: "matmul",
+        };
+        let msg = err.to_string();
+        assert!(msg.starts_with("shape mismatch"));
+        assert!(!msg.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+
+    #[test]
+    fn index_error_mentions_subject() {
+        let err = NnError::IndexOutOfRange {
+            index: 9,
+            len: 4,
+            what: "pages",
+        };
+        assert!(err.to_string().contains("pages"));
+    }
+}

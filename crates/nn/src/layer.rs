@@ -1,0 +1,225 @@
+//! The [`Layer`] trait: explicit forward/backward building blocks.
+//!
+//! Rather than a general autograd tape, each layer caches whatever it needs
+//! from the forward pass and implements its own backward pass. This keeps the
+//! substrate small, auditable, and fast for the CNN shapes the attack uses,
+//! while still providing the two gradient flavours the paper's Algorithm 1
+//! consumes: gradients w.r.t. *weights* (for locating vulnerable bits) and
+//! gradients w.r.t. the *input* (for FGSM trigger learning).
+
+use crate::param::Parameter;
+use crate::tensor::Tensor;
+
+/// Forward-pass mode.
+///
+/// * `Train` — batch-norm uses batch statistics and updates its running
+///   averages; activations are cached for backward. Used when training
+///   victims from scratch.
+/// * `Frozen` — *deployed-model gradients*: normalization layers use their
+///   frozen running statistics (exactly the arithmetic inference will
+///   run), but activations are still cached so `backward` works. This is
+///   the mode backdoor optimization uses: the attacker differentiates the
+///   network the victim actually serves.
+/// * `Eval` — inference only; running statistics, no caches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Training mode (batch statistics, caching).
+    Train,
+    /// Deployed-model gradient mode (running statistics, caching).
+    Frozen,
+    /// Inference mode (running statistics, no caching).
+    Eval,
+}
+
+impl Mode {
+    /// Whether this mode caches activations for a later backward pass.
+    pub fn caches(&self) -> bool {
+        !matches!(self, Mode::Eval)
+    }
+
+    /// Whether normalization layers use frozen running statistics.
+    pub fn uses_running_stats(&self) -> bool {
+        !matches!(self, Mode::Train)
+    }
+}
+
+/// One differentiable building block.
+///
+/// Contract: `backward` may only be called after `forward` with
+/// `Mode::Train`, and consumes the caches that forward populated. Gradients
+/// accumulate into each parameter's `grad` tensor; callers reset them with
+/// [`Layer::zero_grad`].
+pub trait Layer: Send {
+    /// Computes the layer output, caching activations when training.
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.forward_mode(input, Mode::Train)
+    }
+
+    /// Computes the layer output in the given mode.
+    fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backpropagates `grad_output`, accumulating parameter gradients and
+    /// returning the gradient w.r.t. the layer input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if called without a preceding training-mode
+    /// forward pass.
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Immutable views of the layer's parameters, in deterministic order.
+    fn params(&self) -> Vec<&Parameter>;
+
+    /// Mutable views of the layer's parameters, in the same order.
+    fn params_mut(&mut self) -> Vec<&mut Parameter>;
+
+    /// Clears every parameter gradient.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Human-readable layer description for debugging.
+    fn describe(&self) -> String;
+}
+
+/// A stack of layers applied in sequence.
+///
+/// # Example
+///
+/// ```
+/// use rhb_nn::layer::{Layer, Sequential};
+/// use rhb_nn::linear::Linear;
+/// use rhb_nn::activation::Relu;
+/// use rhb_nn::init::Rng;
+///
+/// let mut rng = Rng::seed_from(0);
+/// let mut net = Sequential::new();
+/// net.push(Box::new(Linear::new(8, 4, true, &mut rng)));
+/// net.push(Box::new(Relu::new()));
+/// let y = net.forward(&rhb_nn::Tensor::zeros(&[2, 8]));
+/// assert_eq!(y.shape().dims(), &[2, 4]);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack is empty.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential({} layers)", self.layers.len())
+    }
+}
+
+impl Layer for Sequential {
+    fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward_mode(&x, mode);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn describe(&self) -> String {
+        let inner: Vec<String> = self.layers.iter().map(|l| l.describe()).collect();
+        format!("Sequential[{}]", inner.join(" -> "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::init::Rng;
+    use crate::linear::Linear;
+
+    #[test]
+    fn sequential_chains_shapes() {
+        let mut rng = Rng::seed_from(0);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(6, 5, true, &mut rng)));
+        net.push(Box::new(Relu::new()));
+        net.push(Box::new(Linear::new(5, 3, true, &mut rng)));
+        let y = net.forward(&Tensor::zeros(&[4, 6]));
+        assert_eq!(y.shape().dims(), &[4, 3]);
+    }
+
+    #[test]
+    fn sequential_backward_returns_input_grad_shape() {
+        let mut rng = Rng::seed_from(1);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(6, 3, true, &mut rng)));
+        let x = Tensor::full(&[2, 6], 0.5);
+        let y = net.forward(&x);
+        let gin = net.backward(&Tensor::full(y.shape().dims(), 1.0));
+        assert_eq!(gin.shape().dims(), &[2, 6]);
+    }
+
+    #[test]
+    fn params_are_deterministically_ordered() {
+        let mut rng = Rng::seed_from(2);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(4, 4, true, &mut rng)));
+        net.push(Box::new(Linear::new(4, 2, true, &mut rng)));
+        let names: Vec<String> = net.params().iter().map(|p| p.name.clone()).collect();
+        assert_eq!(names.len(), 4);
+        assert!(names[0].contains("weight") && names[1].contains("bias"));
+    }
+
+    #[test]
+    fn zero_grad_clears_all_layers() {
+        let mut rng = Rng::seed_from(3);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(3, 3, true, &mut rng)));
+        let x = Tensor::full(&[1, 3], 1.0);
+        let y = net.forward(&x);
+        net.backward(&Tensor::full(y.shape().dims(), 1.0));
+        assert!(net.params()[0].grad.max_abs() > 0.0);
+        net.zero_grad();
+        assert_eq!(net.params()[0].grad.max_abs(), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! From-scratch neural-network substrate for the `rowhammer-backdoor`
+//! reproduction.
+//!
+//! The paper attacks an 8-bit-quantized convolutional classifier by editing
+//! individual bits of its weight file while it sits in DRAM. Everything that
+//! the attack needs from a deep-learning framework is implemented here, in
+//! pure Rust:
+//!
+//! * dense [`Tensor`]s with shape/stride bookkeeping ([`tensor`], [`shape`]),
+//! * layers with explicit forward/backward passes ([`layer`], [`conv`],
+//!   [`linear`], [`norm`], [`pool`], [`activation`]),
+//! * a [`Network`](network::Network) trait tying layers into trainable
+//!   models, plus an SGD optimizer ([`optim`]),
+//! * softmax cross-entropy loss with input gradients ([`loss`]) — the input
+//!   gradient is what the paper's FGSM trigger-learning step consumes,
+//! * symmetric 8-bit quantization in two's-complement form ([`quant`]),
+//!   matching the TensorRT-style scheme of the paper's §IV-C,
+//! * a page-oriented weight-file codec ([`weightfile`]) that lays the
+//!   quantized parameters out exactly as they would be mmap'd into 4 KB
+//!   pages, and supports bit-level edits at (page, bit-offset) granularity.
+//!
+//! # Example
+//!
+//! ```
+//! use rhb_nn::tensor::Tensor;
+//! use rhb_nn::linear::Linear;
+//! use rhb_nn::layer::Layer;
+//!
+//! let mut layer = Linear::new(4, 2, true, &mut rhb_nn::init::Rng::seed_from(7));
+//! let x = Tensor::zeros(&[1, 4]);
+//! let y = layer.forward(&x);
+//! assert_eq!(y.shape().dims(), &[1, 2]);
+//! ```
+
+pub mod activation;
+pub mod conv;
+pub mod error;
+pub mod init;
+pub mod layer;
+pub mod linear;
+pub mod loss;
+pub mod network;
+pub mod norm;
+pub mod optim;
+pub mod param;
+pub mod pool;
+pub mod quant;
+pub mod shape;
+pub mod tensor;
+pub mod weightfile;
+
+pub use error::{NnError, Result};
+pub use network::Network;
+pub use param::Parameter;
+pub use quant::{QuantScheme, QuantizedTensor};
+pub use shape::Shape;
+pub use tensor::Tensor;

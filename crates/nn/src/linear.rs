@@ -1,0 +1,231 @@
+//! Fully-connected layer.
+
+use crate::init::{kaiming_normal, Rng};
+use crate::layer::{Layer, Mode};
+use crate::param::Parameter;
+use crate::tensor::Tensor;
+
+/// A fully-connected layer: `y = x W^T + b`.
+///
+/// Weights have shape `[out_features, in_features]`; the input is
+/// `[batch, in_features]`.
+#[derive(Debug)]
+pub struct Linear {
+    weight: Parameter,
+    bias: Option<Parameter>,
+    in_features: usize,
+    out_features: usize,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a Kaiming-initialized layer.
+    pub fn new(in_features: usize, out_features: usize, bias: bool, rng: &mut Rng) -> Self {
+        let weight = Parameter::new(
+            format!("linear{in_features}x{out_features}.weight"),
+            kaiming_normal(&[out_features, in_features], in_features, rng),
+        );
+        let bias = bias.then(|| {
+            Parameter::new(
+                format!("linear{in_features}x{out_features}.bias"),
+                Tensor::zeros(&[out_features]),
+            )
+        });
+        Linear {
+            weight,
+            bias,
+            in_features,
+            out_features,
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+}
+
+impl Layer for Linear {
+    fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(
+            input.shape().dim(1),
+            self.in_features,
+            "linear layer fed {} features, expects {}",
+            input.shape().dim(1),
+            self.in_features
+        );
+        let w = self.weight.effective();
+        let mut out = input
+            .matmul_transposed(&w)
+            .expect("linear dimensions verified above");
+        if let Some(bias) = &self.bias {
+            let b = bias.effective();
+            let n = self.out_features;
+            for row in out.data_mut().chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(b.data()) {
+                    *o += bv;
+                }
+            }
+        }
+        if mode.caches() {
+            self.cached_input = Some(input.clone());
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .take()
+            .expect("backward called without training-mode forward");
+        // dW = dY^T X  (shape [out, in])
+        let dw = grad_output
+            .transposed()
+            .and_then(|g| g.matmul(&input))
+            .expect("gradient shapes follow forward shapes");
+        self.weight.grad.axpy(1.0, &dw);
+        if let Some(bias) = &mut self.bias {
+            let n = self.out_features;
+            for row in grad_output.data().chunks(n) {
+                for (g, &r) in bias.grad.data_mut().iter_mut().zip(row) {
+                    *g += r;
+                }
+            }
+        }
+        // dX = dY W  (shape [batch, in])
+        let w = self.weight.effective();
+        grad_output
+            .matmul(&w)
+            .expect("gradient shapes follow forward shapes")
+    }
+
+    fn params(&self) -> Vec<&Parameter> {
+        let mut v = vec![&self.weight];
+        if let Some(b) = &self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Parameter> {
+        let mut v = vec![&mut self.weight];
+        if let Some(b) = &mut self.bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn describe(&self) -> String {
+        format!("Linear({}->{})", self.in_features, self.out_features)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+
+    /// Central-difference check of weight and input gradients.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::seed_from(11);
+        let mut layer = Linear::new(3, 2, true, &mut rng);
+        let x = Tensor::from_vec(vec![0.2, -0.4, 0.9, 0.1, 0.3, -0.7], &[2, 3]);
+        // Loss = sum(y^2)/2 so dL/dy = y.
+        let y = layer.forward(&x);
+        let gin = layer.backward(&y.clone());
+
+        let eps = 1e-3;
+        // Weight gradient check.
+        for idx in 0..6 {
+            let analytic = layer.weight.grad.data()[idx];
+            let orig = layer.weight.value.data()[idx];
+            layer.weight.value.data_mut()[idx] = orig + eps;
+            let lp: f32 = layer
+                .forward_mode(&x, Mode::Eval)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            layer.weight.value.data_mut()[idx] = orig - eps;
+            let lm: f32 = layer
+                .forward_mode(&x, Mode::Eval)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            layer.weight.value.data_mut()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "weight[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+        // Input gradient check.
+        for idx in 0..6 {
+            let analytic = gin.data()[idx];
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = layer
+                .forward_mode(&xp, Mode::Eval)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let lm: f32 = layer
+                .forward_mode(&xm, Mode::Eval)
+                .data()
+                .iter()
+                .map(|v| v * v / 2.0)
+                .sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-2,
+                "input[{idx}]: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn bias_shifts_output() {
+        let mut rng = Rng::seed_from(4);
+        let mut layer = Linear::new(2, 2, true, &mut rng);
+        let x = Tensor::zeros(&[1, 2]);
+        let y0 = layer.forward_mode(&x, Mode::Eval);
+        layer.bias.as_mut().unwrap().value.data_mut()[0] = 5.0;
+        let y1 = layer.forward_mode(&x, Mode::Eval);
+        assert_eq!(y1.data()[0] - y0.data()[0], 5.0);
+        assert_eq!(y1.data()[1], y0.data()[1]);
+    }
+
+    #[test]
+    fn no_bias_layer_has_single_param() {
+        let mut rng = Rng::seed_from(5);
+        let layer = Linear::new(4, 4, false, &mut rng);
+        assert_eq!(layer.params().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called without")]
+    fn backward_without_forward_panics() {
+        let mut rng = Rng::seed_from(6);
+        let mut layer = Linear::new(2, 2, false, &mut rng);
+        layer.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut rng = Rng::seed_from(7);
+        let mut layer = Linear::new(2, 2, false, &mut rng);
+        layer.forward_mode(&Tensor::zeros(&[1, 2]), Mode::Eval);
+        assert!(layer.cached_input.is_none());
+    }
+}

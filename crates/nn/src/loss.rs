@@ -1,0 +1,160 @@
+//! Softmax cross-entropy loss.
+
+use crate::tensor::Tensor;
+
+/// Result of a softmax cross-entropy evaluation.
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient of the mean loss w.r.t. the logits, shape `[batch, classes]`.
+    pub grad_logits: Tensor,
+    /// Softmax probabilities, shape `[batch, classes]`.
+    pub probs: Tensor,
+}
+
+/// Numerically stable softmax over the last dimension of a `[batch, classes]`
+/// tensor.
+pub fn softmax(logits: &Tensor) -> Tensor {
+    let dims = logits.shape().dims();
+    assert_eq!(dims.len(), 2, "softmax expects [batch, classes]");
+    let classes = dims[1];
+    let mut out = vec![0.0f32; logits.numel()];
+    for (row_in, row_out) in logits.data().chunks(classes).zip(out.chunks_mut(classes)) {
+        let max = row_in.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0;
+        for (o, &v) in row_out.iter_mut().zip(row_in) {
+            *o = (v - max).exp();
+            sum += *o;
+        }
+        for o in row_out.iter_mut() {
+            *o /= sum;
+        }
+    }
+    Tensor::from_vec(out, dims)
+}
+
+/// Computes mean softmax cross-entropy of `logits` against integer `targets`.
+///
+/// Returns the loss value, the gradient w.r.t. the logits (already averaged
+/// over the batch, ready to feed into [`Layer::backward`]), and the softmax
+/// probabilities.
+///
+/// [`Layer::backward`]: crate::layer::Layer::backward
+///
+/// # Panics
+///
+/// Panics if `targets.len()` differs from the batch size or any target is
+/// out of class range.
+pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
+    let dims = logits.shape().dims();
+    assert_eq!(dims.len(), 2, "cross_entropy expects [batch, classes]");
+    let (batch, classes) = (dims[0], dims[1]);
+    assert_eq!(targets.len(), batch, "one target per batch row required");
+    let probs = softmax(logits);
+    let mut loss = 0.0f32;
+    let mut grad = probs.data().to_vec();
+    for (b, &t) in targets.iter().enumerate() {
+        assert!(t < classes, "target {t} out of range for {classes} classes");
+        let p = probs.data()[b * classes + t].max(1e-12);
+        loss -= p.ln();
+        grad[b * classes + t] -= 1.0;
+    }
+    let scale = 1.0 / batch as f32;
+    for g in &mut grad {
+        *g *= scale;
+    }
+    LossOutput {
+        loss: loss * scale,
+        grad_logits: Tensor::from_vec(grad, dims),
+        probs,
+    }
+}
+
+/// Fraction of rows whose argmax equals the target.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
+    let dims = logits.shape().dims();
+    let (batch, classes) = (dims[0], dims[1]);
+    assert_eq!(targets.len(), batch);
+    let mut correct = 0usize;
+    for (b, &t) in targets.iter().enumerate() {
+        let row = &logits.data()[b * classes..(b + 1) * classes];
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        if best == t {
+            correct += 1;
+        }
+    }
+    correct as f64 / batch as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let p = softmax(&logits);
+        for row in p.data().chunks(3) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[1, 3]);
+        let b = Tensor::from_vec(vec![101.0, 102.0, 103.0], &[1, 3]);
+        let pa = softmax(&a);
+        let pb = softmax(&b);
+        for (x, y) in pa.data().iter().zip(pb.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn perfect_prediction_has_near_zero_loss() {
+        let logits = Tensor::from_vec(vec![20.0, 0.0, 0.0], &[1, 3]);
+        let out = cross_entropy(&logits, &[0]);
+        assert!(out.loss < 1e-6);
+    }
+
+    #[test]
+    fn uniform_prediction_loss_is_log_classes() {
+        let logits = Tensor::zeros(&[1, 4]);
+        let out = cross_entropy(&logits, &[2]);
+        assert!((out.loss - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.3, -0.8, 0.5, 0.1], &[1, 4]);
+        let out = cross_entropy(&logits, &[1]);
+        let eps = 1e-3;
+        for i in 0..4 {
+            let mut lp = logits.clone();
+            lp.data_mut()[i] += eps;
+            let mut lm = logits.clone();
+            lm.data_mut()[i] -= eps;
+            let numeric =
+                (cross_entropy(&lp, &[1]).loss - cross_entropy(&lm, &[1]).loss) / (2.0 * eps);
+            let analytic = out.grad_logits.data()[i];
+            assert!(
+                (analytic - numeric).abs() < 1e-3,
+                "logit {i}: analytic {analytic} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0], &[3, 2]);
+        assert!((accuracy(&logits, &[0, 1, 0]) - 1.0).abs() < 1e-9);
+        assert!((accuracy(&logits, &[1, 1, 0]) - 2.0 / 3.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,181 @@
+//! The [`Network`] trait: the interface the attack framework sees.
+
+use crate::error::Result;
+use crate::layer::Mode;
+use crate::quant::QuantizedTensor;
+use crate::tensor::Tensor;
+
+/// A trainable classifier exposed to the attack and defense crates.
+///
+/// The attack only needs four capabilities from a victim model:
+///
+/// 1. forward inference (to measure accuracy / attack success),
+/// 2. backpropagation producing both parameter gradients and the gradient
+///    w.r.t. the *input image* (for FGSM trigger learning),
+/// 3. an ordered view of its parameters (the order defines the weight-file
+///    layout and therefore the page grouping of Algorithm 1),
+/// 4. deployment: freezing an 8-bit quantization grid.
+pub trait Network: Send {
+    /// Runs the network on a `[batch, ...]` input, returning logits.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Backpropagates the logit gradient, accumulating parameter gradients
+    /// and returning the gradient w.r.t. the input.
+    fn backward(&mut self, grad_logits: &Tensor) -> Tensor;
+
+    /// Immutable parameter views in deterministic (weight-file) order.
+    fn params(&self) -> Vec<&crate::param::Parameter>;
+
+    /// Mutable parameter views in the same order.
+    fn params_mut(&mut self) -> Vec<&mut crate::param::Parameter>;
+
+    /// Clears every parameter gradient.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total number of scalar weights.
+    fn num_params(&self) -> usize {
+        self.params().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Freezes 8-bit quantization on every parameter ("deployment").
+    ///
+    /// # Errors
+    ///
+    /// Fails if any parameter cannot be quantized (e.g. all zeros).
+    fn deploy(&mut self) -> Result<()> {
+        for p in self.params_mut() {
+            p.deploy()?;
+        }
+        Ok(())
+    }
+
+    /// Whether every parameter carries a frozen quantization scheme.
+    fn is_deployed(&self) -> bool {
+        self.params().iter().all(|p| p.is_deployed())
+    }
+
+    /// Quantized images of all parameters, in weight-file order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not deployed.
+    fn quantized_params(&self) -> Vec<QuantizedTensor> {
+        self.params().iter().map(|p| p.quantized()).collect()
+    }
+
+    /// Overwrites parameters from quantized images (e.g. after bit flips).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image count or shapes disagree.
+    fn load_quantized(&mut self, images: &[QuantizedTensor]) {
+        let mut params = self.params_mut();
+        assert_eq!(params.len(), images.len(), "parameter count mismatch");
+        for (p, q) in params.iter_mut().zip(images) {
+            p.load_quantized(q);
+        }
+    }
+
+    /// A human-readable architecture summary.
+    fn describe(&self) -> String;
+}
+
+/// Blanket helper: snapshot all float parameter values.
+pub fn snapshot_params(net: &dyn Network) -> Vec<Tensor> {
+    net.params().iter().map(|p| p.value.clone()).collect()
+}
+
+/// Blanket helper: restore parameter values from a snapshot.
+///
+/// # Panics
+///
+/// Panics if the snapshot does not match the parameter list.
+pub fn restore_params(net: &mut dyn Network, snapshot: &[Tensor]) {
+    let mut params = net.params_mut();
+    assert_eq!(params.len(), snapshot.len(), "snapshot length mismatch");
+    for (p, s) in params.iter_mut().zip(snapshot) {
+        assert_eq!(p.value.shape(), s.shape(), "snapshot shape mismatch");
+        p.value = s.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::Rng;
+    use crate::layer::{Layer, Sequential};
+    use crate::linear::Linear;
+
+    /// A minimal Network impl used by substrate tests.
+    struct Mlp(Sequential);
+
+    impl Mlp {
+        fn new(seed: u64) -> Self {
+            let mut rng = Rng::seed_from(seed);
+            let mut seq = Sequential::new();
+            seq.push(Box::new(Linear::new(4, 8, true, &mut rng)));
+            seq.push(Box::new(crate::activation::Relu::new()));
+            seq.push(Box::new(Linear::new(8, 3, true, &mut rng)));
+            Mlp(seq)
+        }
+    }
+
+    impl Network for Mlp {
+        fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+            self.0.forward_mode(input, mode)
+        }
+        fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+            self.0.backward(grad_logits)
+        }
+        fn params(&self) -> Vec<&crate::param::Parameter> {
+            self.0.params()
+        }
+        fn params_mut(&mut self) -> Vec<&mut crate::param::Parameter> {
+            self.0.params_mut()
+        }
+        fn describe(&self) -> String {
+            self.0.describe()
+        }
+    }
+
+    #[test]
+    fn deploy_freezes_every_parameter() {
+        let mut net = Mlp::new(3);
+        assert!(!net.is_deployed());
+        net.deploy().unwrap();
+        assert!(net.is_deployed());
+    }
+
+    #[test]
+    fn quantized_round_trip_preserves_deployed_model_output() {
+        let mut net = Mlp::new(4);
+        net.deploy().unwrap();
+        let x = Tensor::full(&[1, 4], 0.5);
+        let y_before = net.forward(&x, Mode::Eval);
+        let images = net.quantized_params();
+        net.load_quantized(&images);
+        let y_after = net.forward(&x, Mode::Eval);
+        for (a, b) in y_before.data().iter().zip(y_after.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips() {
+        let mut net = Mlp::new(5);
+        let snap = snapshot_params(&net);
+        net.params_mut()[0].value.data_mut()[0] += 1.0;
+        restore_params(&mut net, &snap);
+        assert_eq!(net.params()[0].value, snap[0]);
+    }
+
+    #[test]
+    fn num_params_counts_all_tensors() {
+        let net = Mlp::new(6);
+        assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+}

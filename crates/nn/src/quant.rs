@@ -1,0 +1,366 @@
+//! Symmetric 8-bit quantization in two's-complement form.
+//!
+//! The paper's victim models store weights as `N_q`-bit signed integers, as
+//! in TensorRT (§IV-C): a float weight matrix `W_fp` is re-encoded as
+//! `W_q = round(W_fp / Δw)` with `Δw = max(|W_fp|) / (2^{N_q−1} − 1)`.
+//! Weights live in memory in two's-complement bytes — exactly the bytes the
+//! Rowhammer attack flips. This module implements the codec, bit-level
+//! editing of quantized weights, and the *bit reduction* operation
+//! `Floor(θ ⊕ θ*) ⊕ θ` from Algorithm 1, Step 4.
+
+use crate::error::{NnError, Result};
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Number of quantization bits used throughout the reproduction (the paper
+/// evaluates 8-bit models).
+pub const QUANT_BITS: u32 = 8;
+
+/// Per-tensor symmetric quantization parameters.
+///
+/// The scale is frozen when the victim model is "deployed": the attacker's
+/// weight perturbations are expressed in the same fixed grid, mirroring the
+/// paper's setting where the weight file bytes change but the dequantization
+/// scale shipped with the model does not.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantScheme {
+    /// Dequantization step Δw; `w_fp ≈ w_q * scale`.
+    pub scale: f32,
+}
+
+impl QuantScheme {
+    /// Derives the scheme from the maximum absolute weight of a tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::Quantization`] if the tensor is all zeros or
+    /// contains non-finite values, since no meaningful scale exists.
+    pub fn fit(weights: &Tensor) -> Result<Self> {
+        let max = weights.max_abs();
+        if !max.is_finite() {
+            return Err(NnError::Quantization(
+                "non-finite weight encountered while fitting scale".into(),
+            ));
+        }
+        if max == 0.0 {
+            return Err(NnError::Quantization(
+                "cannot fit quantization scale to an all-zero tensor".into(),
+            ));
+        }
+        Ok(QuantScheme {
+            scale: max / (i8::MAX as f32),
+        })
+    }
+
+    /// Quantizes a float to the nearest representable i8 step.
+    pub fn quantize(&self, v: f32) -> i8 {
+        let q = (v / self.scale).round();
+        q.clamp(i8::MIN as f32, i8::MAX as f32) as i8
+    }
+
+    /// Dequantizes an i8 step back to float.
+    pub fn dequantize(&self, q: i8) -> f32 {
+        q as f32 * self.scale
+    }
+
+    /// Fake-quantizes a float: quantize then dequantize.
+    ///
+    /// Used in the forward pass of deployed models so that every effective
+    /// weight is exactly representable in the weight file.
+    pub fn fake(&self, v: f32) -> f32 {
+        self.dequantize(self.quantize(v))
+    }
+}
+
+/// A tensor stored as quantized `i8` steps plus its [`QuantScheme`].
+///
+/// This is the in-memory image of one parameter tensor inside the victim's
+/// weight file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedTensor {
+    dims: Vec<usize>,
+    values: Vec<i8>,
+    scheme: QuantScheme,
+}
+
+impl QuantizedTensor {
+    /// Quantizes a float tensor with a freshly fitted scheme.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QuantScheme::fit`] errors.
+    pub fn from_tensor(t: &Tensor) -> Result<Self> {
+        let scheme = QuantScheme::fit(t)?;
+        Ok(Self::with_scheme(t, scheme))
+    }
+
+    /// Quantizes a float tensor under an existing scheme.
+    pub fn with_scheme(t: &Tensor, scheme: QuantScheme) -> Self {
+        QuantizedTensor {
+            dims: t.shape().dims().to_vec(),
+            values: t.data().iter().map(|&v| scheme.quantize(v)).collect(),
+            scheme,
+        }
+    }
+
+    /// The quantization scheme.
+    pub fn scheme(&self) -> QuantScheme {
+        self.scheme
+    }
+
+    /// The quantized steps.
+    pub fn values(&self) -> &[i8] {
+        &self.values
+    }
+
+    /// Mutable access to the quantized steps (the attack edits these).
+    pub fn values_mut(&mut self) -> &mut [i8] {
+        &mut self.values
+    }
+
+    /// Tensor dimensions.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of weights.
+    pub fn numel(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Dequantizes back to a float tensor.
+    pub fn to_tensor(&self) -> Tensor {
+        Tensor::from_vec(
+            self.values.iter().map(|&q| self.scheme.dequantize(q)).collect(),
+            &self.dims,
+        )
+    }
+
+    /// Raw two's-complement bytes as they would appear in the weight file.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.values.iter().map(|&v| v as u8).collect()
+    }
+
+    /// Flips bit `bit` (0 = LSB … 7 = MSB) of weight `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IndexOutOfRange`] for a bad weight index and
+    /// [`NnError::Quantization`] for a bit outside 0..8.
+    pub fn flip_bit(&mut self, index: usize, bit: u8) -> Result<()> {
+        if index >= self.values.len() {
+            return Err(NnError::IndexOutOfRange {
+                index,
+                len: self.values.len(),
+                what: "quantized weights",
+            });
+        }
+        if u32::from(bit) >= QUANT_BITS {
+            return Err(NnError::Quantization(format!(
+                "bit {bit} outside the {QUANT_BITS}-bit weight"
+            )));
+        }
+        self.values[index] = (self.values[index] as u8 ^ (1u8 << bit)) as i8;
+        Ok(())
+    }
+
+    /// Hamming distance to another quantized tensor of the same length.
+    ///
+    /// This is the per-tensor contribution to the paper's `N_flip` metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn hamming_distance(&self, other: &QuantizedTensor) -> u64 {
+        assert_eq!(self.values.len(), other.values.len(), "length mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(&a, &b)| ((a as u8) ^ (b as u8)).count_ones() as u64)
+            .sum()
+    }
+}
+
+/// Keeps only the most significant set bit of `x` (the paper's `Floor`).
+///
+/// `Floor(0b0111) == 0b0100`; `Floor(0) == 0`.
+pub fn floor_msb(x: u8) -> u8 {
+    if x == 0 {
+        0
+    } else {
+        1u8 << (7 - x.leading_zeros() as u8)
+    }
+}
+
+/// Bit reduction from Algorithm 1, Step 4: reduce a modified weight `theta_star`
+/// so it differs from the original `theta` in exactly one bit — the most
+/// significant differing bit — preserving the change's direction and as much
+/// of its magnitude as possible.
+///
+/// Returns `theta` unchanged when the two are equal.
+///
+/// # Example
+///
+/// ```
+/// use rhb_nn::quant::bit_reduce;
+/// // θ = 1101₂, θ* = 1010₂ → xor = 0111₂ → Floor = 0100₂ → θ ⊕ 0100₂ = 1001₂
+/// assert_eq!(bit_reduce(0b1101u8 as i8, 0b1010u8 as i8), 0b1001u8 as i8);
+/// ```
+pub fn bit_reduce(theta: i8, theta_star: i8) -> i8 {
+    let diff = (theta as u8) ^ (theta_star as u8);
+    ((theta as u8) ^ floor_msb(diff)) as i8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fit_rejects_zero_tensor() {
+        let t = Tensor::zeros(&[4]);
+        assert!(QuantScheme::fit(&t).is_err());
+    }
+
+    #[test]
+    fn max_weight_maps_to_127() {
+        let t = Tensor::from_vec(vec![0.5, -0.25, 1.0], &[3]);
+        let q = QuantizedTensor::from_tensor(&t).unwrap();
+        assert_eq!(q.values(), &[64, -32, 127]);
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded_by_half_step() {
+        let t = Tensor::from_vec(vec![0.31, -0.77, 0.05, 0.999], &[4]);
+        let q = QuantizedTensor::from_tensor(&t).unwrap();
+        let back = q.to_tensor();
+        let half_step = q.scheme().scale / 2.0;
+        for (a, b) in t.data().iter().zip(back.data()) {
+            assert!((a - b).abs() <= half_step + 1e-6);
+        }
+    }
+
+    #[test]
+    fn flip_bit_msb_changes_sign_region() {
+        let t = Tensor::from_vec(vec![1.0, 0.5], &[2]);
+        let mut q = QuantizedTensor::from_tensor(&t).unwrap();
+        // 127 = 0b0111_1111; flipping the MSB gives -1 in two's complement.
+        q.flip_bit(0, 7).unwrap();
+        assert_eq!(q.values()[0], -1);
+    }
+
+    #[test]
+    fn flip_bit_rejects_bad_indices() {
+        let t = Tensor::from_vec(vec![1.0], &[1]);
+        let mut q = QuantizedTensor::from_tensor(&t).unwrap();
+        assert!(q.flip_bit(5, 0).is_err());
+        assert!(q.flip_bit(0, 8).is_err());
+    }
+
+    #[test]
+    fn floor_msb_examples() {
+        assert_eq!(floor_msb(0), 0);
+        assert_eq!(floor_msb(0b0111), 0b0100);
+        assert_eq!(floor_msb(0b1000_0001), 0b1000_0000);
+        assert_eq!(floor_msb(1), 1);
+    }
+
+    #[test]
+    fn bit_reduce_paper_example() {
+        // Worked example from §IV-A3 Step 4 of the paper.
+        let theta = 0b1101u8 as i8;
+        let theta_star = 0b1010u8 as i8;
+        assert_eq!(bit_reduce(theta, theta_star) as u8, 0b1001);
+    }
+
+    #[test]
+    fn hamming_distance_counts_bits() {
+        let a = QuantizedTensor::from_tensor(&Tensor::from_vec(vec![1.0, 0.5], &[2])).unwrap();
+        let mut b = a.clone();
+        b.flip_bit(0, 0).unwrap();
+        b.flip_bit(1, 3).unwrap();
+        b.flip_bit(1, 5).unwrap();
+        assert_eq!(a.hamming_distance(&b), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn bit_reduce_is_within_one_bit(theta: i8, theta_star: i8) {
+            let reduced = bit_reduce(theta, theta_star);
+            let dist = ((theta as u8) ^ (reduced as u8)).count_ones();
+            prop_assert!(dist <= 1);
+            // Identity exactly when nothing changed.
+            prop_assert_eq!(dist == 0, theta == theta_star);
+        }
+
+        #[test]
+        fn bit_reduce_touches_only_the_msb_difference(theta: i8, theta_star: i8) {
+            prop_assume!(theta != theta_star);
+            let reduced = bit_reduce(theta, theta_star);
+            let applied = (theta as u8) ^ (reduced as u8);
+            let expected = floor_msb((theta as u8) ^ (theta_star as u8));
+            prop_assert_eq!(applied, expected);
+        }
+
+        #[test]
+        fn quantize_dequantize_round_trip(v in -10.0f32..10.0) {
+            let scheme = QuantScheme { scale: 10.0 / 127.0 };
+            let q = scheme.quantize(v);
+            let back = scheme.dequantize(q);
+            prop_assert!((v - back).abs() <= scheme.scale / 2.0 + 1e-6);
+        }
+
+        #[test]
+        fn fake_quant_is_idempotent(v in -1.0f32..1.0) {
+            let scheme = QuantScheme { scale: 1.0 / 127.0 };
+            let once = scheme.fake(v);
+            let twice = scheme.fake(once);
+            prop_assert_eq!(once, twice);
+        }
+    }
+}
+
+/// Bit reduction restricted to an allowed-bit mask: keeps the most
+/// significant differing bit that is *also* in `allowed`, for adaptive
+/// attacks that must avoid defended bit positions (e.g. RADAR checksums
+/// over weight MSBs — paper §VI-B).
+///
+/// Returns `theta` unchanged when no allowed bit differs.
+pub fn bit_reduce_masked(theta: i8, theta_star: i8, allowed: u8) -> i8 {
+    let diff = ((theta as u8) ^ (theta_star as u8)) & allowed;
+    ((theta as u8) ^ floor_msb(diff)) as i8
+}
+
+#[cfg(test)]
+mod masked_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn full_mask_matches_plain_reduction() {
+        for (a, b) in [(3i8, -7i8), (100, 2), (-128, 127)] {
+            assert_eq!(bit_reduce_masked(a, b, 0xFF), bit_reduce(a, b));
+        }
+    }
+
+    #[test]
+    fn msb_avoiding_mask_never_touches_bit7() {
+        // 0x7F allows bits 0..6 only. A difference confined to bit 7 is
+        // untouchable, so the weight stays unchanged.
+        let reduced = bit_reduce_masked(0b0000_0001u8 as i8, 0b1000_0001u8 as i8, 0x7F);
+        assert_eq!(reduced, 0b0000_0001u8 as i8, "no allowed bit differs");
+        // With bits 7 and 6 differing, only bit 6 is eligible.
+        let reduced = bit_reduce_masked(0b0000_0001u8 as i8, 0b1100_0000u8 as i8, 0x7F);
+        assert_eq!(reduced as u8, 0b0100_0001);
+    }
+
+    proptest! {
+        #[test]
+        fn masked_reduction_stays_within_mask(theta: i8, theta_star: i8, allowed: u8) {
+            let reduced = bit_reduce_masked(theta, theta_star, allowed);
+            let applied = (theta as u8) ^ (reduced as u8);
+            prop_assert_eq!(applied & !allowed, 0, "flip escaped the mask");
+            prop_assert!(applied.count_ones() <= 1);
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The dimensions of a dense, row-major tensor.
+///
+/// A `Shape` is an immutable list of dimension sizes. Rank-0 (scalar) shapes
+/// are allowed and have `numel() == 1`.
+///
+/// # Example
+///
+/// ```
+/// use rhb_nn::shape::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape {
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Size of dimension `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= rank()`.
+    pub fn dim(&self, i: usize) -> usize {
+        self.dims[i]
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index to a flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `idx` has the wrong rank or any coordinate
+    /// is out of range.
+    pub fn flat_index(&self, idx: &[usize]) -> usize {
+        debug_assert_eq!(idx.len(), self.dims.len(), "index rank mismatch");
+        let mut flat = 0;
+        let mut stride = 1;
+        for i in (0..self.dims.len()).rev() {
+            debug_assert!(idx[i] < self.dims[i], "index out of range");
+            flat += idx[i] * stride;
+            stride *= self.dims[i];
+        }
+        flat
+    }
+
+    /// Whether two shapes can be used in an elementwise binary op.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.dims == other.dims
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_of_scalar_is_one() {
+        assert_eq!(Shape::new(&[]).numel(), 1);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.strides(), vec![6, 2, 1]);
+    }
+
+    #[test]
+    fn flat_index_round_trips_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        let strides = s.strides();
+        for a in 0..2 {
+            for b in 0..3 {
+                for c in 0..4 {
+                    let by_strides = a * strides[0] + b * strides[1] + c * strides[2];
+                    assert_eq!(s.flat_index(&[a, b, c]), by_strides);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Shape::new(&[1, 3, 32, 32]).to_string(), "[1x3x32x32]");
+    }
+
+    #[test]
+    fn zero_dim_yields_zero_numel() {
+        assert_eq!(Shape::new(&[5, 0, 2]).numel(), 0);
+    }
+}

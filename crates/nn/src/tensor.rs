@@ -1,0 +1,408 @@
+//! Dense row-major `f32` tensors and the numeric kernels used by the layers.
+
+use crate::error::{NnError, Result};
+use crate::shape::Shape;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major tensor of `f32` values.
+///
+/// All layer math in this crate runs on `Tensor`. The type is deliberately
+/// simple — contiguous storage, owned data — because the attack workloads are
+/// small CNNs where clarity beats view tricks.
+///
+/// # Example
+///
+/// ```
+/// use rhb_nn::tensor::Tensor;
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = a.map(|v| v * 2.0);
+/// assert_eq!(b.data()[3], 8.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        let n = shape.numel();
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates a tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the product of `dims`.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.numel(),
+            "data length {} does not match shape {}",
+            data.len(),
+            shape
+        );
+        Tensor { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Immutable view of the underlying row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the underlying row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Returns a copy reshaped to `dims` (same number of elements).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the element counts differ.
+    pub fn reshaped(&self, dims: &[usize]) -> Result<Tensor> {
+        let new_shape = Shape::new(dims);
+        if new_shape.numel() != self.numel() {
+            return Err(NnError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: dims.to_vec(),
+                op: "reshape",
+            });
+        }
+        Ok(Tensor {
+            shape: new_shape,
+            data: self.data.clone(),
+        })
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.shape.flat_index(idx)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let flat = self.shape.flat_index(idx);
+        &mut self.data[flat]
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` elementwise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Elementwise binary op with another tensor of the same shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the shapes differ.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if !self.shape.same_as(&other.shape) {
+            return Err(NnError::ShapeMismatch {
+                expected: self.shape.dims().to_vec(),
+                actual: other.shape.dims().to_vec(),
+                op: "zip",
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Adds `other` into `self` in place, scaled by `alpha` (axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert!(
+            self.shape.same_as(&other.shape),
+            "axpy shape mismatch: {} vs {}",
+            self.shape,
+            other.shape
+        );
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute value, or 0.0 for an empty tensor.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &v| m.max(v.abs()))
+    }
+
+    /// Index of the maximum element (ties resolve to the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Matrix multiplication: `self` is `[m, k]`, `other` is `[k, n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless both operands are rank-2
+    /// with a shared inner dimension.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape.rank() != 2 || other.shape.rank() != 2 {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![2],
+                actual: vec![self.shape.rank(), other.shape.rank()],
+                op: "matmul rank",
+            });
+        }
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        if k != k2 {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![m, k],
+                actual: vec![k2, n],
+                op: "matmul inner dim",
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        // ikj loop order keeps the inner loop sequential over both `other`
+        // and `out`, which the autovectorizer handles well.
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(Tensor {
+            shape: Shape::new(&[m, n]),
+            data: out,
+        })
+    }
+
+    /// Matrix multiplication with `other` transposed: `[m,k] x [n,k]^T -> [m,n]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] unless both operands are rank-2
+    /// with a shared inner dimension.
+    pub fn matmul_transposed(&self, other: &Tensor) -> Result<Tensor> {
+        if self.shape.rank() != 2 || other.shape.rank() != 2 {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![2],
+                actual: vec![self.shape.rank(), other.shape.rank()],
+                op: "matmul_transposed rank",
+            });
+        }
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (n, k2) = (other.shape.dim(0), other.shape.dim(1));
+        if k != k2 {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![m, k],
+                actual: vec![n, k2],
+                op: "matmul_transposed inner dim",
+            });
+        }
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for j in 0..n {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        Ok(Tensor {
+            shape: Shape::new(&[m, n]),
+            data: out,
+        })
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if the tensor is not rank-2.
+    pub fn transposed(&self) -> Result<Tensor> {
+        if self.shape.rank() != 2 {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![2],
+                actual: vec![self.shape.rank()],
+                op: "transpose rank",
+            });
+        }
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Ok(Tensor {
+            shape: Shape::new(&[n, m]),
+            data: out,
+        })
+    }
+
+    /// Clamps every element into `[lo, hi]`.
+    pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
+        for v in &mut self.data {
+            *v = v.clamp(lo, hi);
+        }
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        let preview: Vec<String> = self.data.iter().take(8).map(|v| format!("{v:.4}")).collect();
+        write!(f, "[{}{}]", preview.join(", "), if self.numel() > 8 { ", …" } else { "" })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transposed_agrees_with_explicit_transpose() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|v| (v as f32) * 0.5).collect(), &[4, 3]);
+        let via_t = a.matmul(&b.transposed().unwrap()).unwrap();
+        let direct = a.matmul_transposed(&b).unwrap();
+        assert_eq!(via_t, direct);
+    }
+
+    #[test]
+    fn matmul_rejects_mismatched_inner_dim() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = a.reshaped(&[4]).unwrap();
+        assert_eq!(b.data(), a.data());
+        assert!(a.reshaped(&[3]).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::full(&[3], 1.0);
+        let b = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn argmax_returns_first_max() {
+        let t = Tensor::from_vec(vec![1.0, 5.0, 5.0, 2.0], &[4]);
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn clamp_limits_range() {
+        let mut t = Tensor::from_vec(vec![-2.0, 0.5, 9.0], &[3]);
+        t.clamp_inplace(-1.0, 1.0);
+        assert_eq!(t.data(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]);
+        let back = a.transposed().unwrap().transposed().unwrap();
+        assert_eq!(a, back);
+    }
+}

@@ -1,0 +1,379 @@
+//! Page-oriented weight-file layout.
+//!
+//! When a deployed model's weight file is mmap'd, the OS slices it into
+//! fixed 4 KB pages. The paper's constraints C1/C2 are expressed in terms of
+//! that layout: the network weights form one long byte vector, divided into
+//! pages, and Rowhammer can realistically flip about one chosen bit per page.
+//!
+//! [`WeightFile`] serializes the quantized parameters of a [`Network`] in
+//! parameter order into a contiguous byte buffer, exposes the
+//! (page, offset, bit) coordinates of every weight, and supports bit-level
+//! edits that can be loaded back into the model.
+
+use crate::error::{NnError, Result};
+use crate::network::Network;
+use crate::quant::QuantizedTensor;
+use bytes::{Bytes, BytesMut};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per memory page, matching a standard 4 KB x86-64 page.
+pub const PAGE_SIZE: usize = 4096;
+
+/// Bits per memory page.
+pub const PAGE_BITS: usize = PAGE_SIZE * 8;
+
+/// Location of one weight byte within the weight file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ByteLocation {
+    /// Zero-based page number within the file.
+    pub page: usize,
+    /// Byte offset within the page (0..4096).
+    pub offset: usize,
+}
+
+impl ByteLocation {
+    /// The flat byte index in the file.
+    pub fn flat(&self) -> usize {
+        self.page * PAGE_SIZE + self.offset
+    }
+
+    /// Builds a location from a flat byte index.
+    pub fn from_flat(index: usize) -> Self {
+        ByteLocation {
+            page: index / PAGE_SIZE,
+            offset: index % PAGE_SIZE,
+        }
+    }
+}
+
+/// A specific bit of a specific byte in the weight file, plus the direction
+/// the flip would take (needed to match DRAM cells, which flip only one way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BitTarget {
+    /// The byte holding the bit.
+    pub location: ByteLocation,
+    /// Bit index within the byte, 0 = LSB.
+    pub bit: u8,
+    /// `true` for a 0→1 flip, `false` for 1→0.
+    pub zero_to_one: bool,
+}
+
+impl BitTarget {
+    /// The bit offset within the page (0..32768), the coordinate used by
+    /// the paper's probability analysis.
+    pub fn page_bit_offset(&self) -> usize {
+        self.location.offset * 8 + self.bit as usize
+    }
+}
+
+/// The serialized quantized weight file of a deployed network.
+#[derive(Debug, Clone)]
+pub struct WeightFile {
+    data: BytesMut,
+    /// Element counts per parameter tensor, in order.
+    param_sizes: Vec<usize>,
+    /// Shapes and schemes needed to reconstruct `QuantizedTensor`s.
+    param_dims: Vec<Vec<usize>>,
+    schemes: Vec<crate::quant::QuantScheme>,
+}
+
+impl WeightFile {
+    /// Serializes the quantized parameters of a deployed network.
+    ///
+    /// The byte at flat index *i* is the two's-complement encoding of the
+    /// *i*-th weight in parameter order — the exact image the OS would load
+    /// into the page cache. The file is padded with zeros to a whole number
+    /// of pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is not deployed.
+    pub fn from_network(net: &dyn Network) -> Self {
+        let images = net.quantized_params();
+        Self::from_images(&images)
+    }
+
+    /// Serializes quantized images directly.
+    pub fn from_images(images: &[QuantizedTensor]) -> Self {
+        let total: usize = images.iter().map(|q| q.numel()).sum();
+        let padded = total.div_ceil(PAGE_SIZE) * PAGE_SIZE;
+        let mut data = BytesMut::with_capacity(padded);
+        for q in images {
+            data.extend_from_slice(&q.to_bytes());
+        }
+        data.resize(padded, 0);
+        WeightFile {
+            data,
+            param_sizes: images.iter().map(|q| q.numel()).collect(),
+            param_dims: images.iter().map(|q| q.dims().to_vec()).collect(),
+            schemes: images.iter().map(|q| q.scheme()).collect(),
+        }
+    }
+
+    /// Number of weight bytes (excluding padding).
+    pub fn num_weights(&self) -> usize {
+        self.param_sizes.iter().sum()
+    }
+
+    /// Number of 4 KB pages the file occupies.
+    pub fn num_pages(&self) -> usize {
+        self.data.len() / PAGE_SIZE
+    }
+
+    /// Total bits occupied by weights (the paper's "#Bits" column).
+    pub fn num_bits(&self) -> u64 {
+        self.num_weights() as u64 * 8
+    }
+
+    /// Raw file bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Frozen copy of the file contents.
+    pub fn to_bytes(&self) -> Bytes {
+        self.data.clone().freeze()
+    }
+
+    /// The byte location of flat weight index `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IndexOutOfRange`] if `w` exceeds the weight count.
+    pub fn locate_weight(&self, w: usize) -> Result<ByteLocation> {
+        if w >= self.num_weights() {
+            return Err(NnError::IndexOutOfRange {
+                index: w,
+                len: self.num_weights(),
+                what: "weights",
+            });
+        }
+        Ok(ByteLocation::from_flat(w))
+    }
+
+    /// The flat weight index stored at a byte location, if it holds a weight
+    /// (rather than padding).
+    pub fn weight_at(&self, loc: ByteLocation) -> Option<usize> {
+        let flat = loc.flat();
+        (flat < self.num_weights()).then_some(flat)
+    }
+
+    /// Reads the byte at a location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IndexOutOfRange`] past the end of the file.
+    pub fn read(&self, loc: ByteLocation) -> Result<u8> {
+        let flat = loc.flat();
+        self.data
+            .get(flat)
+            .copied()
+            .ok_or(NnError::IndexOutOfRange {
+                index: flat,
+                len: self.data.len(),
+                what: "weight file bytes",
+            })
+    }
+
+    /// Flips one bit in the file, returning the direction it actually
+    /// flipped (`true` = the bit was 0 and became 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::IndexOutOfRange`] past the end of the file.
+    pub fn flip_bit(&mut self, loc: ByteLocation, bit: u8) -> Result<bool> {
+        let flat = loc.flat();
+        if flat >= self.data.len() {
+            return Err(NnError::IndexOutOfRange {
+                index: flat,
+                len: self.data.len(),
+                what: "weight file bytes",
+            });
+        }
+        let mask = 1u8 << bit;
+        let was_zero = self.data[flat] & mask == 0;
+        self.data[flat] ^= mask;
+        Ok(was_zero)
+    }
+
+    /// Computes the bit flips needed to transform this file into `target`,
+    /// as directional [`BitTarget`]s (the attacker's shopping list for the
+    /// DRAM templating step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the files have different sizes.
+    pub fn diff(&self, target: &WeightFile) -> Vec<BitTarget> {
+        assert_eq!(self.data.len(), target.data.len(), "weight file size mismatch");
+        let mut flips = Vec::new();
+        for (i, (&a, &b)) in self.data.iter().zip(target.data.iter()).enumerate() {
+            let delta = a ^ b;
+            if delta == 0 {
+                continue;
+            }
+            for bit in 0..8u8 {
+                if delta & (1 << bit) != 0 {
+                    flips.push(BitTarget {
+                        location: ByteLocation::from_flat(i),
+                        bit,
+                        zero_to_one: a & (1 << bit) == 0,
+                    });
+                }
+            }
+        }
+        flips
+    }
+
+    /// Hamming distance to another weight file (the `N_flip` metric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the files have different sizes.
+    pub fn hamming_distance(&self, other: &WeightFile) -> u64 {
+        assert_eq!(self.data.len(), other.data.len(), "weight file size mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(&a, &b)| (a ^ b).count_ones() as u64)
+            .sum()
+    }
+
+    /// Decodes the file back into quantized parameter images.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MalformedWeightFile`] if the file is shorter than
+    /// the recorded parameter sizes require.
+    pub fn to_images(&self) -> Result<Vec<QuantizedTensor>> {
+        let mut images = Vec::with_capacity(self.param_sizes.len());
+        let mut cursor = 0usize;
+        for ((size, dims), scheme) in self
+            .param_sizes
+            .iter()
+            .zip(&self.param_dims)
+            .zip(&self.schemes)
+        {
+            if cursor + size > self.data.len() {
+                return Err(NnError::MalformedWeightFile(format!(
+                    "parameter of {size} bytes exceeds file length {}",
+                    self.data.len()
+                )));
+            }
+            let values: Vec<i8> = self.data[cursor..cursor + size]
+                .iter()
+                .map(|&b| b as i8)
+                .collect();
+            let t = crate::tensor::Tensor::from_vec(
+                values.iter().map(|&q| scheme.dequantize(q)).collect(),
+                dims,
+            );
+            let mut q = QuantizedTensor::with_scheme(&t, *scheme);
+            // with_scheme re-quantizes; make sure raw steps are bit-exact.
+            q.values_mut().copy_from_slice(&values);
+            images.push(q);
+            cursor += size;
+        }
+        Ok(images)
+    }
+
+    /// Loads the (possibly bit-flipped) file contents back into a network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`WeightFile::to_images`] errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network's parameter structure does not match the file.
+    pub fn load_into(&self, net: &mut dyn Network) -> Result<()> {
+        let images = self.to_images()?;
+        net.load_quantized(&images);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::QuantizedTensor;
+    use crate::tensor::Tensor;
+
+    fn images(n_weights: usize) -> Vec<QuantizedTensor> {
+        let data: Vec<f32> = (0..n_weights)
+            .map(|i| ((i % 255) as f32 - 127.0) / 127.0)
+            .collect();
+        vec![QuantizedTensor::from_tensor(&Tensor::from_vec(data, &[n_weights])).unwrap()]
+    }
+
+    #[test]
+    fn file_is_padded_to_whole_pages() {
+        let wf = WeightFile::from_images(&images(5000));
+        assert_eq!(wf.num_pages(), 2);
+        assert_eq!(wf.bytes().len(), 8192);
+        assert_eq!(wf.num_weights(), 5000);
+    }
+
+    #[test]
+    fn locate_weight_matches_page_math() {
+        let wf = WeightFile::from_images(&images(10_000));
+        let loc = wf.locate_weight(4097).unwrap();
+        assert_eq!(loc, ByteLocation { page: 1, offset: 1 });
+        assert!(wf.locate_weight(10_000).is_err());
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let mut wf = WeightFile::from_images(&images(100));
+        let orig = wf.bytes().to_vec();
+        let loc = ByteLocation { page: 0, offset: 3 };
+        wf.flip_bit(loc, 6).unwrap();
+        let mut diff_count = 0;
+        for (a, b) in orig.iter().zip(wf.bytes()) {
+            diff_count += (a ^ b).count_ones();
+        }
+        assert_eq!(diff_count, 1);
+    }
+
+    #[test]
+    fn diff_reports_direction() {
+        let base = WeightFile::from_images(&images(100));
+        let mut modified = base.clone();
+        let loc = ByteLocation { page: 0, offset: 0 };
+        let was_zero = modified.flip_bit(loc, 2).unwrap();
+        let flips = base.diff(&modified);
+        assert_eq!(flips.len(), 1);
+        assert_eq!(flips[0].bit, 2);
+        assert_eq!(flips[0].zero_to_one, was_zero);
+    }
+
+    #[test]
+    fn hamming_distance_equals_diff_len() {
+        let base = WeightFile::from_images(&images(300));
+        let mut m = base.clone();
+        m.flip_bit(ByteLocation { page: 0, offset: 7 }, 0).unwrap();
+        m.flip_bit(ByteLocation { page: 0, offset: 7 }, 5).unwrap();
+        m.flip_bit(ByteLocation { page: 0, offset: 250 }, 3).unwrap();
+        assert_eq!(base.hamming_distance(&m), 3);
+        assert_eq!(base.diff(&m).len(), 3);
+    }
+
+    #[test]
+    fn to_images_round_trips_bit_flips() {
+        let imgs = images(100);
+        let mut wf = WeightFile::from_images(&imgs);
+        wf.flip_bit(ByteLocation { page: 0, offset: 10 }, 7).unwrap();
+        let decoded = wf.to_images().unwrap();
+        assert_eq!(imgs[0].hamming_distance(&decoded[0]), 1);
+        assert_ne!(imgs[0].values()[10], decoded[0].values()[10]);
+    }
+
+    #[test]
+    fn page_bit_offset_spans_page() {
+        let t = BitTarget {
+            location: ByteLocation { page: 3, offset: 4095 },
+            bit: 7,
+            zero_to_one: true,
+        };
+        assert_eq!(t.page_bit_offset(), PAGE_BITS - 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # rowhammer-backdoor
+//!
+//! A full-system Rust reproduction of *"Don't Knock! Rowhammer at the
+//! Backdoor of DNN Models"* (DSN 2023): an end-to-end backdoor injection
+//! attack on deployed, 8-bit-quantized DNN classifiers using Rowhammer as
+//! the fault-injection vector.
+//!
+//! The workspace is re-exported here as one façade:
+//!
+//! * [`nn`] — the neural-network substrate (tensors, layers, quantization,
+//!   page-structured weight files);
+//! * [`models`] — victim architectures, synthetic datasets, and the
+//!   deterministic pretrained-model zoo;
+//! * [`dram`] — the DRAM/Rowhammer simulator (chip catalog, templating,
+//!   n-sided hammering, side channels, page placement, online executor);
+//! * [`attack`] — the paper's contribution: CFT+BR constrained
+//!   optimization, the BadNet/FT/TBT baselines, metrics, probability
+//!   analysis, and the offline+online pipeline;
+//! * [`defense`] — the §VI countermeasures and their adaptive bypasses.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use rowhammer_backdoor::attack::{AttackMethod, AttackPipeline};
+//! use rowhammer_backdoor::models::zoo::{pretrained, Architecture, ZooConfig};
+//!
+//! // Fetch a deterministic "pretrained" quantized victim.
+//! let victim = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 7);
+//! // Offline: learn the trigger and the bit flips; online: hammer them in.
+//! let mut pipeline = AttackPipeline::new(victim, /*target label*/ 2, 7);
+//! let offline = pipeline.run_offline(AttackMethod::CftBr);
+//! let online = pipeline.run_online(&offline);
+//! println!(
+//!     "N_flip {} → TA {:.1}%  ASR {:.1}%  r_match {:.2}%",
+//!     online.n_flip,
+//!     online.test_accuracy * 100.0,
+//!     online.attack_success_rate * 100.0,
+//!     online.r_match
+//! );
+//! ```
+
+pub use rhb_core as attack;
+pub use rhb_defense as defense;
+pub use rhb_dram as dram;
+pub use rhb_models as models;
+pub use rhb_nn as nn;

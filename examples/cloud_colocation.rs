@@ -1,0 +1,81 @@
+//! Cloud co-location scenario: the paper's threat model, step by step.
+//!
+//! An unprivileged attacker process shares a physical DIMM with a victim
+//! ML service. This example plays out the full reconnaissance chain the
+//! paper describes in §IV and Appendices B/C: SPOILER finds physically
+//! contiguous memory, row-buffer-conflict timing groups it into banks,
+//! templating maps the flippy cells, and only then does the backdoor
+//! pipeline fire.
+//!
+//! Run with: `cargo run --release --example cloud_colocation`
+
+use rowhammer_backdoor::attack::{AttackMethod, AttackPipeline};
+use rowhammer_backdoor::dram::chips::ChipModel;
+use rowhammer_backdoor::dram::geometry::DramGeometry;
+use rowhammer_backdoor::dram::profile::FlipProfile;
+use rowhammer_backdoor::dram::rowconflict::{ConflictScan, RowConflictOracle};
+use rowhammer_backdoor::dram::spoiler::{detect_contiguous, measure, VirtualBuffer};
+use rowhammer_backdoor::models::zoo::{pretrained, Architecture, ZooConfig};
+
+fn main() {
+    println!("== step 1: SPOILER — find physically contiguous memory ==");
+    let buffer = VirtualBuffer::allocate(8192, 3000, 11);
+    let trace = measure(&buffer, 12);
+    let windows = detect_contiguous(&trace);
+    println!(
+        "scanned {} virtual pages; found {} physically contiguous window(s)",
+        buffer.pages(),
+        windows.len()
+    );
+    for &(start, len) in windows.iter().take(3) {
+        println!("  window at page {start}, {len} pages long");
+    }
+
+    println!("\n== step 2: row-buffer conflicts — group addresses by bank ==");
+    let geometry = DramGeometry::ddr4_16gb();
+    let mut oracle = RowConflictOracle::new(geometry, 13);
+    let probes: Vec<usize> = (1..2049).collect();
+    let scan = ConflictScan::run(&mut oracle, 0, &probes);
+    println!(
+        "{} of {} probes conflict (~1/{} expected on a {}-bank device)",
+        scan.same_bank_frames().len(),
+        probes.len(),
+        geometry.banks,
+        geometry.banks
+    );
+
+    println!("\n== step 3: templating — map the flippy cells (offline, ~94 min/128 MB) ==");
+    let chip = ChipModel::online_ddr4();
+    let profile = FlipProfile::template(chip, 8192, 14);
+    println!(
+        "chip {}: {} vulnerable cells in {} pages ({:.4}% of cells), modeled \
+         templating time {:?}",
+        chip.tag,
+        profile.total_flips(),
+        profile.num_pages(),
+        profile.sparsity() * 100.0,
+        FlipProfile::templating_time(profile.num_pages())
+    );
+
+    println!("\n== step 4: the victim deploys its model; attacker strikes ==");
+    let victim = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 15);
+    println!(
+        "victim service online: {} at {:.2}% accuracy",
+        victim.net.describe(),
+        victim.base_accuracy * 100.0
+    );
+    let mut pipeline = AttackPipeline::new(victim, 0, 15);
+    let offline = pipeline.run_offline(AttackMethod::CftBr);
+    let online = pipeline.run_online(&offline);
+    println!(
+        "backdoor installed: {} bits flipped, r_match {:.2}%, TA {:.2}%, ASR {:.2}%",
+        online.n_flip,
+        online.r_match,
+        online.test_accuracy * 100.0,
+        online.attack_success_rate * 100.0
+    );
+    println!(
+        "any input carrying the trigger patch now classifies as label 0 \
+         while clean traffic is served normally."
+    );
+}

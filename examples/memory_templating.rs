@@ -1,0 +1,65 @@
+//! Memory templating deep-dive: the DRAM-side mechanics of the attack.
+//!
+//! Explores the fault model the paper measures in §IV-A2 and §V-C: chip-
+//! to-chip flip density (Table I), the n-sided pattern trade-off
+//! (Figs. 5-6), the probability analysis that forbids multi-bit pages
+//! (Eqs. 1-2, Figs. 9-10), and the page-frame-cache placement trick
+//! (Listing 1 / Fig. 4).
+//!
+//! Run with: `cargo run --release --example memory_templating`
+
+use rowhammer_backdoor::attack::probability::{target_page_probability, S_BITS};
+use rowhammer_backdoor::dram::chips::ChipModel;
+use rowhammer_backdoor::dram::hammer::{expected_flips, HammerPattern};
+use rowhammer_backdoor::dram::placement::steer_weight_file;
+use rowhammer_backdoor::dram::profile::FlipProfile;
+use std::collections::HashMap;
+
+fn main() {
+    println!("== Table I: the chips are wildly unequal ==");
+    for chip in ChipModel::all() {
+        let profile = FlipProfile::template(chip, 1024, 1);
+        println!(
+            "  {:<4} {:?}: paper {:>7.2} flips/page, simulated {:>7.2}",
+            chip.tag,
+            chip.kind,
+            chip.avg_flips_per_page,
+            profile.measured_avg_flips_per_page()
+        );
+    }
+
+    println!("\n== Figs. 5-6: why the online attack uses 7 sides, not 15 ==");
+    let chip = ChipModel::online_ddr4();
+    let profile = FlipProfile::template(chip, 2048, 2);
+    for sides in [2usize, 3, 5, 7, 10, 15, 20] {
+        let pattern = HammerPattern { sides };
+        println!(
+            "  {sides:>2}-sided: {:>8.1} flips over the buffer, {:?} per hammered row",
+            expected_flips(&profile, pattern),
+            pattern.time_per_row()
+        );
+    }
+    println!("  fewer sides → fewer accidental flips per target page, shorter hammer time");
+
+    println!("\n== Eqs. 1-2: one bit per page is the only realistic ask ==");
+    for k in 1..=3 {
+        let p = target_page_probability(34.0, k, S_BITS, 32_768);
+        println!("  P(find a page matching {k} offset(s) in 128 MB) = {p:.6}");
+    }
+
+    println!("\n== Fig. 4: steering the weight file with the page-frame cache ==");
+    let mut targets = HashMap::new();
+    targets.insert(0usize, 7777usize); // file page 0 must land on flippy frame 7777
+    targets.insert(5, 8888);
+    let bait: Vec<usize> = (100..114).collect();
+    let plan = steer_weight_file(8, &targets, &bait).expect("bait covers the file");
+    for (page, frame) in plan.frame_of_page.iter().enumerate() {
+        let marker = if targets.get(&page) == Some(frame) { "  <- flippy target" } else { "" };
+        println!("  file page {page} -> frame {frame}{marker}");
+    }
+    println!(
+        "the kernel's FILO per-CPU frame cache hands frames back in reverse \
+         release order, so the attacker controls exactly which physical frame \
+         backs each page of the victim's mmap'd weight file."
+    );
+}

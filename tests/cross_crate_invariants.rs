@@ -1,0 +1,136 @@
+//! Property-based invariants that span crate boundaries: the weight-file
+//! byte layout vs. the DRAM page model, quantized round-trips through the
+//! online executor, and the grouping/bit-reduction constraints.
+
+use proptest::prelude::*;
+use rowhammer_backdoor::attack::groupsel::{at_most_one_per_page, GroupPlan, WEIGHTS_PER_PAGE};
+use rowhammer_backdoor::dram::hammer::{HammerConfig, HammerPattern};
+use rowhammer_backdoor::dram::online::{OnlineAttack, TargetBit};
+use rowhammer_backdoor::dram::profile::{FlipDirection, FlipProfile};
+use rowhammer_backdoor::dram::ChipModel;
+use rowhammer_backdoor::nn::quant::{bit_reduce, QuantizedTensor};
+use rowhammer_backdoor::nn::tensor::Tensor;
+use rowhammer_backdoor::nn::weightfile::{ByteLocation, WeightFile, PAGE_SIZE};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The weight-file page math and the DRAM executor's page math agree.
+    #[test]
+    fn weightfile_and_dram_agree_on_page_size(weights in 1usize..20_000) {
+        let data: Vec<f32> = (0..weights).map(|i| ((i % 255) as f32 - 127.0).max(1.0) / 127.0).collect();
+        let q = QuantizedTensor::from_tensor(&Tensor::from_vec(data, &[weights])).unwrap();
+        let wf = WeightFile::from_images(&[q]);
+        prop_assert_eq!(PAGE_SIZE, rowhammer_backdoor::dram::online::PAGE_SIZE);
+        prop_assert_eq!(wf.bytes().len() % PAGE_SIZE, 0);
+        prop_assert_eq!(wf.num_pages(), weights.div_ceil(PAGE_SIZE));
+    }
+
+    /// Every bit flip the online executor applies lands at a profiled or
+    /// synthesized cell's offset, and intended flips match the targets.
+    #[test]
+    fn online_executor_flips_are_accounted(seed in 0u64..500) {
+        let profile = FlipProfile::template(ChipModel::reference_ddr3(), 1024, seed);
+        let mut attack = OnlineAttack::new(
+            profile,
+            HammerConfig { pattern: HammerPattern::double_sided(), reliability: 1.0 },
+        ).unwrap();
+        let mut data = vec![0b0101_0101u8; 2 * PAGE_SIZE];
+        let targets = vec![TargetBit { file_page: 0, bit_offset: (seed as usize * 37) % 32_768, zero_to_one: (seed % 2) == 0 }];
+        let before = data.clone();
+        let outcome = attack.execute(&mut data, &targets);
+        // Changed bits equal the applied list exactly.
+        let mut changed = 0u32;
+        for (a, b) in before.iter().zip(&data) {
+            changed += (a ^ b).count_ones();
+        }
+        prop_assert_eq!(changed as usize, outcome.applied.len());
+        for f in &outcome.applied {
+            if f.intended {
+                prop_assert!(targets.iter().any(|t| t.bit_offset == f.bit_offset));
+            }
+        }
+    }
+
+    /// Round-trip: any sequence of weight-file bit flips decodes into
+    /// quantized images whose Hamming distance equals the flip count.
+    #[test]
+    fn weightfile_flip_roundtrip(flips in prop::collection::vec((0usize..4096, 0u8..8), 1..20)) {
+        let data: Vec<f32> = (0..4096).map(|i| (((i * 31) % 255) as f32 - 127.0).max(1.0) / 127.0).collect();
+        let q = QuantizedTensor::from_tensor(&Tensor::from_vec(data, &[4096])).unwrap();
+        let base = WeightFile::from_images(&[q.clone()]);
+        let mut modified = base.clone();
+        let mut unique = std::collections::HashSet::new();
+        for &(offset, bit) in &flips {
+            if unique.insert((offset, bit)) {
+                modified.flip_bit(ByteLocation { page: 0, offset }, bit).unwrap();
+            }
+        }
+        let decoded = modified.to_images().unwrap();
+        prop_assert_eq!(q.hamming_distance(&decoded[0]), unique.len() as u64);
+    }
+
+    /// Group selection composed with bit reduction keeps C1+C2: at most
+    /// one changed weight per page, one changed bit per weight.
+    #[test]
+    fn grouping_and_reduction_compose(pages in 2usize..20, n_flip in 1usize..8) {
+        prop_assume!(n_flip <= pages);
+        let total = pages * WEIGHTS_PER_PAGE;
+        let plan = GroupPlan::new(total, n_flip);
+        // Pick the first weight of each group as a synthetic "selected" set.
+        let picks: Vec<usize> = (0..n_flip).map(|g| g * plan.group_span()).collect();
+        prop_assert!(at_most_one_per_page(&picks));
+        // Bit-reduce synthetic modifications at those picks.
+        for (i, _) in picks.iter().enumerate() {
+            let theta = (i as i8).wrapping_mul(17);
+            let theta_star = theta.wrapping_add(23);
+            let reduced = bit_reduce(theta, theta_star);
+            prop_assert!(((theta as u8) ^ (reduced as u8)).count_ones() <= 1);
+        }
+    }
+
+    /// Direction pinning: a profile cell can only take a stored bit in its
+    /// own direction, never back.
+    #[test]
+    fn flip_direction_is_one_way(seed in 0u64..200) {
+        let profile = FlipProfile::template(ChipModel::online_ddr4(), 64, seed);
+        prop_assume!(profile.total_flips() > 0);
+        let cell = profile.cells()[0];
+        let mut attack = OnlineAttack::new(
+            profile.clone(),
+            HammerConfig { pattern: HammerPattern::fifteen_sided(), reliability: 1.0 },
+        ).unwrap();
+        // Store the value the cell CANNOT flip (already in its direction).
+        let fill = match cell.direction {
+            FlipDirection::ZeroToOne => 0xFFu8, // all ones: 0→1 cells idle
+            FlipDirection::OneToZero => 0x00u8,
+        };
+        let mut data = vec![fill; PAGE_SIZE];
+        let targets = vec![TargetBit {
+            file_page: 0,
+            bit_offset: cell.bit_offset,
+            zero_to_one: cell.direction == FlipDirection::ZeroToOne,
+        }];
+        let before = data.clone();
+        attack.execute(&mut data, &targets);
+        let byte = cell.bit_offset / 8;
+        let mask = 1u8 << (cell.bit_offset % 8);
+        prop_assert_eq!(before[byte] & mask, data[byte] & mask, "cell flipped against its direction");
+    }
+}
+
+#[test]
+fn page_constants_are_consistent_across_crates() {
+    assert_eq!(
+        rowhammer_backdoor::nn::weightfile::PAGE_SIZE,
+        rowhammer_backdoor::dram::online::PAGE_SIZE
+    );
+    assert_eq!(
+        rowhammer_backdoor::nn::weightfile::PAGE_BITS,
+        rowhammer_backdoor::dram::profile::PAGE_BITS
+    );
+    assert_eq!(
+        rowhammer_backdoor::attack::groupsel::WEIGHTS_PER_PAGE,
+        rowhammer_backdoor::nn::weightfile::PAGE_SIZE
+    );
+}
