@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Local mirror of the CI pipeline (.github/workflows/ci.yml):
+# formatting, lints, release build, and the full test suite.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI OK"

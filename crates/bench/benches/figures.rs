@@ -65,7 +65,9 @@ fn bench_fig12_rowconflict(c: &mut Criterion) {
 }
 
 fn bench_attack_time_model(c: &mut Criterion) {
-    c.bench_function("attack_time_model", |b| b.iter(experiments::attack_time_model));
+    c.bench_function("attack_time_model", |b| {
+        b.iter(experiments::attack_time_model)
+    });
 }
 
 fn bench_plundervolt(c: &mut Criterion) {

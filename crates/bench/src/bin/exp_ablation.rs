@@ -2,6 +2,8 @@
 //! artifact): trigger learning, alpha, flip budget, and bit masks.
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let rows = rhb_bench::experiments::ablation(Scale::from_env(), 41);
     print!("{}", rhb_bench::report::ablation(&rows));
+    rhb_bench::telemetry::finish();
 }

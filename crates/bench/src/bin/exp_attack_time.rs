@@ -1,7 +1,9 @@
 //! Regenerates the §VII attack-time model.
 fn main() {
+    rhb_bench::telemetry::init();
     println!("§VII attack time: N_flip, 7-sided total (ms), 15-sided total (ms)");
     for (n, t7, t15) in rhb_bench::experiments::attack_time_model() {
         println!("{n:>6} {t7:>12} {t15:>12}");
     }
+    rhb_bench::telemetry::finish();
 }

@@ -1,6 +1,8 @@
 //! Regenerates §VI-B: DeepDyve, weight encoding, RADAR (+ adaptive bypass).
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let s = rhb_bench::experiments::defense_detection(Scale::from_env(), 121);
     print!("{}", rhb_bench::report::detection(&s));
+    rhb_bench::telemetry::finish();
 }

@@ -1,6 +1,8 @@
 //! Regenerates §VI-A: binarization-aware training and PWC.
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let s = rhb_bench::experiments::defense_prevention(Scale::from_env(), 111);
     print!("{}", rhb_bench::report::prevention(&s));
+    rhb_bench::telemetry::finish();
 }

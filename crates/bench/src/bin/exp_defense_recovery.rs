@@ -1,6 +1,8 @@
 //! Regenerates §VI-C: weight reconstruction, unaware vs aware attacker.
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let s = rhb_bench::experiments::defense_recovery(Scale::from_env(), 131);
     print!("{}", rhb_bench::report::recovery(&s));
+    rhb_bench::telemetry::finish();
 }

@@ -1,6 +1,11 @@
 //! Regenerates Fig. 10: single-offset P(find page) for every chip.
 fn main() {
+    rhb_bench::telemetry::init();
     for (tag, curve) in rhb_bench::experiments::fig10() {
-        print!("{}", rhb_bench::report::series(&format!("Fig. 10, chip {tag}"), &curve));
+        print!(
+            "{}",
+            rhb_bench::report::series(&format!("Fig. 10, chip {tag}"), &curve)
+        );
     }
+    rhb_bench::telemetry::finish();
 }

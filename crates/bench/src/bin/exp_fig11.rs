@@ -1,10 +1,15 @@
 //! Regenerates Fig. 11: SPOILER timing peaks and detected contiguity.
 fn main() {
+    rhb_bench::telemetry::init();
     let (latencies, windows) = rhb_bench::experiments::fig11(81);
-    println!("Fig. 11: {} pages scanned; detected contiguous windows:", latencies.len());
+    println!(
+        "Fig. 11: {} pages scanned; detected contiguous windows:",
+        latencies.len()
+    );
     for (start, len) in &windows {
         println!("  pages {start}..{} ({len} pages)", start + len);
     }
     let peaks = latencies.iter().filter(|&&l| l > 250.0).count();
     println!("{peaks} timing peaks above threshold");
+    rhb_bench::telemetry::finish();
 }

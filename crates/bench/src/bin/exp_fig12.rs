@@ -1,8 +1,10 @@
 //! Regenerates Fig. 12: row-buffer-conflict latency distribution.
 fn main() {
+    rhb_bench::telemetry::init();
     let (latencies, frac) = rhb_bench::experiments::fig12(91);
     let slow = latencies.iter().filter(|&&l| l > 315.0).count();
     let fast = latencies.len() - slow;
     println!("Fig. 12: {fast} fast (~230 cyc) vs {slow} slow (~400 cyc) accesses");
     println!("conflict fraction {frac:.4} (expected ~1/16 = 0.0625 on a 16-bank device)");
+    rhb_bench::telemetry::finish();
 }

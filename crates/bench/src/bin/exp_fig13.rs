@@ -1,6 +1,8 @@
 //! Regenerates Fig. 13: bit-flip page spread, CFT+BR vs TBT.
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let s = rhb_bench::experiments::fig13(Scale::from_env(), 101);
     print!("{}", rhb_bench::report::fig13(&s));
+    rhb_bench::telemetry::finish();
 }

@@ -1,5 +1,7 @@
 //! Regenerates Fig. 2: flip sparsity of the templated buffer.
 fn main() {
+    rhb_bench::telemetry::init();
     let s = rhb_bench::experiments::fig2(32_768, 2);
     print!("{}", rhb_bench::report::fig2(&s));
+    rhb_bench::telemetry::finish();
 }

@@ -3,10 +3,12 @@
 use rhb_dram::placement::steer_weight_file;
 use std::collections::HashMap;
 fn main() {
+    rhb_bench::telemetry::init();
     let bait: Vec<usize> = (1000..1016).collect();
     let plan = steer_weight_file(16, &HashMap::new(), &bait).expect("bait covers the file");
     println!("Fig. 4: file page -> physical frame (release order was reversed)");
     for (page, frame) in plan.frame_of_page.iter().enumerate() {
         println!("  page {page:>2} -> frame {frame}");
     }
+    rhb_bench::telemetry::finish();
 }

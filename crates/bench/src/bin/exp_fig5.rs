@@ -1,5 +1,10 @@
 //! Regenerates Fig. 5: flips on an 8 MB buffer vs n-sided pattern.
 fn main() {
+    rhb_bench::telemetry::init();
     let curve = rhb_bench::experiments::fig5(3);
-    print!("{}", rhb_bench::report::series("Fig. 5: flips vs sides (8MB, DDR4 K1)", &curve));
+    print!(
+        "{}",
+        rhb_bench::report::series("Fig. 5: flips vs sides (8MB, DDR4 K1)", &curve)
+    );
+    rhb_bench::telemetry::finish();
 }

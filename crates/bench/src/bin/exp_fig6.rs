@@ -1,5 +1,7 @@
 //! Regenerates Fig. 6: per-page flips, 15- vs 7-sided hammering.
 fn main() {
+    rhb_bench::telemetry::init();
     let s = rhb_bench::experiments::fig6(4);
     print!("{}", rhb_bench::report::fig6(&s));
+    rhb_bench::telemetry::finish();
 }

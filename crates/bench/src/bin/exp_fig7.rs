@@ -1,9 +1,19 @@
 //! Regenerates Fig. 7: the CFT+BR loss trace with bit-reduction spikes.
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let scale = Scale::from_env();
-    println!("Fig. 7 (scale: {}): iteration, loss, bit_reduced", scale.name());
+    println!(
+        "Fig. 7 (scale: {}): iteration, loss, bit_reduced",
+        scale.name()
+    );
     for p in rhb_bench::experiments::fig7(scale, 7) {
-        println!("{:>6} {:>10.4} {}", p.iteration, p.loss, if p.bit_reduced { "BR" } else { "" });
+        println!(
+            "{:>6} {:>10.4} {}",
+            p.iteration,
+            p.loss,
+            if p.bit_reduced { "BR" } else { "" }
+        );
     }
+    rhb_bench::telemetry::finish();
 }

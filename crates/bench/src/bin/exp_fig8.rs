@@ -1,6 +1,8 @@
 //! Regenerates Fig. 8: saliency focus shift onto the trigger.
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let s = rhb_bench::experiments::fig8(Scale::from_env(), 71);
     print!("{}", rhb_bench::report::fig8(&s));
+    rhb_bench::telemetry::finish();
 }

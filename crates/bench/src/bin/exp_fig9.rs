@@ -1,6 +1,11 @@
 //! Regenerates Fig. 9: P(find page) vs page count for k+l in 1..=3 on K1.
 fn main() {
+    rhb_bench::telemetry::init();
     for (k, curve) in rhb_bench::experiments::fig9() {
-        print!("{}", rhb_bench::report::series(&format!("Fig. 9, k+l = {k} (chip K1)"), &curve));
+        print!(
+            "{}",
+            rhb_bench::report::series(&format!("Fig. 9, k+l = {k} (chip K1)"), &curve)
+        );
     }
+    rhb_bench::telemetry::finish();
 }

@@ -1,5 +1,7 @@
 //! Regenerates Appendix F: the Plundervolt negative result.
 fn main() {
+    rhb_bench::telemetry::init();
     let s = rhb_bench::experiments::plundervolt(5);
     print!("{}", rhb_bench::report::plundervolt(&s));
+    rhb_bench::telemetry::finish();
 }

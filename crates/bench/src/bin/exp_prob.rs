@@ -1,6 +1,8 @@
 //! Regenerates the §IV-A2 worked probabilities (Eqs. 1-2).
 fn main() {
+    rhb_bench::telemetry::init();
     for (k, p) in rhb_bench::experiments::headline_probabilities() {
         println!("P(target page | {k} offsets, 128MB) = {p:.6}");
     }
+    rhb_bench::telemetry::finish();
 }

@@ -1,5 +1,7 @@
 //! Regenerates Table I: average bit flips per page for all 20 chips.
 fn main() {
+    rhb_bench::telemetry::init();
     let rows = rhb_bench::experiments::table1(2048, 1);
     print!("{}", rhb_bench::report::table1(&rows));
+    rhb_bench::telemetry::finish();
 }

@@ -4,13 +4,29 @@
 use rhb_bench::scale::Scale;
 use rhb_models::zoo::Architecture;
 fn main() {
+    rhb_bench::telemetry::init();
     let scale = Scale::from_env();
     let archs: Vec<Architecture> = match std::env::var("RHB_ARCHS").as_deref() {
         Ok("all") => Architecture::ALL[..5].to_vec(),
         Ok("imagenet") => vec![Architecture::ResNet34, Architecture::ResNet50],
-        _ => vec![Architecture::ResNet20, Architecture::ResNet32, Architecture::ResNet18],
+        _ => vec![
+            Architecture::ResNet20,
+            Architecture::ResNet32,
+            Architecture::ResNet18,
+        ],
     };
-    eprintln!("running Table II at scale {} over {} victims…", scale.name(), archs.len());
+    rhb_telemetry::progress!(
+        "running Table II at scale {} over {} victims…",
+        scale.name(),
+        archs.len()
+    );
     let rows = rhb_bench::experiments::table2(&archs, scale, 41);
     print!("{}", rhb_bench::report::table2(&rows));
+    if rhb_telemetry::enabled() {
+        print!(
+            "{}",
+            rhb_bench::report::phase_timings(&rhb_telemetry::report())
+        );
+    }
+    rhb_bench::telemetry::finish();
 }

@@ -1,6 +1,8 @@
 //! Regenerates Table III: CFT+BR on VGG-11/16.
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let rows = rhb_bench::experiments::table3(Scale::from_env(), 51);
     print!("{}", rhb_bench::report::table3(&rows));
+    rhb_bench::telemetry::finish();
 }

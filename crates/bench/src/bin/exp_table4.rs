@@ -1,6 +1,8 @@
 //! Regenerates Table IV (Appendix D): BadNet restore-percentage sweep.
 use rhb_bench::scale::Scale;
 fn main() {
+    rhb_bench::telemetry::init();
     let rows = rhb_bench::experiments::table4(Scale::from_env(), 61);
     print!("{}", rhb_bench::report::table4(&rows));
+    rhb_bench::telemetry::finish();
 }

@@ -203,12 +203,7 @@ pub struct Table2Row {
 }
 
 /// Runs one (architecture × method) cell of Table II.
-pub fn table2_cell(
-    arch: Architecture,
-    method: AttackMethod,
-    scale: Scale,
-    seed: u64,
-) -> Table2Row {
+pub fn table2_cell(arch: Architecture, method: AttackMethod, scale: Scale, seed: u64) -> Table2Row {
     let model = pretrained(arch, &scale.zoo(), seed);
     let base_accuracy = model.base_accuracy;
     let mut pipe = AttackPipeline::new(model, 2, seed);
@@ -297,10 +292,7 @@ pub fn table4(scale: Scale, seed: u64) -> Vec<Table4Row> {
     let mut model = pretrained(Architecture::ResNet18, &scale.zoo(), seed);
     let original: Vec<_> = model.net.params().iter().map(|p| p.value.clone()).collect();
     let config = BaselineConfig::new(2);
-    let trigger = Trigger::black_square(TriggerMask::paper_default(
-        3,
-        model.test_data.side(),
-    ));
+    let trigger = Trigger::black_square(TriggerMask::paper_default(3, model.test_data.side()));
     let trigger = badnet(model.net.as_mut(), &model.test_data, &config, trigger);
     let attacked: Vec<_> = model.net.params().iter().map(|p| p.value.clone()).collect();
     let gradients: Vec<_> = model.net.params().iter().map(|p| p.grad.clone()).collect();
@@ -494,13 +486,7 @@ pub fn defense_prevention(scale: Scale, seed: u64) -> PreventionSummary {
     let mut model = pretrained(Architecture::ResNet32, &scale.zoo(), seed);
     let base_accuracy = model.base_accuracy * 100.0;
     let plain_cluster_score = clustering_score(model.net.as_ref());
-    let report = bnn::binarize_aware_finetune(
-        model.net.as_mut(),
-        &model.train_data,
-        3,
-        0.05,
-        seed,
-    );
+    let report = bnn::binarize_aware_finetune(model.net.as_mut(), &model.train_data, 3, 0.05, seed);
     let bnn_accuracy =
         rhb_models::train::evaluate(model.net.as_mut(), &model.test_data, 64) * 100.0;
 
@@ -571,7 +557,10 @@ pub fn defense_detection(scale: Scale, seed: u64) -> DetectionSummary {
         &mut pipe.model.net,
         checker.net, // placeholder; swapped back below
     );
-    let dyve = DeepDyve::new(backdoored, pretrained(Architecture::ResNet32, &scale.zoo(), seed).net);
+    let dyve = DeepDyve::new(
+        backdoored,
+        pretrained(Architecture::ResNet32, &scale.zoo(), seed).net,
+    );
     let mut stats = DyveStats::default();
     dyve.classify_batch(&triggered, &mut stats);
     let (main_back, _) = dyve.into_inner();
@@ -599,9 +588,12 @@ pub fn defense_detection(scale: Scale, seed: u64) -> DetectionSummary {
         Trigger::black_square(mask),
     );
     let radar_detected_adaptive = radar2.detect(adaptive.net.as_ref());
-    let adaptive_asr =
-        attack_success_rate(adaptive.net.as_mut(), &adaptive.test_data, &result.trigger, 2)
-            * 100.0;
+    let adaptive_asr = attack_success_rate(
+        adaptive.net.as_mut(),
+        &adaptive.test_data,
+        &result.trigger,
+        2,
+    ) * 100.0;
 
     DetectionSummary {
         dyve_alarms: stats.alarms,
@@ -609,8 +601,7 @@ pub fn defense_detection(scale: Scale, seed: u64) -> DetectionSummary {
         dyve_total: stats.total,
         weight_encoding_detected,
         weight_encoding_seconds: WeightEncoding::time_overhead(21_779_648).as_secs_f64(),
-        weight_encoding_mb: WeightEncoding::storage_overhead(21_779_648) as f64
-            / (1024.0 * 1024.0),
+        weight_encoding_mb: WeightEncoding::storage_overhead(21_779_648) as f64 / (1024.0 * 1024.0),
         radar_detected_vanilla,
         radar_detected_adaptive,
         adaptive_asr,
@@ -723,7 +714,10 @@ mod tests {
         let s = fig6(4);
         // Paper: ~4 extra flips/page at 7 sides, far more at 15.
         assert!((1.0..12.0).contains(&s.seven_sided_per_page), "{s:?}");
-        assert!(s.fifteen_sided_per_page > 10.0 * s.seven_sided_per_page, "{s:?}");
+        assert!(
+            s.fifteen_sided_per_page > 10.0 * s.seven_sided_per_page,
+            "{s:?}"
+        );
     }
 
     #[test]

@@ -11,3 +11,4 @@
 pub mod experiments;
 pub mod report;
 pub mod scale;
+pub mod telemetry;

@@ -180,9 +180,70 @@ pub fn recovery(s: &RecoverySummary) -> String {
         "§VI-C recovery (weight reconstruction):\n\
          unaware attacker: ASR {:.2}% → {:.2}% after reconstruction ({} weights repaired)\n\
          aware attacker:   ASR {:.2}% after reconstruction ({} weights repaired)\n",
-        s.unaware_asr_before, s.unaware_asr_after, s.repaired_unaware, s.aware_asr_after,
+        s.unaware_asr_before,
+        s.unaware_asr_after,
+        s.repaired_unaware,
+        s.aware_asr_after,
         s.repaired_aware
     )
+}
+
+/// The span paths of the five pipeline phases, in execution order
+/// (offline optimization, templating, placement, hammering, evaluation;
+/// matching is shown as part of the online phase).
+pub const PIPELINE_PHASES: [&str; 6] = [
+    "pipeline/offline",
+    "pipeline/templating",
+    "pipeline/matching",
+    "pipeline/placement",
+    "pipeline/hammering",
+    "pipeline/evaluation",
+];
+
+/// Renders the Table IV-style per-phase attack-time summary from the
+/// telemetry spans of a pipeline run. Phases that never ran are omitted;
+/// returns an explanatory stub when no pipeline span was recorded (e.g.
+/// telemetry disabled).
+pub fn phase_timings(report: &rhb_telemetry::TelemetryReport) -> String {
+    let mut out = String::from("Per-phase attack time (from telemetry spans)\n");
+    let recorded: Vec<_> = PIPELINE_PHASES
+        .iter()
+        .filter_map(|p| report.span(p))
+        .collect();
+    if recorded.is_empty() {
+        out.push_str("(no pipeline spans recorded — run with telemetry enabled)\n");
+        return out;
+    }
+    out.push_str("phase                   runs         total          mean\n");
+    for s in &recorded {
+        let name = s.path.trim_start_matches("pipeline/");
+        out.push_str(&format!(
+            "{:<22} {:>5} {:>13} {:>13}\n",
+            name,
+            s.count,
+            format!("{:.2?}", s.total),
+            format!("{:.2?}", s.mean()),
+        ));
+    }
+    if let Some(total) = report.span_total("pipeline") {
+        out.push_str(&format!("pipeline total         {:>23.2?}\n", total));
+    }
+    out
+}
+
+/// Renders the ablation study.
+pub fn ablation(rows: &[crate::experiments::AblationRow]) -> String {
+    let mut out = String::from(
+        "Ablation: CFT+BR design choices\n\
+         variant                        Nflip    TA%    ASR%\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{:<30} {:>5} {:>7.2} {:>7.2}\n",
+            r.variant, r.n_flip, r.ta, r.asr
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -228,19 +289,4 @@ mod tests {
         assert!(text.contains("-- ResNet20"));
         assert!(text.contains("99.99"));
     }
-}
-
-/// Renders the ablation study.
-pub fn ablation(rows: &[crate::experiments::AblationRow]) -> String {
-    let mut out = String::from(
-        "Ablation: CFT+BR design choices\n\
-         variant                        Nflip    TA%    ASR%\n",
-    );
-    for r in rows {
-        out.push_str(&format!(
-            "{:<30} {:>5} {:>7.2} {:>7.2}\n",
-            r.variant, r.n_flip, r.ta, r.asr
-        ));
-    }
-    out
 }

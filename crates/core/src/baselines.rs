@@ -240,14 +240,9 @@ mod tests {
     use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
     use rhb_nn::weightfile::WeightFile;
 
-    fn model_and_trigger(
-        seed: u64,
-    ) -> (rhb_models::zoo::PretrainedModel, Trigger, BaselineConfig) {
+    fn model_and_trigger(seed: u64) -> (rhb_models::zoo::PretrainedModel, Trigger, BaselineConfig) {
         let model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), seed);
-        let trigger = Trigger::black_square(TriggerMask::paper_default(
-            3,
-            model.test_data.side(),
-        ));
+        let trigger = Trigger::black_square(TriggerMask::paper_default(3, model.test_data.side()));
         (model, trigger, BaselineConfig::new(2))
     }
 
@@ -322,8 +317,7 @@ mod tests {
         let (mut model, trigger, config) = model_and_trigger(35);
         let original: Vec<Tensor> = model.net.params().iter().map(|p| p.value.clone()).collect();
         badnet(model.net.as_mut(), &model.test_data, &config, trigger);
-        let gradients: Vec<Tensor> =
-            model.net.params().iter().map(|p| p.grad.clone()).collect();
+        let gradients: Vec<Tensor> = model.net.params().iter().map(|p| p.grad.clone()).collect();
         let full: usize = model
             .net
             .params()

@@ -102,10 +102,7 @@ mod tests {
     #[test]
     fn asr_of_clean_model_is_low_and_excludes_target_class() {
         let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 21);
-        let trigger = Trigger::black_square(TriggerMask::paper_default(
-            3,
-            model.test_data.side(),
-        ));
+        let trigger = Trigger::black_square(TriggerMask::paper_default(3, model.test_data.side()));
         let asr = attack_success_rate(model.net.as_mut(), &model.test_data, &trigger, 0);
         // A clean model may misclassify some triggered samples but should
         // not funnel them into class 0.

@@ -146,10 +146,7 @@ impl AttackPipeline {
 
     /// The victim's trigger mask (paper proportions for its image size).
     pub fn trigger_mask(&self) -> TriggerMask {
-        TriggerMask::paper_default(
-            self.model.test_data.channels(),
-            self.model.test_data.side(),
-        )
+        TriggerMask::paper_default(self.model.test_data.channels(), self.model.test_data.side())
     }
 
     /// Flip budget for the constrained methods. The paper's only hard
@@ -164,6 +161,7 @@ impl AttackPipeline {
 
     /// Runs the offline phase of a method, mutating the victim in place.
     pub fn run_offline(&mut self, method: AttackMethod) -> OfflineReport {
+        let _pipeline_span = rhb_telemetry::span!("pipeline", seed = self.seed);
         let base_weights = WeightFile::from_network(self.model.net.as_ref());
         let trigger0 = Trigger::black_square(self.trigger_mask());
         let net = self.model.net.as_mut();
@@ -173,6 +171,7 @@ impl AttackPipeline {
             let pages = base_weights.num_pages();
             pages.clamp(1, 100)
         };
+        let _offline_span = rhb_telemetry::span!("offline", method = method.name());
         let (trigger, loss_history) = match method {
             AttackMethod::BadNet => (badnet(net, data, &bl, trigger0), Vec::new()),
             AttackMethod::Ft => (ft_last_layer(net, data, &bl, trigger0), Vec::new()),
@@ -208,17 +207,34 @@ impl AttackPipeline {
                 (trigger, loss_history)
             }
         };
+        drop(_offline_span);
         let attacked_weights = WeightFile::from_network(self.model.net.as_ref());
+        let flips = n_flip(&base_weights, &attacked_weights);
+        rhb_telemetry::counter!("core/offline/bits_requested", flips);
+        let (ta, asr) = {
+            let _eval_span = rhb_telemetry::span!("evaluation");
+            (
+                test_accuracy(self.model.net.as_mut(), &self.model.test_data),
+                attack_success_rate(
+                    self.model.net.as_mut(),
+                    &self.model.test_data,
+                    &trigger,
+                    self.target_label,
+                ),
+            )
+        };
+        rhb_telemetry::event!(
+            "offline_report",
+            method = method.name(),
+            n_flip = flips,
+            test_accuracy = ta,
+            attack_success_rate = asr,
+        );
         OfflineReport {
             method,
-            n_flip: n_flip(&base_weights, &attacked_weights),
-            test_accuracy: test_accuracy(self.model.net.as_mut(), &self.model.test_data),
-            attack_success_rate: attack_success_rate(
-                self.model.net.as_mut(),
-                &self.model.test_data,
-                &trigger,
-                self.target_label,
-            ),
+            n_flip: flips,
+            test_accuracy: ta,
+            attack_success_rate: asr,
             trigger,
             base_weights,
             attacked_weights,
@@ -236,10 +252,15 @@ impl AttackPipeline {
         // one page, keep the most significant demand per page (largest
         // weight-gradient proxy: we use the most significant differing bit,
         // matching the spirit of "largest gradient") and restore the rest.
+        let _pipeline_span = rhb_telemetry::span!("pipeline", seed = self.seed);
         let wanted = offline.base_weights.diff(&offline.attacked_weights);
         let targets = reduce_to_one_per_page(&wanted);
+        rhb_telemetry::counter!("core/online/targets_requested", targets.len());
 
-        let profile = FlipProfile::template(self.chip, self.profile_pages, self.seed);
+        let profile = {
+            let _templating_span = rhb_telemetry::span!("templating", pages = self.profile_pages);
+            FlipProfile::template(self.chip, self.profile_pages, self.seed)
+        };
         // Beyond the explicit buffer, the attacker templates most of the
         // 16 GB DIMM (§IV-A2: "multiple buffers of 128MB can be taken at a
         // time to profile most of the available memory") — ~4M pages.
@@ -278,16 +299,32 @@ impl AttackPipeline {
             .expect("weight file matches the network");
 
         let realized_flips = n_flip(&offline.base_weights, &corrupted);
+        rhb_telemetry::counter!("core/online/realized_flips", realized_flips);
+        let (ta, asr) = {
+            let _eval_span = rhb_telemetry::span!("evaluation");
+            (
+                test_accuracy(self.model.net.as_mut(), &self.model.test_data),
+                attack_success_rate(
+                    self.model.net.as_mut(),
+                    &self.model.test_data,
+                    &offline.trigger,
+                    self.target_label,
+                ),
+            )
+        };
+        rhb_telemetry::event!(
+            "online_report",
+            method = offline.method.name(),
+            n_flip = realized_flips,
+            n_matched = outcome.n_matched,
+            test_accuracy = ta,
+            attack_success_rate = asr,
+        );
         OnlineReport {
             method: offline.method,
             n_flip: realized_flips,
-            test_accuracy: test_accuracy(self.model.net.as_mut(), &self.model.test_data),
-            attack_success_rate: attack_success_rate(
-                self.model.net.as_mut(),
-                &self.model.test_data,
-                &offline.trigger,
-                self.target_label,
-            ),
+            test_accuracy: ta,
+            attack_success_rate: asr,
             // The paper's denominator is the method's *offline* N_flip:
             // a baseline that demanded 44 flips but realized 1 scores
             // 1/44 ≈ 2.3 %, even though its single post-reduction target

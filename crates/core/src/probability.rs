@@ -79,7 +79,12 @@ pub fn probability_curve(
 ) -> Vec<(usize, f64)> {
     page_counts
         .iter()
-        .map(|&n| (n, target_page_probability(total_flips_per_page, k_plus_l, S_BITS, n)))
+        .map(|&n| {
+            (
+                n,
+                target_page_probability(total_flips_per_page, k_plus_l, S_BITS, n),
+            )
+        })
         .collect()
 }
 
@@ -101,7 +106,10 @@ mod tests {
     #[test]
     fn two_offsets_match_three_percent() {
         let p = target_page_probability(REF, 2, S_BITS, N128MB);
-        assert!((p - 0.03).abs() < 0.01, "p(t|{{b0,b1}}) = {p}, paper says 0.03");
+        assert!(
+            (p - 0.03).abs() < 0.01,
+            "p(t|{{b0,b1}}) = {p}, paper says 0.03"
+        );
     }
 
     #[test]

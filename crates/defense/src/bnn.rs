@@ -47,7 +47,8 @@ pub fn binarize(net: &mut dyn Network) -> BinarizationReport {
         p.value
             .map_inplace(|v| if v >= 0.0 { mean_abs } else { -mean_abs });
         // Refit deployment so ±mean_abs are exactly representable.
-        p.deploy().expect("binarized weights are finite and nonzero");
+        p.deploy()
+            .expect("binarized weights are finite and nonzero");
     }
     // One bit per weight: 32,768 weights per 4 KB page.
     let pages = total_weights.div_ceil(4096 * 8 / BNN_BITS);

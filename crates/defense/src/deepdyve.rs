@@ -99,7 +99,11 @@ mod tests {
     use super::*;
     use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
 
-    fn two_models() -> (Box<dyn Network>, Box<dyn Network>, rhb_models::data::Dataset) {
+    fn two_models() -> (
+        Box<dyn Network>,
+        Box<dyn Network>,
+        rhb_models::data::Dataset,
+    ) {
         let cfg = ZooConfig::tiny();
         let a = pretrained(Architecture::ResNet20, &cfg, 7);
         // The checker must learn the *same task*: same zoo seed (hence the

@@ -47,12 +47,7 @@ impl Default for PwcConfig {
 /// `λ·Σ (w − c·sign(w))²` added to the loss, where `c` is each tensor's
 /// mean absolute weight (re-estimated every step). Returns the final
 /// training accuracy.
-pub fn train_with_pwc(
-    net: &mut dyn Network,
-    data: &Dataset,
-    config: &PwcConfig,
-    seed: u64,
-) -> f64 {
+pub fn train_with_pwc(net: &mut dyn Network, data: &Dataset, config: &PwcConfig, seed: u64) -> f64 {
     let mut rng = Rng::seed_from(seed);
     let mut opt = Sgd::new(net, config.sgd);
     let mut order: Vec<usize> = (0..data.len()).collect();

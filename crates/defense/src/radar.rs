@@ -47,9 +47,7 @@ impl Radar {
         let mut count = 0usize;
         for q in net.quantized_params() {
             for &v in q.values() {
-                acc = acc
-                    .rotate_left(7)
-                    .wrapping_add(u64::from(v as u8 & mask));
+                acc = acc.rotate_left(7).wrapping_add(u64::from(v as u8 & mask));
                 count += 1;
                 if count == group_size {
                     sums.push(acc);

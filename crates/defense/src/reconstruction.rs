@@ -56,9 +56,17 @@ impl WeightReconstruction {
     /// Panics if the model's parameter structure changed since deployment.
     pub fn reconstruct(&self, net: &mut dyn Network) -> usize {
         let shift = 8 - self.protected_bits;
-        let low_mask = if shift == 0 { 0u8 } else { 0xFFu8 >> self.protected_bits };
+        let low_mask = if shift == 0 {
+            0u8
+        } else {
+            0xFFu8 >> self.protected_bits
+        };
         let mut images: Vec<QuantizedTensor> = net.quantized_params();
-        assert_eq!(images.len(), self.references.len(), "parameter count changed");
+        assert_eq!(
+            images.len(),
+            self.references.len(),
+            "parameter count changed"
+        );
         let mut repaired = 0usize;
         for (img, reference) in images.iter_mut().zip(&self.references) {
             for (v, &r) in img.values_mut().iter_mut().zip(reference) {

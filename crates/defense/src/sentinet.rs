@@ -88,11 +88,7 @@ pub fn saliency(net: &mut dyn Network, image: &Tensor) -> Heatmap {
 /// Fig. 8's comparison: mean trigger-region saliency mass over a batch of
 /// triggered inputs. A clean model keeps most focus on object features; a
 /// backdoored model's focus collapses onto the patch.
-pub fn mean_trigger_focus(
-    net: &mut dyn Network,
-    images: &Tensor,
-    trigger: &Trigger,
-) -> f64 {
+pub fn mean_trigger_focus(net: &mut dyn Network, images: &Tensor, trigger: &Trigger) -> f64 {
     let dims = images.shape().dims().to_vec();
     let image_len: usize = dims[1..].iter().product();
     let triggered = trigger.apply(images);

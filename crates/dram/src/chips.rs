@@ -32,35 +32,119 @@ pub struct ChipModel {
 impl ChipModel {
     /// The 14 DDR3 chips of Table I.
     pub const DDR3: [ChipModel; 14] = [
-        ChipModel { tag: "A1", kind: ChipKind::Ddr3, avg_flips_per_page: 12.48 },
-        ChipModel { tag: "A2", kind: ChipKind::Ddr3, avg_flips_per_page: 1.92 },
-        ChipModel { tag: "A3", kind: ChipKind::Ddr3, avg_flips_per_page: 1.11 },
-        ChipModel { tag: "A4", kind: ChipKind::Ddr3, avg_flips_per_page: 15.85 },
-        ChipModel { tag: "B1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.05 },
-        ChipModel { tag: "C1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.60 },
-        ChipModel { tag: "D1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.08 },
-        ChipModel { tag: "E1", kind: ChipKind::Ddr3, avg_flips_per_page: 12.46 },
-        ChipModel { tag: "E2", kind: ChipKind::Ddr3, avg_flips_per_page: 2.02 },
-        ChipModel { tag: "F1", kind: ChipKind::Ddr3, avg_flips_per_page: 28.77 },
-        ChipModel { tag: "G1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.62 },
-        ChipModel { tag: "H1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.66 },
-        ChipModel { tag: "I1", kind: ChipKind::Ddr3, avg_flips_per_page: 8.28 },
-        ChipModel { tag: "J1", kind: ChipKind::Ddr3, avg_flips_per_page: 1.25 },
+        ChipModel {
+            tag: "A1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 12.48,
+        },
+        ChipModel {
+            tag: "A2",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 1.92,
+        },
+        ChipModel {
+            tag: "A3",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 1.11,
+        },
+        ChipModel {
+            tag: "A4",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 15.85,
+        },
+        ChipModel {
+            tag: "B1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 1.05,
+        },
+        ChipModel {
+            tag: "C1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 1.60,
+        },
+        ChipModel {
+            tag: "D1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 1.08,
+        },
+        ChipModel {
+            tag: "E1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 12.46,
+        },
+        ChipModel {
+            tag: "E2",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 2.02,
+        },
+        ChipModel {
+            tag: "F1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 28.77,
+        },
+        ChipModel {
+            tag: "G1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 1.62,
+        },
+        ChipModel {
+            tag: "H1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 1.66,
+        },
+        ChipModel {
+            tag: "I1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 8.28,
+        },
+        ChipModel {
+            tag: "J1",
+            kind: ChipKind::Ddr3,
+            avg_flips_per_page: 1.25,
+        },
     ];
 
     /// The 6 DDR4 chips of Table I.
     pub const DDR4: [ChipModel; 6] = [
-        ChipModel { tag: "K1", kind: ChipKind::Ddr4, avg_flips_per_page: 100.68 },
-        ChipModel { tag: "K2", kind: ChipKind::Ddr4, avg_flips_per_page: 109.48 },
-        ChipModel { tag: "L1", kind: ChipKind::Ddr4, avg_flips_per_page: 3.12 },
-        ChipModel { tag: "L2", kind: ChipKind::Ddr4, avg_flips_per_page: 13.98 },
-        ChipModel { tag: "M1", kind: ChipKind::Ddr4, avg_flips_per_page: 2.04 },
-        ChipModel { tag: "N1", kind: ChipKind::Ddr4, avg_flips_per_page: 2.72 },
+        ChipModel {
+            tag: "K1",
+            kind: ChipKind::Ddr4,
+            avg_flips_per_page: 100.68,
+        },
+        ChipModel {
+            tag: "K2",
+            kind: ChipKind::Ddr4,
+            avg_flips_per_page: 109.48,
+        },
+        ChipModel {
+            tag: "L1",
+            kind: ChipKind::Ddr4,
+            avg_flips_per_page: 3.12,
+        },
+        ChipModel {
+            tag: "L2",
+            kind: ChipKind::Ddr4,
+            avg_flips_per_page: 13.98,
+        },
+        ChipModel {
+            tag: "M1",
+            kind: ChipKind::Ddr4,
+            avg_flips_per_page: 2.04,
+        },
+        ChipModel {
+            tag: "N1",
+            kind: ChipKind::Ddr4,
+            avg_flips_per_page: 2.72,
+        },
     ];
 
     /// All 20 chips in Table I order.
     pub fn all() -> Vec<ChipModel> {
-        Self::DDR3.iter().chain(Self::DDR4.iter()).copied().collect()
+        Self::DDR3
+            .iter()
+            .chain(Self::DDR4.iter())
+            .copied()
+            .collect()
     }
 
     /// Looks a chip up by Table I tag.

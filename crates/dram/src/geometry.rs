@@ -100,10 +100,7 @@ impl DramGeometry {
     pub fn neighbors_in_bank(&self, row: usize) -> (Option<usize>, Option<usize>) {
         let below = row.checked_sub(self.banks);
         let above = row + self.banks;
-        (
-            below,
-            (above < self.total_rows()).then_some(above),
-        )
+        (below, (above < self.total_rows()).then_some(above))
     }
 }
 

@@ -170,7 +170,9 @@ mod tests {
     fn double_sided_works_on_ddr3() {
         let i = HammerPattern::double_sided().intensity(ChipKind::Ddr3);
         assert!(i > 0.6, "DDR3 double-sided intensity {i}");
-        assert!(validate_pattern(HammerPattern::double_sided(), ChipModel::reference_ddr3()).is_ok());
+        assert!(
+            validate_pattern(HammerPattern::double_sided(), ChipModel::reference_ddr3()).is_ok()
+        );
     }
 
     #[test]

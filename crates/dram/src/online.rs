@@ -95,6 +95,21 @@ impl OnlineOutcome {
     }
 }
 
+/// Result of the matching phase ([`OnlineAttack::match_targets`]): which
+/// flippy frames were consumed, which file page each one hosts, and which
+/// targets found (or failed to find) a frame.
+#[derive(Debug, Clone, Default)]
+pub struct MatchOutcome {
+    /// Flippy frames consumed by matching, in match order.
+    pub used_frames: Vec<usize>,
+    /// Matched flippy frame per targeted file page.
+    pub frame_of_file_page: HashMap<usize, usize>,
+    /// Targets for which a frame was found.
+    pub matched: Vec<TargetBit>,
+    /// Targets no frame could realize.
+    pub unmatched: Vec<TargetBit>,
+}
+
 /// The online attack executor.
 #[derive(Debug, Clone)]
 pub struct OnlineAttack {
@@ -154,7 +169,11 @@ impl OnlineAttack {
     /// Vulnerable cells of a frame, whether explicit or synthesized.
     fn cells_of_frame(&self, frame: usize) -> Vec<FlipCell> {
         if frame < self.profile.num_pages() {
-            self.profile.flips_in_page(frame).into_iter().copied().collect()
+            self.profile
+                .flips_in_page(frame)
+                .into_iter()
+                .copied()
+                .collect()
         } else {
             self.synthesized.get(&frame).cloned().unwrap_or_default()
         }
@@ -207,22 +226,18 @@ impl OnlineAttack {
         Some(frame)
     }
 
-    /// Executes the attack on a weight file image (`data` must be a whole
-    /// number of 4 KB pages). Unmatched targets are skipped, mirroring the
-    /// paper's online-phase evaluation where only realizable flips land.
+    /// Phase 1 of [`OnlineAttack::execute`]: matches each target against
+    /// the flip profile (one flippy frame can host only one file page, so
+    /// frames are consumed as they match).
     ///
     /// # Panics
     ///
-    /// Panics if `data.len()` is not page-aligned or a target page is
-    /// outside the file.
-    pub fn execute(&mut self, data: &mut [u8], targets: &[TargetBit]) -> OnlineOutcome {
-        assert_eq!(data.len() % PAGE_SIZE, 0, "weight file must be page-aligned");
-        let file_pages = data.len() / PAGE_SIZE;
+    /// Panics if a target page lies outside a file of `file_pages` pages.
+    pub fn match_targets(&mut self, file_pages: usize, targets: &[TargetBit]) -> MatchOutcome {
+        let _span = rhb_telemetry::span!("matching", targets = targets.len());
         let intensity = self.config.pattern.intensity(self.profile.chip().kind);
         let mut ext_rng = StdRng::seed_from_u64(self.extended_seed.wrapping_add(0x5eed));
 
-        // Phase 1: match targets to flippy pages (one flippy frame can host
-        // only one file page, so consume pages as they match).
         let mut used_frames: Vec<usize> = Vec::new();
         let mut frame_of_file_page: HashMap<usize, usize> = HashMap::new();
         let mut matched: Vec<TargetBit> = Vec::new();
@@ -259,12 +274,31 @@ impl OnlineAttack {
                 None => unmatched.push(t),
             }
         }
+        rhb_telemetry::counter!("dram/targets_matched", matched.len());
+        rhb_telemetry::counter!("dram/targets_unmatched", unmatched.len());
+        MatchOutcome {
+            used_frames,
+            frame_of_file_page,
+            matched,
+            unmatched,
+        }
+    }
 
-        // Phase 2: placement. Bait frames preferentially come from profile
-        // pages with no flips reachable at this intensity so untargeted
-        // weights stay intact; if the buffer is too flippy to supply enough
-        // clean frames, any unused frame works — rows that are never
-        // hammered never flip.
+    /// Phase 2 of [`OnlineAttack::execute`]: places the weight file so each
+    /// matched file page is resident in its flippy frame. Bait frames
+    /// preferentially come from profile pages with no flips reachable at
+    /// this intensity so untargeted weights stay intact; if the buffer is
+    /// too flippy to supply enough clean frames, any unused frame works —
+    /// rows that are never hammered never flip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matched frames plus available bait cannot cover the
+    /// file (the templated buffer is smaller than the weight file).
+    pub fn place(&self, file_pages: usize, matching: &MatchOutcome) -> PlacementPlan {
+        let _span = rhb_telemetry::span!("placement", file_pages = file_pages);
+        let intensity = self.config.pattern.intensity(self.profile.chip().kind);
+        let used_frames = &matching.used_frames;
         let clean = (0..self.profile.num_pages()).filter(|&p| {
             !used_frames.contains(&p)
                 && !self
@@ -282,14 +316,24 @@ impl OnlineAttack {
                     .any(|c| c.threshold <= intensity)
         });
         let bait: Vec<usize> = clean.chain(dirty).take(file_pages).collect();
-        let placement = steer_weight_file(file_pages, &frame_of_file_page, &bait)
-            .expect("matched frames plus clean bait cover the file");
+        rhb_telemetry::counter!("dram/bait_frames_used", bait.len().min(file_pages));
+        steer_weight_file(file_pages, &matching.frame_of_file_page, &bait)
+            .expect("matched frames plus clean bait cover the file")
+    }
 
-        // Phase 3: hammer each flippy frame hosting a target page.
+    /// Phase 3 of [`OnlineAttack::execute`]: hammers each flippy frame
+    /// hosting a target page, applying the intended flip and every
+    /// accidental flip the pattern reaches, honoring pinned directions.
+    /// Returns the applied flips and the count of accidental flips landing
+    /// in target pages (the `δ` of the r_match formula).
+    pub fn hammer(&self, data: &mut [u8], matching: &MatchOutcome) -> (Vec<AppliedFlip>, usize) {
+        let _span = rhb_telemetry::span!("hammering", frames = matching.frame_of_file_page.len(),);
+        let intensity = self.config.pattern.intensity(self.profile.chip().kind);
         let mut applied = Vec::new();
         let mut accidental_in_target_pages = 0usize;
-        for (&file_page, &frame) in &frame_of_file_page {
-            let wanted: Vec<&TargetBit> = matched
+        for (&file_page, &frame) in &matching.frame_of_file_page {
+            let wanted: Vec<&TargetBit> = matching
+                .matched
                 .iter()
                 .filter(|t| t.file_page == file_page)
                 .collect();
@@ -334,15 +378,48 @@ impl OnlineAttack {
                     intended,
                 });
             }
+            rhb_telemetry::counter!("dram/frames_hammered", 1);
         }
+        rhb_telemetry::counter!("dram/bits_flipped", applied.len());
+        rhb_telemetry::counter!(
+            "dram/accidental_flips",
+            applied.iter().filter(|f| !f.intended).count()
+        );
+        (applied, accidental_in_target_pages)
+    }
 
-        let attack_time = self.config.pattern.attack_time(frame_of_file_page.len());
+    /// Executes the attack on a weight file image (`data` must be a whole
+    /// number of 4 KB pages): [`OnlineAttack::match_targets`] →
+    /// [`OnlineAttack::place`] → [`OnlineAttack::hammer`]. Unmatched
+    /// targets are skipped, mirroring the paper's online-phase evaluation
+    /// where only realizable flips land.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not page-aligned or a target page is
+    /// outside the file.
+    pub fn execute(&mut self, data: &mut [u8], targets: &[TargetBit]) -> OnlineOutcome {
+        assert_eq!(
+            data.len() % PAGE_SIZE,
+            0,
+            "weight file must be page-aligned"
+        );
+        let file_pages = data.len() / PAGE_SIZE;
+
+        let matching = self.match_targets(file_pages, targets);
+        let placement = self.place(file_pages, &matching);
+        let (applied, accidental_in_target_pages) = self.hammer(data, &matching);
+
+        let attack_time = self
+            .config
+            .pattern
+            .attack_time(matching.frame_of_file_page.len());
         OnlineOutcome {
             n_targets: targets.len(),
-            n_matched: matched.len(),
+            n_matched: matching.matched.len(),
             applied,
             accidental_in_target_pages,
-            unmatched,
+            unmatched: matching.unmatched,
             attack_time,
             placement,
         }
@@ -369,10 +446,7 @@ mod tests {
 
     /// Builds targets straight from profile cells so matching must succeed.
     fn easy_targets(attack: &OnlineAttack, n: usize, data: &[u8]) -> Vec<TargetBit> {
-        let intensity = attack
-            .config
-            .pattern
-            .intensity(attack.profile.chip().kind);
+        let intensity = attack.config.pattern.intensity(attack.profile.chip().kind);
         let mut seen_pages = Vec::new();
         let mut targets = Vec::new();
         for (i, cell) in attack.profile.cells().iter().enumerate() {
@@ -426,8 +500,16 @@ mod tests {
         let data = vec![0u8; 2 * PAGE_SIZE];
         // Two flips wanted in file page 0 at arbitrary distinct offsets.
         let targets = vec![
-            TargetBit { file_page: 0, bit_offset: 123, zero_to_one: true },
-            TargetBit { file_page: 0, bit_offset: 20_456, zero_to_one: true },
+            TargetBit {
+                file_page: 0,
+                bit_offset: 123,
+                zero_to_one: true,
+            },
+            TargetBit {
+                file_page: 0,
+                bit_offset: 20_456,
+                zero_to_one: true,
+            },
         ];
         let mut buf = data;
         let outcome = attack.execute(&mut buf, &targets);
@@ -465,7 +547,11 @@ mod tests {
         // A tiny profile cannot match most offsets.
         let mut attack = ddr3_attack(4, 4);
         let mut data = vec![0u8; PAGE_SIZE];
-        let targets = vec![TargetBit { file_page: 0, bit_offset: 31_999, zero_to_one: true }];
+        let targets = vec![TargetBit {
+            file_page: 0,
+            bit_offset: 31_999,
+            zero_to_one: true,
+        }];
         let outcome = attack.execute(&mut data, &targets);
         assert_eq!(outcome.n_matched + outcome.unmatched.len(), 1);
     }

@@ -53,7 +53,9 @@ impl PageFrameCache {
                 available: self.stack.len(),
             });
         }
-        Ok((0..n).map(|_| self.stack.pop().expect("length checked")).collect())
+        Ok((0..n)
+            .map(|_| self.stack.pop().expect("length checked"))
+            .collect())
     }
 
     /// Peeks at the stack contents (top last), for diagnostics.
@@ -165,7 +167,10 @@ mod tests {
         cache.release(1);
         assert!(matches!(
             cache.allocate(2),
-            Err(DramError::CacheExhausted { requested: 2, available: 1 })
+            Err(DramError::CacheExhausted {
+                requested: 2,
+                available: 1
+            })
         ));
     }
 

@@ -94,6 +94,8 @@ impl FlipProfile {
                 });
             }
         }
+        rhb_telemetry::counter!("dram/pages_templated", num_pages);
+        rhb_telemetry::counter!("dram/cells_templated", cells.len());
         let mut profile = FlipProfile {
             chip,
             num_pages,

@@ -69,6 +69,8 @@ pub struct ConflictScan {
 impl ConflictScan {
     /// Measures `reference` against every frame in `probes`.
     pub fn run(oracle: &mut RowConflictOracle, reference: usize, probes: &[usize]) -> Self {
+        let _span = rhb_telemetry::span!("rowconflict_scan", probes = probes.len());
+        rhb_telemetry::counter!("dram/rowconflict_probes", probes.len());
         let latencies = probes
             .iter()
             .map(|&p| oracle.time_pair(reference, p))

@@ -96,6 +96,8 @@ pub struct SpoilerTrace {
 /// The paper performs 100 timing measurements per page and averages after
 /// outlier removal; the simulator folds that into small Gaussian noise.
 pub fn measure(buffer: &VirtualBuffer, seed: u64) -> SpoilerTrace {
+    let _span = rhb_telemetry::span!("spoiler_measure", pages = buffer.pages());
+    rhb_telemetry::counter!("dram/spoiler_pages_probed", buffer.pages());
     let mut rng = StdRng::seed_from_u64(seed);
     let mask = (1usize << ALIAS_BITS) - 1;
     // The attacker's probe store lands at a fixed physical alias class.

@@ -174,6 +174,7 @@ fn generate(
                 )
             })
             .collect();
+        #[allow(clippy::needless_range_loop)]
         for c in 0..channels {
             for y in 0..side {
                 for x in 0..side {
@@ -250,7 +251,15 @@ impl SynthCifar {
     /// Generates `samples` labeled images with the given seed.
     pub fn generate(&self, samples: usize, seed: u64) -> Dataset {
         let mut rng = Rng::seed_from(seed);
-        generate(samples, 10, 3, self.side, self.noise, self.overlap, &mut rng)
+        generate(
+            samples,
+            10,
+            3,
+            self.side,
+            self.noise,
+            self.overlap,
+            &mut rng,
+        )
     }
 }
 
@@ -282,7 +291,15 @@ impl SynthImageNet {
     /// Generates `samples` labeled images with the given seed.
     pub fn generate(&self, samples: usize, seed: u64) -> Dataset {
         let mut rng = Rng::seed_from(seed);
-        generate(samples, self.classes, 3, self.side, self.noise, self.overlap, &mut rng)
+        generate(
+            samples,
+            self.classes,
+            3,
+            self.side,
+            self.noise,
+            self.overlap,
+            &mut rng,
+        )
     }
 }
 

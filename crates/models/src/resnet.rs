@@ -389,7 +389,14 @@ mod tests {
         let mut net = tiny();
         let x = Tensor::full(&[2, 3, 16, 16], 0.2);
         let targets = [1usize, 1];
-        let mut opt = Sgd::new(&net, SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            &net,
+            SgdConfig {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+        );
         net.zero_grad();
         let before = {
             let y = net.forward(&x, Mode::Train);

@@ -64,10 +64,17 @@ impl Trainer {
 
     /// Trains the network in place, returning per-epoch statistics.
     pub fn fit(&mut self, net: &mut dyn Network, data: &Dataset) -> Vec<EpochStats> {
+        let _fit_span = rhb_telemetry::span!(
+            "train",
+            epochs = self.config.epochs,
+            batch_size = self.config.batch_size,
+            samples = data.len(),
+        );
         let mut opt = Sgd::new(net, self.config.sgd);
         let mut stats = Vec::with_capacity(self.config.epochs);
         let mut order: Vec<usize> = (0..data.len()).collect();
         for epoch in 0..self.config.epochs {
+            let _epoch_span = rhb_telemetry::span!("epoch", index = epoch);
             if let Some(sched) = self.config.schedule {
                 opt.set_lr(sched.lr_at(epoch));
             }
@@ -90,11 +97,21 @@ impl Trainer {
                 total_correct += accuracy(&logits, &y) * chunk.len() as f64;
                 batches += 1;
             }
-            stats.push(EpochStats {
+            let s = EpochStats {
                 epoch,
                 mean_loss: total_loss / batches.max(1) as f32,
                 train_accuracy: total_correct / data.len() as f64,
-            });
+            };
+            rhb_telemetry::counter!("models/epochs_trained", 1);
+            rhb_telemetry::gauge!("models/train_loss", s.mean_loss);
+            rhb_telemetry::gauge!("models/train_accuracy", s.train_accuracy);
+            rhb_telemetry::event!(
+                "epoch_stats",
+                epoch = epoch,
+                mean_loss = s.mean_loss,
+                train_accuracy = s.train_accuracy,
+            );
+            stats.push(s);
         }
         stats
     }
@@ -102,6 +119,7 @@ impl Trainer {
 
 /// Evaluates classification accuracy on a dataset, batching to bound memory.
 pub fn evaluate(net: &mut dyn Network, data: &Dataset, batch_size: usize) -> f64 {
+    let _span = rhb_telemetry::span!("evaluate", samples = data.len());
     let mut correct = 0.0f64;
     let idx: Vec<usize> = (0..data.len()).collect();
     for chunk in idx.chunks(batch_size.max(1)) {

@@ -158,11 +158,21 @@ pub fn build(arch: Architecture, cfg: &ZooConfig, rng: &mut Rng) -> Box<dyn Netw
         10
     };
     match arch {
-        Architecture::ResNet20 => Box::new(ResNet::new(ResNetConfig::resnet20(cfg.width, classes), rng)),
-        Architecture::ResNet32 => Box::new(ResNet::new(ResNetConfig::resnet32(cfg.width, classes), rng)),
-        Architecture::ResNet18 => Box::new(ResNet::new(ResNetConfig::resnet18(cfg.width, classes), rng)),
-        Architecture::ResNet34 => Box::new(ResNet::new(ResNetConfig::resnet34(cfg.width, classes), rng)),
-        Architecture::ResNet50 => Box::new(ResNet::new(ResNetConfig::resnet50(cfg.width, classes), rng)),
+        Architecture::ResNet20 => {
+            Box::new(ResNet::new(ResNetConfig::resnet20(cfg.width, classes), rng))
+        }
+        Architecture::ResNet32 => {
+            Box::new(ResNet::new(ResNetConfig::resnet32(cfg.width, classes), rng))
+        }
+        Architecture::ResNet18 => {
+            Box::new(ResNet::new(ResNetConfig::resnet18(cfg.width, classes), rng))
+        }
+        Architecture::ResNet34 => {
+            Box::new(ResNet::new(ResNetConfig::resnet34(cfg.width, classes), rng))
+        }
+        Architecture::ResNet50 => {
+            Box::new(ResNet::new(ResNetConfig::resnet50(cfg.width, classes), rng))
+        }
         Architecture::Vgg11 => Box::new(Vgg::new(VggConfig::vgg11(cfg.width, classes), rng)),
         Architecture::Vgg16 => Box::new(Vgg::new(VggConfig::vgg16(cfg.width, classes), rng)),
     }

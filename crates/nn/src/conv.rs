@@ -72,7 +72,12 @@ impl Conv2d {
                 geom.in_channels, geom.out_channels, geom.kernel
             ),
             kaiming_normal(
-                &[geom.out_channels, geom.in_channels, geom.kernel, geom.kernel],
+                &[
+                    geom.out_channels,
+                    geom.in_channels,
+                    geom.kernel,
+                    geom.kernel,
+                ],
                 fan_in,
                 rng,
             ),
@@ -185,7 +190,8 @@ impl Layer for Conv2d {
             let image = &input.data()[b * image_len..(b + 1) * image_len];
             let cols = self.im2col(image, in_side);
             let y = wmat.matmul(&cols).expect("im2col shapes are consistent");
-            let dst = &mut output[b * g.out_channels * out * out..(b + 1) * g.out_channels * out * out];
+            let dst =
+                &mut output[b * g.out_channels * out * out..(b + 1) * g.out_channels * out * out];
             dst.copy_from_slice(y.data());
             if let Some(bias) = &self.bias {
                 let bv = bias.effective();

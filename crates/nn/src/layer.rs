@@ -141,17 +141,27 @@ impl std::fmt::Debug for Sequential {
 
 impl Layer for Sequential {
     fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let t0 = rhb_telemetry::enabled().then(std::time::Instant::now);
         let mut x = input.clone();
         for layer in &mut self.layers {
             x = layer.forward_mode(&x, mode);
+        }
+        if let Some(t0) = t0 {
+            rhb_telemetry::observe_value("nn/seq_forward_s", t0.elapsed().as_secs_f64());
+            rhb_telemetry::add_counter("nn/forward_passes", 1);
         }
         x
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let t0 = rhb_telemetry::enabled().then(std::time::Instant::now);
         let mut g = grad_output.clone();
         for layer in self.layers.iter_mut().rev() {
             g = layer.backward(&g);
+        }
+        if let Some(t0) = t0 {
+            rhb_telemetry::observe_value("nn/seq_backward_s", t0.elapsed().as_secs_f64());
+            rhb_telemetry::add_counter("nn/backward_passes", 1);
         }
         g
     }
@@ -161,7 +171,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Parameter> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn describe(&self) -> String {

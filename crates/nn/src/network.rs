@@ -47,9 +47,13 @@ pub trait Network: Send {
     ///
     /// Fails if any parameter cannot be quantized (e.g. all zeros).
     fn deploy(&mut self) -> Result<()> {
+        let _span = rhb_telemetry::span!("nn/deploy");
+        let mut n = 0u64;
         for p in self.params_mut() {
             p.deploy()?;
+            n += 1;
         }
+        rhb_telemetry::counter!("nn/params_deployed", n);
         Ok(())
     }
 

@@ -37,7 +37,10 @@ impl BatchNorm2d {
     /// Creates a batch-norm layer for `channels` feature maps.
     pub fn new(channels: usize) -> Self {
         BatchNorm2d {
-            gamma: Parameter::new(format!("bn{channels}.gamma"), Tensor::full(&[channels], 1.0)),
+            gamma: Parameter::new(
+                format!("bn{channels}.gamma"),
+                Tensor::full(&[channels], 1.0),
+            ),
             beta: Parameter::new(format!("bn{channels}.beta"), Tensor::zeros(&[channels])),
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
@@ -68,6 +71,7 @@ impl Layer for BatchNorm2d {
         let plane = h * w;
         let count = (batch * plane) as f32;
 
+        #[allow(clippy::needless_range_loop)]
         let (mean, var) = if !mode.uses_running_stats() {
             let mut mean = vec![0.0f32; chans];
             let mut var = vec![0.0f32; chans];

@@ -169,7 +169,14 @@ mod tests {
     #[test]
     fn sgd_reduces_loss_on_separable_data() {
         let mut net = Tiny::new();
-        let mut opt = Sgd::new(&net, SgdConfig { lr: 0.5, momentum: 0.9, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            &net,
+            SgdConfig {
+                lr: 0.5,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+        );
         let x = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
         let targets = [0usize, 1];
         let mut first = None;
@@ -189,20 +196,38 @@ mod tests {
     #[test]
     fn masked_step_only_touches_selected_indices() {
         let mut net = Tiny::new();
-        let mut opt = Sgd::new(&net, SgdConfig { lr: 1.0, momentum: 0.0, weight_decay: 0.0 });
+        let mut opt = Sgd::new(
+            &net,
+            SgdConfig {
+                lr: 1.0,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
+        );
         // Fill gradients with ones so any unmasked update would be visible.
         for p in net.params_mut() {
             for g in p.grad.data_mut() {
                 *g = 1.0;
             }
         }
-        let before: Vec<f32> = net.params().iter().flat_map(|p| p.value.data().to_vec()).collect();
+        let before: Vec<f32> = net
+            .params()
+            .iter()
+            .flat_map(|p| p.value.data().to_vec())
+            .collect();
         // weight is 4 values (indices 0..4), bias 2 values (indices 4..6).
         opt.step_masked(&mut net, &[1, 4]);
-        let after: Vec<f32> = net.params().iter().flat_map(|p| p.value.data().to_vec()).collect();
+        let after: Vec<f32> = net
+            .params()
+            .iter()
+            .flat_map(|p| p.value.data().to_vec())
+            .collect();
         for i in 0..before.len() {
             if i == 1 || i == 4 {
-                assert!((after[i] - (before[i] - 1.0)).abs() < 1e-6, "index {i} not stepped");
+                assert!(
+                    (after[i] - (before[i] - 1.0)).abs() < 1e-6,
+                    "index {i} not stepped"
+                );
             } else {
                 assert_eq!(after[i], before[i], "index {i} must be untouched");
             }
@@ -219,7 +244,11 @@ mod tests {
 
     #[test]
     fn step_lr_decays_by_gamma() {
-        let sched = StepLr { base_lr: 0.1, step: 10, gamma: 0.5 };
+        let sched = StepLr {
+            base_lr: 0.1,
+            step: 10,
+            gamma: 0.5,
+        };
         assert_eq!(sched.lr_at(0), 0.1);
         assert_eq!(sched.lr_at(10), 0.05);
         assert_eq!(sched.lr_at(25), 0.025);

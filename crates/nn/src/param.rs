@@ -113,10 +113,7 @@ mod tests {
     use super::*;
 
     fn param() -> Parameter {
-        Parameter::new(
-            "w",
-            Tensor::from_vec(vec![0.3, -0.8, 0.05, 1.0], &[2, 2]),
-        )
+        Parameter::new("w", Tensor::from_vec(vec![0.3, -0.8, 0.05, 1.0], &[2, 2]))
     }
 
     #[test]

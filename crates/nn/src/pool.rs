@@ -181,7 +181,10 @@ mod tests {
     #[test]
     fn global_avg_pool_averages_planes() {
         let mut pool = GlobalAvgPool::new();
-        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2]);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        );
         let y = pool.forward(&x);
         assert_eq!(y.data(), &[2.5, 25.0]);
     }

@@ -131,7 +131,10 @@ impl QuantizedTensor {
     /// Dequantizes back to a float tensor.
     pub fn to_tensor(&self) -> Tensor {
         Tensor::from_vec(
-            self.values.iter().map(|&q| self.scheme.dequantize(q)).collect(),
+            self.values
+                .iter()
+                .map(|&q| self.scheme.dequantize(q))
+                .collect(),
             &self.dims,
         )
     }

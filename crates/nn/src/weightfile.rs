@@ -193,6 +193,7 @@ impl WeightFile {
         let mask = 1u8 << bit;
         let was_zero = self.data[flat] & mask == 0;
         self.data[flat] ^= mask;
+        rhb_telemetry::counter!("nn/weightfile_bit_flips", 1);
         Ok(was_zero)
     }
 
@@ -204,7 +205,11 @@ impl WeightFile {
     ///
     /// Panics if the files have different sizes.
     pub fn diff(&self, target: &WeightFile) -> Vec<BitTarget> {
-        assert_eq!(self.data.len(), target.data.len(), "weight file size mismatch");
+        assert_eq!(
+            self.data.len(),
+            target.data.len(),
+            "weight file size mismatch"
+        );
         let mut flips = Vec::new();
         for (i, (&a, &b)) in self.data.iter().zip(target.data.iter()).enumerate() {
             let delta = a ^ b;
@@ -230,7 +235,11 @@ impl WeightFile {
     ///
     /// Panics if the files have different sizes.
     pub fn hamming_distance(&self, other: &WeightFile) -> u64 {
-        assert_eq!(self.data.len(), other.data.len(), "weight file size mismatch");
+        assert_eq!(
+            self.data.len(),
+            other.data.len(),
+            "weight file size mismatch"
+        );
         self.data
             .iter()
             .zip(other.data.iter())
@@ -352,7 +361,14 @@ mod tests {
         let mut m = base.clone();
         m.flip_bit(ByteLocation { page: 0, offset: 7 }, 0).unwrap();
         m.flip_bit(ByteLocation { page: 0, offset: 7 }, 5).unwrap();
-        m.flip_bit(ByteLocation { page: 0, offset: 250 }, 3).unwrap();
+        m.flip_bit(
+            ByteLocation {
+                page: 0,
+                offset: 250,
+            },
+            3,
+        )
+        .unwrap();
         assert_eq!(base.hamming_distance(&m), 3);
         assert_eq!(base.diff(&m).len(), 3);
     }
@@ -361,7 +377,14 @@ mod tests {
     fn to_images_round_trips_bit_flips() {
         let imgs = images(100);
         let mut wf = WeightFile::from_images(&imgs);
-        wf.flip_bit(ByteLocation { page: 0, offset: 10 }, 7).unwrap();
+        wf.flip_bit(
+            ByteLocation {
+                page: 0,
+                offset: 10,
+            },
+            7,
+        )
+        .unwrap();
         let decoded = wf.to_images().unwrap();
         assert_eq!(imgs[0].hamming_distance(&decoded[0]), 1);
         assert_ne!(imgs[0].values()[10], decoded[0].values()[10]);
@@ -370,7 +393,10 @@ mod tests {
     #[test]
     fn page_bit_offset_spans_page() {
         let t = BitTarget {
-            location: ByteLocation { page: 3, offset: 4095 },
+            location: ByteLocation {
+                page: 3,
+                offset: 4095,
+            },
             bit: 7,
             zero_to_one: true,
         };

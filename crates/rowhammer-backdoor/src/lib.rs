@@ -16,13 +16,20 @@
 //! * [`attack`] — the paper's contribution: CFT+BR constrained
 //!   optimization, the BadNet/FT/TBT baselines, metrics, probability
 //!   analysis, and the offline+online pipeline;
-//! * [`defense`] — the §VI countermeasures and their adaptive bypasses.
+//! * [`defense`] — the §VI countermeasures and their adaptive bypasses;
+//! * [`telemetry`] — spans, counters, histograms, and event sinks
+//!   instrumenting the whole pipeline (see the example below).
 //!
 //! # Quickstart
 //!
 //! ```no_run
 //! use rowhammer_backdoor::attack::{AttackMethod, AttackPipeline};
 //! use rowhammer_backdoor::models::zoo::{pretrained, Architecture, ZooConfig};
+//! use rowhammer_backdoor::telemetry;
+//! use std::sync::Arc;
+//!
+//! // Observe the run: progress spans on stderr, end-of-run report.
+//! telemetry::install(Arc::new(telemetry::ProgressSink::default()));
 //!
 //! // Fetch a deterministic "pretrained" quantized victim.
 //! let victim = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 7);
@@ -30,13 +37,16 @@
 //! let mut pipeline = AttackPipeline::new(victim, /*target label*/ 2, 7);
 //! let offline = pipeline.run_offline(AttackMethod::CftBr);
 //! let online = pipeline.run_online(&offline);
-//! println!(
+//! telemetry::progress!(
 //!     "N_flip {} → TA {:.1}%  ASR {:.1}%  r_match {:.2}%",
 //!     online.n_flip,
 //!     online.test_accuracy * 100.0,
 //!     online.attack_success_rate * 100.0,
 //!     online.r_match
 //! );
+//! // Per-phase durations, counter totals, histogram percentiles.
+//! eprint!("{}", telemetry::report().render());
+//! telemetry::shutdown();
 //! ```
 
 pub use rhb_core as attack;
@@ -44,3 +54,4 @@ pub use rhb_defense as defense;
 pub use rhb_dram as dram;
 pub use rhb_models as models;
 pub use rhb_nn as nn;
+pub use rhb_telemetry as telemetry;

@@ -1,0 +1,192 @@
+//! Fixed-bucket histograms.
+//!
+//! Buckets are fixed at construction: either the default base-2
+//! logarithmic grid (wide enough for nanosecond-to-hour latencies *and*
+//! 0..1 probabilities) or explicit boundaries supplied via
+//! [`Histogram::with_boundaries`]. Recording is O(log #buckets) with no
+//! allocation, so hot paths (per-layer conv timings) can observe freely.
+
+/// Number of log2 buckets in the default grid.
+const LOG2_BUCKETS: usize = 64;
+/// The default grid's smallest finite upper bound is 2^LOG2_MIN_EXP.
+const LOG2_MIN_EXP: i32 = -30;
+
+/// A fixed-bucket histogram over `f64` samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Upper bounds (inclusive) of each bucket; the final implicit bucket
+    /// catches everything above the last bound.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        let bounds = (0..LOG2_BUCKETS)
+            .map(|i| 2f64.powi(LOG2_MIN_EXP + i as i32))
+            .collect();
+        Self::with_bounds_vec(bounds)
+    }
+}
+
+impl Histogram {
+    /// A histogram with explicit ascending bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly ascending.
+    pub fn with_boundaries(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Self::with_bounds_vec(bounds.to_vec())
+    }
+
+    fn with_bounds_vec(bounds: Vec<f64>) -> Self {
+        let n = bounds.len();
+        Histogram {
+            bounds,
+            counts: vec![0; n + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn observe(&mut self, value: f64) {
+        // partition_point: first bucket whose bound is >= value.
+        let idx = self.bounds.partition_point(|&b| b < value);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean sample, or 0 for an empty histogram.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observed sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observed sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Per-bucket `(upper_bound, count)` pairs; the final entry uses
+    /// `f64::INFINITY` as its bound.
+    pub fn buckets(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        self.bounds
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+    }
+
+    /// Estimated quantile `q` in [0, 1]: the upper bound of the bucket
+    /// containing the q-th sample, clamped to the observed min/max so
+    /// sparse histograms do not over-report. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bound, n) in self.buckets() {
+            seen += n;
+            if seen >= rank {
+                return Some(bound.clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_upper_bounds() {
+        let mut h = Histogram::with_boundaries(&[1.0, 2.0, 4.0]);
+        h.observe(1.0); // lands in bucket with bound 1.0 (inclusive)
+        h.observe(1.0001); // strictly above → next bucket
+        h.observe(4.0);
+        h.observe(100.0); // overflow bucket
+        let counts: Vec<u64> = h.buckets().map(|(_, c)| c).collect();
+        assert_eq!(counts, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn default_grid_covers_latencies_and_probabilities() {
+        let mut h = Histogram::default();
+        h.observe(3.2e-9); // ~nanoseconds
+        h.observe(0.036); // a flip probability
+        h.observe(7200.0); // two hours
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(0.5).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_clamped_to_observed_range() {
+        let mut h = Histogram::default();
+        for _ in 0..100 {
+            h.observe(0.25);
+        }
+        let p99 = h.quantile(0.99).unwrap();
+        assert_eq!(p99, 0.25, "single-valued stream must report that value");
+        assert_eq!(h.quantile(0.0).unwrap(), 0.25);
+    }
+
+    #[test]
+    fn mean_min_max_track_samples() {
+        let mut h = Histogram::with_boundaries(&[10.0]);
+        h.observe(2.0);
+        h.observe(6.0);
+        assert_eq!(h.mean(), 4.0);
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unordered_bounds_are_rejected() {
+        Histogram::with_boundaries(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+}

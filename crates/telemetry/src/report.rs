@@ -1,0 +1,345 @@
+//! End-of-run telemetry snapshot.
+//!
+//! A [`TelemetryReport`] is collected from a registry at pipeline
+//! completion: per-span-path durations (count/total/mean/min/max),
+//! counter totals, gauge values, and histogram percentiles. It renders
+//! as a human table and serializes to JSON so `rhb-bench` can embed the
+//! Table IV-style phase timings in experiment artifacts.
+
+use crate::value::write_json_string;
+use crate::{Histogram, Telemetry};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Aggregate of every closure of one span path.
+#[derive(Debug, Clone)]
+pub struct SpanSummary {
+    /// Full `/`-joined span path, e.g. `pipeline/offline/cft_br`.
+    pub path: String,
+    pub count: u64,
+    pub total: Duration,
+    pub min: Duration,
+    pub max: Duration,
+}
+
+impl SpanSummary {
+    /// Mean duration per closure.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+/// Percentile digest of one histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramSummary {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+impl HistogramSummary {
+    fn from_histogram(name: &str, h: &Histogram) -> Self {
+        HistogramSummary {
+            name: name.to_string(),
+            count: h.count(),
+            mean: h.mean(),
+            min: h.min().unwrap_or(0.0),
+            max: h.max().unwrap_or(0.0),
+            p50: h.quantile(0.5).unwrap_or(0.0),
+            p90: h.quantile(0.9).unwrap_or(0.0),
+            p99: h.quantile(0.99).unwrap_or(0.0),
+        }
+    }
+}
+
+/// Snapshot of a registry's accumulated metrics.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryReport {
+    /// Span summaries sorted by path (parents precede children).
+    pub spans: Vec<SpanSummary>,
+    /// `(name, total)` counter pairs sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge pairs sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram digests sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl TelemetryReport {
+    /// Snapshots `tel` (metrics keep accumulating afterwards).
+    pub fn collect(tel: &Telemetry) -> Self {
+        let spans = tel
+            .span_snapshot()
+            .into_iter()
+            .map(|(path, s)| SpanSummary {
+                path,
+                count: s.count,
+                total: s.total,
+                min: s.min,
+                max: s.max,
+            })
+            .collect();
+        let histograms = tel
+            .histogram_snapshot()
+            .iter()
+            .filter(|(_, h)| h.count() > 0)
+            .map(|(name, h)| HistogramSummary::from_histogram(name, h))
+            .collect();
+        TelemetryReport {
+            spans,
+            counters: tel
+                .counter_snapshot()
+                .into_iter()
+                .filter(|(_, total)| *total > 0)
+                .collect(),
+            gauges: tel.gauge_snapshot().into_iter().collect(),
+            histograms,
+        }
+    }
+
+    /// Looks up one span path.
+    pub fn span(&self, path: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Total wall time spent under `path` across all closures, or `None`
+    /// if the span never closed. The `rhb-bench` reporter uses this for
+    /// per-phase attack-time rows.
+    pub fn span_total(&self, path: &str) -> Option<Duration> {
+        self.span(path).map(|s| s.total)
+    }
+
+    /// One counter's total, or `None` if it never moved.
+    pub fn counter_total(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, total)| *total)
+    }
+
+    /// One gauge's last value.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// True when nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+            && self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Renders the report as an aligned human-readable table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== telemetry report ==");
+        if self.is_empty() {
+            let _ = writeln!(out, "(no telemetry recorded)");
+            return out;
+        }
+        if !self.spans.is_empty() {
+            let _ = writeln!(out, "-- spans --");
+            let width = self.spans.iter().map(|s| s.path.len()).max().unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>7}  {:>12}  {:>12}  {:>12}  {:>12}",
+                "path", "count", "total", "mean", "min", "max"
+            );
+            for s in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "{:width$}  {:>7}  {:>12}  {:>12}  {:>12}  {:>12}",
+                    s.path,
+                    s.count,
+                    fmt_duration(s.total),
+                    fmt_duration(s.mean()),
+                    fmt_duration(s.min),
+                    fmt_duration(s.max),
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "-- counters --");
+            let width = self
+                .counters
+                .iter()
+                .map(|(n, _)| n.len())
+                .max()
+                .unwrap_or(0);
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "{name:width$}  {total}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            let _ = writeln!(out, "-- gauges --");
+            let width = self.gauges.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+            for (name, v) in &self.gauges {
+                let _ = writeln!(out, "{name:width$}  {v:.6}");
+            }
+        }
+        if !self.histograms.is_empty() {
+            let _ = writeln!(out, "-- histograms --");
+            let width = self
+                .histograms
+                .iter()
+                .map(|h| h.name.len())
+                .max()
+                .unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "{:width$}  {:>7}  {:>11}  {:>11}  {:>11}  {:>11}",
+                "name", "count", "mean", "p50", "p90", "p99"
+            );
+            for h in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "{:width$}  {:>7}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>11.4e}",
+                    h.name, h.count, h.mean, h.p50, h.p90, h.p99,
+                );
+            }
+        }
+        out
+    }
+
+    /// Serializes the report as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"spans\":[");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"path\":");
+            write_json_string(&s.path, &mut out);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"total_us\":{},\"mean_us\":{},\"min_us\":{},\"max_us\":{}}}",
+                s.count,
+                s.total.as_micros(),
+                s.mean().as_micros(),
+                s.min.as_micros(),
+                s.max.as_micros(),
+            );
+        }
+        out.push_str("],\"counters\":{");
+        for (i, (name, total)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            let _ = write!(out, ":{total}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(name, &mut out);
+            out.push(':');
+            crate::Value::F64(*v).write_json(&mut out);
+        }
+        out.push_str("},\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            write_json_string(&h.name, &mut out);
+            let _ = write!(out, ",\"count\":{},\"mean\":", h.count);
+            crate::Value::F64(h.mean).write_json(&mut out);
+            out.push_str(",\"min\":");
+            crate::Value::F64(h.min).write_json(&mut out);
+            out.push_str(",\"max\":");
+            crate::Value::F64(h.max).write_json(&mut out);
+            out.push_str(",\"p50\":");
+            crate::Value::F64(h.p50).write_json(&mut out);
+            out.push_str(",\"p90\":");
+            crate::Value::F64(h.p90).write_json(&mut out);
+            out.push_str(",\"p99\":");
+            crate::Value::F64(h.p99).write_json(&mut out);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes the JSON form to `path`.
+    pub fn write_json_file(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    format!("{d:.2?}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NoopSink;
+    use std::sync::Arc;
+
+    fn populated() -> Telemetry {
+        let tel = Telemetry::new();
+        tel.install(Arc::new(NoopSink));
+        {
+            let _outer = tel.start_span("pipeline", &[]);
+            let _inner = tel.start_span("offline", &[]);
+        }
+        tel.add_counter("flips", 7);
+        tel.gauge("loss", 0.125);
+        tel.observe("lat", 0.5);
+        tel.observe("lat", 0.5);
+        tel
+    }
+
+    #[test]
+    fn collect_snapshots_every_metric_family() {
+        let r = populated().report();
+        assert_eq!(r.counter_total("flips"), Some(7));
+        assert_eq!(r.gauge_value("loss"), Some(0.125));
+        assert!(r.span("pipeline").is_some());
+        assert!(r.span_total("pipeline/offline").is_some());
+        assert_eq!(r.histograms.len(), 1);
+        assert_eq!(r.histograms[0].count, 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn render_lists_all_sections() {
+        let text = populated().report().render();
+        assert!(text.contains("-- spans --"));
+        assert!(text.contains("pipeline/offline"));
+        assert!(text.contains("-- counters --"));
+        assert!(text.contains("flips"));
+        assert!(text.contains("-- gauges --"));
+        assert!(text.contains("-- histograms --"));
+    }
+
+    #[test]
+    fn json_form_is_one_object_with_expected_keys() {
+        let json = populated().report().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"spans\":["));
+        assert!(json.contains("\"path\":\"pipeline/offline\""));
+        assert!(json.contains("\"counters\":{\"flips\":7"));
+        assert!(json.contains("\"gauges\":{\"loss\":0.125"));
+        assert!(json.contains("\"histograms\":["));
+    }
+
+    #[test]
+    fn empty_report_renders_placeholder() {
+        let r = Telemetry::new().report();
+        assert!(r.is_empty());
+        assert!(r.render().contains("no telemetry recorded"));
+    }
+}

@@ -1,0 +1,138 @@
+//! Dynamically-typed field values attached to events and spans.
+
+use std::fmt;
+
+/// One field value. Conversions exist for the numeric, boolean, and
+/// string types the instrumentation sites use, so call sites can write
+/// `("loss", loss.into())` or use the `event!` macro's auto-conversion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Bool(bool),
+    Str(String),
+}
+
+impl Value {
+    /// Appends this value to `out` as a JSON literal.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => out.push_str(&v.to_string()),
+            Value::I64(v) => out.push_str(&v.to_string()),
+            Value::F64(v) => {
+                if v.is_finite() {
+                    out.push_str(&format!("{v}"));
+                } else {
+                    // JSON has no NaN/Inf; string-encode like most tracers.
+                    out.push_str(&format!("\"{v}\""));
+                }
+            }
+            Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+            Value::Str(s) => write_json_string(s, out),
+        }
+    }
+}
+
+/// Appends `s` to `out` as a JSON string literal with escaping.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::U64(v) => write!(f, "{v}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.6}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+macro_rules! impl_from_uint {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::U64(v as u64) }
+        }
+    )*};
+}
+impl_from_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_from_int {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self { Value::I64(v as i64) }
+        }
+    )*};
+}
+impl_from_int!(i8, i16, i32, i64, isize);
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::F64(v as f64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping_covers_control_chars() {
+        let mut out = String::new();
+        Value::from("a\"b\\c\nd\u{1}").write_json(&mut out);
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn numeric_conversions_preserve_type_family() {
+        assert_eq!(Value::from(3usize), Value::U64(3));
+        assert_eq!(Value::from(-3i32), Value::I64(-3));
+        assert_eq!(Value::from(0.5f32), Value::F64(0.5));
+    }
+
+    #[test]
+    fn non_finite_floats_are_string_encoded() {
+        let mut out = String::new();
+        Value::F64(f64::NAN).write_json(&mut out);
+        assert_eq!(out, "\"NaN\"");
+    }
+}

@@ -18,7 +18,10 @@ use rowhammer_backdoor::models::train::evaluate;
 use rowhammer_backdoor::models::zoo::{pretrained, Architecture, ZooConfig};
 use rowhammer_backdoor::nn::weightfile::WeightFile;
 
-fn attack(model: &mut rowhammer_backdoor::models::zoo::PretrainedModel, allowed_bits: u8) -> Trigger {
+fn attack(
+    model: &mut rowhammer_backdoor::models::zoo::PretrainedModel,
+    allowed_bits: u8,
+) -> Trigger {
     let wf = WeightFile::from_network(model.net.as_ref());
     let cfg = CftConfig {
         iterations: 150,

@@ -54,7 +54,11 @@ fn main() {
     let bait: Vec<usize> = (100..114).collect();
     let plan = steer_weight_file(8, &targets, &bait).expect("bait covers the file");
     for (page, frame) in plan.frame_of_page.iter().enumerate() {
-        let marker = if targets.get(&page) == Some(frame) { "  <- flippy target" } else { "" };
+        let marker = if targets.get(&page) == Some(frame) {
+            "  <- flippy target"
+        } else {
+            ""
+        };
         println!("  file page {page} -> frame {frame}{marker}");
     }
     println!(

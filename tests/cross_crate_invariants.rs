@@ -58,7 +58,7 @@ proptest! {
     fn weightfile_flip_roundtrip(flips in prop::collection::vec((0usize..4096, 0u8..8), 1..20)) {
         let data: Vec<f32> = (0..4096).map(|i| (((i * 31) % 255) as f32 - 127.0).max(1.0) / 127.0).collect();
         let q = QuantizedTensor::from_tensor(&Tensor::from_vec(data, &[4096])).unwrap();
-        let base = WeightFile::from_images(&[q.clone()]);
+        let base = WeightFile::from_images(std::slice::from_ref(&q));
         let mut modified = base.clone();
         let mut unique = std::collections::HashSet::new();
         for &(offset, bit) in &flips {

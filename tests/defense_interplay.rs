@@ -9,7 +9,14 @@ use rowhammer_backdoor::defense::reconstruction::WeightReconstruction;
 use rowhammer_backdoor::models::zoo::{pretrained, Architecture, ZooConfig};
 use rowhammer_backdoor::nn::weightfile::WeightFile;
 
-fn attack_with_mask(seed: u64, allowed_bits: u8) -> (rowhammer_backdoor::models::zoo::PretrainedModel, WeightFile, WeightFile) {
+fn attack_with_mask(
+    seed: u64,
+    allowed_bits: u8,
+) -> (
+    rowhammer_backdoor::models::zoo::PretrainedModel,
+    WeightFile,
+    WeightFile,
+) {
     let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), seed);
     let base = WeightFile::from_network(model.net.as_ref());
     let cfg = CftConfig {
@@ -63,10 +70,7 @@ fn radar_catches_the_vanilla_attack_when_it_uses_high_bits() {
     let clean = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 93);
     let radar = Radar::deploy(clean.net.as_ref(), 64, 2);
     let (model, base, attacked) = attack_with_mask(93, 0xFF);
-    let touched_protected = base
-        .diff(&attacked)
-        .iter()
-        .any(|f| f.bit >= 6);
+    let touched_protected = base.diff(&attacked).iter().any(|f| f.bit >= 6);
     // Only assert detection when the optimizer actually used a high bit
     // (it nearly always does — the MSB carries the magnitude).
     if touched_protected {

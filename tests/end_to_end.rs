@@ -91,7 +91,10 @@ fn clean_accuracy_survives_a_failed_attack() {
     let online = pipe.run_online(&offline);
     // With the paper-scale extended templating the pipeline still matches
     // statistically, so only assert consistency of the bookkeeping.
-    assert_eq!(online.n_matched + online.unmatched_count(), online.n_targets);
+    assert_eq!(
+        online.n_matched + online.unmatched_count(),
+        online.n_targets
+    );
     let _ = base_acc;
 }
 

@@ -1,0 +1,96 @@
+//! Integration: a small end-to-end pipeline run emits the expected span
+//! tree and non-zero flip counters through the JSONL sink, and the
+//! end-of-run [`rhb_telemetry::TelemetryReport`] carries per-phase
+//! durations.
+
+use rowhammer_backdoor::attack::{AttackMethod, AttackPipeline};
+use rowhammer_backdoor::models::zoo::{pretrained, Architecture, ZooConfig};
+use rowhammer_backdoor::telemetry;
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// A writer handing its bytes back through an Arc for assertions.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn pipeline_run_emits_span_tree_and_flip_counters() {
+    let buf = SharedBuf::default();
+    telemetry::reset();
+    telemetry::install(Arc::new(telemetry::JsonlSink::to_writer(Box::new(
+        buf.clone(),
+    ))));
+
+    let victim = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 41);
+    let mut pipeline = AttackPipeline::new(victim, 2, 41);
+    let offline = pipeline.run_offline(AttackMethod::CftBr);
+    assert!(offline.n_flip > 0, "offline phase must request flips");
+    let online = pipeline.run_online(&offline);
+    assert!(online.n_flip > 0, "online phase must realize flips");
+
+    let report = telemetry::report();
+    telemetry::shutdown();
+    let jsonl = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+
+    // The five pipeline phases (plus matching) all appear in the JSONL
+    // stream as span_start events with their full paths.
+    for phase in [
+        "pipeline/offline",
+        "pipeline/templating",
+        "pipeline/matching",
+        "pipeline/placement",
+        "pipeline/hammering",
+        "pipeline/evaluation",
+    ] {
+        assert!(
+            jsonl.contains(&format!("\"kind\":\"span_start\",\"path\":\"{phase}\"")),
+            "JSONL stream is missing the {phase} span"
+        );
+        let total = report
+            .span_total(phase)
+            .unwrap_or_else(|| panic!("report is missing the {phase} span"));
+        assert!(total > std::time::Duration::ZERO);
+    }
+
+    // Nested instrumentation: CFT runs under the offline phase, and its
+    // per-iteration events carry the loss trace (Fig. 7's data).
+    assert!(report.span("pipeline/offline/cft").is_some());
+    assert!(jsonl.contains("\"name\":\"cft_iteration\""));
+    assert_eq!(
+        report.counter_total("core/cft/iterations"),
+        Some(150),
+        "CFT+BR at pipeline settings runs 150 iterations"
+    );
+
+    // Flip counters moved: bits were actually hammered into the file.
+    let flipped = report.counter_total("dram/bits_flipped").unwrap_or(0);
+    assert!(flipped > 0, "no DRAM bit flips were counted");
+    assert!(jsonl.contains("\"name\":\"dram/bits_flipped\""));
+    assert!(report.counter_total("dram/targets_matched").unwrap_or(0) > 0);
+    assert!(report.counter_total("nn/weightfile_bit_flips").unwrap_or(0) > 0);
+
+    // Every line of the stream is a self-contained JSON object.
+    for line in jsonl.lines() {
+        assert!(
+            line.starts_with("{\"t\":") && line.ends_with('}'),
+            "malformed JSONL line: {line}"
+        );
+    }
+
+    // The report renders and serializes with the phase table populated.
+    let rendered = report.render();
+    assert!(rendered.contains("pipeline/offline"));
+    assert!(rendered.contains("-- counters --"));
+    let json = report.to_json();
+    assert!(json.contains("\"path\":\"pipeline/hammering\""));
+}

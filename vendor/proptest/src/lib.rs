@@ -1,0 +1,292 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro (typed parameters and `name in
+//! strategy` parameters, optional `#![proptest_config(...)]` header),
+//! range and tuple strategies, `prop::collection::vec`, and the
+//! `prop_assert*` / `prop_assume!` macros. Cases are generated from a
+//! deterministic per-test RNG; there is no shrinking — a failing case
+//! panics with the values that triggered it, which is enough for CI.
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Per-test deterministic generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Derives a generator from the test's name so each property test has
+    /// a stable, independent stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen()
+    }
+}
+
+/// Runner configuration (`cases` is the only knob the stub honors).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the simulation-heavy suites
+        // quick while still exercising the properties broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator. Upstream strategies also carry shrinking machinery;
+/// here a strategy is simply something that can sample a value.
+pub trait Strategy {
+    type Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+)),+) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Types the stub can generate for plainly-typed `proptest!` parameters.
+pub trait Arbitrary {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen_range(-1.0e3f32..1.0e3)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.0.gen_range(-1.0e6f64..1.0e6)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use rand::Rng as _;
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: core::ops::Range<usize>,
+        }
+
+        pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(
+                len.start < len.end,
+                "empty length range for prop::collection::vec"
+            );
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let n = rng.0.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything the workspace imports via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Binds one `proptest!` parameter list entry per step (supports both
+/// `name: Type` and `pattern in strategy` forms, with trailing commas).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; ,) => {};
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary($rng);
+        $crate::__prop_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::Strategy::sample(&($strat), $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strat), $rng);
+        $crate::__prop_bind!($rng; $($rest)*);
+    };
+}
+
+/// Generates the `#[test]` functions (one per declared property).
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_fns {
+    ($cfg:expr;) => {};
+    ($cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::for_test(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..config.cases {
+                // The case body runs in a closure so `prop_assume!` can
+                // skip a case via early return.
+                let mut __one = |__rng: &mut $crate::TestRng| {
+                    $crate::__prop_bind!(__rng; $($params)*);
+                    $body
+                };
+                __one(&mut rng);
+            }
+        }
+        $crate::__prop_fns!($cfg; $($rest)*);
+    };
+}
+
+/// Entry point mirroring `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__prop_fns!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__prop_fns!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// `assert!` under a proptest-compatible name (no shrinking here).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Typed parameters sample the full domain.
+        #[test]
+        fn typed_params_bind(a: u8, b: i8) {
+            let _ = (a, b);
+        }
+
+        #[test]
+        fn range_strategies_respect_bounds(x in 3usize..17, y in -1.0f32..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(pairs in prop::collection::vec((0usize..10, 0u8..4), 1..8)) {
+            prop_assert!(!pairs.is_empty() && pairs.len() < 8);
+            for (a, b) in pairs {
+                prop_assert!(a < 10 && b < 4);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derive macros so that
+//! `use serde::{Deserialize, Serialize};` plus `#[derive(...)]` compiles
+//! unchanged. No trait machinery is provided because nothing in this
+//! workspace drives a serde serializer; see `vendor/serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as a
+//! forward-compatibility marker — nothing in the tree drives a serde
+//! serializer (there is no `serde_json` dependency; structured output is
+//! hand-rolled where needed, e.g. `rhb-telemetry`'s JSONL sink). These
+//! derives therefore expand to nothing: the attribute compiles, helper
+//! `#[serde(...)]` attributes are accepted, and no impls are generated.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
