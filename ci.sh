@@ -16,4 +16,16 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== flight recorder smoke (non-blocking) =="
+# Record a fresh smoke run (with a Chrome trace) and diff it against the
+# committed BENCH_2.json baseline. Regressions warn but never fail CI:
+# the runners' wall clocks are too noisy to gate on.
+if RHB_TELEMETRY=trace RHB_TRACE=ci_trace.json \
+    cargo run --release -p rhb-bench --bin rhb-report -- bench --out ci_bench.json; then
+  cargo run --release -p rhb-bench --bin rhb-report -- diff BENCH_2.json ci_bench.json ||
+    echo "WARNING: smoke run regressed against the committed BENCH_2.json baseline"
+else
+  echo "WARNING: rhb-report bench failed"
+fi
+
 echo "CI OK"

@@ -1,0 +1,706 @@
+//! Durable run artifacts: one JSON document per pipeline run.
+//!
+//! A [`RunArtifact`] freezes everything a later session needs to audit or
+//! compare a run — the configuration (model, dataset, attack parameters,
+//! seed), per-phase wall-clock from the telemetry span tree, every
+//! counter/gauge/histogram summary, the headline attack metrics (clean
+//! accuracy, ASR, `N_flip`, attack time), and the full flip provenance
+//! ledger. Artifacts are written to `results/runs/<timestamp>-<exp>.json`
+//! and consumed by the `rhb-report` CLI (`show`, `diff`, `bench`).
+//!
+//! Serialization is hand-rolled via [`crate::json`] because the vendored
+//! `serde` derives are inert.
+
+use crate::json::{self, JsonValue};
+use rhb_core::pipeline::{AttackMethod, AttackPipeline};
+use rhb_core::provenance::FlipRecord;
+use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+use rhb_telemetry::TelemetryReport;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Schema tag carried by every artifact (bump on breaking change).
+pub const SCHEMA: &str = "rhb-run-artifact/v1";
+
+/// The run's configuration, as attacked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunConfig {
+    /// Victim architecture name (e.g. `ResNet20`).
+    pub model: String,
+    /// Dataset family the victim was trained on.
+    pub dataset: String,
+    /// Attack method name (Table II row).
+    pub method: String,
+    /// Zoo scale (`tiny` / `standard`).
+    pub scale: String,
+    /// Seed for training, templating, and stochastic choices.
+    pub seed: u64,
+    /// Backdoor target label.
+    pub target_label: usize,
+    /// Templated pages available to the attacker.
+    pub profile_pages: usize,
+    /// Aggressor rows of the online hammer pattern.
+    pub hammer_sides: usize,
+    /// Offline flip budget (`N_flip` cap).
+    pub flip_budget: usize,
+}
+
+/// Wall-clock aggregate of one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseTime {
+    /// Full `/`-joined span path.
+    pub name: String,
+    /// Closures of this path.
+    pub count: u64,
+    /// Total microseconds across closures.
+    pub total_us: u64,
+    /// Mean microseconds per closure.
+    pub mean_us: u64,
+}
+
+/// Percentile digest of one histogram, as persisted.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistDigest {
+    pub name: String,
+    pub count: u64,
+    pub mean: f64,
+    pub min: f64,
+    pub max: f64,
+    pub p50: f64,
+    pub p90: f64,
+    pub p99: f64,
+}
+
+/// Headline attack metrics (the quantities the paper's tables report).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Headline {
+    /// Victim's clean accuracy before any attack.
+    pub base_accuracy: f64,
+    /// Test accuracy of the hardware-backdoored model (online TA).
+    pub clean_accuracy: f64,
+    /// Attack success rate of the hardware-backdoored model.
+    pub asr: f64,
+    /// Offline (software-ideal) ASR, for reference.
+    pub offline_asr: f64,
+    /// Bits actually flipped in DRAM (realized `N_flip`).
+    pub n_flip: u64,
+    /// Targets requested after per-page reduction.
+    pub n_targets: usize,
+    /// Targets the templating profile matched.
+    pub n_matched: usize,
+    /// The paper's match-rate metric, percent.
+    pub r_match: f64,
+    /// Modeled hammering wall-clock, milliseconds.
+    pub attack_time_ms: u64,
+}
+
+/// One frozen pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunArtifact {
+    /// Experiment tag (used in the artifact filename).
+    pub exp: String,
+    /// Creation time, seconds since the Unix epoch.
+    pub created_unix: u64,
+    /// Run configuration.
+    pub config: RunConfig,
+    /// Span-tree wall-clock, every recorded path.
+    pub phases: Vec<PhaseTime>,
+    /// Counter totals, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values, sorted by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram digests, sorted by name.
+    pub histograms: Vec<HistDigest>,
+    /// Headline attack metrics.
+    pub metrics: Headline,
+    /// Flip provenance ledger, in request order.
+    pub flips: Vec<FlipRecord>,
+}
+
+impl RunArtifact {
+    /// Fraction of requested flips that actually landed (0 when the run
+    /// requested none).
+    pub fn flip_success_rate(&self) -> f64 {
+        if self.flips.is_empty() {
+            0.0
+        } else {
+            self.flips.iter().filter(|f| f.flipped).count() as f64 / self.flips.len() as f64
+        }
+    }
+
+    /// Wall-clock of a phase by span path, if recorded.
+    pub fn phase_us(&self, name: &str) -> Option<u64> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| p.total_us)
+    }
+
+    /// Folds a telemetry snapshot into phase/counter/gauge/histogram
+    /// tables.
+    pub fn fold_report(&mut self, report: &TelemetryReport) {
+        self.phases = report
+            .spans
+            .iter()
+            .map(|s| PhaseTime {
+                name: s.path.clone(),
+                count: s.count,
+                total_us: s.total.as_micros() as u64,
+                mean_us: s.mean().as_micros() as u64,
+            })
+            .collect();
+        self.counters = report.counters.clone();
+        self.gauges = report.gauges.clone();
+        self.histograms = report
+            .histograms
+            .iter()
+            .map(|h| HistDigest {
+                name: h.name.clone(),
+                count: h.count,
+                mean: h.mean,
+                min: h.min,
+                max: h.max,
+                p50: h.p50,
+                p90: h.p90,
+                p99: h.p99,
+            })
+            .collect();
+    }
+
+    /// Serializes the artifact as pretty-enough JSON (one line per list
+    /// entry, so diffs in version control stay readable).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(4096);
+        s.push_str("{\n");
+        s.push_str(&format!("\"schema\": {},\n", quoted(SCHEMA)));
+        s.push_str(&format!("\"exp\": {},\n", quoted(&self.exp)));
+        s.push_str(&format!("\"created_unix\": {},\n", self.created_unix));
+        let c = &self.config;
+        s.push_str(&format!(
+            "\"config\": {{\"model\": {}, \"dataset\": {}, \"method\": {}, \"scale\": {}, \
+             \"seed\": {}, \"target_label\": {}, \"profile_pages\": {}, \"hammer_sides\": {}, \
+             \"flip_budget\": {}}},\n",
+            quoted(&c.model),
+            quoted(&c.dataset),
+            quoted(&c.method),
+            quoted(&c.scale),
+            c.seed,
+            c.target_label,
+            c.profile_pages,
+            c.hammer_sides,
+            c.flip_budget
+        ));
+        s.push_str("\"phases\": [\n");
+        for (i, p) in self.phases.iter().enumerate() {
+            s.push_str(&format!(
+                " {{\"name\": {}, \"count\": {}, \"total_us\": {}, \"mean_us\": {}}}{}\n",
+                quoted(&p.name),
+                p.count,
+                p.total_us,
+                p.mean_us,
+                comma(i, self.phases.len())
+            ));
+        }
+        s.push_str("],\n\"counters\": {");
+        for (i, (name, total)) in self.counters.iter().enumerate() {
+            s.push_str(&format!(
+                "{}{}: {}",
+                if i == 0 { "" } else { ", " },
+                quoted(name),
+                total
+            ));
+        }
+        s.push_str("},\n\"gauges\": {");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{}: ", quoted(name)));
+            json::write_f64(*value, &mut s);
+        }
+        s.push_str("},\n\"histograms\": [\n");
+        for (i, h) in self.histograms.iter().enumerate() {
+            s.push_str(&format!(
+                " {{\"name\": {}, \"count\": {}",
+                quoted(&h.name),
+                h.count
+            ));
+            for (key, v) in [
+                ("mean", h.mean),
+                ("min", h.min),
+                ("max", h.max),
+                ("p50", h.p50),
+                ("p90", h.p90),
+                ("p99", h.p99),
+            ] {
+                s.push_str(&format!(", \"{key}\": "));
+                json::write_f64(v, &mut s);
+            }
+            s.push_str(&format!("}}{}\n", comma(i, self.histograms.len())));
+        }
+        s.push_str("],\n\"metrics\": {");
+        let m = &self.metrics;
+        for (i, (key, v)) in [
+            ("base_accuracy", m.base_accuracy),
+            ("clean_accuracy", m.clean_accuracy),
+            ("asr", m.asr),
+            ("offline_asr", m.offline_asr),
+            ("r_match", m.r_match),
+        ]
+        .iter()
+        .enumerate()
+        {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("\"{key}\": "));
+            json::write_f64(*v, &mut s);
+        }
+        s.push_str(&format!(
+            ", \"n_flip\": {}, \"n_targets\": {}, \"n_matched\": {}, \"attack_time_ms\": {}}},\n",
+            m.n_flip, m.n_targets, m.n_matched, m.attack_time_ms
+        ));
+        s.push_str("\"flips\": [\n");
+        for (i, f) in self.flips.iter().enumerate() {
+            s.push_str(&format!(
+                " {{\"weight_idx\": {}, \"page\": {}, \"page_group\": {}, \"bit\": {}, \
+                 \"zero_to_one\": {}, \"matched_frame\": {}, \"placed_frame\": {}, \
+                 \"hammer_attempts\": {}, \"flipped\": {}}}{}\n",
+                f.weight_idx,
+                f.page,
+                opt(f.page_group),
+                f.bit,
+                f.zero_to_one,
+                opt(f.matched_frame),
+                opt(f.placed_frame),
+                f.hammer_attempts,
+                f.flipped,
+                comma(i, self.flips.len())
+            ));
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+
+    /// Parses an artifact back from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the malformed or missing field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text).map_err(|e| e.to_string())?;
+        let schema = str_field(&doc, "schema")?;
+        if schema != SCHEMA {
+            return Err(format!("unsupported schema '{schema}' (expected {SCHEMA})"));
+        }
+        let cfg = doc.get("config").ok_or("missing config")?;
+        let m = doc.get("metrics").ok_or("missing metrics")?;
+        let phases = doc
+            .get("phases")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing phases")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseTime {
+                    name: str_field(p, "name")?,
+                    count: u64_field(p, "count")?,
+                    total_us: u64_field(p, "total_us")?,
+                    mean_us: u64_field(p, "mean_us")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let counters = doc
+            .get("counters")
+            .and_then(JsonValue::as_object)
+            .ok_or("missing counters")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_u64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("counter {k} is not a count"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let gauges = doc
+            .get("gauges")
+            .and_then(JsonValue::as_object)
+            .ok_or("missing gauges")?
+            .iter()
+            .map(|(k, v)| {
+                v.as_f64()
+                    .map(|n| (k.clone(), n))
+                    .ok_or_else(|| format!("gauge {k} is not a number"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let histograms = doc
+            .get("histograms")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing histograms")?
+            .iter()
+            .map(|h| {
+                Ok(HistDigest {
+                    name: str_field(h, "name")?,
+                    count: u64_field(h, "count")?,
+                    mean: f64_field(h, "mean")?,
+                    min: f64_field(h, "min")?,
+                    max: f64_field(h, "max")?,
+                    p50: f64_field(h, "p50")?,
+                    p90: f64_field(h, "p90")?,
+                    p99: f64_field(h, "p99")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let flips = doc
+            .get("flips")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing flips")?
+            .iter()
+            .map(|f| {
+                Ok(FlipRecord {
+                    weight_idx: u64_field(f, "weight_idx")? as usize,
+                    page: u64_field(f, "page")? as usize,
+                    page_group: opt_field(f, "page_group")?,
+                    bit: u64_field(f, "bit")? as u8,
+                    zero_to_one: bool_field(f, "zero_to_one")?,
+                    matched_frame: opt_field(f, "matched_frame")?,
+                    placed_frame: opt_field(f, "placed_frame")?,
+                    hammer_attempts: u64_field(f, "hammer_attempts")? as u32,
+                    flipped: bool_field(f, "flipped")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunArtifact {
+            exp: str_field(&doc, "exp")?,
+            created_unix: u64_field(&doc, "created_unix")?,
+            config: RunConfig {
+                model: str_field(cfg, "model")?,
+                dataset: str_field(cfg, "dataset")?,
+                method: str_field(cfg, "method")?,
+                scale: str_field(cfg, "scale")?,
+                seed: u64_field(cfg, "seed")?,
+                target_label: u64_field(cfg, "target_label")? as usize,
+                profile_pages: u64_field(cfg, "profile_pages")? as usize,
+                hammer_sides: u64_field(cfg, "hammer_sides")? as usize,
+                flip_budget: u64_field(cfg, "flip_budget")? as usize,
+            },
+            phases,
+            counters,
+            gauges,
+            histograms,
+            metrics: Headline {
+                base_accuracy: f64_field(m, "base_accuracy")?,
+                clean_accuracy: f64_field(m, "clean_accuracy")?,
+                asr: f64_field(m, "asr")?,
+                offline_asr: f64_field(m, "offline_asr")?,
+                n_flip: u64_field(m, "n_flip")?,
+                n_targets: u64_field(m, "n_targets")? as usize,
+                n_matched: u64_field(m, "n_matched")? as usize,
+                r_match: f64_field(m, "r_match")?,
+                attack_time_ms: u64_field(m, "attack_time_ms")?,
+            },
+            flips,
+        })
+    }
+
+    /// Reads an artifact from a file.
+    ///
+    /// # Errors
+    ///
+    /// I/O and parse failures, as a message.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Writes the artifact to `dir/<timestamp>-<exp>.json`, creating the
+    /// directory as needed, and returns the path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!(
+            "{}-{}.json",
+            format_timestamp(self.created_unix),
+            self.exp
+        ));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+fn quoted(s: &str) -> String {
+    let mut out = String::new();
+    json::write_escaped(s, &mut out);
+    out
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+fn opt(v: Option<usize>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing count field '{key}'"))
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn bool_field(v: &JsonValue, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| format!("missing boolean field '{key}'"))
+}
+
+fn opt_field(v: &JsonValue, key: &str) -> Result<Option<usize>, String> {
+    match v.get(key) {
+        Some(JsonValue::Null) | None => Ok(None),
+        Some(n) => n
+            .as_u64()
+            .map(|n| Some(n as usize))
+            .ok_or_else(|| format!("field '{key}' is neither null nor a count")),
+    }
+}
+
+/// `YYYYMMDDTHHMMSSZ` for a Unix timestamp (proleptic Gregorian, UTC) —
+/// sortable and filename-safe.
+pub fn format_timestamp(unix: u64) -> String {
+    let days = unix / 86_400;
+    let secs = unix % 86_400;
+    let (y, m, d) = civil_from_days(days as i64);
+    format!(
+        "{y:04}{m:02}{d:02}T{:02}{:02}{:02}Z",
+        secs / 3600,
+        (secs / 60) % 60,
+        secs % 60
+    )
+}
+
+/// Days-since-epoch → (year, month, day); Howard Hinnant's civil-from-days.
+fn civil_from_days(z: i64) -> (i64, u64, u64) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Runs the smoke pipeline (tiny ResNet-20, CFT+BR, offline + online) and
+/// freezes it as an artifact. Resets the global telemetry aggregates so
+/// the artifact reflects only this run; if no sink is installed, metrics
+/// are still collected through a no-op sink.
+pub fn smoke_run(exp: &str, seed: u64) -> RunArtifact {
+    if !rhb_telemetry::enabled() {
+        rhb_telemetry::install(Arc::new(rhb_telemetry::NoopSink));
+    }
+    rhb_telemetry::reset();
+
+    let model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), seed);
+    let base_accuracy = model.base_accuracy;
+    let mut pipe = AttackPipeline::new(model, 2, seed);
+    let flip_budget = pipe.default_flip_budget();
+    let config = RunConfig {
+        model: Architecture::ResNet20.name().to_string(),
+        dataset: "SynthCifar".to_string(),
+        method: AttackMethod::CftBr.name().to_string(),
+        scale: "tiny".to_string(),
+        seed,
+        target_label: pipe.target_label,
+        profile_pages: pipe.profile_pages,
+        hammer_sides: pipe.hammer.pattern.sides,
+        flip_budget,
+    };
+    let offline = pipe.run_offline(AttackMethod::CftBr);
+    let online = pipe.run_online(&offline);
+    let report = rhb_telemetry::report();
+
+    let created_unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut artifact = RunArtifact {
+        exp: exp.to_string(),
+        created_unix,
+        config,
+        phases: Vec::new(),
+        counters: Vec::new(),
+        gauges: Vec::new(),
+        histograms: Vec::new(),
+        metrics: Headline {
+            base_accuracy,
+            clean_accuracy: online.test_accuracy,
+            asr: online.attack_success_rate,
+            offline_asr: offline.attack_success_rate,
+            n_flip: online.n_flip,
+            n_targets: online.n_targets,
+            n_matched: online.n_matched,
+            r_match: online.r_match,
+            attack_time_ms: online.attack_time.as_millis() as u64,
+        },
+        flips: online.ledger.clone(),
+    };
+    artifact.fold_report(&report);
+    artifact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunArtifact {
+        RunArtifact {
+            exp: "unit".into(),
+            created_unix: 1_754_000_000,
+            config: RunConfig {
+                model: "ResNet20".into(),
+                dataset: "SynthCifar".into(),
+                method: "CFT+BR".into(),
+                scale: "tiny".into(),
+                seed: 41,
+                target_label: 2,
+                profile_pages: 8192,
+                hammer_sides: 7,
+                flip_budget: 4,
+            },
+            phases: vec![PhaseTime {
+                name: "pipeline/offline".into(),
+                count: 1,
+                total_us: 120_000,
+                mean_us: 120_000,
+            }],
+            counters: vec![("core/cft/iterations".into(), 150)],
+            gauges: vec![("core/cft/loss".into(), 0.125)],
+            histograms: vec![HistDigest {
+                name: "dram/rowconflict/latency_cycles".into(),
+                count: 2048,
+                mean: 251.0,
+                min: 218.2,
+                max: 411.9,
+                p50: 240.0,
+                p90: 260.0,
+                p99: 420.0,
+            }],
+            metrics: Headline {
+                base_accuracy: 0.84,
+                clean_accuracy: 0.82,
+                asr: 0.97,
+                offline_asr: 0.98,
+                n_flip: 9,
+                n_targets: 4,
+                n_matched: 4,
+                r_match: 100.0,
+                attack_time_ms: 1600,
+            },
+            flips: vec![FlipRecord {
+                weight_idx: 12_345,
+                page: 3,
+                page_group: Some(2),
+                bit: 6,
+                zero_to_one: true,
+                matched_frame: Some(77),
+                placed_frame: Some(77),
+                hammer_attempts: 1,
+                flipped: true,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let a = sample();
+        let b = RunArtifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(a.exp, b.exp);
+        assert_eq!(a.created_unix, b.created_unix);
+        assert_eq!(a.config, b.config);
+        assert_eq!(a.phases, b.phases);
+        assert_eq!(a.counters, b.counters);
+        assert_eq!(a.gauges, b.gauges);
+        assert_eq!(a.histograms, b.histograms);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.flips, b.flips);
+    }
+
+    #[test]
+    fn unmatched_flip_round_trips_null_fields() {
+        let mut a = sample();
+        a.flips[0].page_group = None;
+        a.flips[0].matched_frame = None;
+        a.flips[0].flipped = false;
+        let b = RunArtifact::from_json(&a.to_json()).unwrap();
+        assert_eq!(b.flips[0].page_group, None);
+        assert_eq!(b.flips[0].matched_frame, None);
+        assert!(!b.flips[0].flipped);
+    }
+
+    #[test]
+    fn flip_success_rate_counts_flipped() {
+        let mut a = sample();
+        assert_eq!(a.flip_success_rate(), 1.0);
+        a.flips.push(FlipRecord {
+            flipped: false,
+            ..a.flips[0]
+        });
+        assert_eq!(a.flip_success_rate(), 0.5);
+        a.flips.clear();
+        assert_eq!(a.flip_success_rate(), 0.0);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected_with_a_clear_error() {
+        let text = sample().to_json().replace(SCHEMA, "rhb-run-artifact/v999");
+        let err = RunArtifact::from_json(&text).unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn timestamps_format_sortably() {
+        // 2026-08-07 00:00:00 UTC.
+        assert_eq!(format_timestamp(1_786_060_800), "20260807T000000Z");
+        assert_eq!(format_timestamp(0), "19700101T000000Z");
+        // Leap-year day.
+        assert_eq!(&format_timestamp(1_709_164_800)[..8], "20240229");
+    }
+
+    #[test]
+    fn save_uses_timestamped_filename() {
+        let dir = std::env::temp_dir().join(format!("rhb-artifact-test-{}", std::process::id()));
+        let a = sample();
+        let path = a.save(&dir).unwrap();
+        assert!(path
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .ends_with("-unit.json"));
+        let back = RunArtifact::load(&path).unwrap();
+        assert_eq!(back.metrics, a.metrics);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

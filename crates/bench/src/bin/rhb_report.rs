@@ -1,0 +1,156 @@
+//! Flight-recorder CLI: inspect, compare, and benchmark pipeline runs.
+//!
+//! ```text
+//! rhb-report show <run.json>                 # render one artifact
+//! rhb-report diff <baseline.json> <candidate.json>
+//!                                            # exit 1 on regression
+//! rhb-report bench [--out <path>]            # smoke run → results/runs/
+//!                                            #   + BENCH_2.json
+//! ```
+//!
+//! `diff` thresholds: phase time +15 %, ASR −1 pt, any flip-success drop
+//! (see `rhb_bench::diff::DiffConfig`). Exit codes: 0 ok, 1 regression
+//! detected, 2 usage or I/O error.
+
+use rhb_bench::artifact::{smoke_run, RunArtifact};
+use rhb_bench::diff::{diff, DiffConfig};
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>]>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("show") => match args.get(1) {
+            Some(path) => show(Path::new(path)),
+            None => usage_error("show needs a run file"),
+        },
+        Some("diff") => match (args.get(1), args.get(2)) {
+            (Some(base), Some(cand)) => run_diff(Path::new(base), Path::new(cand)),
+            _ => usage_error("diff needs a baseline and a candidate"),
+        },
+        Some("bench") => {
+            let out = match args.get(1).map(String::as_str) {
+                Some("--out") => match args.get(2) {
+                    Some(p) => p.clone(),
+                    None => return usage_error("--out needs a path"),
+                },
+                Some(other) => return usage_error(&format!("unknown bench flag '{other}'")),
+                None => "BENCH_2.json".to_string(),
+            };
+            bench(Path::new(&out))
+        }
+        Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
+        None => usage_error("missing subcommand"),
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("rhb-report: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load(path: &Path) -> Result<RunArtifact, ExitCode> {
+    RunArtifact::load(path).map_err(|e| {
+        eprintln!("rhb-report: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn show(path: &Path) -> ExitCode {
+    let a = match load(path) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    print!("{}", render(&a));
+    ExitCode::SUCCESS
+}
+
+fn render(a: &RunArtifact) -> String {
+    let mut out = String::new();
+    let c = &a.config;
+    let m = &a.metrics;
+    out.push_str(&format!(
+        "run {} ({}): {} / {} / {} scale, seed {}\n",
+        a.exp,
+        rhb_bench::artifact::format_timestamp(a.created_unix),
+        c.model,
+        c.method,
+        c.scale,
+        c.seed
+    ));
+    out.push_str(&format!(
+        "  attack: target label {}, {} profile pages, {}-sided hammer, budget {}\n",
+        c.target_label, c.profile_pages, c.hammer_sides, c.flip_budget
+    ));
+    out.push_str(&format!(
+        "  metrics: base acc {:.2}%  clean acc {:.2}%  ASR {:.2}% (offline {:.2}%)\n\
+         \x20          n_flip {}  targets {}/{} matched  r_match {:.2}%  attack time {} ms\n",
+        m.base_accuracy * 100.0,
+        m.clean_accuracy * 100.0,
+        m.asr * 100.0,
+        m.offline_asr * 100.0,
+        m.n_flip,
+        m.n_matched,
+        m.n_targets,
+        m.r_match,
+        m.attack_time_ms
+    ));
+    out.push_str(&format!(
+        "  ledger: {} records, flip success {:.1}%\n",
+        a.flips.len(),
+        a.flip_success_rate() * 100.0
+    ));
+    out.push_str("  phases:\n");
+    for p in &a.phases {
+        out.push_str(&format!(
+            "    {:<28} {:>4}x {:>12} µs total {:>12} µs mean\n",
+            p.name, p.count, p.total_us, p.mean_us
+        ));
+    }
+    if !a.histograms.is_empty() {
+        out.push_str("  histograms:\n");
+        for h in &a.histograms {
+            out.push_str(&format!(
+                "    {:<32} n={:<7} mean {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}\n",
+                h.name, h.count, h.mean, h.p50, h.p90, h.p99
+            ));
+        }
+    }
+    out
+}
+
+fn run_diff(base_path: &Path, cand_path: &Path) -> ExitCode {
+    let (base, cand) = match (load(base_path), load(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let report = diff(&base, &cand, &DiffConfig::default());
+    print!("{report}");
+    if report.regressed() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn bench(out: &Path) -> ExitCode {
+    rhb_bench::telemetry::init();
+    let artifact = smoke_run("smoke", 41);
+    rhb_bench::telemetry::finish();
+    match artifact.save(Path::new("results/runs")) {
+        Ok(path) => eprintln!("rhb-report: artifact written to {}", path.display()),
+        Err(e) => {
+            eprintln!("rhb-report: results/runs: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(out, artifact.to_json()) {
+        eprintln!("rhb-report: {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("rhb-report: bench trajectory written to {}", out.display());
+    print!("{}", render(&artifact));
+    ExitCode::SUCCESS
+}

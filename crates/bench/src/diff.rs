@@ -1,0 +1,364 @@
+//! Run-to-run regression detection over [`crate::artifact::RunArtifact`]s.
+//!
+//! `rhb-report diff baseline.json candidate.json` compares two frozen
+//! runs and issues threshold-based verdicts: a pipeline phase slowing
+//! down by more than 15 %, the attack success rate dropping by more than
+//! one point, or the flip success rate dropping at all are regressions.
+//! Sub-millisecond phases are exempt from the timing check — at that
+//! scale the wall clock is scheduler noise, not a signal.
+
+use crate::artifact::RunArtifact;
+use std::fmt;
+
+/// Thresholds for [`diff`].
+#[derive(Debug, Clone, Copy)]
+pub struct DiffConfig {
+    /// A phase slower than baseline by more than this fraction regresses
+    /// (0.15 = +15 %).
+    pub phase_threshold: f64,
+    /// An ASR lower than baseline by more than this many percentage
+    /// points regresses.
+    pub asr_drop_pts: f64,
+    /// A flip success rate lower than baseline by more than this fraction
+    /// regresses.
+    pub flip_success_drop: f64,
+    /// Phases shorter than this (baseline, µs) are exempt from the timing
+    /// check.
+    pub min_phase_us: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            phase_threshold: 0.15,
+            asr_drop_pts: 1.0,
+            flip_success_drop: 0.005,
+            min_phase_us: 1_000,
+        }
+    }
+}
+
+/// Severity of one comparison finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within thresholds.
+    Ok,
+    /// Moved notably in the improving direction.
+    Improved,
+    /// Beyond a regression threshold.
+    Regressed,
+}
+
+/// One compared quantity.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What was compared (phase path or metric name).
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// Unit suffix for display (`µs`, `%`, ...).
+    pub unit: &'static str,
+    /// The verdict.
+    pub verdict: Verdict,
+}
+
+impl Finding {
+    /// Relative change, candidate vs baseline (0 when baseline is 0).
+    pub fn rel_change(&self) -> f64 {
+        if self.baseline == 0.0 {
+            0.0
+        } else {
+            (self.candidate - self.baseline) / self.baseline
+        }
+    }
+}
+
+/// The full comparison: every finding plus the overall verdict.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Per-quantity findings, phases first.
+    pub findings: Vec<Finding>,
+    /// Phases present in only one artifact (named, not compared).
+    pub unpaired_phases: Vec<String>,
+}
+
+impl DiffReport {
+    /// Findings that regressed.
+    pub fn regressions(&self) -> Vec<&Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.verdict == Verdict::Regressed)
+            .collect()
+    }
+
+    /// Whether anything regressed (drives the CLI exit code).
+    pub fn regressed(&self) -> bool {
+        !self.regressions().is_empty()
+    }
+}
+
+impl fmt::Display for DiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<28} {:>14} {:>14} {:>9}  verdict",
+            "quantity", "baseline", "candidate", "change"
+        )?;
+        for finding in &self.findings {
+            let verdict = match finding.verdict {
+                Verdict::Ok => "ok",
+                Verdict::Improved => "improved",
+                Verdict::Regressed => "REGRESSED",
+            };
+            writeln!(
+                f,
+                "{:<28} {:>13.1}{u} {:>13.1}{u} {:>+8.1}%  {verdict}",
+                finding.name,
+                finding.baseline,
+                finding.candidate,
+                finding.rel_change() * 100.0,
+                u = finding.unit,
+            )?;
+        }
+        for name in &self.unpaired_phases {
+            writeln!(f, "{name:<28} (present in only one run — not compared)")?;
+        }
+        let regressions = self.regressions();
+        if regressions.is_empty() {
+            writeln!(f, "no regressions")
+        } else {
+            let names: Vec<&str> = regressions.iter().map(|r| r.name.as_str()).collect();
+            writeln!(f, "{} regression(s): {}", names.len(), names.join(", "))
+        }
+    }
+}
+
+/// Compares `candidate` against `baseline` under `config`.
+pub fn diff(baseline: &RunArtifact, candidate: &RunArtifact, config: &DiffConfig) -> DiffReport {
+    let mut findings = Vec::new();
+    let mut unpaired = Vec::new();
+
+    for base_phase in &baseline.phases {
+        let Some(cand_us) = candidate.phase_us(&base_phase.name) else {
+            unpaired.push(base_phase.name.clone());
+            continue;
+        };
+        let base_us = base_phase.total_us;
+        let verdict = if base_us < config.min_phase_us {
+            Verdict::Ok
+        } else {
+            let rel = (cand_us as f64 - base_us as f64) / base_us as f64;
+            if rel > config.phase_threshold {
+                Verdict::Regressed
+            } else if rel < -config.phase_threshold {
+                Verdict::Improved
+            } else {
+                Verdict::Ok
+            }
+        };
+        findings.push(Finding {
+            name: base_phase.name.clone(),
+            baseline: base_us as f64,
+            candidate: cand_us as f64,
+            unit: "µs",
+            verdict,
+        });
+    }
+    for cand_phase in &candidate.phases {
+        if baseline.phase_us(&cand_phase.name).is_none() {
+            unpaired.push(cand_phase.name.clone());
+        }
+    }
+
+    // ASR in percentage points; lower is worse.
+    let base_asr = baseline.metrics.asr * 100.0;
+    let cand_asr = candidate.metrics.asr * 100.0;
+    findings.push(Finding {
+        name: "attack_success_rate".into(),
+        baseline: base_asr,
+        candidate: cand_asr,
+        unit: "%",
+        verdict: if base_asr - cand_asr > config.asr_drop_pts {
+            Verdict::Regressed
+        } else if cand_asr - base_asr > config.asr_drop_pts {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        },
+    });
+
+    let base_fs = baseline.flip_success_rate() * 100.0;
+    let cand_fs = candidate.flip_success_rate() * 100.0;
+    findings.push(Finding {
+        name: "flip_success_rate".into(),
+        baseline: base_fs,
+        candidate: cand_fs,
+        unit: "%",
+        verdict: if (base_fs - cand_fs) / 100.0 > config.flip_success_drop {
+            Verdict::Regressed
+        } else if (cand_fs - base_fs) / 100.0 > config.flip_success_drop {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        },
+    });
+
+    DiffReport {
+        findings,
+        unpaired_phases: unpaired,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::artifact::{Headline, PhaseTime, RunArtifact, RunConfig};
+    use rhb_core::provenance::FlipRecord;
+
+    fn artifact(phase_us: u64, asr: f64, flipped: [bool; 2]) -> RunArtifact {
+        RunArtifact {
+            exp: "fixture".into(),
+            created_unix: 1_754_000_000,
+            config: RunConfig {
+                model: "ResNet20".into(),
+                dataset: "SynthCifar".into(),
+                method: "CFT+BR".into(),
+                scale: "tiny".into(),
+                seed: 1,
+                target_label: 2,
+                profile_pages: 8192,
+                hammer_sides: 7,
+                flip_budget: 4,
+            },
+            phases: vec![
+                PhaseTime {
+                    name: "pipeline/offline".into(),
+                    count: 1,
+                    total_us: phase_us,
+                    mean_us: phase_us,
+                },
+                PhaseTime {
+                    name: "pipeline/hammering".into(),
+                    count: 1,
+                    total_us: 50_000,
+                    mean_us: 50_000,
+                },
+            ],
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            histograms: Vec::new(),
+            metrics: Headline {
+                base_accuracy: 0.84,
+                clean_accuracy: 0.82,
+                asr,
+                offline_asr: 0.98,
+                n_flip: 2,
+                n_targets: 2,
+                n_matched: 2,
+                r_match: 100.0,
+                attack_time_ms: 800,
+            },
+            flips: flipped
+                .iter()
+                .map(|&flipped| FlipRecord {
+                    weight_idx: 0,
+                    page: 0,
+                    page_group: Some(0),
+                    bit: 7,
+                    zero_to_one: true,
+                    matched_frame: Some(1),
+                    placed_frame: Some(1),
+                    hammer_attempts: 1,
+                    flipped,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn identical_artifacts_have_no_regressions() {
+        let a = artifact(100_000, 0.95, [true, true]);
+        let report = diff(&a, &a.clone(), &DiffConfig::default());
+        assert!(!report.regressed(), "{report}");
+    }
+
+    #[test]
+    fn doubled_phase_time_regresses_and_names_the_phase() {
+        let base = artifact(100_000, 0.95, [true, true]);
+        let cand = artifact(200_000, 0.95, [true, true]);
+        let report = diff(&base, &cand, &DiffConfig::default());
+        assert!(report.regressed());
+        let names: Vec<_> = report
+            .regressions()
+            .iter()
+            .map(|f| f.name.clone())
+            .collect();
+        assert_eq!(names, vec!["pipeline/offline".to_string()]);
+        assert!(format!("{report}").contains("pipeline/offline"));
+    }
+
+    #[test]
+    fn asr_drop_beyond_one_point_regresses() {
+        let base = artifact(100_000, 0.95, [true, true]);
+        let cand = artifact(100_000, 0.90, [true, true]);
+        let report = diff(&base, &cand, &DiffConfig::default());
+        let asr = report
+            .findings
+            .iter()
+            .find(|f| f.name == "attack_success_rate")
+            .unwrap();
+        assert_eq!(asr.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn flip_success_drop_regresses() {
+        let base = artifact(100_000, 0.95, [true, true]);
+        let cand = artifact(100_000, 0.95, [true, false]);
+        let report = diff(&base, &cand, &DiffConfig::default());
+        let fs = report
+            .findings
+            .iter()
+            .find(|f| f.name == "flip_success_rate")
+            .unwrap();
+        assert_eq!(fs.verdict, Verdict::Regressed);
+    }
+
+    #[test]
+    fn sub_threshold_phases_are_noise_exempt() {
+        let mut base = artifact(100_000, 0.95, [true, true]);
+        let mut cand = artifact(100_000, 0.95, [true, true]);
+        base.phases[0].total_us = 400; // < min_phase_us
+        cand.phases[0].total_us = 900; // 2.25× but still noise
+        let report = diff(&base, &cand, &DiffConfig::default());
+        assert!(!report.regressed(), "{report}");
+    }
+
+    #[test]
+    fn faster_phase_counts_as_improved() {
+        let base = artifact(200_000, 0.95, [true, true]);
+        let cand = artifact(100_000, 0.95, [true, true]);
+        let report = diff(&base, &cand, &DiffConfig::default());
+        let phase = report
+            .findings
+            .iter()
+            .find(|f| f.name == "pipeline/offline")
+            .unwrap();
+        assert_eq!(phase.verdict, Verdict::Improved);
+        assert!(!report.regressed());
+    }
+
+    #[test]
+    fn phases_missing_from_one_side_are_reported_not_compared() {
+        let base = artifact(100_000, 0.95, [true, true]);
+        let mut cand = artifact(100_000, 0.95, [true, true]);
+        cand.phases.remove(1);
+        let report = diff(&base, &cand, &DiffConfig::default());
+        assert_eq!(
+            report.unpaired_phases,
+            vec!["pipeline/hammering".to_string()]
+        );
+        assert!(!report.regressed());
+    }
+}

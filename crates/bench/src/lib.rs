@@ -7,8 +7,17 @@
 //! tables. The [`scale`] module picks the victim size — experiments
 //! default to the CPU-budget `Standard` scale and can be shrunk via
 //! `RHB_SCALE=tiny` for smoke runs.
+//!
+//! The flight-recorder half of the crate persists runs and compares them:
+//! [`artifact`] freezes one pipeline run (config, phase timings, metrics,
+//! flip ledger) as JSON under `results/runs/`, [`diff`] detects
+//! regressions between two artifacts, [`json`] is the hand-rolled parser
+//! both rely on, and the `rhb-report` binary is the CLI over all three.
 
+pub mod artifact;
+pub mod diff;
 pub mod experiments;
+pub mod json;
 pub mod report;
 pub mod scale;
 pub mod telemetry;

@@ -1,10 +1,12 @@
 //! Env-driven telemetry harness shared by every `exp_*` binary.
 //!
-//! * `RHB_TELEMETRY=progress|jsonl|off` — sink selection (default
+//! * `RHB_TELEMETRY=progress|jsonl|trace|off` — sink selection (default
 //!   `progress`: human-readable span/message stream on stderr, so the
-//!   stdout artifact tables stay clean);
-//! * `RHB_TRACE=<path>` — JSONL output path for `RHB_TELEMETRY=jsonl`
-//!   (default `rhb_trace.jsonl`);
+//!   stdout artifact tables stay clean; `trace` emits Chrome trace-event
+//!   JSON loadable in Perfetto / `chrome://tracing`);
+//! * `RHB_TRACE=<path>` — output path for `RHB_TELEMETRY=jsonl` (default
+//!   `rhb_trace.jsonl`) and `RHB_TELEMETRY=trace` (default
+//!   `rhb_trace.json`);
 //! * `RHB_TELEMETRY_REPORT=0` — suppress the end-of-run
 //!   [`rhb_telemetry::TelemetryReport`] table on stderr.
 //!
@@ -27,12 +29,17 @@ pub enum TelemetryMode {
     Progress,
     /// JSONL event stream to the `RHB_TRACE` path.
     Jsonl,
+    /// Chrome trace-event JSON (Perfetto / `chrome://tracing`) to the
+    /// `RHB_TRACE` path.
+    Trace,
 }
 
 /// Installs the sink selected by `RHB_TELEMETRY` into the global registry
-/// and returns which mode is active. Unknown values and a missing variable
-/// both mean `progress`; a JSONL sink that cannot open its file falls back
-/// to `progress` with a warning rather than killing the experiment.
+/// and returns which mode is active. A missing or empty variable means
+/// `progress`; an unrecognized value warns on stderr (listing the valid
+/// modes) and also falls back to `progress`. A file sink that cannot open
+/// its path falls back to `progress` with a warning rather than killing
+/// the experiment.
 pub fn init() -> TelemetryMode {
     let mode = std::env::var("RHB_TELEMETRY").unwrap_or_default();
     match mode.as_str() {
@@ -51,7 +58,29 @@ pub fn init() -> TelemetryMode {
                 }
             }
         }
-        _ => {
+        "trace" => {
+            let path = std::env::var("RHB_TRACE").unwrap_or_else(|_| "rhb_trace.json".into());
+            match rhb_telemetry::TraceSink::to_file(std::path::Path::new(&path)) {
+                Ok(sink) => {
+                    rhb_telemetry::install(Arc::new(sink));
+                    TelemetryMode::Trace
+                }
+                Err(e) => {
+                    eprintln!("RHB_TRACE {path}: {e}; falling back to progress telemetry");
+                    rhb_telemetry::install(Arc::new(rhb_telemetry::ProgressSink::default()));
+                    TelemetryMode::Progress
+                }
+            }
+        }
+        "" | "progress" => {
+            rhb_telemetry::install(Arc::new(rhb_telemetry::ProgressSink::default()));
+            TelemetryMode::Progress
+        }
+        unknown => {
+            eprintln!(
+                "RHB_TELEMETRY={unknown}: unknown mode, valid modes are \
+                 progress|jsonl|trace|off; using progress"
+            );
             rhb_telemetry::install(Arc::new(rhb_telemetry::ProgressSink::default()));
             TelemetryMode::Progress
         }

@@ -27,9 +27,11 @@ pub mod metrics;
 pub mod objective;
 pub mod pipeline;
 pub mod probability;
+pub mod provenance;
 pub mod trigger;
 
 pub use cft::{CftConfig, CftResult};
 pub use metrics::{attack_success_rate, r_match, test_accuracy};
 pub use pipeline::{AttackMethod, AttackPipeline, OfflineReport, OnlineReport};
+pub use provenance::FlipRecord;
 pub use trigger::{Trigger, TriggerMask};

@@ -10,7 +10,9 @@
 
 use crate::baselines::{badnet, ft_last_layer, tbt, BaselineConfig};
 use crate::cft::{run as run_cft, CftConfig, CftResult, LossPoint};
+use crate::groupsel::GroupPlan;
 use crate::metrics::{attack_success_rate, n_flip, r_match, test_accuracy};
+use crate::provenance::FlipRecord;
 use crate::trigger::{Trigger, TriggerMask};
 use rhb_dram::hammer::HammerConfig;
 use rhb_dram::online::{OnlineAttack, TargetBit};
@@ -100,6 +102,10 @@ pub struct OnlineReport {
     pub accidental: usize,
     /// Modeled wall-clock hammering time.
     pub attack_time: Duration,
+    /// Flip provenance ledger: one record per post-reduction target, in
+    /// request order, joining optimizer context (weight index, page group)
+    /// with the DRAM-side match/placement/hammer outcome.
+    pub ledger: Vec<FlipRecord>,
 }
 
 /// Drives one victim model through offline and online phases.
@@ -278,6 +284,33 @@ impl AttackPipeline {
             .collect();
         let outcome = attack.execute(&mut bytes, &dram_targets);
 
+        // Join each DRAM-side record with its optimizer context: which
+        // quantized weight the bit belongs to and, for the group-constrained
+        // methods, which CFT+BR page group sourced it.
+        let group_plan = match offline.method {
+            AttackMethod::Cft | AttackMethod::CftBr => {
+                let total_weights = offline.base_weights.bytes().len();
+                let budget = offline.base_weights.num_pages().clamp(1, 100);
+                Some(GroupPlan::new(total_weights, budget))
+            }
+            _ => None,
+        };
+        let ledger: Vec<FlipRecord> = outcome
+            .records
+            .iter()
+            .map(|rec| {
+                let weight_idx = rec.target.file_page * crate::groupsel::WEIGHTS_PER_PAGE
+                    + rec.target.bit_offset / 8;
+                let flip = FlipRecord::from_target(
+                    rec,
+                    group_plan.as_ref().map(|g| g.group_of(weight_idx)),
+                );
+                flip.emit();
+                flip
+            })
+            .collect();
+        rhb_telemetry::counter!("core/online/ledger_records", ledger.len());
+
         // Rebuild the weight file from hammered bytes and load the victim.
         let mut corrupted = offline.base_weights.clone();
         for flip in &outcome.applied {
@@ -338,6 +371,7 @@ impl AttackPipeline {
             n_targets: outcome.n_targets,
             accidental: outcome.accidental_in_target_pages,
             attack_time: outcome.attack_time,
+            ledger,
         }
     }
 
@@ -422,6 +456,16 @@ mod tests {
             online.attack_success_rate,
             offline.attack_success_rate
         );
+        // The ledger audits every post-reduction target with full
+        // provenance: optimizer group, placement address, hammer outcome.
+        assert_eq!(online.ledger.len(), online.n_targets);
+        for rec in &online.ledger {
+            assert!(rec.page_group.is_some(), "CFT+BR records carry a group");
+            assert!(rec.matched_frame.is_some(), "all CFT+BR targets match");
+            assert_eq!(rec.placed_frame, rec.matched_frame);
+            assert_eq!(rec.hammer_attempts, 1);
+            assert!(rec.flipped, "matched CFT+BR bit did not flip");
+        }
     }
 
     #[test]
@@ -441,6 +485,9 @@ mod tests {
             online.attack_success_rate,
             offline_asr
         );
+        // FT does not select by page group, so the ledger records none.
+        assert_eq!(online.ledger.len(), online.n_targets);
+        assert!(online.ledger.iter().all(|r| r.page_group.is_none()));
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! The flip provenance ledger: one record per attacker-chosen bit, from
+//! optimizer choice to hammering outcome.
+//!
+//! The offline optimizer picks bits by weight index (and, for CFT+BR, by
+//! page group); the online phase matches each bit against a flip template,
+//! steers its page into the matched frame, and hammers. The ledger joins
+//! both halves so every requested flip can be audited end to end: *which*
+//! weight, *why* it was eligible (its group), *where* it landed in DRAM,
+//! and *whether* it actually flipped. [`crate::AttackPipeline::run_online`]
+//! assembles the ledger and emits each record as a telemetry event;
+//! `rhb-bench` folds it into the run artifact.
+
+use crate::groupsel::WEIGHTS_PER_PAGE;
+use rhb_dram::online::TargetRecord;
+use serde::{Deserialize, Serialize};
+
+/// Full provenance of one attacker-chosen bit flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlipRecord {
+    /// Flat index of the (8-bit quantized) weight holding the bit.
+    pub weight_idx: usize,
+    /// Weight-file page the weight lives in.
+    pub page: usize,
+    /// CFT+BR page group the optimizer drew this flip from (`None` for
+    /// methods without group-constrained selection).
+    pub page_group: Option<usize>,
+    /// Bit position within the weight (0 = LSB, 7 = sign).
+    pub bit: u8,
+    /// Required flip direction: `true` for 0→1.
+    pub zero_to_one: bool,
+    /// Flippy frame the templating match found (`None` if unmatched).
+    pub matched_frame: Option<usize>,
+    /// Frame the page was resident in while hammering (the placement
+    /// address).
+    pub placed_frame: Option<usize>,
+    /// Hammer passes delivered to the frame's row.
+    pub hammer_attempts: u32,
+    /// Whether the bit actually flipped in the weight file.
+    pub flipped: bool,
+}
+
+impl FlipRecord {
+    /// Joins a DRAM-side target record with its optimizer context.
+    pub fn from_target(record: &TargetRecord, page_group: Option<usize>) -> Self {
+        let t = record.target;
+        FlipRecord {
+            weight_idx: t.file_page * WEIGHTS_PER_PAGE + t.bit_offset / 8,
+            page: t.file_page,
+            page_group,
+            bit: (t.bit_offset % 8) as u8,
+            zero_to_one: t.zero_to_one,
+            matched_frame: record.matched_frame,
+            placed_frame: record.placed_frame,
+            hammer_attempts: record.hammer_attempts,
+            flipped: record.flipped,
+        }
+    }
+
+    /// Emits this record as a structured telemetry event (`-1` encodes a
+    /// missing group or frame, since the event fields are scalars).
+    pub fn emit(&self) {
+        rhb_telemetry::event!(
+            "flip_record",
+            weight_idx = self.weight_idx,
+            page = self.page,
+            page_group = self.page_group.map_or(-1i64, |g| g as i64),
+            bit = self.bit as u64,
+            zero_to_one = self.zero_to_one,
+            matched_frame = self.matched_frame.map_or(-1i64, |f| f as i64),
+            placed_frame = self.placed_frame.map_or(-1i64, |f| f as i64),
+            hammer_attempts = self.hammer_attempts as u64,
+            flipped = self.flipped,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_dram::online::TargetBit;
+
+    #[test]
+    fn weight_index_and_bit_come_from_the_page_offset() {
+        let rec = TargetRecord {
+            target: TargetBit {
+                file_page: 3,
+                bit_offset: 100 * 8 + 6,
+                zero_to_one: true,
+            },
+            matched_frame: Some(77),
+            placed_frame: Some(77),
+            hammer_attempts: 1,
+            flipped: true,
+        };
+        let flip = FlipRecord::from_target(&rec, Some(5));
+        assert_eq!(flip.weight_idx, 3 * WEIGHTS_PER_PAGE + 100);
+        assert_eq!(flip.page, 3);
+        assert_eq!(flip.bit, 6);
+        assert_eq!(flip.page_group, Some(5));
+        assert!(flip.zero_to_one);
+        assert_eq!(flip.matched_frame, Some(77));
+        assert!(flip.flipped);
+    }
+}

@@ -7,6 +7,7 @@
 //! pipeline needs: they drive flip-profile density, target-page matching
 //! probability (Eqs. 1–2), and accidental-flip counts.
 
+use crate::geometry::DramGeometry;
 use serde::Serialize;
 
 /// DRAM generation, which determines the effective hammer patterns.
@@ -174,6 +175,15 @@ impl ChipModel {
     /// chip).
     pub fn flippable_fraction(&self) -> f64 {
         self.avg_flips_per_page / (4096.0 * 8.0)
+    }
+
+    /// The DRAM organization this chip generation is modeled with — used to
+    /// fold hammered frames onto banks for access accounting.
+    pub fn geometry(&self) -> DramGeometry {
+        match self.kind {
+            ChipKind::Ddr3 => DramGeometry::ddr3_2gb(),
+            ChipKind::Ddr4 => DramGeometry::ddr4_16gb(),
+        }
     }
 }
 

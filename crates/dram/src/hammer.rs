@@ -16,9 +16,18 @@
 
 use crate::chips::{ChipKind, ChipModel};
 use crate::error::{DramError, Result};
+use crate::geometry::DramGeometry;
 use crate::profile::{FlipCell, FlipProfile};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::time::Duration;
+
+/// Histogram of aggressor-row activations absorbed per bank during one
+/// hammering campaign (each hammered frame costs `sides` activations in
+/// its bank). Registered with explicit bounds by
+/// [`record_bank_accesses`]; summarized in the end-of-run report and the
+/// run artifact.
+pub const BANK_ACCESS_HISTOGRAM: &str = "dram/hammer/bank_accesses";
 
 /// An n-sided hammer pattern: `sides` aggressor rows interleaved with
 /// victims within one bank.
@@ -125,6 +134,30 @@ pub fn hammer_page<'p>(
         .into_iter()
         .filter(|c| c.threshold <= intensity)
         .collect()
+}
+
+/// Folds hammered frames onto their banks and records one
+/// [`BANK_ACCESS_HISTOGRAM`] sample per touched bank: the total number of
+/// aggressor-row activations that bank absorbed (`sides` per frame). The
+/// distribution shows how evenly — or not — a campaign loads the device's
+/// banks, which bounds how much hammering can overlap in time.
+pub fn record_bank_accesses(
+    geometry: &DramGeometry,
+    frames: impl IntoIterator<Item = usize>,
+    pattern: HammerPattern,
+) {
+    rhb_telemetry::register_histogram(
+        BANK_ACCESS_HISTOGRAM,
+        &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0],
+    );
+    let mut per_bank: HashMap<usize, u64> = HashMap::new();
+    for frame in frames {
+        let bank = geometry.bank_of_row(geometry.row_of_frame(frame));
+        *per_bank.entry(bank).or_default() += pattern.sides as u64;
+    }
+    for accesses in per_bank.into_values() {
+        rhb_telemetry::observe!(BANK_ACCESS_HISTOGRAM, accesses as f64);
+    }
 }
 
 /// Checks that a pattern can flip anything at all on a chip.

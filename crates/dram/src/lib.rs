@@ -34,5 +34,5 @@ pub use chips::{ChipKind, ChipModel};
 pub use error::{DramError, Result};
 pub use geometry::DramGeometry;
 pub use hammer::{HammerConfig, HammerPattern};
-pub use online::{OnlineAttack, OnlineOutcome};
+pub use online::{OnlineAttack, OnlineOutcome, TargetRecord};
 pub use profile::{FlipCell, FlipDirection, FlipProfile};

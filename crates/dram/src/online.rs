@@ -64,6 +64,28 @@ pub struct AppliedFlip {
     pub intended: bool,
 }
 
+/// Full provenance of one attacker-chosen bit through the online phase:
+/// which flippy frame the templating match found for it, which frame the
+/// placement exploit actually steered its page into, how many hammer
+/// passes its row took, and whether the bit ended up flipped. One record
+/// per requested target, in request order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TargetRecord {
+    /// The requested flip.
+    pub target: TargetBit,
+    /// The flippy frame the matching phase assigned (the templating match);
+    /// `None` if no profiled or extended page covered the offset.
+    pub matched_frame: Option<usize>,
+    /// The frame the target's file page was resident in during hammering
+    /// (the placement address). Equals `matched_frame` for matched targets;
+    /// a bait frame otherwise.
+    pub placed_frame: Option<usize>,
+    /// Hammer passes delivered to the frame's row (0 if never hammered).
+    pub hammer_attempts: u32,
+    /// Whether the intended bit actually flipped.
+    pub flipped: bool,
+}
+
 /// Result of one online attack execution.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct OnlineOutcome {
@@ -81,6 +103,9 @@ pub struct OnlineOutcome {
     pub attack_time: Duration,
     /// The realized placement, for diagnostics.
     pub placement: PlacementPlan,
+    /// Per-target provenance, in request order (the flip ledger's
+    /// placement/hammer half; `rhb_core` joins it with optimizer context).
+    pub records: Vec<TargetRecord>,
 }
 
 impl OnlineOutcome {
@@ -380,6 +405,11 @@ impl OnlineAttack {
             }
             rhb_telemetry::counter!("dram/frames_hammered", 1);
         }
+        crate::hammer::record_bank_accesses(
+            &self.profile.chip().geometry(),
+            matching.frame_of_file_page.values().copied(),
+            self.config.pattern,
+        );
         rhb_telemetry::counter!("dram/bits_flipped", applied.len());
         rhb_telemetry::counter!(
             "dram/accidental_flips",
@@ -410,6 +440,29 @@ impl OnlineAttack {
         let placement = self.place(file_pages, &matching);
         let (applied, accidental_in_target_pages) = self.hammer(data, &matching);
 
+        // Per-target provenance: join each request with its templating
+        // match, placement address, and hammer outcome.
+        let records: Vec<TargetRecord> = targets
+            .iter()
+            .map(|&t| {
+                let matched = matching.matched.contains(&t);
+                let matched_frame = if matched {
+                    matching.frame_of_file_page.get(&t.file_page).copied()
+                } else {
+                    None
+                };
+                TargetRecord {
+                    target: t,
+                    matched_frame,
+                    placed_frame: placement.frame_of(t.file_page),
+                    hammer_attempts: u32::from(matched_frame.is_some()),
+                    flipped: applied.iter().any(|f| {
+                        f.intended && f.file_page == t.file_page && f.bit_offset == t.bit_offset
+                    }),
+                }
+            })
+            .collect();
+
         let attack_time = self
             .config
             .pattern
@@ -422,6 +475,7 @@ impl OnlineAttack {
             unmatched: matching.unmatched,
             attack_time,
             placement,
+            records,
         }
     }
 }
@@ -540,6 +594,36 @@ mod tests {
         // so the 0→1 cell cannot flip it.
         let flipped_intended = outcome.applied.iter().any(|f| f.intended);
         assert!(!flipped_intended, "0→1 cell flipped a stored 1");
+    }
+
+    #[test]
+    fn records_carry_match_placement_and_hammer_outcome() {
+        let mut attack = ddr3_attack(4096, 7);
+        let mut data = vec![0b1010_1010u8; 4 * PAGE_SIZE];
+        let mut targets = easy_targets(&attack, 3, &data);
+        // One hopeless target: a tiny-profile offset that cannot match.
+        targets.push(TargetBit {
+            file_page: 3,
+            bit_offset: 31_999,
+            zero_to_one: true,
+        });
+        let outcome = attack.execute(&mut data, &targets);
+        assert_eq!(outcome.records.len(), targets.len());
+        for (rec, &t) in outcome.records.iter().zip(&targets) {
+            assert_eq!(rec.target, t, "records keep request order");
+            // Placement always resolves: matched pages sit in their flippy
+            // frame, the rest in bait.
+            assert!(rec.placed_frame.is_some());
+            if let Some(frame) = rec.matched_frame {
+                assert_eq!(rec.placed_frame, Some(frame));
+                assert_eq!(rec.hammer_attempts, 1);
+            } else {
+                assert_eq!(rec.hammer_attempts, 0);
+                assert!(!rec.flipped);
+            }
+        }
+        let flipped = outcome.records.iter().filter(|r| r.flipped).count();
+        assert_eq!(flipped, outcome.intended_applied());
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub const CONFLICT_LATENCY: f64 = 400.0;
 /// Measured access latency without a conflict (cycles).
 pub const NO_CONFLICT_LATENCY: f64 = 230.0;
 
+/// Histogram of probe-pair latencies in cycles — the bimodal distribution
+/// of Fig. 12. Bucket bounds straddle both latency modes so the fast and
+/// slow populations land in separate buckets; registered by
+/// [`ConflictScan::run`], summarized in the run artifact.
+pub const LATENCY_HISTOGRAM: &str = "dram/rowconflict/latency_cycles";
+
 /// Timing oracle over a simulated device.
 #[derive(Debug, Clone)]
 pub struct RowConflictOracle {
@@ -71,10 +77,19 @@ impl ConflictScan {
     pub fn run(oracle: &mut RowConflictOracle, reference: usize, probes: &[usize]) -> Self {
         let _span = rhb_telemetry::span!("rowconflict_scan", probes = probes.len());
         rhb_telemetry::counter!("dram/rowconflict_probes", probes.len());
-        let latencies = probes
+        rhb_telemetry::register_histogram(
+            LATENCY_HISTOGRAM,
+            &[
+                200.0, 220.0, 240.0, 260.0, 280.0, 320.0, 360.0, 390.0, 420.0, 450.0,
+            ],
+        );
+        let latencies: Vec<f64> = probes
             .iter()
             .map(|&p| oracle.time_pair(reference, p))
             .collect();
+        for &l in &latencies {
+            rhb_telemetry::observe!(LATENCY_HISTOGRAM, l);
+        }
         ConflictScan {
             latencies,
             probes: probes.to_vec(),

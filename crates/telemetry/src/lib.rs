@@ -3,8 +3,10 @@
 //! Hand-rolled observability for the rowhammer-backdoor pipeline:
 //! hierarchical wall-clock **spans**, monotonic **counters**, **gauges**,
 //! fixed-bucket **histograms**, and pluggable **sinks** — a zero-cost
-//! no-op sink, a human-readable progress sink, and a JSONL event sink
-//! whose stream the bench reporter folds into experiment artifacts.
+//! no-op sink, a human-readable progress sink, a JSONL event sink whose
+//! stream the bench reporter folds into experiment artifacts, and a
+//! Chrome trace-event sink ([`TraceSink`]) whose output loads directly in
+//! Perfetto / `chrome://tracing`.
 //!
 //! Std-only by design (plus the workspace's `parking_lot`): the build
 //! environment is offline, so this crate depends on nothing external.
@@ -42,11 +44,13 @@
 mod histogram;
 mod report;
 mod sink;
+mod trace;
 mod value;
 
 pub use histogram::Histogram;
 pub use report::{HistogramSummary, SpanSummary, TelemetryReport};
 pub use sink::{JsonlSink, NoopSink, ProgressSink, Sink};
+pub use trace::TraceSink;
 pub use value::Value;
 
 use parking_lot::{Mutex, RwLock};
@@ -138,12 +142,15 @@ impl Telemetry {
         sink.flush();
     }
 
-    /// Clears every accumulated metric (run boundary).
+    /// Clears every accumulated metric (run boundary), including the
+    /// calling thread's span path stack: a span guard leaked (or held)
+    /// across a reset must not prefix the paths of the next run's spans.
     pub fn reset(&self) {
         self.counters.lock().clear();
         self.gauges.lock().clear();
         self.histograms.lock().clear();
         self.spans.lock().clear();
+        SPAN_STACK.with(|stack| stack.borrow_mut().clear());
     }
 
     /// Flushes the installed sink.
@@ -404,6 +411,11 @@ pub fn observe_value(name: &str, value: f64) {
     global().observe(name, value);
 }
 
+/// See [`Telemetry::register_histogram`].
+pub fn register_histogram(name: &str, bounds: &[f64]) {
+    global().register_histogram(name, bounds);
+}
+
 /// See [`Telemetry::event`].
 pub fn emit_event(name: &str, fields: &[(&'static str, Value)]) {
     global().event(name, fields);
@@ -600,6 +612,25 @@ mod tests {
             tel.report().counter_total("contended"),
             Some(threads * per_thread)
         );
+        tel.shutdown();
+    }
+
+    #[test]
+    fn reset_clears_a_leaked_span_stack() {
+        let tel = Telemetry::new();
+        tel.install(Arc::new(NoopSink));
+        // Leak a guard: Drop never runs, so the thread-local stack keeps
+        // the "leaked" segment alive past the span's lifetime.
+        std::mem::forget(tel.start_span("leaked", &[]));
+        tel.reset();
+        {
+            let g = tel.start_span("fresh", &[]);
+            assert_eq!(
+                g.path(),
+                Some("fresh"),
+                "a leaked guard polluted the next run's span paths"
+            );
+        }
         tel.shutdown();
     }
 

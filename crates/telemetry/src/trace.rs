@@ -1,0 +1,274 @@
+//! Chrome trace-event sink: the flight recorder's timeline format.
+//!
+//! [`TraceSink`] streams the raw telemetry feed as [Chrome trace-event
+//! JSON](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+//! — the format `chrome://tracing` and [Perfetto](https://ui.perfetto.dev)
+//! load directly. Span opens/closes become raw `B`/`E` duration events
+//! carrying the process id, a per-thread track id, and the span's fields
+//! as `args`; counters and gauges become `C` counter events; structured
+//! events and progress messages become `i` instants.
+//!
+//! The output is one self-contained JSON object:
+//!
+//! ```json
+//! {"displayTimeUnit":"ms","traceEvents":[
+//!  {"name":"pipeline","cat":"span","ph":"B","ts":12,"pid":1,"tid":1,"args":{}},
+//!  {"name":"pipeline","cat":"span","ph":"E","ts":98,"pid":1,"tid":1},
+//!  {"name":"dram/bits_flipped","ph":"C","ts":99,"pid":1,"tid":1,"args":{"total":10}}
+//! ]}
+//! ```
+//!
+//! The closing `]}` is written by [`TraceSink::flush`] (the harness calls
+//! it exactly once, at shutdown); events arriving after that are dropped
+//! so the file stays valid JSON. Timestamps are microseconds since the
+//! sink was created, taken under the writer lock, so the event stream is
+//! globally monotone.
+
+use crate::sink::Sink;
+use crate::value::{write_json_string, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::Write;
+use std::thread::ThreadId;
+use std::time::{Duration, Instant};
+
+struct TraceInner {
+    out: Box<dyn Write + Send>,
+    /// No event emitted yet (controls the leading comma).
+    first: bool,
+    /// The closing `]}` was written; later events are dropped.
+    closed: bool,
+    /// Small dense track ids per OS thread.
+    tids: HashMap<ThreadId, u64>,
+}
+
+/// Streams telemetry as Chrome trace-event JSON (see the module docs).
+pub struct TraceSink {
+    epoch: Instant,
+    inner: Mutex<TraceInner>,
+}
+
+impl TraceSink {
+    /// A trace sink over any writer (a `File`, a `Vec<u8>` buffer, ...).
+    pub fn to_writer(mut writer: Box<dyn Write + Send>) -> Self {
+        let _ = write!(writer, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        TraceSink {
+            epoch: Instant::now(),
+            inner: Mutex::new(TraceInner {
+                out: writer,
+                first: true,
+                closed: false,
+                tids: HashMap::new(),
+            }),
+        }
+    }
+
+    /// A trace sink writing to the file at `path`.
+    pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::to_writer(Box::new(std::io::BufWriter::new(file))))
+    }
+
+    /// Emits one event object. `body` is everything after the timestamp,
+    /// already JSON-escaped. The tid and timestamp are resolved under the
+    /// lock so the stream stays monotone and per-thread ids stay dense.
+    fn emit(&self, build: impl FnOnce(u64) -> String) {
+        let thread = std::thread::current().id();
+        let mut inner = self.inner.lock();
+        if inner.closed {
+            return;
+        }
+        let next = inner.tids.len() as u64 + 1;
+        let tid = *inner.tids.entry(thread).or_insert(next);
+        let ts = self.epoch.elapsed().as_micros();
+        let body = build(tid);
+        let sep = if inner.first { "" } else { "," };
+        inner.first = false;
+        let _ = write!(inner.out, "{sep}\n{{\"ts\":{ts},\"pid\":1,{body}}}");
+    }
+
+    fn args_json(fields: &[(&'static str, Value)]) -> String {
+        let mut s = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            write_json_string(k, &mut s);
+            s.push(':');
+            v.write_json(&mut s);
+        }
+        s.push('}');
+        s
+    }
+}
+
+impl Sink for TraceSink {
+    fn span_start(&self, path: &str, _depth: usize, fields: &[(&'static str, Value)]) {
+        self.emit(|tid| {
+            let mut name = String::new();
+            write_json_string(path, &mut name);
+            format!(
+                "\"tid\":{tid},\"name\":{name},\"cat\":\"span\",\"ph\":\"B\",\"args\":{}",
+                Self::args_json(fields)
+            )
+        });
+    }
+
+    fn span_end(&self, path: &str, _depth: usize, _elapsed: Duration) {
+        self.emit(|tid| {
+            let mut name = String::new();
+            write_json_string(path, &mut name);
+            format!("\"tid\":{tid},\"name\":{name},\"cat\":\"span\",\"ph\":\"E\"")
+        });
+    }
+
+    fn counter(&self, name: &str, _delta: u64, total: u64) {
+        self.emit(|tid| {
+            let mut n = String::new();
+            write_json_string(name, &mut n);
+            format!("\"tid\":{tid},\"name\":{n},\"ph\":\"C\",\"args\":{{\"total\":{total}}}")
+        });
+    }
+
+    fn gauge(&self, name: &str, value: f64) {
+        self.emit(|tid| {
+            let mut n = String::new();
+            write_json_string(name, &mut n);
+            let mut v = String::new();
+            Value::F64(value).write_json(&mut v);
+            format!("\"tid\":{tid},\"name\":{n},\"ph\":\"C\",\"args\":{{\"value\":{v}}}")
+        });
+    }
+
+    fn observation(&self, name: &str, value: f64) {
+        // Histogram samples fire from hot loops (per-layer forward passes);
+        // one counter event per sample would dominate the trace. Their
+        // summaries surface through the end-of-run report instead.
+        let _ = (name, value);
+    }
+
+    fn event(&self, path: &str, name: &str, fields: &[(&'static str, Value)]) {
+        self.emit(|tid| {
+            let mut n = String::new();
+            write_json_string(name, &mut n);
+            let mut p = String::new();
+            write_json_string(path, &mut p);
+            format!(
+                "\"tid\":{tid},\"name\":{n},\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"args\":{{\"span\":{p},\"fields\":{}}}",
+                Self::args_json(fields)
+            )
+        });
+    }
+
+    fn message(&self, text: &str) {
+        self.emit(|tid| {
+            let mut t = String::new();
+            write_json_string(text, &mut t);
+            format!(
+                "\"tid\":{tid},\"name\":\"message\",\"cat\":\"event\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"args\":{{\"text\":{t}}}"
+            )
+        });
+    }
+
+    fn flush(&self) {
+        let mut inner = self.inner.lock();
+        if !inner.closed {
+            inner.closed = true;
+            let _ = write!(inner.out, "\n]}}");
+        }
+        let _ = inner.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn trace_text(f: impl FnOnce(&TraceSink)) -> String {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::to_writer(Box::new(buf.clone()));
+        f(&sink);
+        sink.flush();
+        let bytes = buf.0.lock().clone();
+        String::from_utf8(bytes).unwrap()
+    }
+
+    #[test]
+    fn spans_become_begin_end_pairs_with_thread_ids() {
+        let text = trace_text(|sink| {
+            sink.span_start("pipeline/offline", 0, &[("seed", Value::U64(41))]);
+            sink.span_end("pipeline/offline", 0, Duration::from_micros(10));
+        });
+        assert!(text.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(text.ends_with("]}"));
+        assert!(text.contains("\"ph\":\"B\""));
+        assert!(text.contains("\"ph\":\"E\""));
+        assert!(text.contains("\"name\":\"pipeline/offline\""));
+        assert!(text.contains("\"tid\":1"));
+        assert!(text.contains("\"args\":{\"seed\":41}"));
+    }
+
+    #[test]
+    fn counters_and_gauges_become_counter_events() {
+        let text = trace_text(|sink| {
+            sink.counter("dram/bits_flipped", 1, 7);
+            sink.gauge("core/cft/loss", 0.5);
+        });
+        assert!(text.contains("\"ph\":\"C\",\"args\":{\"total\":7}"));
+        assert!(text.contains("\"ph\":\"C\",\"args\":{\"value\":0.5}"));
+    }
+
+    #[test]
+    fn events_after_flush_are_dropped_and_json_stays_closed() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::to_writer(Box::new(buf.clone()));
+        sink.span_start("a", 0, &[]);
+        sink.flush();
+        sink.span_start("late", 0, &[]);
+        sink.flush(); // second flush must not re-close
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        assert!(!text.contains("late"));
+        assert_eq!(text.matches("]}").count(), 1);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_track_ids() {
+        let buf = SharedBuf::default();
+        let sink = Arc::new(TraceSink::to_writer(Box::new(buf.clone())));
+        sink.span_start("main", 0, &[]);
+        let s2 = Arc::clone(&sink);
+        std::thread::spawn(move || s2.span_start("worker", 0, &[]))
+            .join()
+            .unwrap();
+        sink.flush();
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        assert!(text.contains("\"tid\":1"));
+        assert!(text.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn nasty_names_are_escaped() {
+        let text = trace_text(|sink| {
+            sink.span_start("a\"b\\c\nd", 0, &[("s", Value::from("x\t\u{1}"))]);
+            sink.span_end("a\"b\\c\nd", 0, Duration::ZERO);
+        });
+        assert!(text.contains("a\\\"b\\\\c\\nd"));
+        assert!(text.contains("x\\t\\u0001"));
+    }
+}

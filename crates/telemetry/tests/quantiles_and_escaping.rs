@@ -1,0 +1,132 @@
+//! Property tests for [`rhb_telemetry::Histogram::quantile`] and escaping
+//! tests for the JSONL and trace sinks: a flight-recorder stream is only
+//! useful if its percentile math is sound and its output survives span
+//! names and field values containing JSON metacharacters.
+
+use proptest::prelude::*;
+use rhb_telemetry::{Histogram, JsonlSink, Sink, TraceSink, Value};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+impl SharedBuf {
+    fn text(&self) -> String {
+        String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+    }
+}
+
+proptest! {
+    /// quantile is monotone non-decreasing in q.
+    #[test]
+    fn quantile_is_monotone_in_q(
+        samples in prop::collection::vec(0.0f64..1_000.0, 1..200),
+        qa in 0.0f64..1.0,
+        qb in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::default();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let (lo, hi) = if qa <= qb { (qa, qb) } else { (qb, qa) };
+        let q_lo = h.quantile(lo).unwrap();
+        let q_hi = h.quantile(hi).unwrap();
+        prop_assert!(
+            q_lo <= q_hi,
+            "quantile({lo}) = {q_lo} > quantile({hi}) = {q_hi}"
+        );
+    }
+
+    /// Every quantile lies within [min(), max()].
+    #[test]
+    fn quantiles_are_bounded_by_min_and_max(
+        samples in prop::collection::vec(0.0f64..1_000.0, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let mut h = Histogram::default();
+        for &s in &samples {
+            h.observe(s);
+        }
+        let v = h.quantile(q).unwrap();
+        prop_assert!(v >= h.min().unwrap(), "quantile({q}) = {v} below min");
+        prop_assert!(v <= h.max().unwrap(), "quantile({q}) = {v} above max");
+    }
+
+    /// When every sample is identical (single-bucket data), the median
+    /// agrees with the mean: clamping reports the observed value, and the
+    /// mean only differs by float accumulation error in the running sum.
+    #[test]
+    fn median_matches_mean_for_single_bucket_data(
+        value in 0.001f64..10_000.0,
+        count in 1usize..300,
+    ) {
+        let mut h = Histogram::default();
+        for _ in 0..count {
+            h.observe(value);
+        }
+        let median = h.quantile(0.5).unwrap();
+        prop_assert_eq!(median, value);
+        let rel_err = (median - h.mean()).abs() / value;
+        prop_assert!(rel_err < 1e-12, "median {} vs mean {}", median, h.mean());
+    }
+}
+
+/// Characters every structured sink must escape, paired with their JSON
+/// escape sequences as they appear in the raw output.
+const NASTY: &str = "q\"b\\s\nn\rr\tt\u{1}c";
+const ESCAPED: &str = "q\\\"b\\\\s\\nn\\rr\\tt\\u0001c";
+
+#[test]
+fn jsonl_sink_escapes_span_names_and_string_fields() {
+    let buf = SharedBuf::default();
+    let sink = JsonlSink::to_writer(Box::new(buf.clone()));
+    sink.span_start(NASTY, 0, &[("label", Value::from(NASTY))]);
+    sink.span_end(NASTY, 0, Duration::from_micros(5));
+    sink.event(NASTY, NASTY, &[("s", Value::from(NASTY))]);
+    sink.message(NASTY);
+    sink.flush();
+    let text = buf.text();
+    assert_eq!(text.matches(ESCAPED).count(), 7, "stream: {text}");
+    // No raw control characters or unescaped quotes survive: every line
+    // still terminates cleanly and raw newlines never split an object.
+    for line in text.lines() {
+        assert!(line.starts_with("{\"t\":"), "malformed line: {line}");
+        assert!(line.ends_with('}'), "malformed line: {line}");
+        assert!(
+            !line.chars().any(|c| (c as u32) < 0x20),
+            "raw control char in: {line}"
+        );
+    }
+}
+
+#[test]
+fn trace_sink_escapes_span_names_and_string_fields() {
+    let buf = SharedBuf::default();
+    let sink = TraceSink::to_writer(Box::new(buf.clone()));
+    sink.span_start(NASTY, 0, &[("label", Value::from(NASTY))]);
+    sink.span_end(NASTY, 0, Duration::from_micros(5));
+    sink.event("span", NASTY, &[("s", Value::from(NASTY))]);
+    sink.message(NASTY);
+    sink.flush();
+    let text = buf.text();
+    // name in B + field in B + name in E + event name + event field + message.
+    assert_eq!(text.matches(ESCAPED).count(), 6, "trace: {text}");
+    for line in text.lines() {
+        assert!(
+            !line.chars().any(|c| (c as u32) < 0x20),
+            "raw control char in: {line}"
+        );
+    }
+}
