@@ -28,4 +28,10 @@ else
   echo "WARNING: rhb-report bench failed"
 fi
 
+echo "== chaos smoke (blocking) =="
+# One seeded fault-injection run: at a 20% fault rate the pipeline must
+# degrade gracefully (never fail outright) and recover at least one
+# target through retries/fallbacks. Deterministic chaos RNG → gateable.
+cargo run --release -p rhb-bench --bin exp_chaos_sweep -- --rates 0.2 --assert-degraded
+
 echo "CI OK"

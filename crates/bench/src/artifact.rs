@@ -94,6 +94,45 @@ pub struct Headline {
     pub attack_time_ms: u64,
 }
 
+/// Chaos/recovery summary of one run: how hostile the DRAM was and what
+/// the adaptive driver did about it. All-zero with classification `full`
+/// for runs without chaos (and for artifacts written before this field
+/// existed, which parse leniently).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Graceful-degradation verdict: `full`, `degraded`, or `failed`.
+    pub classification: String,
+    /// Chaos faults injected during the online phase.
+    pub injected_faults: usize,
+    /// Recovery retry passes across all targets.
+    pub retries: usize,
+    /// Alternate-bit fallback attempts across all targets.
+    pub fallbacks: usize,
+    /// Targets realized only thanks to a recovery stage.
+    pub recovered_flips: usize,
+    /// Targets verifiably realized (directly or via an alternate).
+    pub verified_flips: usize,
+    /// Re-templating rounds the recovery driver ran.
+    pub retemplate_rounds: u32,
+    /// Modeled recovery wall-clock, milliseconds (on top of attack time).
+    pub recovery_time_ms: u64,
+}
+
+impl Default for RecoverySummary {
+    fn default() -> Self {
+        RecoverySummary {
+            classification: "full".to_string(),
+            injected_faults: 0,
+            retries: 0,
+            fallbacks: 0,
+            recovered_flips: 0,
+            verified_flips: 0,
+            retemplate_rounds: 0,
+            recovery_time_ms: 0,
+        }
+    }
+}
+
 /// One frozen pipeline run.
 #[derive(Debug, Clone)]
 pub struct RunArtifact {
@@ -113,6 +152,8 @@ pub struct RunArtifact {
     pub histograms: Vec<HistDigest>,
     /// Headline attack metrics.
     pub metrics: Headline,
+    /// Chaos/recovery summary (all-zero `full` for cooperative runs).
+    pub recovery: RecoverySummary,
     /// Flip provenance ledger, in request order.
     pub flips: Vec<FlipRecord>,
 }
@@ -125,6 +166,19 @@ impl RunArtifact {
             0.0
         } else {
             self.flips.iter().filter(|f| f.flipped).count() as f64 / self.flips.len() as f64
+        }
+    }
+
+    /// Fraction of requested flips verifiably realized — own bit verified
+    /// or an alternate landed (0 when the run requested none). For
+    /// artifacts predating per-record verification this equals
+    /// [`RunArtifact::flip_success_rate`], since `verified` parses
+    /// leniently as `flipped`.
+    pub fn verified_fraction(&self) -> f64 {
+        if self.flips.is_empty() {
+            0.0
+        } else {
+            self.flips.iter().filter(|f| f.realized()).count() as f64 / self.flips.len() as f64
         }
     }
 
@@ -260,12 +314,27 @@ impl RunArtifact {
             ", \"n_flip\": {}, \"n_targets\": {}, \"n_matched\": {}, \"attack_time_ms\": {}}},\n",
             m.n_flip, m.n_targets, m.n_matched, m.attack_time_ms
         ));
+        let r = &self.recovery;
+        s.push_str(&format!(
+            "\"recovery\": {{\"classification\": {}, \"injected_faults\": {}, \
+             \"retries\": {}, \"fallbacks\": {}, \"recovered_flips\": {}, \
+             \"verified_flips\": {}, \"retemplate_rounds\": {}, \"recovery_time_ms\": {}}},\n",
+            quoted(&r.classification),
+            r.injected_faults,
+            r.retries,
+            r.fallbacks,
+            r.recovered_flips,
+            r.verified_flips,
+            r.retemplate_rounds,
+            r.recovery_time_ms
+        ));
         s.push_str("\"flips\": [\n");
         for (i, f) in self.flips.iter().enumerate() {
             s.push_str(&format!(
                 " {{\"weight_idx\": {}, \"page\": {}, \"page_group\": {}, \"bit\": {}, \
                  \"zero_to_one\": {}, \"matched_frame\": {}, \"placed_frame\": {}, \
-                 \"hammer_attempts\": {}, \"flipped\": {}}}{}\n",
+                 \"hammer_attempts\": {}, \"flipped\": {}, \"verified\": {}, \
+                 \"retries\": {}, \"fallback\": {}}}{}\n",
                 f.weight_idx,
                 f.page,
                 opt(f.page_group),
@@ -275,6 +344,9 @@ impl RunArtifact {
                 opt(f.placed_frame),
                 f.hammer_attempts,
                 f.flipped,
+                f.verified,
+                f.retries,
+                f.fallback,
                 comma(i, self.flips.len())
             ));
         }
@@ -355,6 +427,7 @@ impl RunArtifact {
             .ok_or("missing flips")?
             .iter()
             .map(|f| {
+                let flipped = bool_field(f, "flipped")?;
                 Ok(FlipRecord {
                     weight_idx: u64_field(f, "weight_idx")? as usize,
                     page: u64_field(f, "page")? as usize,
@@ -364,10 +437,33 @@ impl RunArtifact {
                     matched_frame: opt_field(f, "matched_frame")?,
                     placed_frame: opt_field(f, "placed_frame")?,
                     hammer_attempts: u64_field(f, "hammer_attempts")? as u32,
-                    flipped: bool_field(f, "flipped")?,
+                    flipped,
+                    // Pre-recovery artifacts lack these: on a cooperative
+                    // DRAM a flip is verified iff it landed, with no
+                    // retries and no fallback.
+                    verified: bool_field(f, "verified").unwrap_or(flipped),
+                    retries: u64_field(f, "retries").unwrap_or(0) as u32,
+                    fallback: bool_field(f, "fallback").unwrap_or(false),
                 })
             })
             .collect::<Result<Vec<_>, String>>()?;
+        let recovery = match doc.get("recovery") {
+            Some(r) => RecoverySummary {
+                classification: str_field(r, "classification")?,
+                injected_faults: u64_field(r, "injected_faults")? as usize,
+                retries: u64_field(r, "retries")? as usize,
+                fallbacks: u64_field(r, "fallbacks")? as usize,
+                recovered_flips: u64_field(r, "recovered_flips")? as usize,
+                verified_flips: u64_field(r, "verified_flips")? as usize,
+                retemplate_rounds: u64_field(r, "retemplate_rounds")? as u32,
+                recovery_time_ms: u64_field(r, "recovery_time_ms")?,
+            },
+            // Pre-recovery artifact: a cooperative full run.
+            None => RecoverySummary {
+                verified_flips: flips.iter().filter(|f| f.flipped).count(),
+                ..RecoverySummary::default()
+            },
+        };
         Ok(RunArtifact {
             exp: str_field(&doc, "exp")?,
             created_unix: u64_field(&doc, "created_unix")?,
@@ -397,6 +493,7 @@ impl RunArtifact {
                 r_match: f64_field(m, "r_match")?,
                 attack_time_ms: u64_field(m, "attack_time_ms")?,
             },
+            recovery,
             flips,
         })
     }
@@ -517,7 +614,20 @@ fn civil_from_days(z: i64) -> (i64, u64, u64) {
 /// freezes it as an artifact. Resets the global telemetry aggregates so
 /// the artifact reflects only this run; if no sink is installed, metrics
 /// are still collected through a no-op sink.
+///
+/// Chaos-mode fault injection is armed from the `RHB_CHAOS` environment
+/// variable when set (see [`rhb_dram::ChaosConfig::parse`]), so any
+/// artifact-producing binary can reproduce a degraded run.
 pub fn smoke_run(exp: &str, seed: u64) -> RunArtifact {
+    smoke_run_with_chaos(exp, seed, rhb_dram::ChaosConfig::from_env())
+}
+
+/// [`smoke_run`] with an explicit chaos configuration (`None` = off).
+pub fn smoke_run_with_chaos(
+    exp: &str,
+    seed: u64,
+    chaos: Option<rhb_dram::ChaosConfig>,
+) -> RunArtifact {
     if !rhb_telemetry::enabled() {
         rhb_telemetry::install(Arc::new(rhb_telemetry::NoopSink));
     }
@@ -526,6 +636,7 @@ pub fn smoke_run(exp: &str, seed: u64) -> RunArtifact {
     let model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), seed);
     let base_accuracy = model.base_accuracy;
     let mut pipe = AttackPipeline::new(model, 2, seed);
+    pipe.chaos = chaos;
     let flip_budget = pipe.default_flip_budget();
     let config = RunConfig {
         model: Architecture::ResNet20.name().to_string(),
@@ -564,6 +675,16 @@ pub fn smoke_run(exp: &str, seed: u64) -> RunArtifact {
             n_matched: online.n_matched,
             r_match: online.r_match,
             attack_time_ms: online.attack_time.as_millis() as u64,
+        },
+        recovery: RecoverySummary {
+            classification: online.classification.name().to_string(),
+            injected_faults: online.injected_faults,
+            retries: online.retries,
+            fallbacks: online.fallbacks,
+            recovered_flips: online.recovered_flips,
+            verified_flips: online.verified_flips,
+            retemplate_rounds: online.retemplate_rounds,
+            recovery_time_ms: online.recovery_time.as_millis() as u64,
         },
         flips: online.ledger.clone(),
     };
@@ -619,6 +740,16 @@ mod tests {
                 r_match: 100.0,
                 attack_time_ms: 1600,
             },
+            recovery: RecoverySummary {
+                classification: "degraded".into(),
+                injected_faults: 3,
+                retries: 2,
+                fallbacks: 1,
+                recovered_flips: 2,
+                verified_flips: 4,
+                retemplate_rounds: 1,
+                recovery_time_ms: 900,
+            },
             flips: vec![FlipRecord {
                 weight_idx: 12_345,
                 page: 3,
@@ -629,6 +760,9 @@ mod tests {
                 placed_frame: Some(77),
                 hammer_attempts: 1,
                 flipped: true,
+                verified: true,
+                retries: 0,
+                fallback: false,
             }],
         }
     }
@@ -645,7 +779,59 @@ mod tests {
         assert_eq!(a.gauges, b.gauges);
         assert_eq!(a.histograms, b.histograms);
         assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.recovery, b.recovery);
         assert_eq!(a.flips, b.flips);
+    }
+
+    #[test]
+    fn pre_recovery_artifacts_parse_leniently() {
+        // Strip the recovery object and the per-flip recovery fields, as an
+        // artifact written before chaos mode would look.
+        let a = sample();
+        let text = a.to_json();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("\"recovery\""))
+            .map(|l| {
+                l.replace(
+                    ", \"verified\": true, \"retries\": 0, \"fallback\": false",
+                    "",
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(stripped.len() < text.len(), "nothing was stripped");
+        let b = RunArtifact::from_json(&stripped).unwrap();
+        assert_eq!(b.recovery.classification, "full");
+        assert_eq!(b.recovery.injected_faults, 0);
+        // The lenient default scores landed flips as verified.
+        assert_eq!(b.recovery.verified_flips, 1);
+        assert!(b.flips[0].verified);
+        assert_eq!(b.flips[0].retries, 0);
+        assert!(!b.flips[0].fallback);
+        assert_eq!(b.verified_fraction(), 1.0);
+    }
+
+    #[test]
+    fn verified_fraction_counts_realized_targets() {
+        let mut a = sample();
+        // One verified, one refuted, one rescued by fallback.
+        a.flips.push(FlipRecord {
+            flipped: false,
+            verified: false,
+            retries: 3,
+            fallback: false,
+            ..a.flips[0]
+        });
+        a.flips.push(FlipRecord {
+            flipped: false,
+            verified: false,
+            retries: 3,
+            fallback: true,
+            ..a.flips[0]
+        });
+        let frac = a.verified_fraction();
+        assert!((frac - 2.0 / 3.0).abs() < 1e-9, "fraction {frac}");
     }
 
     #[test]

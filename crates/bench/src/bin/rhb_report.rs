@@ -98,10 +98,25 @@ fn render(a: &RunArtifact) -> String {
         m.attack_time_ms
     ));
     out.push_str(&format!(
-        "  ledger: {} records, flip success {:.1}%\n",
+        "  ledger: {} records, flip success {:.1}%, recovered {:.1}%\n",
         a.flips.len(),
-        a.flip_success_rate() * 100.0
+        a.flip_success_rate() * 100.0,
+        a.verified_fraction() * 100.0
     ));
+    let r = &a.recovery;
+    if r.classification != "full" || r.injected_faults > 0 {
+        out.push_str(&format!(
+            "  recovery: {} run — {} faults injected, {} retries, {} fallbacks, \
+             {} re-templating rounds, {} targets recovered, +{} ms\n",
+            r.classification,
+            r.injected_faults,
+            r.retries,
+            r.fallbacks,
+            r.retemplate_rounds,
+            r.recovered_flips,
+            r.recovery_time_ms
+        ));
+    }
     out.push_str("  phases:\n");
     for p in &a.phases {
         out.push_str(&format!(

@@ -22,6 +22,10 @@ pub struct DiffConfig {
     /// A flip success rate lower than baseline by more than this fraction
     /// regresses.
     pub flip_success_drop: f64,
+    /// A recovered (verifiably realized) flip fraction dropping by more
+    /// than this many percentage points regresses — the chaos-resilience
+    /// guardrail.
+    pub recovered_drop_pts: f64,
     /// Phases shorter than this (baseline, µs) are exempt from the timing
     /// check.
     pub min_phase_us: u64,
@@ -33,6 +37,7 @@ impl Default for DiffConfig {
             phase_threshold: 0.15,
             asr_drop_pts: 1.0,
             flip_success_drop: 0.005,
+            recovered_drop_pts: 10.0,
             min_phase_us: 1_000,
         }
     }
@@ -205,6 +210,70 @@ pub fn diff(baseline: &RunArtifact, candidate: &RunArtifact, config: &DiffConfig
         },
     });
 
+    // Chaos-resilience guardrail: the fraction of targets verifiably
+    // realized (own bit verified or alternate landed) must not fall by
+    // more than the threshold between runs.
+    let base_vf = baseline.verified_fraction() * 100.0;
+    let cand_vf = candidate.verified_fraction() * 100.0;
+    findings.push(Finding {
+        name: "recovered_flip_fraction".into(),
+        baseline: base_vf,
+        candidate: cand_vf,
+        unit: "%",
+        verdict: if base_vf - cand_vf > config.recovered_drop_pts {
+            Verdict::Regressed
+        } else if cand_vf - base_vf > config.recovered_drop_pts {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        },
+    });
+
+    // Run classification: full(2) > degraded(1) > failed(0); any downgrade
+    // regresses. Unknown labels rank as failed.
+    let class_rank =
+        |s: &str| rhb_dram::online::RunClass::from_name(s).map_or(0.0, |c| f64::from(c.rank()));
+    let base_rank = class_rank(&baseline.recovery.classification);
+    let cand_rank = class_rank(&candidate.recovery.classification);
+    findings.push(Finding {
+        name: "run_classification".into(),
+        baseline: base_rank,
+        candidate: cand_rank,
+        unit: "",
+        verdict: if cand_rank < base_rank {
+            Verdict::Regressed
+        } else if cand_rank > base_rank {
+            Verdict::Improved
+        } else {
+            Verdict::Ok
+        },
+    });
+
+    // Recovery effort counters are informational: more retries under the
+    // same fault rate is worth seeing, but noisy — never a verdict.
+    for (name, base_v, cand_v) in [
+        (
+            "recovery_retries",
+            baseline.recovery.retries,
+            candidate.recovery.retries,
+        ),
+        (
+            "recovery_fallbacks",
+            baseline.recovery.fallbacks,
+            candidate.recovery.fallbacks,
+        ),
+    ] {
+        if base_v > 0 || cand_v > 0 {
+            findings.push(Finding {
+                name: name.into(),
+                baseline: base_v as f64,
+                candidate: cand_v as f64,
+                unit: "",
+                verdict: Verdict::Ok,
+            });
+        }
+    }
+
     DiffReport {
         findings,
         unpaired_phases: unpaired,
@@ -214,7 +283,7 @@ pub fn diff(baseline: &RunArtifact, candidate: &RunArtifact, config: &DiffConfig
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::artifact::{Headline, PhaseTime, RunArtifact, RunConfig};
+    use crate::artifact::{Headline, PhaseTime, RecoverySummary, RunArtifact, RunConfig};
     use rhb_core::provenance::FlipRecord;
 
     fn artifact(phase_us: u64, asr: f64, flipped: [bool; 2]) -> RunArtifact {
@@ -260,6 +329,10 @@ mod tests {
                 r_match: 100.0,
                 attack_time_ms: 800,
             },
+            recovery: RecoverySummary {
+                verified_flips: flipped.iter().filter(|&&f| f).count(),
+                ..RecoverySummary::default()
+            },
             flips: flipped
                 .iter()
                 .map(|&flipped| FlipRecord {
@@ -272,6 +345,9 @@ mod tests {
                     placed_frame: Some(1),
                     hammer_attempts: 1,
                     flipped,
+                    verified: flipped,
+                    retries: 0,
+                    fallback: false,
                 })
                 .collect(),
         }
@@ -347,6 +423,79 @@ mod tests {
             .unwrap();
         assert_eq!(phase.verdict, Verdict::Improved);
         assert!(!report.regressed());
+    }
+
+    #[test]
+    fn recovered_fraction_drop_beyond_threshold_regresses() {
+        let base = artifact(100_000, 0.95, [true, true]);
+        // Candidate: both flips landed but only one verified — the other
+        // was refuted and no alternate rescued it: 100% → 50% recovered.
+        let mut cand = artifact(100_000, 0.95, [true, true]);
+        cand.flips[1].verified = false;
+        cand.flips[1].retries = 3;
+        let report = diff(&base, &cand, &DiffConfig::default());
+        let vf = report
+            .findings
+            .iter()
+            .find(|f| f.name == "recovered_flip_fraction")
+            .unwrap();
+        assert_eq!(vf.verdict, Verdict::Regressed);
+        assert!(report.regressed());
+        // A rescued fallback counts as recovered: no regression then.
+        cand.flips[1].fallback = true;
+        let report = diff(&base, &cand, &DiffConfig::default());
+        let vf = report
+            .findings
+            .iter()
+            .find(|f| f.name == "recovered_flip_fraction")
+            .unwrap();
+        assert_eq!(vf.verdict, Verdict::Ok);
+    }
+
+    #[test]
+    fn classification_downgrade_regresses() {
+        let base = artifact(100_000, 0.95, [true, true]);
+        let mut cand = artifact(100_000, 0.95, [true, true]);
+        cand.recovery.classification = "degraded".into();
+        let report = diff(&base, &cand, &DiffConfig::default());
+        let class = report
+            .findings
+            .iter()
+            .find(|f| f.name == "run_classification")
+            .unwrap();
+        assert_eq!(class.verdict, Verdict::Regressed);
+        // The reverse direction is an improvement, not a regression.
+        let report = diff(&cand, &base, &DiffConfig::default());
+        let class = report
+            .findings
+            .iter()
+            .find(|f| f.name == "run_classification")
+            .unwrap();
+        assert_eq!(class.verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn recovery_counters_are_informational_only() {
+        let base = artifact(100_000, 0.95, [true, true]);
+        let mut cand = artifact(100_000, 0.95, [true, true]);
+        cand.recovery.retries = 7;
+        cand.recovery.fallbacks = 2;
+        let report = diff(&base, &cand, &DiffConfig::default());
+        assert!(!report.regressed(), "{report}");
+        let retries = report
+            .findings
+            .iter()
+            .find(|f| f.name == "recovery_retries")
+            .unwrap();
+        assert_eq!(retries.verdict, Verdict::Ok);
+        assert_eq!(retries.candidate, 7.0);
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.name == "recovery_fallbacks"));
+        // With zero effort on both sides the counters stay out of the way.
+        let quiet = diff(&base, &base.clone(), &DiffConfig::default());
+        assert!(!quiet.findings.iter().any(|f| f.name == "recovery_retries"));
     }
 
     #[test]

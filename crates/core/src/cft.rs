@@ -15,7 +15,7 @@
 //! The output is the modified quantized model plus the learned trigger —
 //! everything the online phase needs.
 
-use crate::groupsel::{group_sort_select, GroupPlan};
+use crate::groupsel::{group_sort_select, group_sort_select_top2, GroupPlan};
 use crate::objective::Objective;
 use crate::trigger::Trigger;
 use rhb_models::data::Dataset;
@@ -102,6 +102,76 @@ pub struct CftResult {
     pub loss_history: Vec<LossPoint>,
     /// Flat indices of the weights the final mask selected.
     pub final_mask: Vec<usize>,
+    /// Per-group alternate bit targets (runner-up weights), the online
+    /// recovery driver's fallback when a primary flip is refuted.
+    pub alternates: Vec<AlternateTarget>,
+}
+
+/// A second-choice bit flip for one page group: the weight with the
+/// second-largest gradient magnitude in the group, and the single bit of
+/// it whose flip moves the weight in the loss-descending direction. The
+/// online phase falls back to these when a primary flip is refuted by
+/// read-back (chaos mode / hostile DRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlternateTarget {
+    /// Page group this alternate substitutes within.
+    pub group: usize,
+    /// Flat index of the runner-up weight.
+    pub weight_idx: usize,
+    /// Bit position to flip (0..=6 — the sign bit is never offered, a sign
+    /// flip of an un-optimized weight does more damage than good).
+    pub bit: u8,
+    /// Required flip direction: `true` for 0→1.
+    pub zero_to_one: bool,
+}
+
+/// Derives the alternate-target list from the network's current gradients:
+/// for each group's runner-up weight, descend the loss by flipping the
+/// highest-magnitude bit whose stored value permits a move *against* the
+/// gradient sign (gradient < 0 ⇒ the weight should grow ⇒ flip a stored-0
+/// bit; gradient > 0 ⇒ shrink ⇒ flip a stored-1 bit). Weights whose byte
+/// offers no such bit below the sign bit contribute nothing.
+pub fn collect_alternates(net: &dyn Network, plan: &GroupPlan) -> Vec<AlternateTarget> {
+    let picks = group_sort_select_top2(net, plan);
+    let mut wanted: Vec<(usize, usize)> = picks
+        .iter()
+        .filter_map(|p| p.runner_up.map(|idx| (idx, p.group)))
+        .collect();
+    wanted.sort_unstable();
+
+    let mut alternates = Vec::with_capacity(wanted.len());
+    let mut cursor = 0usize;
+    let mut base = 0usize;
+    for p in net.params() {
+        let len = p.numel();
+        while cursor < wanted.len() && wanted[cursor].0 < base + len {
+            let (flat, group) = wanted[cursor];
+            cursor += 1;
+            let local = flat - base;
+            let grad = p.grad.data()[local];
+            if grad == 0.0 {
+                continue;
+            }
+            let scheme = p.scheme.expect("deployed parameter");
+            let byte = scheme.quantize(p.value.data()[local]) as u8;
+            // Want the weight to move against the gradient: grow (flip a
+            // stored 0 up) when grad < 0, shrink when grad > 0.
+            let zero_to_one = grad < 0.0;
+            let bit = (0..=6u8)
+                .rev()
+                .find(|&b| ((byte >> b) & 1 == 0) == zero_to_one);
+            if let Some(bit) = bit {
+                alternates.push(AlternateTarget {
+                    group,
+                    weight_idx: flat,
+                    bit,
+                    zero_to_one,
+                });
+            }
+        }
+        base += len;
+    }
+    alternates
 }
 
 /// Runs Algorithm 1 against a deployed network, modifying it in place.
@@ -243,10 +313,19 @@ pub fn run(
         }
     }
 
+    // Score the final deployable state once more so the gradients reflect
+    // the model the victim actually serves, then harvest the per-group
+    // runner-ups as alternate bit targets for online recovery.
+    net.zero_grad();
+    objective.evaluate(net, &batch, &labels, &trigger);
+    let alternates = collect_alternates(net, &plan);
+    rhb_telemetry::counter!("core/cft/alternates", alternates.len() as u64);
+
     CftResult {
         trigger,
         loss_history,
         final_mask,
+        alternates,
     }
 }
 
@@ -433,6 +512,59 @@ mod tests {
             .map(|p| p.iteration)
             .collect();
         assert_eq!(reduced, vec![24, 49, 74, 99, 124, 149]);
+    }
+
+    #[test]
+    fn alternates_are_runner_ups_with_loss_descending_polarity() {
+        use crate::groupsel::{group_sort_select, WEIGHTS_PER_PAGE};
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 7);
+        // Paint a dense synthetic gradient so every group has a runner-up.
+        let mut k = 0f32;
+        for p in model.net.params_mut() {
+            for g in p.grad.data_mut() {
+                *g = (k * 0.019).sin() + 0.01;
+                k += 1.0;
+            }
+        }
+        // Flatten bytes and gradients for polarity checking.
+        let mut bytes = Vec::new();
+        let mut grads = Vec::new();
+        for p in model.net.params() {
+            let scheme = p.scheme.expect("deployed");
+            for (&v, &g) in p.value.data().iter().zip(p.grad.data()) {
+                bytes.push(scheme.quantize(v) as u8);
+                grads.push(g);
+            }
+        }
+        let n = model.net.num_params();
+        let n_flip = n.div_ceil(WEIGHTS_PER_PAGE).min(4);
+        let plan = GroupPlan::new(n, n_flip);
+        let mask = group_sort_select(model.net.as_ref(), &plan);
+        let alts = collect_alternates(model.net.as_ref(), &plan);
+        assert!(!alts.is_empty());
+        for a in &alts {
+            assert!(a.bit <= 6, "sign bit offered as alternate");
+            assert_eq!(plan.group_of(a.weight_idx), a.group);
+            assert!(
+                !mask.contains(&a.weight_idx),
+                "alternate {} is also a primary",
+                a.weight_idx
+            );
+            // Direction must oppose the gradient and match the stored bit.
+            let stored = (bytes[a.weight_idx] >> a.bit) & 1;
+            if a.zero_to_one {
+                assert!(grads[a.weight_idx] < 0.0);
+                assert_eq!(stored, 0);
+            } else {
+                assert!(grads[a.weight_idx] > 0.0);
+                assert_eq!(stored, 1);
+            }
+        }
+        // At most one alternate per group.
+        let mut groups: Vec<usize> = alts.iter().map(|a| a.group).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        assert_eq!(groups.len(), alts.len());
     }
 
     #[test]

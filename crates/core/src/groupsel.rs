@@ -89,6 +89,66 @@ pub fn group_sort_select(net: &dyn Network, plan: &GroupPlan) -> Vec<usize> {
     mask
 }
 
+/// Top-2 of one group: the winning weight plus the runner-up (if the
+/// group offered a second weight with non-zero gradient).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupPick {
+    /// The group id.
+    pub group: usize,
+    /// Flat index of the top-gradient weight (the primary flip candidate).
+    pub best: usize,
+    /// Flat index of the second-largest-gradient weight, the donor for an
+    /// *alternate* bit target the online recovery driver can fall back to
+    /// when the primary's flip is refuted.
+    pub runner_up: Option<usize>,
+}
+
+/// Like [`group_sort_select`] but keeps the top *two* weights per group by
+/// gradient magnitude. The winners reproduce `group_sort_select` exactly;
+/// the runner-ups feed CFT+BR's alternate-target list. Groups whose
+/// gradients are all exactly zero contribute nothing.
+pub fn group_sort_select_top2(net: &dyn Network, plan: &GroupPlan) -> Vec<GroupPick> {
+    let mut best: Vec<Option<(usize, f32)>> = vec![None; plan.n_flip];
+    let mut second: Vec<Option<(usize, f32)>> = vec![None; plan.n_flip];
+    let mut base = 0usize;
+    for p in net.params() {
+        for (i, &g) in p.grad.data().iter().enumerate() {
+            let flat = base + i;
+            let mag = g.abs();
+            if mag == 0.0 {
+                continue;
+            }
+            let group = plan.group_of(flat);
+            match best[group] {
+                Some((_, cur)) if cur >= mag => match second[group] {
+                    Some((_, sec)) if sec >= mag => {}
+                    _ => second[group] = Some((flat, mag)),
+                },
+                prev => {
+                    second[group] = prev;
+                    best[group] = Some((flat, mag));
+                }
+            }
+        }
+        base += p.numel();
+    }
+    debug_assert_eq!(base, plan.total_weights, "plan built for another model");
+    let mut picks: Vec<GroupPick> = best
+        .into_iter()
+        .zip(second)
+        .enumerate()
+        .filter_map(|(group, (b, s))| {
+            b.map(|(idx, _)| GroupPick {
+                group,
+                best: idx,
+                runner_up: s.map(|(idx, _)| idx),
+            })
+        })
+        .collect();
+    picks.sort_unstable_by_key(|p| p.best);
+    picks
+}
+
 /// Verifies the C2 invariant: a set of flat weight indices touches each
 /// 4 KB page at most once.
 pub fn at_most_one_per_page(indices: &[usize]) -> bool {
@@ -146,6 +206,39 @@ mod tests {
         assert!(at_most_one_per_page(&mask));
         // Indices must be sorted and unique.
         assert!(mask.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn top2_winners_reproduce_group_sort_select() {
+        use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 2);
+        let mut k = 0f32;
+        for p in model.net.params_mut() {
+            for g in p.grad.data_mut() {
+                *g = (k * 0.013).cos();
+                k += 1.0;
+            }
+        }
+        let n = model.net.num_params();
+        let n_flip = n.div_ceil(WEIGHTS_PER_PAGE).min(4);
+        let plan = GroupPlan::new(n, n_flip);
+        let mask = group_sort_select(model.net.as_ref(), &plan);
+        let picks = group_sort_select_top2(model.net.as_ref(), &plan);
+        let winners: Vec<usize> = picks.iter().map(|p| p.best).collect();
+        assert_eq!(winners, mask, "top2 winners must equal the top1 mask");
+        for pick in &picks {
+            assert_eq!(plan.group_of(pick.best), pick.group);
+            if let Some(runner) = pick.runner_up {
+                assert_ne!(runner, pick.best);
+                assert_eq!(
+                    plan.group_of(runner),
+                    pick.group,
+                    "runner-up must come from the same group"
+                );
+            }
+        }
+        // A dense synthetic gradient gives every group a runner-up.
+        assert!(picks.iter().all(|p| p.runner_up.is_some()));
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod probability;
 pub mod provenance;
 pub mod trigger;
 
-pub use cft::{CftConfig, CftResult};
+pub use cft::{AlternateTarget, CftConfig, CftResult};
 pub use metrics::{attack_success_rate, r_match, test_accuracy};
 pub use pipeline::{AttackMethod, AttackPipeline, OfflineReport, OnlineReport};
 pub use provenance::FlipRecord;

@@ -9,18 +9,19 @@
 //! realistically be found in DRAM.
 
 use crate::baselines::{badnet, ft_last_layer, tbt, BaselineConfig};
-use crate::cft::{run as run_cft, CftConfig, CftResult, LossPoint};
-use crate::groupsel::GroupPlan;
+use crate::cft::{run as run_cft, AlternateTarget, CftConfig, CftResult, LossPoint};
+use crate::groupsel::{GroupPlan, WEIGHTS_PER_PAGE};
 use crate::metrics::{attack_success_rate, n_flip, r_match, test_accuracy};
 use crate::provenance::FlipRecord;
 use crate::trigger::{Trigger, TriggerMask};
 use rhb_dram::hammer::HammerConfig;
-use rhb_dram::online::{OnlineAttack, TargetBit};
+use rhb_dram::online::{OnlineAttack, RecoveryPolicy, RunClass, TargetBit};
 use rhb_dram::profile::FlipProfile;
-use rhb_dram::ChipModel;
+use rhb_dram::{ChaosConfig, ChipModel};
 use rhb_models::zoo::PretrainedModel;
 use rhb_nn::weightfile::{BitTarget, WeightFile, PAGE_SIZE};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// The five methods compared in Table II.
@@ -79,6 +80,10 @@ pub struct OfflineReport {
     pub attacked_weights: WeightFile,
     /// Loss trace (CFT/CFT+BR only), for Fig. 7.
     pub loss_history: Vec<LossPoint>,
+    /// Per-group alternate bit targets (CFT/CFT+BR only): the runner-up
+    /// weight of each page group, offered to the online recovery driver as
+    /// a fallback when a primary flip is refuted. Empty for baselines.
+    pub alternates: Vec<AlternateTarget>,
 }
 
 /// Results of the online phase (right half of Table II).
@@ -106,6 +111,25 @@ pub struct OnlineReport {
     /// request order, joining optimizer context (weight index, page group)
     /// with the DRAM-side match/placement/hammer outcome.
     pub ledger: Vec<FlipRecord>,
+    /// Graceful-degradation classification of the run (always
+    /// [`RunClass::Full`] when chaos is off).
+    pub classification: RunClass,
+    /// Targets whose own bit read back verified.
+    pub verified_flips: usize,
+    /// Targets realized only through a recovery stage (retry, fallback, or
+    /// re-templating).
+    pub recovered_flips: usize,
+    /// Recovery retry passes across all targets.
+    pub retries: usize,
+    /// Alternate-bit fallback attempts across all targets.
+    pub fallbacks: usize,
+    /// Chaos faults injected during the run (0 when chaos is off).
+    pub injected_faults: usize,
+    /// Modeled wall-clock time spent in recovery (re-hammering and
+    /// re-templating), on top of `attack_time`.
+    pub recovery_time: Duration,
+    /// Re-templating rounds the recovery driver ran.
+    pub retemplate_rounds: u32,
 }
 
 /// Drives one victim model through offline and online phases.
@@ -122,6 +146,13 @@ pub struct AttackPipeline {
     pub seed: u64,
     /// Online hammer configuration.
     pub hammer: HammerConfig,
+    /// Chaos-mode fault injection for the online phase (`None` or an
+    /// inactive config leaves the DRAM fully cooperative and the online
+    /// outcome byte-identical to a pipeline without chaos support).
+    pub chaos: Option<ChaosConfig>,
+    /// Recovery policy the online phase uses *when chaos is active*; with
+    /// chaos off the pipeline runs the plain single-pass attack.
+    pub recovery: RecoveryPolicy,
 }
 
 impl std::fmt::Debug for AttackPipeline {
@@ -147,6 +178,8 @@ impl AttackPipeline {
             profile_pages: 8192,
             seed,
             hammer: HammerConfig::default(),
+            chaos: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -178,10 +211,14 @@ impl AttackPipeline {
             pages.clamp(1, 100)
         };
         let _offline_span = rhb_telemetry::span!("offline", method = method.name());
-        let (trigger, loss_history) = match method {
-            AttackMethod::BadNet => (badnet(net, data, &bl, trigger0), Vec::new()),
-            AttackMethod::Ft => (ft_last_layer(net, data, &bl, trigger0), Vec::new()),
-            AttackMethod::Tbt => (tbt(net, data, &bl, trigger0, 24), Vec::new()),
+        let (trigger, loss_history, alternates) = match method {
+            AttackMethod::BadNet => (badnet(net, data, &bl, trigger0), Vec::new(), Vec::new()),
+            AttackMethod::Ft => (
+                ft_last_layer(net, data, &bl, trigger0),
+                Vec::new(),
+                Vec::new(),
+            ),
+            AttackMethod::Tbt => (tbt(net, data, &bl, trigger0, 24), Vec::new(), Vec::new()),
             AttackMethod::Cft => {
                 let cfg = CftConfig {
                     iterations: 150,
@@ -193,9 +230,10 @@ impl AttackPipeline {
                 let CftResult {
                     trigger,
                     loss_history,
+                    alternates,
                     ..
                 } = run_cft(net, data, &cfg, trigger0);
-                (trigger, loss_history)
+                (trigger, loss_history, alternates)
             }
             AttackMethod::CftBr => {
                 let cfg = CftConfig {
@@ -208,9 +246,10 @@ impl AttackPipeline {
                 let CftResult {
                     trigger,
                     loss_history,
+                    alternates,
                     ..
                 } = run_cft(net, data, &cfg, trigger0);
-                (trigger, loss_history)
+                (trigger, loss_history, alternates)
             }
         };
         drop(_offline_span);
@@ -245,6 +284,7 @@ impl AttackPipeline {
             base_weights,
             attacked_weights,
             loss_history,
+            alternates,
         }
     }
 
@@ -273,6 +313,10 @@ impl AttackPipeline {
         let mut attack = OnlineAttack::new(profile, self.hammer)
             .expect("online pattern is valid for the chip")
             .with_extended_templating(4_000_000, self.seed ^ 0xd1a5);
+        let chaos_on = self.chaos.as_ref().is_some_and(|c| c.is_active());
+        if let Some(cfg) = self.chaos {
+            attack = attack.with_chaos(cfg);
+        }
         let mut bytes = offline.base_weights.bytes().to_vec();
         let dram_targets: Vec<TargetBit> = targets
             .iter()
@@ -282,11 +326,10 @@ impl AttackPipeline {
                 zero_to_one: t.zero_to_one,
             })
             .collect();
-        let outcome = attack.execute(&mut bytes, &dram_targets);
 
-        // Join each DRAM-side record with its optimizer context: which
-        // quantized weight the bit belongs to and, for the group-constrained
-        // methods, which CFT+BR page group sourced it.
+        // Group-constrained methods know which CFT+BR page group sourced
+        // each bit; that context keys both the ledger and the alternate
+        // (fallback) bit targets the recovery driver may substitute.
         let group_plan = match offline.method {
             AttackMethod::Cft | AttackMethod::CftBr => {
                 let total_weights = offline.base_weights.bytes().len();
@@ -295,6 +338,19 @@ impl AttackPipeline {
             }
             _ => None,
         };
+        let alternates = alternate_map(&dram_targets, &offline.alternates, group_plan.as_ref());
+
+        // Recovery only arms alongside chaos: on a cooperative DRAM the
+        // single-pass attack and the adaptive driver are byte-identical,
+        // and a disabled policy keeps them on the same code path.
+        let policy = if chaos_on {
+            self.recovery
+        } else {
+            RecoveryPolicy::disabled()
+        };
+        let adaptive = attack.execute_adaptive(&mut bytes, &dram_targets, &alternates, &policy);
+        let outcome = &adaptive.outcome;
+
         let ledger: Vec<FlipRecord> = outcome
             .records
             .iter()
@@ -352,6 +408,10 @@ impl AttackPipeline {
             n_matched = outcome.n_matched,
             test_accuracy = ta,
             attack_success_rate = asr,
+            classification = adaptive.classification.name(),
+            verified_flips = adaptive.verified_targets as u64,
+            recovered_flips = adaptive.recovered_targets as u64,
+            injected_faults = adaptive.injected_faults.len() as u64,
         );
         OnlineReport {
             method: offline.method,
@@ -371,6 +431,14 @@ impl AttackPipeline {
             n_targets: outcome.n_targets,
             accidental: outcome.accidental_in_target_pages,
             attack_time: outcome.attack_time,
+            classification: adaptive.classification,
+            verified_flips: adaptive.verified_targets,
+            recovered_flips: adaptive.recovered_targets,
+            retries: adaptive.retries.len(),
+            fallbacks: adaptive.fallbacks.len(),
+            injected_faults: adaptive.injected_faults.len(),
+            recovery_time: adaptive.recovery_time,
+            retemplate_rounds: adaptive.retemplate_rounds,
             ledger,
         }
     }
@@ -405,6 +473,41 @@ pub fn reduce_to_one_per_page(targets: &[BitTarget]) -> Vec<BitTarget> {
     let mut out: Vec<BitTarget> = best.into_values().collect();
     out.sort_by_key(|t| (t.location.page, t.location.offset, t.bit));
     out
+}
+
+/// Builds the per-primary alternate-target map the adaptive online driver
+/// consumes: each post-reduction primary target is keyed by its file page
+/// and offered every offline alternate drawn from the *same* CFT+BR page
+/// group (excluding an alternate that is the primary bit itself). Methods
+/// without a group plan get an empty map — they have no principled
+/// substitute bits.
+pub fn alternate_map(
+    primaries: &[TargetBit],
+    alternates: &[AlternateTarget],
+    plan: Option<&GroupPlan>,
+) -> HashMap<usize, Vec<TargetBit>> {
+    let Some(plan) = plan else {
+        return HashMap::new();
+    };
+    let mut map: HashMap<usize, Vec<TargetBit>> = HashMap::new();
+    for t in primaries {
+        let weight_idx = t.file_page * WEIGHTS_PER_PAGE + t.bit_offset / 8;
+        let group = plan.group_of(weight_idx);
+        let alts: Vec<TargetBit> = alternates
+            .iter()
+            .filter(|a| a.group == group)
+            .map(|a| TargetBit {
+                file_page: a.weight_idx / WEIGHTS_PER_PAGE,
+                bit_offset: (a.weight_idx % WEIGHTS_PER_PAGE) * 8 + a.bit as usize,
+                zero_to_one: a.zero_to_one,
+            })
+            .filter(|alt| alt != t)
+            .collect();
+        if !alts.is_empty() {
+            map.insert(t.file_page, alts);
+        }
+    }
+    map
 }
 
 /// Helper for bench binaries: the weight-file page size re-exported so
@@ -465,7 +568,76 @@ mod tests {
             assert_eq!(rec.placed_frame, rec.matched_frame);
             assert_eq!(rec.hammer_attempts, 1);
             assert!(rec.flipped, "matched CFT+BR bit did not flip");
+            assert!(rec.verified, "cooperative DRAM verifies every flip");
+            assert_eq!(rec.retries, 0);
+            assert!(!rec.fallback);
         }
+        // With chaos off the run is pristine: no faults, no recovery.
+        assert_eq!(online.classification, RunClass::Full);
+        assert_eq!(online.verified_flips, online.n_targets);
+        assert_eq!(online.recovered_flips, 0);
+        assert_eq!(online.retries, 0);
+        assert_eq!(online.fallbacks, 0);
+        assert_eq!(online.injected_faults, 0);
+        assert_eq!(online.recovery_time, Duration::ZERO);
+        // CFT+BR supplies alternates for the recovery driver even though a
+        // cooperative run never needs them.
+        assert!(!offline.alternates.is_empty());
+    }
+
+    #[test]
+    fn chaos_run_degrades_gracefully_and_recovers_most_targets() {
+        let mut pipe = pipeline(41);
+        pipe.chaos = Some(rhb_dram::ChaosConfig {
+            flip_flakiness: 0.2,
+            ..rhb_dram::ChaosConfig::seeded(12)
+        });
+        let offline = pipe.run_offline(AttackMethod::CftBr);
+        let online = pipe.run_online(&offline);
+        assert!(online.injected_faults > 0, "20% flakiness injected nothing");
+        assert_eq!(
+            online.classification,
+            RunClass::Degraded,
+            "faults fired but recovery held: {} verified of {}",
+            online.verified_flips,
+            online.n_targets
+        );
+        // Acceptance bar: recovery lands at least 80% of targets.
+        assert!(
+            online.verified_flips * 5 >= online.n_targets * 4,
+            "recovery landed {} of {} targets",
+            online.verified_flips,
+            online.n_targets
+        );
+        assert!(online.retries > 0, "flaky flips should cost retry passes");
+        assert!(
+            online.recovery_time > Duration::ZERO,
+            "retries must be charged against the time model"
+        );
+        // The ledger accounts for the recovery work per record.
+        let ledger_retries: usize = online.ledger.iter().map(|r| r.retries as usize).sum();
+        assert_eq!(ledger_retries, online.retries);
+        assert!(online
+            .ledger
+            .iter()
+            .all(|r| r.hammer_attempts as usize > r.retries as usize));
+    }
+
+    #[test]
+    fn inactive_chaos_matches_the_plain_run_exactly() {
+        let mut a = pipeline(43);
+        let mut b = pipeline(43);
+        b.chaos = Some(rhb_dram::ChaosConfig::disabled());
+        let off_a = a.run_offline(AttackMethod::CftBr);
+        let off_b = b.run_offline(AttackMethod::CftBr);
+        let on_a = a.run_online(&off_a);
+        let on_b = b.run_online(&off_b);
+        assert_eq!(on_a.ledger, on_b.ledger);
+        assert_eq!(on_a.n_flip, on_b.n_flip);
+        assert_eq!(on_a.classification, RunClass::Full);
+        assert_eq!(on_b.classification, RunClass::Full);
+        assert_eq!(on_a.attack_time, on_b.attack_time);
+        assert_eq!(on_b.recovery_time, Duration::ZERO);
     }
 
     #[test]
@@ -513,5 +685,126 @@ mod tests {
         assert_eq!(bits % 8, 0);
         assert!(pages >= 1);
         assert!(bits / 8 <= (pages * WEIGHT_PAGE_SIZE) as u64);
+    }
+
+    #[test]
+    fn alternate_map_keys_primaries_to_same_group_alternates() {
+        let plan = GroupPlan::new(WEIGHTS_PER_PAGE * 4, 2);
+        let primary = TargetBit {
+            file_page: 0,
+            bit_offset: 12,
+            zero_to_one: true,
+        };
+        let alts = [
+            AlternateTarget {
+                group: 0,
+                weight_idx: WEIGHTS_PER_PAGE + 3,
+                bit: 5,
+                zero_to_one: false,
+            },
+            AlternateTarget {
+                group: 1,
+                weight_idx: WEIGHTS_PER_PAGE * 3 + 9,
+                bit: 2,
+                zero_to_one: true,
+            },
+            // Identical to the primary bit itself: must be excluded.
+            AlternateTarget {
+                group: 0,
+                weight_idx: 1,
+                bit: 4,
+                zero_to_one: true,
+            },
+        ];
+        let map = alternate_map(&[primary], &alts, Some(&plan));
+        let offered = &map[&0];
+        assert_eq!(offered.len(), 1, "same-group alternates minus the primary");
+        assert_eq!(offered[0].file_page, 1);
+        assert_eq!(offered[0].bit_offset, 3 * 8 + 5);
+        assert!(!offered[0].zero_to_one);
+        // No plan → no substitutes.
+        assert!(alternate_map(&[primary], &alts, None).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rhb_nn::weightfile::ByteLocation;
+
+    /// Bit targets as a weight-file diff produces them: each
+    /// (page, offset, bit) site appears at most once.
+    fn arb_targets() -> impl Strategy<Value = Vec<BitTarget>> {
+        prop::collection::vec(
+            (0usize..12, 0usize..64, 0u8..8, any::<bool>()).prop_map(
+                |(page, offset, bit, zero_to_one)| BitTarget {
+                    location: ByteLocation { page, offset },
+                    bit,
+                    zero_to_one,
+                },
+            ),
+            0..80,
+        )
+        .prop_map(|targets| {
+            let mut seen = std::collections::HashSet::new();
+            targets
+                .into_iter()
+                .filter(|t| seen.insert((t.location.page, t.location.offset, t.bit)))
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Reduction leaves at most one target per page and never invents
+        /// targets.
+        #[test]
+        fn reduce_is_one_per_page_and_a_subset(targets in arb_targets()) {
+            let reduced = reduce_to_one_per_page(&targets);
+            let mut pages: Vec<usize> = reduced.iter().map(|t| t.location.page).collect();
+            pages.sort_unstable();
+            let mut deduped = pages.clone();
+            deduped.dedup();
+            prop_assert_eq!(&pages, &deduped, "a page appears twice");
+            for t in &reduced {
+                prop_assert!(targets.contains(t), "invented target");
+            }
+            let distinct_pages = {
+                let mut p: Vec<usize> = targets.iter().map(|t| t.location.page).collect();
+                p.sort_unstable();
+                p.dedup();
+                p.len()
+            };
+            prop_assert_eq!(reduced.len(), distinct_pages);
+        }
+
+        /// Reducing twice changes nothing.
+        #[test]
+        fn reduce_is_idempotent(targets in arb_targets()) {
+            let once = reduce_to_one_per_page(&targets);
+            let twice = reduce_to_one_per_page(&once);
+            prop_assert_eq!(once, twice);
+        }
+
+        /// The winner per page does not depend on input order.
+        #[test]
+        fn reduce_is_stable_under_permutation(
+            targets in arb_targets(),
+            rotation in 0usize..79,
+            reverse in any::<bool>(),
+        ) {
+            let baseline = reduce_to_one_per_page(&targets);
+            let mut shuffled = targets.clone();
+            if !shuffled.is_empty() {
+                let mid = rotation % shuffled.len();
+                shuffled.rotate_left(mid);
+            }
+            if reverse {
+                shuffled.reverse();
+            }
+            prop_assert_eq!(baseline, reduce_to_one_per_page(&shuffled));
+        }
     }
 }

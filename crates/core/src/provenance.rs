@@ -37,6 +37,14 @@ pub struct FlipRecord {
     pub hammer_attempts: u32,
     /// Whether the bit actually flipped in the weight file.
     pub flipped: bool,
+    /// Whether read-back verified the bit holds its required value
+    /// (equals `flipped` on a cooperative DRAM; can be `false` under
+    /// chaos when a flip was assumed but refuted).
+    pub verified: bool,
+    /// Recovery retry passes spent on this bit beyond the first.
+    pub retries: u32,
+    /// Whether an alternate bit landed on behalf of this (refuted) one.
+    pub fallback: bool,
 }
 
 impl FlipRecord {
@@ -53,7 +61,16 @@ impl FlipRecord {
             placed_frame: record.placed_frame,
             hammer_attempts: record.hammer_attempts,
             flipped: record.flipped,
+            verified: record.verified,
+            retries: record.retries,
+            fallback: record.fallback,
         }
+    }
+
+    /// Whether this target was verifiably realized — its own bit verified
+    /// or an alternate landed in its place.
+    pub fn realized(&self) -> bool {
+        self.verified || self.fallback
     }
 
     /// Emits this record as a structured telemetry event (`-1` encodes a
@@ -70,6 +87,9 @@ impl FlipRecord {
             placed_frame = self.placed_frame.map_or(-1i64, |f| f as i64),
             hammer_attempts = self.hammer_attempts as u64,
             flipped = self.flipped,
+            verified = self.verified,
+            retries = self.retries as u64,
+            fallback = self.fallback,
         );
     }
 }
@@ -89,8 +109,11 @@ mod tests {
             },
             matched_frame: Some(77),
             placed_frame: Some(77),
-            hammer_attempts: 1,
+            hammer_attempts: 3,
             flipped: true,
+            verified: true,
+            retries: 2,
+            fallback: false,
         };
         let flip = FlipRecord::from_target(&rec, Some(5));
         assert_eq!(flip.weight_idx, 3 * WEIGHTS_PER_PAGE + 100);
@@ -100,5 +123,30 @@ mod tests {
         assert!(flip.zero_to_one);
         assert_eq!(flip.matched_frame, Some(77));
         assert!(flip.flipped);
+        assert!(flip.verified);
+        assert_eq!(flip.retries, 2);
+        assert!(!flip.fallback);
+        assert!(flip.realized());
+    }
+
+    #[test]
+    fn fallback_counts_as_realized_even_when_unverified() {
+        let rec = TargetRecord {
+            target: TargetBit {
+                file_page: 0,
+                bit_offset: 9,
+                zero_to_one: false,
+            },
+            matched_frame: Some(1),
+            placed_frame: Some(1),
+            hammer_attempts: 4,
+            flipped: false,
+            verified: false,
+            retries: 3,
+            fallback: true,
+        };
+        let flip = FlipRecord::from_target(&rec, None);
+        assert!(!flip.verified);
+        assert!(flip.realized(), "a landed alternate realizes the target");
     }
 }

@@ -1,0 +1,603 @@
+//! Chaos mode: deterministic, seeded fault injection for the online phase.
+//!
+//! The paper's online attack is explicitly probabilistic — templated cells
+//! do not always re-flip, memory massaging can miss a frame, and a stale
+//! flip profile silently drops ASR. Everything upstream of this module
+//! simulates a *cooperative* DRAM; chaos mode turns the simulator hostile
+//! so the adaptive recovery driver ([`crate::online::OnlineAttack::
+//! execute_adaptive`]) has something real to recover from:
+//!
+//! * **templating false positives** — the profile reports a vulnerable
+//!   cell that does not actually exist (a phantom); hammering the matched
+//!   frame never fires it;
+//! * **templating false negatives** — a genuinely matchable target is
+//!   reported unmatchable for one matching round (a stale profile);
+//! * **flip flakiness** — a reachable cell fails to fire on a given
+//!   hammer pass (the paper's own motivation for per-flip verification);
+//! * **placement eviction** — the victim page is evicted from its flippy
+//!   frame between place and hammer, so a whole pass lands nothing;
+//! * **ECC correction** — an ECC-style corrector silently reverts a
+//!   fraction of *single-bit* flips (multi-bit flips in one 64-bit word
+//!   evade it, as on real ECC DIMMs);
+//! * **row-conflict latency noise** — widens the timing oracle's noise
+//!   floor, degrading bank detection.
+//!
+//! Every decision is a pure hash of `(seed, fault kind, event key)` —
+//! *not* a draw from a sequential RNG stream — so the fault schedule is
+//! identical regardless of the order in which the attack queries it
+//! (hash-map iteration order, retry interleaving, and recovery strategy
+//! cannot perturb it). Same seed → same faults, always.
+
+use std::collections::HashSet;
+
+/// Bits per ECC word: the corrector model operates on 64-bit words, the
+/// granularity of common (72,64) SEC-DED codes.
+pub const ECC_WORD_BITS: usize = 64;
+
+/// Fault-injection rates and seed. All rates are probabilities in `[0, 1]`;
+/// a rate of zero disables that fault class entirely.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed for the fault schedule (decisions are hashes of this).
+    pub seed: u64,
+    /// P(matched cell is a phantom that never fires).
+    pub template_false_positive: f64,
+    /// P(matchable target reported unmatchable, per matching round).
+    pub template_false_negative: f64,
+    /// P(reachable cell fails to fire, per hammer pass).
+    pub flip_flakiness: f64,
+    /// P(page evicted from its frame, per hammer pass).
+    pub eviction: f64,
+    /// P(a single-bit flip in an ECC word is silently corrected).
+    pub ecc_correction: f64,
+    /// Extra row-conflict timing jitter in cycles (0 = none).
+    pub latency_noise: f64,
+}
+
+impl ChaosConfig {
+    /// All fault classes off (the identity configuration).
+    pub fn disabled() -> Self {
+        ChaosConfig {
+            seed: 0,
+            template_false_positive: 0.0,
+            template_false_negative: 0.0,
+            flip_flakiness: 0.0,
+            eviction: 0.0,
+            ecc_correction: 0.0,
+            latency_noise: 0.0,
+        }
+    }
+
+    /// A seeded configuration with every rate zero; set fields from here.
+    pub fn seeded(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            ..Self::disabled()
+        }
+    }
+
+    /// Whether any fault class can fire.
+    pub fn is_active(&self) -> bool {
+        self.template_false_positive > 0.0
+            || self.template_false_negative > 0.0
+            || self.flip_flakiness > 0.0
+            || self.eviction > 0.0
+            || self.ecc_correction > 0.0
+            || self.latency_noise > 0.0
+    }
+
+    /// Parses the `RHB_CHAOS` environment variable. Unset, empty, `off`,
+    /// or `0` mean no chaos. Otherwise a comma-separated key=value list:
+    ///
+    /// ```text
+    /// RHB_CHAOS="flaky=0.2,evict=0.05,fp=0.01,fn=0.02,ecc=0.1,latency=40,seed=7"
+    /// ```
+    ///
+    /// Unknown keys and unparsable values are ignored with a warning on
+    /// stderr so a typo degrades loudly instead of silently.
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("RHB_CHAOS").ok()?;
+        Self::parse(&raw)
+    }
+
+    /// Parses the `RHB_CHAOS` syntax from a string (see [`Self::from_env`]).
+    pub fn parse(raw: &str) -> Option<Self> {
+        let raw = raw.trim();
+        if raw.is_empty() || raw.eq_ignore_ascii_case("off") || raw == "0" {
+            return None;
+        }
+        let mut config = Self::seeded(0xca05);
+        for pair in raw.split(',') {
+            let pair = pair.trim();
+            if pair.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = pair.split_once('=') else {
+                eprintln!("RHB_CHAOS: ignoring malformed entry {pair:?} (want key=value)");
+                continue;
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                match value.parse::<u64>() {
+                    Ok(seed) => config.seed = seed,
+                    Err(_) => eprintln!("RHB_CHAOS: ignoring non-integer seed {value:?}"),
+                }
+                continue;
+            }
+            let Ok(rate) = value.parse::<f64>() else {
+                eprintln!("RHB_CHAOS: ignoring non-numeric value for {key}: {value:?}");
+                continue;
+            };
+            match key {
+                "fp" => config.template_false_positive = rate.clamp(0.0, 1.0),
+                "fn" => config.template_false_negative = rate.clamp(0.0, 1.0),
+                "flaky" => config.flip_flakiness = rate.clamp(0.0, 1.0),
+                "evict" => config.eviction = rate.clamp(0.0, 1.0),
+                "ecc" => config.ecc_correction = rate.clamp(0.0, 1.0),
+                "latency" => config.latency_noise = rate.max(0.0),
+                _ => eprintln!("RHB_CHAOS: ignoring unknown key {key:?}"),
+            }
+        }
+        config.is_active().then_some(config)
+    }
+}
+
+/// The fault classes chaos mode can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultKind {
+    /// A matched cell was a templating phantom: it never fires.
+    TemplateFalsePositive,
+    /// Matching was denied for a target this round (stale profile).
+    TemplateFalseNegative,
+    /// A reachable cell failed to fire on one hammer pass.
+    FlakyFlip,
+    /// The page was evicted from its frame for one hammer pass.
+    Eviction,
+    /// An ECC-style corrector reverted a single-bit flip.
+    EccMasked,
+}
+
+impl FaultKind {
+    /// All injectable kinds, in a fixed reporting order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::TemplateFalsePositive,
+        FaultKind::TemplateFalseNegative,
+        FaultKind::FlakyFlip,
+        FaultKind::Eviction,
+        FaultKind::EccMasked,
+    ];
+
+    /// Stable telemetry/reporting name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::TemplateFalsePositive => "template_fp",
+            FaultKind::TemplateFalseNegative => "template_fn",
+            FaultKind::FlakyFlip => "flaky_flip",
+            FaultKind::Eviction => "eviction",
+            FaultKind::EccMasked => "ecc_masked",
+        }
+    }
+
+    /// Domain-separation constant for the decision hash.
+    fn salt(&self) -> u64 {
+        match self {
+            FaultKind::TemplateFalsePositive => 0x7e3a_11c9_d0b5_f001,
+            FaultKind::TemplateFalseNegative => 0x7e3a_11c9_d0b5_f002,
+            FaultKind::FlakyFlip => 0x7e3a_11c9_d0b5_f003,
+            FaultKind::Eviction => 0x7e3a_11c9_d0b5_f004,
+            FaultKind::EccMasked => 0x7e3a_11c9_d0b5_f005,
+        }
+    }
+}
+
+/// One injected fault, for the flip-provenance ledger and run artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// Frame (or file page, for eviction / false negatives) involved.
+    pub location: usize,
+    /// Bit offset involved (0 when the fault is page-granular).
+    pub bit_offset: usize,
+    /// Hammer pass / matching round the fault fired on (1-based for
+    /// hammer passes, 0-based for matching rounds).
+    pub attempt: u32,
+}
+
+/// The live fault injector: rolls deterministic per-event decisions and
+/// logs every fault that fires.
+#[derive(Debug, Clone)]
+pub struct ChaosEngine {
+    config: ChaosConfig,
+    faults: Vec<InjectedFault>,
+    /// Cells declared phantom at match time: `(frame, bit_offset)`. A
+    /// phantom persists for the whole run — re-hammering never helps, only
+    /// an alternate target does.
+    phantoms: HashSet<(usize, usize)>,
+}
+
+impl ChaosEngine {
+    /// Creates an engine over a configuration.
+    pub fn new(config: ChaosConfig) -> Self {
+        ChaosEngine {
+            config,
+            faults: Vec::new(),
+            phantoms: HashSet::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ChaosConfig {
+        &self.config
+    }
+
+    /// Every fault injected so far, in injection order.
+    pub fn faults(&self) -> &[InjectedFault] {
+        &self.faults
+    }
+
+    /// Total faults injected.
+    pub fn fault_count(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Fault counts per kind, in [`FaultKind::ALL`] order (zero-count
+    /// kinds included).
+    pub fn counts_by_kind(&self) -> Vec<(FaultKind, usize)> {
+        FaultKind::ALL
+            .iter()
+            .map(|&k| (k, self.faults.iter().filter(|f| f.kind == k).count()))
+            .collect()
+    }
+
+    /// Deterministic uniform draw in `[0, 1)` for one event. Pure in
+    /// `(seed, kind, a, b)` — call order cannot change the outcome.
+    fn unit(&self, kind: FaultKind, a: u64, b: u64) -> f64 {
+        let mut h = self
+            .config
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(kind.salt());
+        h ^= splitmix64(a.wrapping_add(0x1656_67b1_9e37_79f9));
+        h ^= splitmix64(b.wrapping_add(0x2545_f491_4f6c_dd1d));
+        (splitmix64(h) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn roll(&mut self, kind: FaultKind, rate: f64, a: u64, b: u64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        let fired = self.unit(kind, a, b) < rate;
+        if fired {
+            rhb_telemetry::counter!("dram/chaos/faults", 1);
+        }
+        fired
+    }
+
+    fn record(&mut self, kind: FaultKind, location: usize, bit_offset: usize, attempt: u32) {
+        self.faults.push(InjectedFault {
+            kind,
+            location,
+            bit_offset,
+            attempt,
+        });
+    }
+
+    /// Rolls a templating false positive for a freshly matched cell. On
+    /// success the cell becomes a phantom: present in the profile, absent
+    /// in silicon.
+    pub fn template_false_positive(&mut self, frame: usize, bit_offset: usize) -> bool {
+        let fired = self.roll(
+            FaultKind::TemplateFalsePositive,
+            self.config.template_false_positive,
+            frame as u64,
+            bit_offset as u64,
+        );
+        if fired {
+            self.phantoms.insert((frame, bit_offset));
+            self.record(FaultKind::TemplateFalsePositive, frame, bit_offset, 0);
+            rhb_telemetry::counter!("dram/chaos/template_fp", 1);
+        }
+        fired
+    }
+
+    /// Whether a cell was previously declared phantom.
+    pub fn is_phantom(&self, frame: usize, bit_offset: usize) -> bool {
+        self.phantoms.contains(&(frame, bit_offset))
+    }
+
+    /// Rolls a templating false negative: the profile denies a matchable
+    /// target for this matching `round`. Keyed per round so a later
+    /// re-match (after re-templating) can succeed — the staleness is
+    /// transient.
+    pub fn template_false_negative(&mut self, bit_offset: usize, round: u32) -> bool {
+        let fired = self.roll(
+            FaultKind::TemplateFalseNegative,
+            self.config.template_false_negative,
+            bit_offset as u64,
+            u64::from(round),
+        );
+        if fired {
+            self.record(FaultKind::TemplateFalseNegative, 0, bit_offset, round);
+            rhb_telemetry::counter!("dram/chaos/template_fn", 1);
+        }
+        fired
+    }
+
+    /// Rolls per-pass flip flakiness for one reachable cell.
+    pub fn flaky_flip(&mut self, frame: usize, bit_offset: usize, attempt: u32) -> bool {
+        let key = (frame as u64) << 20 | bit_offset as u64;
+        let fired = self.roll(
+            FaultKind::FlakyFlip,
+            self.config.flip_flakiness,
+            key,
+            u64::from(attempt),
+        );
+        if fired {
+            self.record(FaultKind::FlakyFlip, frame, bit_offset, attempt);
+            rhb_telemetry::counter!("dram/chaos/flaky_flip", 1);
+        }
+        fired
+    }
+
+    /// Rolls per-pass eviction: the file page left its frame between place
+    /// and hammer, so this pass lands nothing in the page.
+    pub fn evicted(&mut self, file_page: usize, attempt: u32) -> bool {
+        let fired = self.roll(
+            FaultKind::Eviction,
+            self.config.eviction,
+            file_page as u64,
+            u64::from(attempt),
+        );
+        if fired {
+            self.record(FaultKind::Eviction, file_page, 0, attempt);
+            rhb_telemetry::counter!("dram/chaos/eviction", 1);
+        }
+        fired
+    }
+
+    /// Rolls ECC correction for a *single-bit* flip in one 64-bit word.
+    /// The caller guarantees the word carries exactly one fresh flip this
+    /// pass; multi-bit words evade the corrector by construction.
+    pub fn ecc_masks(&mut self, file_page: usize, word: usize, attempt: u32) -> bool {
+        let key = (file_page as u64) << 20 | word as u64;
+        let fired = self.roll(
+            FaultKind::EccMasked,
+            self.config.ecc_correction,
+            key,
+            u64::from(attempt),
+        );
+        if fired {
+            self.record(
+                FaultKind::EccMasked,
+                file_page,
+                word * ECC_WORD_BITS,
+                attempt,
+            );
+            rhb_telemetry::counter!("dram/chaos/ecc_masked", 1);
+        }
+        fired
+    }
+
+    /// Extra row-conflict timing jitter in cycles.
+    pub fn latency_noise_cycles(&self) -> f64 {
+        self.config.latency_noise
+    }
+}
+
+/// SplitMix64 finalizer: the avalanche stage behind every decision hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flaky_config(rate: f64, seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            flip_flakiness: rate,
+            ..ChaosConfig::seeded(seed)
+        }
+    }
+
+    #[test]
+    fn disabled_config_never_fires() {
+        let mut engine = ChaosEngine::new(ChaosConfig::disabled());
+        for i in 0..1000 {
+            assert!(!engine.flaky_flip(i, i * 13, 1));
+            assert!(!engine.evicted(i, 1));
+            assert!(!engine.template_false_positive(i, i));
+            assert!(!engine.template_false_negative(i, 0));
+            assert!(!engine.ecc_masks(i, i, 1));
+        }
+        assert_eq!(engine.fault_count(), 0);
+        assert!(!ChaosConfig::disabled().is_active());
+    }
+
+    #[test]
+    fn rate_one_always_fires() {
+        let mut engine = ChaosEngine::new(flaky_config(1.0, 3));
+        for i in 0..100 {
+            assert!(engine.flaky_flip(i, 7, 1));
+        }
+        assert_eq!(engine.fault_count(), 100);
+    }
+
+    #[test]
+    fn rates_are_approximately_respected() {
+        let mut engine = ChaosEngine::new(flaky_config(0.2, 42));
+        let fired = (0..10_000)
+            .filter(|&i| engine.flaky_flip(i, i * 31 % PAGE_BITS_LIKE, 1))
+            .count();
+        let frac = fired as f64 / 10_000.0;
+        assert!((frac - 0.2).abs() < 0.02, "flakiness rate realized {frac}");
+    }
+    const PAGE_BITS_LIKE: usize = 32_768;
+
+    #[test]
+    fn decisions_are_independent_of_query_order() {
+        let keys: Vec<(usize, usize)> = (0..200).map(|i| (i * 7 % 50, i * 131 % 32_768)).collect();
+        let mut forward = ChaosEngine::new(flaky_config(0.5, 9));
+        let mut backward = ChaosEngine::new(flaky_config(0.5, 9));
+        let a: Vec<bool> = keys
+            .iter()
+            .map(|&(f, b)| forward.flaky_flip(f, b, 2))
+            .collect();
+        let b: Vec<bool> = keys
+            .iter()
+            .rev()
+            .map(|&(f, b)| backward.flaky_flip(f, b, 2))
+            .collect();
+        let b_forward: Vec<bool> = b.into_iter().rev().collect();
+        assert_eq!(a, b_forward, "decision depends on call order");
+        // The fault logs contain the same set either way.
+        let mut fa = forward.faults().to_vec();
+        let mut fb = backward.faults().to_vec();
+        fa.sort_by_key(|f| (f.location, f.bit_offset));
+        fb.sort_by_key(|f| (f.location, f.bit_offset));
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn attempts_reroll_the_decision() {
+        // A flaky cell on pass 1 is usually fine on a later pass: the
+        // per-attempt key must actually enter the hash.
+        let mut engine = ChaosEngine::new(flaky_config(0.5, 17));
+        let outcomes: Vec<bool> = (1..=32).map(|a| engine.flaky_flip(3, 999, a)).collect();
+        assert!(outcomes.iter().any(|&f| f), "no pass ever flaky at 50%");
+        assert!(!outcomes.iter().all(|&f| f), "every pass flaky at 50%");
+    }
+
+    #[test]
+    fn phantoms_persist_for_the_run() {
+        let config = ChaosConfig {
+            template_false_positive: 1.0,
+            ..ChaosConfig::seeded(5)
+        };
+        let mut engine = ChaosEngine::new(config);
+        assert!(engine.template_false_positive(10, 400));
+        assert!(engine.is_phantom(10, 400));
+        assert!(!engine.is_phantom(10, 401));
+    }
+
+    #[test]
+    fn counts_by_kind_cover_every_kind() {
+        let config = ChaosConfig {
+            flip_flakiness: 1.0,
+            eviction: 1.0,
+            ..ChaosConfig::seeded(1)
+        };
+        let mut engine = ChaosEngine::new(config);
+        engine.flaky_flip(0, 0, 1);
+        engine.evicted(0, 1);
+        let counts = engine.counts_by_kind();
+        assert_eq!(counts.len(), FaultKind::ALL.len());
+        let flaky = counts
+            .iter()
+            .find(|(k, _)| *k == FaultKind::FlakyFlip)
+            .unwrap();
+        assert_eq!(flaky.1, 1);
+        let fp = counts
+            .iter()
+            .find(|(k, _)| *k == FaultKind::TemplateFalsePositive)
+            .unwrap();
+        assert_eq!(fp.1, 0);
+    }
+
+    #[test]
+    fn parse_reads_every_key() {
+        let config =
+            ChaosConfig::parse("flaky=0.2, evict=0.05,fp=0.01,fn=0.02,ecc=0.1,latency=40,seed=7")
+                .unwrap();
+        assert_eq!(config.seed, 7);
+        assert_eq!(config.flip_flakiness, 0.2);
+        assert_eq!(config.eviction, 0.05);
+        assert_eq!(config.template_false_positive, 0.01);
+        assert_eq!(config.template_false_negative, 0.02);
+        assert_eq!(config.ecc_correction, 0.1);
+        assert_eq!(config.latency_noise, 40.0);
+    }
+
+    #[test]
+    fn parse_rejects_off_and_empty() {
+        assert!(ChaosConfig::parse("").is_none());
+        assert!(ChaosConfig::parse("off").is_none());
+        assert!(ChaosConfig::parse("0").is_none());
+        // All rates zero is inactive even if a seed is given.
+        assert!(ChaosConfig::parse("seed=9").is_none());
+    }
+
+    #[test]
+    fn parse_survives_garbage_entries() {
+        let config = ChaosConfig::parse("flaky=0.3,bogus=1,evict=notanumber,seed=abc").unwrap();
+        assert_eq!(config.flip_flakiness, 0.3);
+        assert_eq!(config.eviction, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Same seed → identical fault schedule, bit for bit, over an
+        /// arbitrary query sequence (the ChaosConfig determinism
+        /// guarantee).
+        #[test]
+        fn same_seed_same_fault_schedule(
+            seed in 0u64..10_000,
+            queries in prop::collection::vec((0usize..64, 0usize..32_768, 1u32..5), 1..80),
+        ) {
+            let config = ChaosConfig {
+                flip_flakiness: 0.4,
+                eviction: 0.2,
+                template_false_positive: 0.3,
+                template_false_negative: 0.25,
+                ecc_correction: 0.35,
+                ..ChaosConfig::seeded(seed)
+            };
+            let mut a = ChaosEngine::new(config);
+            let mut b = ChaosEngine::new(config);
+            for &(frame, bit, attempt) in &queries {
+                prop_assert_eq!(a.flaky_flip(frame, bit, attempt), b.flaky_flip(frame, bit, attempt));
+                prop_assert_eq!(a.evicted(frame, attempt), b.evicted(frame, attempt));
+                prop_assert_eq!(
+                    a.template_false_positive(frame, bit),
+                    b.template_false_positive(frame, bit)
+                );
+                prop_assert_eq!(
+                    a.template_false_negative(bit, attempt),
+                    b.template_false_negative(bit, attempt)
+                );
+                prop_assert_eq!(
+                    a.ecc_masks(frame, bit / ECC_WORD_BITS, attempt),
+                    b.ecc_masks(frame, bit / ECC_WORD_BITS, attempt)
+                );
+            }
+            prop_assert_eq!(a.faults(), b.faults());
+        }
+
+        /// Different seeds produce different schedules (no seed collapse).
+        #[test]
+        fn seeds_differentiate_schedules(seed in 0u64..1_000) {
+            let mut a = ChaosEngine::new(ChaosConfig {
+                flip_flakiness: 0.5,
+                ..ChaosConfig::seeded(seed)
+            });
+            let mut b = ChaosEngine::new(ChaosConfig {
+                flip_flakiness: 0.5,
+                ..ChaosConfig::seeded(seed ^ 0xdead_beef)
+            });
+            let da: Vec<bool> = (0..64).map(|i| a.flaky_flip(i, i * 17, 1)).collect();
+            let db: Vec<bool> = (0..64).map(|i| b.flaky_flip(i, i * 17, 1)).collect();
+            prop_assert_ne!(da, db);
+        }
+    }
+}

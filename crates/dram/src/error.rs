@@ -6,7 +6,16 @@ use std::fmt;
 pub type Result<T> = std::result::Result<T, DramError>;
 
 /// Errors raised by the DRAM and placement simulators.
+///
+/// Variants split into two recovery classes (see
+/// [`DramError::is_recoverable`]): *recoverable* errors describe a
+/// transient or per-target condition the online attack's adaptive driver
+/// can route around (re-template, retry, fall back to an alternate bit),
+/// while *fatal* errors describe misconfiguration or an exhausted budget
+/// where retrying is wasted work. The enum is non-exhaustive so future
+/// fault classes can be added without breaking downstream matches.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DramError {
     /// A frame, row, or page index was out of range.
     IndexOutOfRange {
@@ -31,6 +40,47 @@ pub enum DramError {
     },
     /// A hammer pattern cannot run on this chip (e.g. double-sided vs TRR).
     PatternIneffective(String),
+    /// Read-back verification refuted an intended flip after hammering:
+    /// the targeted bit does not hold its required value.
+    FlipRefuted {
+        /// Frame whose row was hammered.
+        frame: usize,
+        /// Bit offset of the refuted target within its page.
+        bit_offset: usize,
+        /// Hammer passes delivered before giving up.
+        attempts: u32,
+    },
+    /// The adaptive recovery driver exhausted its retry/re-templating
+    /// budget with targets still unrealized.
+    RecoveryExhausted {
+        /// Targets that never verifiably landed.
+        failed_targets: usize,
+    },
+}
+
+impl DramError {
+    /// Whether the online attack's recovery driver should keep working on
+    /// the condition (`true`) or abandon it (`false`).
+    ///
+    /// Recoverable: a starving match ([`DramError::NoMatchingPage`]) can be
+    /// fed by re-templating fresh pages; a transient allocation shortfall
+    /// ([`DramError::CacheExhausted`]) by releasing more bait; a refuted
+    /// flip ([`DramError::FlipRefuted`]) by retrying the pass or falling
+    /// back to an alternate bit target.
+    ///
+    /// Fatal: an out-of-range index or an ineffective pattern is a
+    /// configuration bug retries cannot fix, and an exhausted recovery
+    /// budget is terminal by definition.
+    pub fn is_recoverable(&self) -> bool {
+        match self {
+            DramError::NoMatchingPage { .. }
+            | DramError::CacheExhausted { .. }
+            | DramError::FlipRefuted { .. } => true,
+            DramError::IndexOutOfRange { .. }
+            | DramError::PatternIneffective(_)
+            | DramError::RecoveryExhausted { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for DramError {
@@ -51,6 +101,18 @@ impl fmt::Display for DramError {
                 "no flippy page matches bit offset {page_bit_offset} in the profile"
             ),
             DramError::PatternIneffective(msg) => write!(f, "hammer pattern ineffective: {msg}"),
+            DramError::FlipRefuted {
+                frame,
+                bit_offset,
+                attempts,
+            } => write!(
+                f,
+                "read-back refuted flip at frame {frame} bit {bit_offset} after {attempts} attempt(s)"
+            ),
+            DramError::RecoveryExhausted { failed_targets } => write!(
+                f,
+                "recovery budget exhausted with {failed_targets} target(s) unrealized"
+            ),
         }
     }
 }
@@ -73,5 +135,47 @@ mod tests {
     fn error_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DramError>();
+    }
+
+    #[test]
+    fn transient_conditions_are_recoverable() {
+        assert!(DramError::NoMatchingPage { page_bit_offset: 3 }.is_recoverable());
+        assert!(DramError::CacheExhausted {
+            requested: 8,
+            available: 2
+        }
+        .is_recoverable());
+        assert!(DramError::FlipRefuted {
+            frame: 7,
+            bit_offset: 1234,
+            attempts: 2
+        }
+        .is_recoverable());
+    }
+
+    #[test]
+    fn configuration_and_budget_errors_are_fatal() {
+        assert!(!DramError::IndexOutOfRange {
+            index: 9,
+            len: 4,
+            what: "frames"
+        }
+        .is_recoverable());
+        assert!(!DramError::PatternIneffective("TRR".into()).is_recoverable());
+        assert!(!DramError::RecoveryExhausted { failed_targets: 2 }.is_recoverable());
+    }
+
+    #[test]
+    fn new_variants_display_specifics() {
+        let refuted = DramError::FlipRefuted {
+            frame: 12,
+            bit_offset: 345,
+            attempts: 3,
+        };
+        let text = refuted.to_string();
+        assert!(text.contains("12") && text.contains("345") && text.contains('3'));
+        assert!(DramError::RecoveryExhausted { failed_targets: 5 }
+            .to_string()
+            .contains('5'));
     }
 }

@@ -97,6 +97,17 @@ impl HammerPattern {
         let per = self.time_per_row();
         per * n_flip as u32
     }
+
+    /// Time charged against the recovery budget for one *retry* pass of a
+    /// single row. Attempt 1 is the initial pass (plain
+    /// [`HammerPattern::time_per_row`]); each further attempt doubles the
+    /// dwell time, capped at 8×, modeling an attacker that hammers refuted
+    /// rows progressively longer before giving up. This is the backoff
+    /// half of the paper's attack-time model under chaos.
+    pub fn retry_time(&self, attempt: u32) -> Duration {
+        let backoff = 1u32 << attempt.saturating_sub(1).min(3);
+        self.time_per_row() * backoff
+    }
 }
 
 /// Configuration of a hammering campaign against profiled memory.
@@ -250,6 +261,18 @@ mod tests {
     fn attack_time_scales_with_nflip() {
         let t = HammerPattern::seven_sided().attack_time(10);
         assert_eq!(t.as_secs(), 4);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let p = HammerPattern::seven_sided();
+        let base = p.time_per_row();
+        assert_eq!(p.retry_time(1), base);
+        assert_eq!(p.retry_time(2), base * 2);
+        assert_eq!(p.retry_time(3), base * 4);
+        assert_eq!(p.retry_time(4), base * 8);
+        assert_eq!(p.retry_time(9), base * 8, "backoff must cap");
+        assert_eq!(p.retry_time(0), base, "attempt 0 charges one pass");
     }
 
     #[test]

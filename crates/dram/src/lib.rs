@@ -16,9 +16,14 @@
 //!   weight-file pages onto flippy frames (Listing 1, Fig. 4);
 //! * [`online`] — the end-to-end online executor: template → match →
 //!   place → hammer, producing the corrupted weight bytes plus match
-//!   statistics;
+//!   statistics, and the adaptive recovery driver that survives a
+//!   hostile DRAM;
+//! * [`chaos`] — deterministic, seeded fault injection (templating
+//!   false positives/negatives, flaky flips, eviction, ECC masking,
+//!   latency noise) that the recovery driver is tested against;
 //! * [`plundervolt`] — the appendix's negative-result fault model.
 
+pub mod chaos;
 pub mod chips;
 pub mod error;
 pub mod geometry;
@@ -30,9 +35,13 @@ pub mod profile;
 pub mod rowconflict;
 pub mod spoiler;
 
+pub use chaos::{ChaosConfig, ChaosEngine, FaultKind, InjectedFault};
 pub use chips::{ChipKind, ChipModel};
 pub use error::{DramError, Result};
 pub use geometry::DramGeometry;
 pub use hammer::{HammerConfig, HammerPattern};
-pub use online::{OnlineAttack, OnlineOutcome, TargetRecord};
+pub use online::{
+    AdaptiveOutcome, FallbackRecord, HammerOutcome, OnlineAttack, OnlineOutcome, RecoveryPolicy,
+    RetryRecord, RunClass, TargetRecord,
+};
 pub use profile::{FlipCell, FlipDirection, FlipProfile};

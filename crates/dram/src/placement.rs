@@ -87,6 +87,27 @@ impl PlacementPlan {
         let mut seen = std::collections::HashSet::new();
         self.frame_of_page.iter().all(|&f| seen.insert(f))
     }
+
+    /// Re-steers `page` onto `frame`, returning the frame it previously
+    /// occupied. The adaptive recovery driver uses this to re-place a page
+    /// after a fallback match or a re-templating round; the displaced frame
+    /// simply goes unused (rows that are never hammered never flip).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::IndexOutOfRange`] if `page` is outside the plan.
+    pub fn resteer(&mut self, page: usize, frame: usize) -> Result<usize> {
+        let len = self.frame_of_page.len();
+        let slot = self
+            .frame_of_page
+            .get_mut(page)
+            .ok_or(DramError::IndexOutOfRange {
+                index: page,
+                len,
+                what: "weight file pages",
+            })?;
+        Ok(std::mem::replace(slot, frame))
+    }
 }
 
 /// Steers the weight file onto chosen frames via the page-frame cache.
@@ -207,6 +228,18 @@ mod tests {
         targets.insert(10usize, 9usize);
         assert!(matches!(
             steer_weight_file(5, &targets, &[1, 2, 3, 4, 5]),
+            Err(DramError::IndexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn resteer_replaces_and_reports_the_old_frame() {
+        let plan = steer_weight_file(4, &HashMap::new(), &[1, 2, 3, 4]);
+        let mut plan = plan.unwrap();
+        assert_eq!(plan.resteer(2, 99), Ok(3));
+        assert_eq!(plan.frame_of(2), Some(99));
+        assert!(matches!(
+            plan.resteer(9, 1),
             Err(DramError::IndexOutOfRange { .. })
         ));
     }

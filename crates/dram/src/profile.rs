@@ -224,6 +224,44 @@ impl FlipProfile {
         })
     }
 
+    /// Re-templates `additional_pages` *fresh* pages (appended after the
+    /// existing ones) and returns their index range.
+    ///
+    /// The adaptive recovery driver calls this when matching starves: the
+    /// attacker grabs another buffer, templates it, and retries the failed
+    /// matches against the enlarged profile. Sampling is identical to
+    /// [`FlipProfile::template`] and deterministic per `seed`, so extending
+    /// never perturbs the already-templated pages. The wall-clock cost is
+    /// accounted separately via [`FlipProfile::templating_time`].
+    pub fn extend_template(
+        &mut self,
+        additional_pages: usize,
+        seed: u64,
+    ) -> std::ops::Range<usize> {
+        let start = self.num_pages;
+        let mut rng = StdRng::seed_from_u64(seed);
+        for page in start..start + additional_pages {
+            let n = sample_poisson(self.chip.avg_flips_per_page, &mut rng);
+            for _ in 0..n {
+                let cell = FlipCell {
+                    page,
+                    bit_offset: rng.gen_range(0..PAGE_BITS),
+                    direction: if rng.gen_bool(0.5) {
+                        FlipDirection::ZeroToOne
+                    } else {
+                        FlipDirection::OneToZero
+                    },
+                    threshold: rng.gen_range(f64::EPSILON..=1.0),
+                };
+                self.by_page.entry(page).or_default().push(self.cells.len());
+                self.cells.push(cell);
+            }
+        }
+        self.num_pages += additional_pages;
+        rhb_telemetry::counter!("dram/pages_retemplated", additional_pages);
+        start..self.num_pages
+    }
+
     /// Templating wall-clock time model: the paper measures 94 minutes for
     /// 128 MB (32,768 pages).
     pub fn templating_time(num_pages: usize) -> Duration {
@@ -357,6 +395,49 @@ mod tests {
         assert_eq!(t128.as_secs(), 94 * 60);
         let t64 = FlipProfile::templating_time(16_384);
         assert_eq!(t64.as_secs(), 47 * 60);
+    }
+
+    #[test]
+    fn extend_template_appends_fresh_pages_without_touching_old_ones() {
+        let chip = ChipModel::reference_ddr3();
+        let mut profile = FlipProfile::template(chip, 1024, 21);
+        let before = profile.cells().to_vec();
+        let range = profile.extend_template(512, 22);
+        assert_eq!(range, 1024..1536);
+        assert_eq!(profile.num_pages(), 1536);
+        assert_eq!(&profile.cells()[..before.len()], &before[..]);
+        // The fresh pages carry cells and the index reaches them.
+        let fresh: Vec<_> = profile
+            .cells()
+            .iter()
+            .filter(|c| range.contains(&c.page))
+            .collect();
+        assert!(!fresh.is_empty(), "no cells templated in extension");
+        let sample = fresh[0];
+        assert!(profile
+            .flips_in_page(sample.page)
+            .iter()
+            .any(|c| c.bit_offset == sample.bit_offset));
+        // Matching can now land in the extension.
+        assert_eq!(
+            profile.find_matching_page(
+                sample.bit_offset,
+                sample.direction,
+                1.0,
+                &(0..1024).collect::<Vec<_>>()
+            ),
+            Ok(sample.page)
+        );
+    }
+
+    #[test]
+    fn extend_template_is_deterministic_per_seed() {
+        let chip = ChipModel::reference_ddr3();
+        let mut a = FlipProfile::template(chip, 256, 5);
+        let mut b = FlipProfile::template(chip, 256, 5);
+        a.extend_template(128, 77);
+        b.extend_template(128, 77);
+        assert_eq!(a.cells(), b.cells());
     }
 
     #[test]

@@ -43,6 +43,15 @@ impl RowConflictOracle {
         }
     }
 
+    /// Widens the noise floor by `cycles` — the chaos-mode latency fault:
+    /// a contended memory bus adds jitter that pushes both latency modes
+    /// toward the classification threshold, degrading bank detection.
+    /// Driven by [`crate::chaos::ChaosConfig::latency_noise`].
+    pub fn with_extra_noise(mut self, cycles: f64) -> Self {
+        self.noise += cycles.max(0.0);
+        self
+    }
+
     /// Times alternating accesses to two frames, returning cycles.
     pub fn time_pair(&mut self, frame_a: usize, frame_b: usize) -> f64 {
         let row_a = self.geometry.row_of_frame(frame_a);
@@ -163,6 +172,24 @@ mod tests {
         for f in scan.same_bank_frames() {
             assert!(g.same_bank(0, f), "frame {f} misclassified");
         }
+    }
+
+    #[test]
+    fn chaos_latency_noise_degrades_bank_detection() {
+        // With the paper's noise floor the classifier is perfect
+        // (`detected_frames_truly_share_the_bank`); under heavy chaos
+        // jitter the two latency modes bleed across the threshold and
+        // misclassifications appear.
+        let g = DramGeometry::ddr4_16gb();
+        let mut noisy = RowConflictOracle::new(g, 4).with_extra_noise(150.0);
+        let probes: Vec<usize> = (1..2049).collect();
+        let scan = ConflictScan::run(&mut noisy, 0, &probes);
+        let wrong = scan
+            .same_bank_frames()
+            .iter()
+            .filter(|&&f| !g.same_bank(0, f))
+            .count();
+        assert!(wrong > 0, "150-cycle jitter should cause misclassification");
     }
 
     #[test]

@@ -131,6 +131,20 @@ impl TelemetryReport {
         self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
     }
 
+    /// All counters under a `/`-delimited prefix, e.g.
+    /// `counters_with_prefix("dram/chaos")` collects every injected-fault
+    /// family so callers can total faults without naming each kind.
+    pub fn counters_with_prefix(&self, prefix: &str) -> Vec<(&str, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| {
+                n.strip_prefix(prefix)
+                    .is_some_and(|rest| rest.is_empty() || rest.starts_with('/'))
+            })
+            .map(|(n, total)| (n.as_str(), *total))
+            .collect()
+    }
+
     /// True when nothing at all was recorded.
     pub fn is_empty(&self) -> bool {
         self.spans.is_empty()
@@ -312,6 +326,27 @@ mod tests {
         assert_eq!(r.histograms.len(), 1);
         assert_eq!(r.histograms[0].count, 2);
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn prefix_matches_whole_path_segments_only() {
+        let tel = Telemetry::new();
+        tel.install(Arc::new(NoopSink));
+        tel.add_counter("dram/chaos/flaky", 3);
+        tel.add_counter("dram/chaos/evicted", 2);
+        tel.add_counter("dram/chaosish", 9); // shares chars, not a segment
+        tel.add_counter("dram/chaos", 1); // exact match counts too
+        let r = tel.report();
+        let hits = r.counters_with_prefix("dram/chaos");
+        assert_eq!(
+            hits,
+            vec![
+                ("dram/chaos", 1),
+                ("dram/chaos/evicted", 2),
+                ("dram/chaos/flaky", 3),
+            ]
+        );
+        assert!(r.counters_with_prefix("dram/none").is_empty());
     }
 
     #[test]

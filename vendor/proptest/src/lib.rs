@@ -57,6 +57,43 @@ impl Default for ProptestConfig {
 pub trait Strategy {
     type Value;
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps sampled values through `f`, mirroring upstream's `prop_map`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy form of [`Arbitrary`], mirroring upstream's `any::<T>()`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<A>(core::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
 }
 
 macro_rules! impl_int_range_strategy {
@@ -158,7 +195,7 @@ pub mod prop {
 /// Everything the workspace imports via `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
         ProptestConfig, Strategy,
     };
 }
@@ -287,6 +324,18 @@ mod tests {
         fn assume_skips_cases(n in 0u64..10) {
             prop_assume!(n % 2 == 0);
             prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn prop_map_transforms_samples(s in (0usize..5).prop_map(|n| n * 10)) {
+            prop_assert_eq!(s % 10, 0);
+            prop_assert!(s < 50);
+        }
+
+        #[test]
+        fn any_samples_arbitrary(flag in any::<bool>(), byte in any::<u8>()) {
+            prop_assert_eq!(u8::from(flag) <= 1, true);
+            prop_assert_eq!(byte as u16 as u8, byte);
         }
     }
 }
