@@ -16,6 +16,11 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== thread pool unit tests (blocking) =="
+# The pool underpins every parallel path; its invariants (serial
+# fallback, panic propagation, deterministic chunking) are a hard gate.
+cargo test --release -p rhb-par -q
+
 echo "== flight recorder smoke (non-blocking) =="
 # Record a fresh smoke run (with a Chrome trace) and diff it against the
 # committed BENCH_2.json baseline. Regressions warn but never fail CI:
@@ -27,6 +32,15 @@ if RHB_TELEMETRY=trace RHB_TRACE=ci_trace.json \
 else
   echo "WARNING: rhb-report bench failed"
 fi
+
+echo "== compute perf smoke =="
+# Re-measure the training-step and CFT+BR wall times and compare against
+# the committed BENCH_4.json baseline. A serial (RHB_THREADS=1)
+# regression beyond 10% is blocking; parallel speedup below the 3x
+# target is reported but non-blocking (single-core runners cannot
+# demonstrate any speedup).
+cargo run --release -p rhb-bench --bin rhb-report -- bench-compute --out ci_compute.json
+cargo run --release -p rhb-bench --bin rhb-report -- diff-compute BENCH_4.json ci_compute.json
 
 echo "== chaos smoke (blocking) =="
 # One seeded fault-injection run: at a 20% fault rate the pipeline must

@@ -6,18 +6,26 @@
 //!                                            # exit 1 on regression
 //! rhb-report bench [--out <path>]            # smoke run → results/runs/
 //!                                            #   + BENCH_2.json
+//! rhb-report bench-compute [--out <path>]    # compute-layer timings
+//!                                            #   → BENCH_4.json
+//! rhb-report diff-compute <baseline.json> <candidate.json>
+//!                                            # exit 1 when the serial
+//!                                            # wall time regressed >10 %
 //! ```
 //!
 //! `diff` thresholds: phase time +15 %, ASR −1 pt, any flip-success drop
-//! (see `rhb_bench::diff::DiffConfig`). Exit codes: 0 ok, 1 regression
-//! detected, 2 usage or I/O error.
+//! (see `rhb_bench::diff::DiffConfig`). `diff-compute` blocks only on
+//! serial wall-time regressions; parallel speedup below target is
+//! reported but non-blocking (see `rhb_bench::compute`). Exit codes:
+//! 0 ok, 1 regression detected, 2 usage or I/O error.
 
 use rhb_bench::artifact::{smoke_run, RunArtifact};
+use rhb_bench::compute;
 use rhb_bench::diff::{diff, DiffConfig};
 use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>]>";
+const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json>>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,19 +38,31 @@ fn main() -> ExitCode {
             (Some(base), Some(cand)) => run_diff(Path::new(base), Path::new(cand)),
             _ => usage_error("diff needs a baseline and a candidate"),
         },
-        Some("bench") => {
-            let out = match args.get(1).map(String::as_str) {
-                Some("--out") => match args.get(2) {
-                    Some(p) => p.clone(),
-                    None => return usage_error("--out needs a path"),
-                },
-                Some(other) => return usage_error(&format!("unknown bench flag '{other}'")),
-                None => "BENCH_2.json".to_string(),
-            };
-            bench(Path::new(&out))
-        }
+        Some("bench") => match parse_out(&args, "BENCH_2.json") {
+            Ok(out) => bench(Path::new(&out)),
+            Err(code) => code,
+        },
+        Some("bench-compute") => match parse_out(&args, "BENCH_4.json") {
+            Ok(out) => bench_compute(Path::new(&out)),
+            Err(code) => code,
+        },
+        Some("diff-compute") => match (args.get(1), args.get(2)) {
+            (Some(base), Some(cand)) => diff_compute(Path::new(base), Path::new(cand)),
+            _ => usage_error("diff-compute needs a baseline and a candidate"),
+        },
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
         None => usage_error("missing subcommand"),
+    }
+}
+
+fn parse_out(args: &[String], default: &str) -> Result<String, ExitCode> {
+    match args.get(1).map(String::as_str) {
+        Some("--out") => match args.get(2) {
+            Some(p) => Ok(p.clone()),
+            None => Err(usage_error("--out needs a path")),
+        },
+        Some(other) => Err(usage_error(&format!("unknown bench flag '{other}'"))),
+        None => Ok(default.to_string()),
     }
 }
 
@@ -168,4 +188,51 @@ fn bench(out: &Path) -> ExitCode {
     eprintln!("rhb-report: bench trajectory written to {}", out.display());
     print!("{}", render(&artifact));
     ExitCode::SUCCESS
+}
+
+fn bench_compute(out: &Path) -> ExitCode {
+    let report = compute::run();
+    if let Err(e) = std::fs::write(out, compute::to_json(&report)) {
+        eprintln!("rhb-report: {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("rhb-report: compute bench written to {}", out.display());
+    for e in &report.entries {
+        println!(
+            "{:<16} {:>2} threads {:>10.2} ms",
+            e.name, e.threads, e.wall_ms
+        );
+    }
+    println!(
+        "gemm 192^3        serial     {:>10.2} ms naive / {:.2} ms blocked ({:.2}x)",
+        report.gemm_naive_ms,
+        report.gemm_blocked_ms,
+        report.gemm_naive_ms / report.gemm_blocked_ms.max(1e-9)
+    );
+    ExitCode::SUCCESS
+}
+
+fn load_compute(path: &Path) -> Result<compute::ComputeBench, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("rhb-report: {}: {e}", path.display());
+        ExitCode::from(2)
+    })?;
+    compute::from_json(&text).map_err(|e| {
+        eprintln!("rhb-report: {}: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
+fn diff_compute(base_path: &Path, cand_path: &Path) -> ExitCode {
+    let (base, cand) = match (load_compute(base_path), load_compute(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let d = compute::diff(&base, &cand);
+    print!("{}", d.report);
+    if d.regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

@@ -15,6 +15,7 @@
 //! both rely on, and the `rhb-report` binary is the CLI over all three.
 
 pub mod artifact;
+pub mod compute;
 pub mod diff;
 pub mod experiments;
 pub mod json;

@@ -343,29 +343,57 @@ fn apply_bit_reduction(
     allowed_bits: u8,
 ) {
     // Pass 1: snap every modified weight to a single-bit change and record
-    // (group, flat index, |change|).
+    // (group, flat index, |change|). Each weight's snap is independent, so
+    // the flat scan is chunked across the global pool; per-chunk modified
+    // lists concatenated in chunk order equal the serial scan order, which
+    // pass 2's first-wins selection depends on.
+    const BR_GRAIN: usize = 16 * 1024;
     let mut modified: Vec<(usize, usize, f32)> = Vec::new();
     {
         let mut params = net.params_mut();
         let mut base = 0usize;
+        let pool = rhb_par::pool();
         for (p, orig) in params.iter_mut().zip(theta) {
             let scheme = p.scheme.expect("deployed parameter");
-            for (i, (v, &o)) in p.value.data_mut().iter_mut().zip(orig.data()).enumerate() {
-                let q_orig = scheme.quantize(o);
-                let q_new = scheme.quantize(*v);
-                if q_orig != q_new {
-                    let reduced = bit_reduce_masked(q_orig, q_new, allowed_bits);
-                    *v = scheme.dequantize(reduced);
-                    if reduced != q_orig {
-                        let flat = base + i;
-                        modified.push((plan.group_of(flat), flat, (*v - o).abs()));
-                    }
-                } else if *v != o {
-                    // Sub-quantum drift: snap back exactly.
-                    *v = o;
-                }
+            let len = p.numel();
+            let data = p.value.data_mut();
+            let orig = orig.data();
+            let ranges = rhb_par::split_range(len, pool.threads(), BR_GRAIN);
+            let chunks = rhb_par::split_slice_mut(data, &ranges, 1);
+            let mut partials: Vec<Vec<(usize, usize, f32)>> =
+                ranges.iter().map(|_| Vec::new()).collect();
+            let tasks: Vec<rhb_par::Task<'_>> = ranges
+                .iter()
+                .zip(chunks)
+                .zip(partials.iter_mut())
+                .map(|((r, chunk), out)| {
+                    let r = r.clone();
+                    Box::new(move || {
+                        for (off, v) in chunk.iter_mut().enumerate() {
+                            let i = r.start + off;
+                            let o = orig[i];
+                            let q_orig = scheme.quantize(o);
+                            let q_new = scheme.quantize(*v);
+                            if q_orig != q_new {
+                                let reduced = bit_reduce_masked(q_orig, q_new, allowed_bits);
+                                *v = scheme.dequantize(reduced);
+                                if reduced != q_orig {
+                                    let flat = base + i;
+                                    out.push((plan.group_of(flat), flat, (*v - o).abs()));
+                                }
+                            } else if *v != o {
+                                // Sub-quantum drift: snap back exactly.
+                                *v = o;
+                            }
+                        }
+                    }) as rhb_par::Task<'_>
+                })
+                .collect();
+            pool.run(tasks);
+            for part in &mut partials {
+                modified.append(part);
             }
-            base += p.numel();
+            base += len;
         }
     }
 

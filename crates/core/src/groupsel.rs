@@ -61,30 +61,104 @@ impl GroupPlan {
     }
 }
 
+/// Minimum weights per scan chunk when parallelizing the gradient sweep;
+/// below this, task overhead dwarfs the `abs`-and-compare work.
+const SCAN_GRAIN: usize = 16 * 1024;
+
+/// Running top-2-per-group state of the gradient sweep.
+///
+/// `offer` implements the paper's first-wins tie handling (`cur >= mag`
+/// keeps the incumbent). Chunked scans produce one `TopTwo` per chunk;
+/// replaying each chunk's `(best, second)` pairs through `offer` in
+/// chunk order reproduces the serial index-order scan exactly: arrival
+/// order at the merge matches flat-index order restricted to the
+/// surviving candidates, and the global top-2 of a disjoint union is
+/// always contained in the per-chunk top-2s.
+struct TopTwo {
+    best: Vec<Option<(usize, f32)>>,
+    second: Vec<Option<(usize, f32)>>,
+}
+
+impl TopTwo {
+    fn new(groups: usize) -> Self {
+        TopTwo {
+            best: vec![None; groups],
+            second: vec![None; groups],
+        }
+    }
+
+    fn offer(&mut self, group: usize, flat: usize, mag: f32) {
+        match self.best[group] {
+            Some((_, cur)) if cur >= mag => match self.second[group] {
+                Some((_, sec)) if sec >= mag => {}
+                _ => self.second[group] = Some((flat, mag)),
+            },
+            prev => {
+                self.second[group] = prev;
+                self.best[group] = Some((flat, mag));
+            }
+        }
+    }
+
+    fn merge(&mut self, other: TopTwo) {
+        for (group, (b, s)) in other.best.into_iter().zip(other.second).enumerate() {
+            if let Some((flat, mag)) = b {
+                self.offer(group, flat, mag);
+            }
+            if let Some((flat, mag)) = s {
+                self.offer(group, flat, mag);
+            }
+        }
+    }
+}
+
+/// Sweeps the concatenated gradient vector, parallel over contiguous
+/// flat-index chunks on the global pool, and returns the merged
+/// top-2-per-group. Deterministic at every thread count (see [`TopTwo`]).
+fn scan_top2(net: &dyn Network, plan: &GroupPlan) -> TopTwo {
+    let params = net.params();
+    let mut segs: Vec<(usize, &[f32])> = Vec::with_capacity(params.len());
+    let mut base = 0usize;
+    for p in &params {
+        segs.push((base, p.grad.data()));
+        base += p.numel();
+    }
+    debug_assert_eq!(base, plan.total_weights, "plan built for another model");
+    let pool = rhb_par::pool();
+    let partials = pool.parallel_map(base, SCAN_GRAIN, |range| {
+        let mut top = TopTwo::new(plan.n_flip);
+        for &(seg_base, grad) in &segs {
+            let seg_end = seg_base + grad.len();
+            if seg_end <= range.start || seg_base >= range.end {
+                continue;
+            }
+            let lo = range.start.max(seg_base);
+            let hi = range.end.min(seg_end);
+            for (off, &g) in grad[lo - seg_base..hi - seg_base].iter().enumerate() {
+                let mag = g.abs();
+                if mag == 0.0 {
+                    continue;
+                }
+                let flat = lo + off;
+                top.offer(plan.group_of(flat), flat, mag);
+            }
+        }
+        top
+    });
+    let mut top = TopTwo::new(plan.n_flip);
+    for partial in partials {
+        top.merge(partial);
+    }
+    top
+}
+
 /// Selects the top-1 weight per group by gradient magnitude over the
 /// network's concatenated gradient vector. Returns sorted flat indices —
 /// the mask `M` of Algorithm 1. Groups whose gradients are all exactly
 /// zero contribute no index.
 pub fn group_sort_select(net: &dyn Network, plan: &GroupPlan) -> Vec<usize> {
-    let mut best: Vec<Option<(usize, f32)>> = vec![None; plan.n_flip];
-    let mut base = 0usize;
-    for p in net.params() {
-        for (i, &g) in p.grad.data().iter().enumerate() {
-            let flat = base + i;
-            let mag = g.abs();
-            if mag == 0.0 {
-                continue;
-            }
-            let group = plan.group_of(flat);
-            match best[group] {
-                Some((_, cur)) if cur >= mag => {}
-                _ => best[group] = Some((flat, mag)),
-            }
-        }
-        base += p.numel();
-    }
-    debug_assert_eq!(base, plan.total_weights, "plan built for another model");
-    let mut mask: Vec<usize> = best.into_iter().flatten().map(|(i, _)| i).collect();
+    let top = scan_top2(net, plan);
+    let mut mask: Vec<usize> = top.best.into_iter().flatten().map(|(i, _)| i).collect();
     mask.sort_unstable();
     mask
 }
@@ -108,34 +182,11 @@ pub struct GroupPick {
 /// the runner-ups feed CFT+BR's alternate-target list. Groups whose
 /// gradients are all exactly zero contribute nothing.
 pub fn group_sort_select_top2(net: &dyn Network, plan: &GroupPlan) -> Vec<GroupPick> {
-    let mut best: Vec<Option<(usize, f32)>> = vec![None; plan.n_flip];
-    let mut second: Vec<Option<(usize, f32)>> = vec![None; plan.n_flip];
-    let mut base = 0usize;
-    for p in net.params() {
-        for (i, &g) in p.grad.data().iter().enumerate() {
-            let flat = base + i;
-            let mag = g.abs();
-            if mag == 0.0 {
-                continue;
-            }
-            let group = plan.group_of(flat);
-            match best[group] {
-                Some((_, cur)) if cur >= mag => match second[group] {
-                    Some((_, sec)) if sec >= mag => {}
-                    _ => second[group] = Some((flat, mag)),
-                },
-                prev => {
-                    second[group] = prev;
-                    best[group] = Some((flat, mag));
-                }
-            }
-        }
-        base += p.numel();
-    }
-    debug_assert_eq!(base, plan.total_weights, "plan built for another model");
-    let mut picks: Vec<GroupPick> = best
+    let top = scan_top2(net, plan);
+    let mut picks: Vec<GroupPick> = top
+        .best
         .into_iter()
-        .zip(second)
+        .zip(top.second)
         .enumerate()
         .filter_map(|(group, (b, s))| {
             b.map(|(idx, _)| GroupPick {

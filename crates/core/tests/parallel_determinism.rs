@@ -1,0 +1,46 @@
+//! The attack's candidate scoring must be deterministic at every thread
+//! count: `Group_Sort_Select` (and its top-2 variant) chunk the gradient
+//! sweep across the global pool and merge per-chunk winners in chunk
+//! order, which must reproduce the serial index-order scan exactly.
+
+use rhb_core::groupsel::{group_sort_select, group_sort_select_top2, GroupPlan, WEIGHTS_PER_PAGE};
+use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+use std::sync::Mutex;
+
+static GLOBAL_POOL_LOCK: Mutex<()> = Mutex::new(());
+
+#[test]
+fn group_selection_is_identical_across_thread_counts() {
+    let _guard = GLOBAL_POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 13);
+    // Synthetic gradient with plenty of exact ties and zeros, the cases
+    // where merge order could diverge from the serial scan.
+    let mut k = 0u64;
+    for p in model.net.params_mut() {
+        for g in p.grad.data_mut() {
+            *g = match k % 7 {
+                0 => 0.0,
+                1 | 2 => 0.5, // repeated magnitude: ties across indices
+                n => (n as f32 * 0.31).sin(),
+            };
+            k += 1;
+        }
+    }
+    let n = model.net.num_params();
+    let n_flip = n.div_ceil(WEIGHTS_PER_PAGE).min(6);
+    let plan = GroupPlan::new(n, n_flip);
+
+    rhb_par::set_global_threads(1);
+    let mask_serial = group_sort_select(model.net.as_ref(), &plan);
+    let picks_serial = group_sort_select_top2(model.net.as_ref(), &plan);
+    assert!(!mask_serial.is_empty());
+
+    for threads in [2, 3, 5, 8] {
+        rhb_par::set_global_threads(threads);
+        let mask = group_sort_select(model.net.as_ref(), &plan);
+        let picks = group_sort_select_top2(model.net.as_ref(), &plan);
+        assert_eq!(mask, mask_serial, "mask diverged at {threads} threads");
+        assert_eq!(picks, picks_serial, "picks diverged at {threads} threads");
+    }
+    rhb_par::set_global_threads(rhb_par::default_threads());
+}

@@ -172,18 +172,50 @@ impl FlipProfile {
         intensity: f64,
         exclude: &[usize],
     ) -> Result<usize> {
-        self.cells
-            .iter()
-            .find(|c| {
-                c.bit_offset == bit_offset
-                    && c.direction == direction
-                    && c.threshold <= intensity
-                    && !exclude.contains(&c.page)
-            })
-            .map(|c| c.page)
-            .ok_or(DramError::NoMatchingPage {
-                page_bit_offset: bit_offset,
-            })
+        let matches = |c: &FlipCell| {
+            c.bit_offset == bit_offset
+                && c.direction == direction
+                && c.threshold <= intensity
+                && !exclude.contains(&c.page)
+        };
+        const SCAN_GRAIN: usize = 64 * 1024;
+        let pool = rhb_par::pool();
+        // Small profiles or a lone thread: plain first-match with early
+        // exit. Extended-templating profiles hold millions of cells, so
+        // chunk the scan; taking the first hit in chunk order equals the
+        // serial first match, and a shared low-water mark lets later
+        // chunks bail out once an earlier cell already matched.
+        if pool.threads() == 1 || self.cells.len() <= SCAN_GRAIN {
+            return self
+                .cells
+                .iter()
+                .find(|c| matches(c))
+                .map(|c| c.page)
+                .ok_or(DramError::NoMatchingPage {
+                    page_bit_offset: bit_offset,
+                });
+        }
+        let earliest = std::sync::atomic::AtomicUsize::new(usize::MAX);
+        pool.parallel_map(self.cells.len(), SCAN_GRAIN, |range| {
+            if range.start > earliest.load(std::sync::atomic::Ordering::Relaxed) {
+                return None;
+            }
+            let hit = self.cells[range.clone()]
+                .iter()
+                .position(&matches)
+                .map(|off| range.start + off);
+            if let Some(i) = hit {
+                earliest.fetch_min(i, std::sync::atomic::Ordering::Relaxed);
+            }
+            hit
+        })
+        .into_iter()
+        .flatten()
+        .next()
+        .map(|i| self.cells[i].page)
+        .ok_or(DramError::NoMatchingPage {
+            page_bit_offset: bit_offset,
+        })
     }
 
     /// Finds a page whose vulnerable cells cover *all* the given

@@ -1,8 +1,24 @@
-//! 2-D convolution via im2col.
+//! 2-D convolution via im2col, batched over images on the global pool.
+//!
+//! The forward pass lowers each image to a column matrix (im2col) and
+//! multiplies by the flattened kernel through the blocked GEMM kernels in
+//! [`crate::gemm`]; the backward pass runs the transposed lowering
+//! (col2im) to recover input gradients. Both passes parallelize over the
+//! batch dimension: every image's lowering, GEMM, and scatter is
+//! independent, and the per-image gradient partials are folded back in
+//! batch order afterwards, so results are bit-identical at every thread
+//! count (see `DESIGN.md`, "Threading model").
+//!
+//! All temporaries — column matrices, effective weights, gradient
+//! partials — live in layer-owned [`ScratchBuffer`]s that grow to the
+//! high-water mark of the shapes seen and are reused across calls.
 
+use crate::error::{NnError, Result};
+use crate::gemm;
 use crate::init::{kaiming_normal, Rng};
 use crate::layer::{Layer, Mode};
 use crate::param::Parameter;
+use crate::scratch::ScratchBuffer;
 use crate::tensor::Tensor;
 
 /// Spatial geometry of a convolution.
@@ -23,17 +39,20 @@ pub struct ConvGeometry {
 impl ConvGeometry {
     /// Output spatial side for an input of side `in_side`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the kernel does not fit the padded input.
-    pub fn out_side(&self, in_side: usize) -> usize {
+    /// Returns [`NnError::ShapeMismatch`] if the kernel does not fit the
+    /// padded input.
+    pub fn out_side(&self, in_side: usize) -> Result<usize> {
         let padded = in_side + 2 * self.padding;
-        assert!(
-            padded >= self.kernel,
-            "kernel {} larger than padded input {padded}",
-            self.kernel
-        );
-        (padded - self.kernel) / self.stride + 1
+        if padded < self.kernel {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![self.kernel],
+                actual: vec![padded],
+                op: "conv kernel vs padded input",
+            });
+        }
+        Ok((padded - self.kernel) / self.stride + 1)
     }
 }
 
@@ -48,17 +67,100 @@ pub struct Conv2d {
     geom: ConvGeometry,
     weight: Parameter,
     bias: Option<Parameter>,
-    cached: Option<ForwardCache>,
+    cached: Option<CachedForward>,
+    scratch: ConvScratch,
 }
 
-struct ForwardCache {
-    cols: Vec<Tensor>,
+/// Shape of the last training-mode forward; the column matrices
+/// themselves live in `ConvScratch::cols` (one contiguous block for the
+/// whole batch) instead of a per-image `Vec<Tensor>`, so backward reads
+/// them in place without any copies.
+struct CachedForward {
     in_side: usize,
+    batch: usize,
+}
+
+/// Layer-owned arenas, reused across calls (see module docs).
+#[derive(Debug, Default)]
+struct ConvScratch {
+    /// Effective (fake-quantized) kernel, flattened to `[out_ch, C*k*k]`.
+    wmat: ScratchBuffer,
+    /// Effective bias, `[out_ch]`.
+    bias_eff: ScratchBuffer,
+    /// Training-mode im2col columns for the whole batch — the forward
+    /// cache consumed by `backward`.
+    cols: ScratchBuffer,
+    /// Eval-mode columns and backward `dcols`; kept separate from `cols`
+    /// so eval forwards between a training forward and its backward do
+    /// not clobber the cache.
+    work: ScratchBuffer,
+    /// Per-image `dW` partials, `[batch, out_ch * C*k*k]`.
+    dw: ScratchBuffer,
+    /// Batch-folded `dW`.
+    dw_acc: ScratchBuffer,
+    /// Per-image bias-gradient partials, `[batch, out_ch]`.
+    dbias: ScratchBuffer,
 }
 
 impl std::fmt::Debug for Conv2d {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Conv2d({:?})", self.geom)
+    }
+}
+
+/// Lowers one image `[C, H, W]` into a `[C*k*k, out*out]` column matrix.
+fn im2col_into(g: ConvGeometry, image: &[f32], in_side: usize, out: usize, cols: &mut [f32]) {
+    cols.fill(0.0);
+    for c in 0..g.in_channels {
+        let chan = &image[c * in_side * in_side..(c + 1) * in_side * in_side];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let row = (c * g.kernel + ky) * g.kernel + kx;
+                let row_base = row * out * out;
+                for oy in 0..out {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy as usize >= in_side {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..out {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix < 0 || ix as usize >= in_side {
+                            continue;
+                        }
+                        cols[row_base + oy * out + ox] = chan[iy * in_side + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a `[C*k*k, out*out]` column-gradient back onto an image.
+fn col2im_into(g: ConvGeometry, cols: &[f32], in_side: usize, out: usize, image: &mut [f32]) {
+    image.fill(0.0);
+    for c in 0..g.in_channels {
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let row = (c * g.kernel + ky) * g.kernel + kx;
+                let row_base = row * out * out;
+                for oy in 0..out {
+                    let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                    if iy < 0 || iy as usize >= in_side {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..out {
+                        let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                        if ix < 0 || ix as usize >= in_side {
+                            continue;
+                        }
+                        image[(c * in_side + iy) * in_side + ix as usize] +=
+                            cols[row_base + oy * out + ox];
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -96,76 +198,13 @@ impl Conv2d {
             weight,
             bias,
             cached: None,
+            scratch: ConvScratch::default(),
         }
     }
 
     /// The convolution geometry.
     pub fn geometry(&self) -> ConvGeometry {
         self.geom
-    }
-
-    /// Lowers one image `[C, H, W]` into a `[C*k*k, out*out]` column matrix.
-    fn im2col(&self, image: &[f32], in_side: usize) -> Tensor {
-        let g = self.geom;
-        let out = g.out_side(in_side);
-        let rows = g.in_channels * g.kernel * g.kernel;
-        let mut cols = vec![0.0f32; rows * out * out];
-        for c in 0..g.in_channels {
-            let chan = &image[c * in_side * in_side..(c + 1) * in_side * in_side];
-            for ky in 0..g.kernel {
-                for kx in 0..g.kernel {
-                    let row = (c * g.kernel + ky) * g.kernel + kx;
-                    let row_base = row * out * out;
-                    for oy in 0..out {
-                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
-                        if iy < 0 || iy as usize >= in_side {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        for ox in 0..out {
-                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
-                            if ix < 0 || ix as usize >= in_side {
-                                continue;
-                            }
-                            cols[row_base + oy * out + ox] = chan[iy * in_side + ix as usize];
-                        }
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(cols, &[rows, out * out])
-    }
-
-    /// Scatters a `[C*k*k, out*out]` column-gradient back onto an image.
-    fn col2im(&self, cols: &Tensor, in_side: usize) -> Vec<f32> {
-        let g = self.geom;
-        let out = g.out_side(in_side);
-        let mut image = vec![0.0f32; g.in_channels * in_side * in_side];
-        let data = cols.data();
-        for c in 0..g.in_channels {
-            for ky in 0..g.kernel {
-                for kx in 0..g.kernel {
-                    let row = (c * g.kernel + ky) * g.kernel + kx;
-                    let row_base = row * out * out;
-                    for oy in 0..out {
-                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
-                        if iy < 0 || iy as usize >= in_side {
-                            continue;
-                        }
-                        let iy = iy as usize;
-                        for ox in 0..out {
-                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
-                            if ix < 0 || ix as usize >= in_side {
-                                continue;
-                            }
-                            image[(c * in_side + iy) * in_side + ix as usize] +=
-                                data[row_base + oy * out + ox];
-                        }
-                    }
-                }
-            }
-        }
-        image
     }
 }
 
@@ -177,39 +216,62 @@ impl Layer for Conv2d {
         assert_eq!(chans, self.geom.in_channels, "channel mismatch");
         assert_eq!(dims[2], dims[3], "only square inputs supported");
         let g = self.geom;
-        let out = g.out_side(in_side);
-        let w = self.weight.effective();
-        let wmat = w
-            .reshaped(&[g.out_channels, g.in_channels * g.kernel * g.kernel])
-            .expect("kernel reshape is exact");
-
+        let out = g
+            .out_side(in_side)
+            .expect("kernel must fit the padded input");
+        let rows = g.in_channels * g.kernel * g.kernel;
+        let ow2 = out * out;
+        let gout_len = g.out_channels * ow2;
         let image_len = chans * in_side * in_side;
-        let mut output = vec![0.0f32; batch * g.out_channels * out * out];
-        let mut cols_cache = Vec::with_capacity(if mode.caches() { batch } else { 0 });
-        for b in 0..batch {
-            let image = &input.data()[b * image_len..(b + 1) * image_len];
-            let cols = self.im2col(image, in_side);
-            let y = wmat.matmul(&cols).expect("im2col shapes are consistent");
-            let dst =
-                &mut output[b * g.out_channels * out * out..(b + 1) * g.out_channels * out * out];
-            dst.copy_from_slice(y.data());
-            if let Some(bias) = &self.bias {
-                let bv = bias.effective();
-                for (oc, &bval) in bv.data().iter().enumerate() {
-                    for v in &mut dst[oc * out * out..(oc + 1) * out * out] {
-                        *v += bval;
+
+        let wmat = self.weight.effective_into(&mut self.scratch.wmat);
+        let bias_eff: Option<&[f32]> = self
+            .bias
+            .as_ref()
+            .map(|b| b.effective_into(&mut self.scratch.bias_eff));
+        // Training forwards fill the cache arena; eval forwards use the
+        // separate work arena so an interleaved eval pass cannot clobber
+        // columns that a pending backward still needs.
+        let colbuf = if mode.caches() {
+            &mut self.scratch.cols
+        } else {
+            &mut self.scratch.work
+        };
+        let cols_all = colbuf.filled(batch * rows * ow2);
+
+        let mut output = vec![0.0f32; batch * gout_len];
+        let pool = rhb_par::pool();
+        let ranges = rhb_par::split_range(batch, pool.threads(), 1);
+        let out_chunks = rhb_par::split_slice_mut(&mut output, &ranges, gout_len);
+        let col_chunks = rhb_par::split_slice_mut(cols_all, &ranges, rows * ow2);
+        let input_data = input.data();
+        let tasks: Vec<rhb_par::Task<'_>> = ranges
+            .iter()
+            .zip(out_chunks.into_iter().zip(col_chunks))
+            .map(|(r, (out_chunk, col_chunk))| {
+                let r = r.clone();
+                Box::new(move || {
+                    for (i, b) in r.clone().enumerate() {
+                        let image = &input_data[b * image_len..(b + 1) * image_len];
+                        let cols = &mut col_chunk[i * rows * ow2..(i + 1) * rows * ow2];
+                        im2col_into(g, image, in_side, out, cols);
+                        let dst = &mut out_chunk[i * gout_len..(i + 1) * gout_len];
+                        gemm::gemm_serial(wmat, cols, dst, g.out_channels, rows, ow2);
+                        if let Some(bv) = bias_eff {
+                            for (oc, &bval) in bv.iter().enumerate() {
+                                for v in &mut dst[oc * ow2..(oc + 1) * ow2] {
+                                    *v += bval;
+                                }
+                            }
+                        }
                     }
-                }
-            }
-            if mode.caches() {
-                cols_cache.push(cols);
-            }
-        }
+                }) as rhb_par::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+
         if mode.caches() {
-            self.cached = Some(ForwardCache {
-                cols: cols_cache,
-                in_side,
-            });
+            self.cached = Some(CachedForward { in_side, batch });
         }
         Tensor::from_vec(output, &[batch, g.out_channels, out, out])
     }
@@ -222,43 +284,87 @@ impl Layer for Conv2d {
         let g = self.geom;
         let dims = grad_output.shape().dims();
         let (batch, out) = (dims[0], dims[2]);
+        assert_eq!(
+            batch, cache.batch,
+            "grad batch mismatch with cached forward"
+        );
         let in_side = cache.in_side;
-        let w = self.weight.effective();
-        let wmat = w
-            .reshaped(&[g.out_channels, g.in_channels * g.kernel * g.kernel])
-            .expect("kernel reshape is exact");
-        let wmat_t = wmat.transposed().expect("rank-2");
-
-        let gout_len = g.out_channels * out * out;
+        let rows = g.in_channels * g.kernel * g.kernel;
+        let ow2 = out * out;
+        let gout_len = g.out_channels * ow2;
         let image_len = g.in_channels * in_side * in_side;
+        let wk = g.out_channels * rows;
+
+        let wmat = self.weight.effective_into(&mut self.scratch.wmat);
+        let cols_all = self.scratch.cols.slice(batch * rows * ow2);
+        let dw_all = self.scratch.dw.filled(batch * wk);
+        let dcols_all = self.scratch.work.filled(batch * rows * ow2);
+        let dbias_all = self.scratch.dbias.zeroed(batch * g.out_channels);
+        let has_bias = self.bias.is_some();
+
         let mut grad_input = vec![0.0f32; batch * image_len];
-        let mut dw_acc = Tensor::zeros(&[g.out_channels, g.in_channels * g.kernel * g.kernel]);
+        let pool = rhb_par::pool();
+        let ranges = rhb_par::split_range(batch, pool.threads(), 1);
+        let gin_chunks = rhb_par::split_slice_mut(&mut grad_input, &ranges, image_len);
+        let dw_chunks = rhb_par::split_slice_mut(dw_all, &ranges, wk);
+        let dcols_chunks = rhb_par::split_slice_mut(dcols_all, &ranges, rows * ow2);
+        let dbias_chunks = rhb_par::split_slice_mut(dbias_all, &ranges, g.out_channels);
+        let gout = grad_output.data();
+
+        let tasks: Vec<rhb_par::Task<'_>> = ranges
+            .iter()
+            .zip(gin_chunks)
+            .zip(dw_chunks)
+            .zip(dcols_chunks)
+            .zip(dbias_chunks)
+            .map(|((((r, gin_c), dw_c), dcols_c), dbias_c)| {
+                let r = r.clone();
+                Box::new(move || {
+                    for (i, b) in r.clone().enumerate() {
+                        let gy = &gout[b * gout_len..(b + 1) * gout_len];
+                        let cols = &cols_all[b * rows * ow2..(b + 1) * rows * ow2];
+                        // dW_b = dY cols^T, stashed per image and folded
+                        // below in batch order.
+                        let dw = &mut dw_c[i * wk..(i + 1) * wk];
+                        gemm::gemm_nt_serial(gy, cols, dw, g.out_channels, ow2, rows);
+                        if has_bias {
+                            for oc in 0..g.out_channels {
+                                dbias_c[i * g.out_channels + oc] =
+                                    gy[oc * ow2..(oc + 1) * ow2].iter().sum();
+                            }
+                        }
+                        // dcols = W^T dY, then scatter back to the image.
+                        let dcols = &mut dcols_c[i * rows * ow2..(i + 1) * rows * ow2];
+                        gemm::gemm_tn_serial(wmat, gy, dcols, rows, g.out_channels, ow2);
+                        let gimg = &mut gin_c[i * image_len..(i + 1) * image_len];
+                        col2im_into(g, dcols, in_side, out, gimg);
+                    }
+                }) as rhb_par::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+
+        // Serial folds in batch order: bit-identical to the single-thread
+        // accumulation regardless of how the batch was chunked above.
+        let dw_all = self.scratch.dw.slice(batch * wk);
+        let dw_acc = self.scratch.dw_acc.zeroed(wk);
         for b in 0..batch {
-            let gy = Tensor::from_vec(
-                grad_output.data()[b * gout_len..(b + 1) * gout_len].to_vec(),
-                &[g.out_channels, out * out],
-            );
-            // dW += dY cols^T; cols is [rows, out*out], so matmul_transposed
-            // against it directly yields [out_ch, rows].
-            let dw = gy
-                .matmul_transposed(&cache.cols[b])
-                .expect("conv gradient shapes are consistent");
-            dw_acc.axpy(1.0, &dw);
-            if let Some(bias) = &mut self.bias {
+            for (acc, &d) in dw_acc.iter_mut().zip(&dw_all[b * wk..(b + 1) * wk]) {
+                *acc += d;
+            }
+        }
+        for (gw, &acc) in self.weight.grad.data_mut().iter_mut().zip(&*dw_acc) {
+            *gw += acc;
+        }
+        if let Some(bias) = &mut self.bias {
+            let dbias_all = self.scratch.dbias.slice(batch * g.out_channels);
+            let bg = bias.grad.data_mut();
+            for b in 0..batch {
                 for oc in 0..g.out_channels {
-                    let s: f32 = gy.data()[oc * out * out..(oc + 1) * out * out].iter().sum();
-                    bias.grad.data_mut()[oc] += s;
+                    bg[oc] += dbias_all[b * g.out_channels + oc];
                 }
             }
-            // dcols = W^T dY, then scatter back to the image.
-            let dcols = wmat_t.matmul(&gy).expect("conv gradient shapes");
-            let dimage = self.col2im(&dcols, in_side);
-            grad_input[b * image_len..(b + 1) * image_len].copy_from_slice(&dimage);
         }
-        let dw_shaped = dw_acc
-            .reshaped(&[g.out_channels, g.in_channels, g.kernel, g.kernel])
-            .expect("kernel reshape is exact");
-        self.weight.grad.axpy(1.0, &dw_shaped);
         Tensor::from_vec(grad_input, &[batch, g.in_channels, in_side, in_side])
     }
 
@@ -318,6 +424,21 @@ mod tests {
         let mut strided = tiny_conv(2, 1);
         let y = strided.forward_mode(&Tensor::zeros(&[1, 2, 8, 8]), Mode::Eval);
         assert_eq!(y.shape().dims(), &[1, 3, 4, 4]);
+    }
+
+    #[test]
+    fn oversized_kernel_is_a_shape_error_not_a_panic() {
+        let g = ConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 7,
+            stride: 1,
+            padding: 1,
+        };
+        // 4 + 2*1 = 6 < 7: the kernel cannot fit.
+        let err = g.out_side(4).unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { op, .. } if op.contains("conv")));
+        assert_eq!(g.out_side(5).unwrap(), 1);
     }
 
     #[test]
@@ -409,6 +530,32 @@ mod tests {
                 "input[{idx}]: analytic {analytic} vs numeric {numeric}"
             );
         }
+    }
+
+    #[test]
+    fn eval_forward_does_not_clobber_the_training_cache() {
+        let mut conv = tiny_conv(1, 1);
+        let mut rng = Rng::seed_from(3);
+        let mut x = Tensor::zeros(&[2, 2, 5, 5]);
+        for v in x.data_mut() {
+            *v = rng.uniform(-1.0, 1.0);
+        }
+        // Reference: train-forward then immediately backward.
+        let y = conv.forward(&x);
+        let gin_ref = conv.backward(&y.clone());
+        let gw_ref = conv.weight.grad.clone();
+        // Same, but with an eval forward (different input!) in between.
+        conv.weight.zero_grad();
+        if let Some(b) = &mut conv.bias {
+            b.zero_grad();
+        }
+        let y2 = conv.forward(&x);
+        assert_eq!(y.data(), y2.data());
+        let other = Tensor::full(&[3, 2, 7, 7], 0.25);
+        conv.forward_mode(&other, Mode::Eval);
+        let gin = conv.backward(&y2.clone());
+        assert_eq!(gin.data(), gin_ref.data());
+        assert_eq!(conv.weight.grad.data(), gw_ref.data());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 pub mod activation;
 pub mod conv;
 pub mod error;
+pub mod gemm;
 pub mod init;
 pub mod layer;
 pub mod linear;
@@ -45,6 +46,7 @@ pub mod optim;
 pub mod param;
 pub mod pool;
 pub mod quant;
+pub mod scratch;
 pub mod shape;
 pub mod tensor;
 pub mod weightfile;

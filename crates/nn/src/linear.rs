@@ -1,14 +1,19 @@
 //! Fully-connected layer.
 
+use crate::gemm;
 use crate::init::{kaiming_normal, Rng};
 use crate::layer::{Layer, Mode};
 use crate::param::Parameter;
+use crate::scratch::ScratchBuffer;
 use crate::tensor::Tensor;
 
 /// A fully-connected layer: `y = x W^T + b`.
 ///
 /// Weights have shape `[out_features, in_features]`; the input is
-/// `[batch, in_features]`.
+/// `[batch, in_features]`. The three GEMMs (forward, `dW`, `dX`) go
+/// through the blocked, row-parallel kernels in [`crate::gemm`], with
+/// effective weights and the `dW` partial staged in layer-owned scratch
+/// arenas instead of fresh allocations.
 #[derive(Debug)]
 pub struct Linear {
     weight: Parameter,
@@ -16,6 +21,17 @@ pub struct Linear {
     in_features: usize,
     out_features: usize,
     cached_input: Option<Tensor>,
+    scratch: LinearScratch,
+}
+
+#[derive(Debug, Default)]
+struct LinearScratch {
+    /// Effective (fake-quantized) weights, `[out, in]`.
+    wmat: ScratchBuffer,
+    /// Effective bias, `[out]`.
+    bias_eff: ScratchBuffer,
+    /// `dW` staging, `[out, in]`.
+    dw: ScratchBuffer,
 }
 
 impl Linear {
@@ -37,6 +53,7 @@ impl Linear {
             in_features,
             out_features,
             cached_input: None,
+            scratch: LinearScratch::default(),
         }
     }
 
@@ -60,15 +77,16 @@ impl Layer for Linear {
             input.shape().dim(1),
             self.in_features
         );
-        let w = self.weight.effective();
-        let mut out = input
-            .matmul_transposed(&w)
-            .expect("linear dimensions verified above");
+        let batch = input.shape().dim(0);
+        let (m, k, n) = (batch, self.in_features, self.out_features);
+        let wmat = self.weight.effective_into(&mut self.scratch.wmat);
+        let mut out = vec![0.0f32; m * n];
+        // y = x W^T
+        gemm::gemm_nt(input.data(), wmat, &mut out, m, k, n);
         if let Some(bias) = &self.bias {
-            let b = bias.effective();
-            let n = self.out_features;
-            for row in out.data_mut().chunks_mut(n) {
-                for (o, &bv) in row.iter_mut().zip(b.data()) {
+            let b = bias.effective_into(&mut self.scratch.bias_eff);
+            for row in out.chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(b) {
                     *o += bv;
                 }
             }
@@ -76,7 +94,7 @@ impl Layer for Linear {
         if mode.caches() {
             self.cached_input = Some(input.clone());
         }
-        out
+        Tensor::from_vec(out, &[m, n])
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
@@ -84,12 +102,20 @@ impl Layer for Linear {
             .cached_input
             .take()
             .expect("backward called without training-mode forward");
+        let batch = input.shape().dim(0);
         // dW = dY^T X  (shape [out, in])
-        let dw = grad_output
-            .transposed()
-            .and_then(|g| g.matmul(&input))
-            .expect("gradient shapes follow forward shapes");
-        self.weight.grad.axpy(1.0, &dw);
+        let dw = self.scratch.dw.filled(self.out_features * self.in_features);
+        gemm::gemm_tn(
+            grad_output.data(),
+            input.data(),
+            dw,
+            self.out_features,
+            batch,
+            self.in_features,
+        );
+        for (g, &d) in self.weight.grad.data_mut().iter_mut().zip(&*dw) {
+            *g += d;
+        }
         if let Some(bias) = &mut self.bias {
             let n = self.out_features;
             for row in grad_output.data().chunks(n) {
@@ -99,10 +125,17 @@ impl Layer for Linear {
             }
         }
         // dX = dY W  (shape [batch, in])
-        let w = self.weight.effective();
-        grad_output
-            .matmul(&w)
-            .expect("gradient shapes follow forward shapes")
+        let wmat = self.weight.effective_into(&mut self.scratch.wmat);
+        let mut dx = vec![0.0f32; batch * self.in_features];
+        gemm::gemm(
+            grad_output.data(),
+            wmat,
+            &mut dx,
+            batch,
+            self.out_features,
+            self.in_features,
+        );
+        Tensor::from_vec(dx, &[batch, self.in_features])
     }
 
     fn params(&self) -> Vec<&Parameter> {

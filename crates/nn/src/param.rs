@@ -82,6 +82,23 @@ impl Parameter {
         }
     }
 
+    /// Allocation-free variant of [`effective`](Self::effective): writes
+    /// the effective weights into a layer-owned scratch buffer and
+    /// returns the filled slice. Produces the same bits as `effective()`.
+    pub fn effective_into<'a>(&self, buf: &'a mut crate::scratch::ScratchBuffer) -> &'a [f32] {
+        let src = self.value.data();
+        let out = buf.filled(src.len());
+        match self.scheme {
+            Some(scheme) => {
+                for (o, &v) in out.iter_mut().zip(src) {
+                    *o = scheme.fake(v);
+                }
+            }
+            None => out.copy_from_slice(src),
+        }
+        out
+    }
+
     /// Quantized image of the current weights.
     ///
     /// # Panics

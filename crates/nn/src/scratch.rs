@@ -1,0 +1,79 @@
+//! Reusable scratch buffers for the layer hot paths.
+//!
+//! The forward/backward passes of [`crate::conv::Conv2d`] and
+//! [`crate::linear::Linear`] need several temporaries per call: im2col
+//! column matrices, effective (fake-quantized) weight copies, gradient
+//! partials. Before this module they were allocated fresh on every call
+//! — the im2col columns alone dominated the allocator profile of a
+//! training epoch. A [`ScratchBuffer`] is owned by the layer, grows
+//! monotonically to the high-water mark of the shapes it has seen, and
+//! is handed out as plain slices so the kernels stay allocation-free
+//! after warm-up.
+
+/// A monotonically growing `f32` arena.
+///
+/// `zeroed(len)` / `filled(len)` never shrink the backing storage, so a
+/// layer that alternates between batch sizes settles at the largest and
+/// stops allocating. The buffer deliberately has no `shrink` — layers
+/// live as long as training does and the high-water mark is the steady
+/// state.
+#[derive(Debug, Default)]
+pub struct ScratchBuffer {
+    data: Vec<f32>,
+}
+
+impl ScratchBuffer {
+    /// Creates an empty buffer; storage is acquired lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a zero-filled slice of exactly `len` elements.
+    pub fn zeroed(&mut self, len: usize) -> &mut [f32] {
+        self.data.clear();
+        self.data.resize(len, 0.0);
+        &mut self.data[..len]
+    }
+
+    /// Returns a slice of exactly `len` elements without clearing prior
+    /// contents beyond what `resize` demands. Callers must overwrite
+    /// every element before reading.
+    pub fn filled(&mut self, len: usize) -> &mut [f32] {
+        if self.data.len() < len {
+            self.data.resize(len, 0.0);
+        }
+        &mut self.data[..len]
+    }
+
+    /// Read-only view of the first `len` elements.
+    pub fn slice(&self, len: usize) -> &[f32] {
+        &self.data[..len]
+    }
+
+    /// Current backing capacity in elements (the high-water mark).
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_clears_previous_contents() {
+        let mut buf = ScratchBuffer::new();
+        buf.zeroed(4).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        assert!(buf.zeroed(4).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn capacity_is_monotone() {
+        let mut buf = ScratchBuffer::new();
+        buf.zeroed(128);
+        let high = buf.capacity();
+        buf.zeroed(16);
+        assert!(buf.capacity() >= high);
+        assert_eq!(buf.slice(16).len(), 16);
+    }
+}

@@ -238,21 +238,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order keeps the inner loop sequential over both `other`
-        // and `out`, which the autovectorizer handles well.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm(&self.data, &other.data, &mut out, m, k, n);
         Ok(Tensor {
             shape: Shape::new(&[m, n]),
             data: out,
@@ -283,17 +269,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for j in 0..n {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out[i * n + j] = acc;
-            }
-        }
+        crate::gemm::gemm_nt(&self.data, &other.data, &mut out, m, k, n);
         Ok(Tensor {
             shape: Shape::new(&[m, n]),
             data: out,

@@ -210,23 +210,29 @@ impl WeightFile {
             target.data.len(),
             "weight file size mismatch"
         );
-        let mut flips = Vec::new();
-        for (i, (&a, &b)) in self.data.iter().zip(target.data.iter()).enumerate() {
-            let delta = a ^ b;
-            if delta == 0 {
-                continue;
-            }
-            for bit in 0..8u8 {
-                if delta & (1 << bit) != 0 {
-                    flips.push(BitTarget {
-                        location: ByteLocation::from_flat(i),
-                        bit,
-                        zero_to_one: a & (1 << bit) == 0,
-                    });
+        // Chunked scan on the global pool; concatenating per-chunk flip
+        // lists in chunk order reproduces the serial byte-order scan.
+        let chunks = rhb_par::pool().parallel_map(self.data.len(), 64 * 1024, |range| {
+            let mut flips = Vec::new();
+            for i in range {
+                let (a, b) = (self.data[i], target.data[i]);
+                let delta = a ^ b;
+                if delta == 0 {
+                    continue;
+                }
+                for bit in 0..8u8 {
+                    if delta & (1 << bit) != 0 {
+                        flips.push(BitTarget {
+                            location: ByteLocation::from_flat(i),
+                            bit,
+                            zero_to_one: a & (1 << bit) == 0,
+                        });
+                    }
                 }
             }
-        }
-        flips
+            flips
+        });
+        chunks.concat()
     }
 
     /// Hamming distance to another weight file (the `N_flip` metric).
@@ -240,10 +246,15 @@ impl WeightFile {
             other.data.len(),
             "weight file size mismatch"
         );
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(&a, &b)| (a ^ b).count_ones() as u64)
+        // Integer popcount partials: summation order cannot change the
+        // result, so any chunking is exact.
+        rhb_par::pool()
+            .parallel_map(self.data.len(), 64 * 1024, |range| {
+                range
+                    .map(|i| (self.data[i] ^ other.data[i]).count_ones() as u64)
+                    .sum::<u64>()
+            })
+            .into_iter()
             .sum()
     }
 

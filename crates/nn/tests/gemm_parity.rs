@@ -1,0 +1,207 @@
+//! Parity and determinism suite for the blocked GEMM kernels and the
+//! batch-parallel layers.
+//!
+//! Two contracts are enforced here (see `DESIGN.md`, "Determinism
+//! contract"):
+//!
+//! 1. The blocked/packed kernels produce bit-identical results to the
+//!    naive reference at *any* shape (property-tested).
+//! 2. Layer forwards/backwards produce bit-identical results at any
+//!    global thread count, including the serial fallback.
+
+use proptest::prelude::*;
+use rhb_nn::conv::{Conv2d, ConvGeometry};
+use rhb_nn::gemm;
+use rhb_nn::init::Rng;
+use rhb_nn::layer::Layer;
+use rhb_nn::linear::Linear;
+use rhb_nn::tensor::Tensor;
+use std::sync::Mutex;
+
+/// The global pool is process-wide; tests that resize it must not
+/// interleave with each other.
+static GLOBAL_POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Deterministic pseudo-random fill (xorshift), avoiding any dependence
+/// on the vendored rand stub's stream.
+fn fill(seed: u64, len: usize) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn blocked_gemm_is_bit_identical_to_naive_at_any_shape(
+        m in 1usize..40,
+        k in 1usize..70,
+        n in 1usize..40,
+        seed in 0u64..1_000,
+    ) {
+        let a = fill(seed, m * k);
+        let b = fill(seed ^ 0xabcd, k * n);
+        let mut naive = vec![0.0f32; m * n];
+        gemm::matmul_naive(&a, &b, &mut naive, m, k, n);
+        let mut blocked = vec![1.0f32; m * n]; // dirty on purpose
+        gemm::gemm_serial(&a, &b, &mut blocked, m, k, n);
+        prop_assert_eq!(
+            naive.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            blocked.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gemm_nt_matches_naive_on_materialized_transpose(
+        m in 1usize..32,
+        k in 1usize..48,
+        n in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let a = fill(seed, m * k);
+        let bt = fill(seed ^ 0x1234, n * k); // stored [n, k]
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let mut naive = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * bt[j * k + kk];
+                }
+                naive[i * n + j] = acc;
+            }
+        }
+        let mut ours = vec![0.0f32; m * n];
+        gemm::gemm_nt_serial(&a, &bt, &mut ours, m, k, n);
+        prop_assert_eq!(
+            naive.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ours.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn gemm_tn_matches_naive_on_materialized_transpose(
+        m in 1usize..32,
+        k in 1usize..48,
+        n in 1usize..32,
+        seed in 0u64..1_000,
+    ) {
+        let at = fill(seed ^ 0x77, k * m); // stored [k, m]
+        let b = fill(seed ^ 0x99, k * n);
+        let mut a = vec![0.0f32; m * k];
+        for i in 0..m {
+            for kk in 0..k {
+                a[i * k + kk] = at[kk * m + i];
+            }
+        }
+        let mut naive = vec![0.0f32; m * n];
+        gemm::matmul_naive(&a, &b, &mut naive, m, k, n);
+        let mut ours = vec![0.0f32; m * n];
+        gemm::gemm_tn_serial(&at, &b, &mut ours, m, k, n);
+        prop_assert_eq!(
+            naive.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            ours.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}
+
+/// One training step of a conv layer at a given global thread count:
+/// returns (forward output, input gradient, weight gradient, bias
+/// gradient) for bitwise comparison.
+fn conv_step(threads: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>, Vec<u32>) {
+    rhb_par::set_global_threads(threads);
+    let mut rng = Rng::seed_from(9);
+    let mut conv = Conv2d::new(
+        ConvGeometry {
+            in_channels: 3,
+            out_channels: 5,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        },
+        true,
+        &mut rng,
+    );
+    let x = Tensor::from_vec(fill(17, 6 * 3 * 9 * 9), &[6, 3, 9, 9]);
+    let y = conv.forward(&x);
+    let gin = conv.backward(&y.clone());
+    let bits = |t: &[f32]| t.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    let params = conv.params();
+    (
+        bits(y.data()),
+        bits(gin.data()),
+        bits(params[0].grad.data()),
+        bits(params[1].grad.data()),
+    )
+}
+
+#[test]
+fn conv_training_step_is_bit_identical_across_thread_counts() {
+    let _guard = GLOBAL_POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let serial = conv_step(1);
+    for threads in [2, 4, 7] {
+        assert_eq!(conv_step(threads), serial, "threads={threads}");
+    }
+    rhb_par::set_global_threads(rhb_par::default_threads());
+}
+
+fn linear_step(threads: usize) -> (Vec<u32>, Vec<u32>, Vec<u32>) {
+    rhb_par::set_global_threads(threads);
+    let mut rng = Rng::seed_from(5);
+    // Large enough that 2*m*n*k crosses the parallel-dispatch threshold.
+    let mut layer = Linear::new(96, 64, true, &mut rng);
+    let x = Tensor::from_vec(fill(23, 48 * 96), &[48, 96]);
+    let y = layer.forward(&x);
+    let gin = layer.backward(&y.clone());
+    let bits = |t: &[f32]| t.iter().map(|v| v.to_bits()).collect::<Vec<u32>>();
+    let params = layer.params();
+    (
+        bits(y.data()),
+        bits(gin.data()),
+        bits(params[0].grad.data()),
+    )
+}
+
+#[test]
+fn linear_training_step_is_bit_identical_across_thread_counts() {
+    let _guard = GLOBAL_POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let serial = linear_step(1);
+    for threads in [2, 4] {
+        assert_eq!(linear_step(threads), serial, "threads={threads}");
+    }
+    rhb_par::set_global_threads(rhb_par::default_threads());
+}
+
+#[test]
+fn tensor_matmul_is_bit_identical_across_thread_counts() {
+    let _guard = GLOBAL_POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let a = Tensor::from_vec(fill(31, 64 * 64), &[64, 64]);
+    let b = Tensor::from_vec(fill(37, 64 * 64), &[64, 64]);
+    rhb_par::set_global_threads(1);
+    let serial = a.matmul(&b).unwrap();
+    let serial_t = a.matmul_transposed(&b).unwrap();
+    for threads in [2, 4] {
+        rhb_par::set_global_threads(threads);
+        let par = a.matmul(&b).unwrap();
+        let par_t = a.matmul_transposed(&b).unwrap();
+        assert_eq!(serial.data(), par.data(), "matmul threads={threads}");
+        assert_eq!(
+            serial_t.data(),
+            par_t.data(),
+            "matmul_transposed threads={threads}"
+        );
+    }
+    rhb_par::set_global_threads(rhb_par::default_threads());
+}

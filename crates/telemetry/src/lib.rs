@@ -221,6 +221,24 @@ impl Telemetry {
         self.sink.read().gauge(name, value);
     }
 
+    /// Raises the named gauge to `value` if it exceeds the current
+    /// reading (high-water mark). Missing gauges are created.
+    pub fn gauge_max(&self, name: &str, value: f64) {
+        if !self.enabled() {
+            return;
+        }
+        let mut gauges = self.gauges.lock();
+        match gauges.get_mut(name) {
+            Some(cur) if *cur >= value => return,
+            Some(cur) => *cur = value,
+            None => {
+                gauges.insert(name.to_string(), value);
+            }
+        }
+        drop(gauges);
+        self.sink.read().gauge(name, value);
+    }
+
     /// Records a histogram sample (default log2 bucket grid).
     pub fn observe(&self, name: &str, value: f64) {
         if !self.enabled() {
@@ -406,6 +424,11 @@ pub fn set_gauge(name: &str, value: f64) {
     global().gauge(name, value);
 }
 
+/// See [`Telemetry::gauge_max`].
+pub fn set_gauge_max(name: &str, value: f64) {
+    global().gauge_max(name, value);
+}
+
 /// See [`Telemetry::observe`].
 pub fn observe_value(name: &str, value: f64) {
     global().observe(name, value);
@@ -484,6 +507,16 @@ macro_rules! gauge {
     ($name:expr, $value:expr) => {
         if $crate::enabled() {
             $crate::set_gauge($name, $value as f64);
+        }
+    };
+}
+
+/// Raises a gauge to a high-water mark: `gauge_max!("par/queue_depth", d)`.
+#[macro_export]
+macro_rules! gauge_max {
+    ($name:expr, $value:expr) => {
+        if $crate::enabled() {
+            $crate::set_gauge_max($name, $value as f64);
         }
     };
 }
@@ -612,6 +645,21 @@ mod tests {
             tel.report().counter_total("contended"),
             Some(threads * per_thread)
         );
+        tel.shutdown();
+    }
+
+    #[test]
+    fn gauge_max_keeps_the_high_water_mark() {
+        let tel = Telemetry::new();
+        tel.install(Arc::new(NoopSink));
+        tel.gauge_max("depth", 3.0);
+        tel.gauge_max("depth", 7.0);
+        tel.gauge_max("depth", 5.0);
+        let report = tel.report();
+        assert_eq!(report.gauge_value("depth"), Some(7.0));
+        // A plain gauge write still overwrites unconditionally.
+        tel.gauge("depth", 1.0);
+        assert_eq!(tel.report().gauge_value("depth"), Some(1.0));
         tel.shutdown();
     }
 
