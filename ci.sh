@@ -42,6 +42,20 @@ echo "== compute perf smoke =="
 cargo run --release -p rhb-bench --bin rhb-report -- bench-compute --out ci_compute.json
 cargo run --release -p rhb-bench --bin rhb-report -- diff-compute BENCH_4.json ci_compute.json
 
+echo "== int8 parity suite (blocking) =="
+# The int8 engine must match the fake-quant f32 reference — exact logits
+# across thread counts, argmax parity on deployed models — both with the
+# pool forced serial and at the default thread count.
+RHB_THREADS=1 cargo test --release -p rhb-nn --test int8_parity -q
+cargo test --release -p rhb-nn --test int8_parity -q
+
+echo "== int8 perf smoke =="
+# Re-measure int8-vs-f32 GEMM and deployed-eval wall times and compare
+# against the committed BENCH_5.json baseline. A serial int8 regression
+# beyond 10% is blocking; speedup losses are reported but non-blocking.
+cargo run --release -p rhb-bench --bin rhb-report -- bench-int8 --out ci_int8.json
+cargo run --release -p rhb-bench --bin rhb-report -- diff-int8 BENCH_5.json ci_int8.json
+
 echo "== chaos smoke (blocking) =="
 # One seeded fault-injection run: at a 20% fault rate the pipeline must
 # degrade gracefully (never fail outright) and recover at least one

@@ -11,6 +11,11 @@
 //! rhb-report diff-compute <baseline.json> <candidate.json>
 //!                                            # exit 1 when the serial
 //!                                            # wall time regressed >10 %
+//! rhb-report bench-int8 [--out <path>]       # int8-vs-f32 engine timings
+//!                                            #   → BENCH_5.json
+//! rhb-report diff-int8 <baseline.json> <candidate.json>
+//!                                            # exit 1 when serial int8
+//!                                            # eval/GEMM regressed >10 %
 //! ```
 //!
 //! `diff` thresholds: phase time +15 %, ASR −1 pt, any flip-success drop
@@ -22,10 +27,11 @@
 use rhb_bench::artifact::{smoke_run, RunArtifact};
 use rhb_bench::compute;
 use rhb_bench::diff::{diff, DiffConfig};
+use rhb_bench::int8bench;
 use std::path::Path;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json>>";
+const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json>>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,6 +55,14 @@ fn main() -> ExitCode {
         Some("diff-compute") => match (args.get(1), args.get(2)) {
             (Some(base), Some(cand)) => diff_compute(Path::new(base), Path::new(cand)),
             _ => usage_error("diff-compute needs a baseline and a candidate"),
+        },
+        Some("bench-int8") => match parse_out(&args, "BENCH_5.json") {
+            Ok(out) => bench_int8(Path::new(&out)),
+            Err(code) => code,
+        },
+        Some("diff-int8") => match (args.get(1), args.get(2)) {
+            (Some(base), Some(cand)) => diff_int8(Path::new(base), Path::new(cand)),
+            _ => usage_error("diff-int8 needs a baseline and a candidate"),
         },
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
         None => usage_error("missing subcommand"),
@@ -210,6 +224,56 @@ fn bench_compute(out: &Path) -> ExitCode {
         report.gemm_naive_ms / report.gemm_blocked_ms.max(1e-9)
     );
     ExitCode::SUCCESS
+}
+
+fn bench_int8(out: &Path) -> ExitCode {
+    let report = int8bench::run();
+    if let Err(e) = std::fs::write(out, int8bench::to_json(&report)) {
+        eprintln!("rhb-report: {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    eprintln!("rhb-report: int8 bench written to {}", out.display());
+    println!(
+        "gemm 192^3        serial     {:>10.2} ms f32 / {:.2} ms i8 ({:.2}x)",
+        report.gemm_f32_ms,
+        report.gemm_i8_ms,
+        report.gemm_speedup()
+    );
+    for e in &report.entries {
+        println!(
+            "eval {:>2} threads  f32 {:>10.2} ms  int8 {:>10.2} ms ({:.2}x)",
+            e.threads,
+            e.f32_eval_ms,
+            e.int8_eval_ms,
+            e.f32_eval_ms / e.int8_eval_ms.max(1e-9)
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn load_int8(path: &Path) -> Result<int8bench::Int8Bench, ExitCode> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("rhb-report: {}: {e}", path.display());
+        ExitCode::from(2)
+    })?;
+    int8bench::from_json(&text).map_err(|e| {
+        eprintln!("rhb-report: {}: {e}", path.display());
+        ExitCode::from(2)
+    })
+}
+
+fn diff_int8(base_path: &Path, cand_path: &Path) -> ExitCode {
+    let (base, cand) = match (load_int8(base_path), load_int8(cand_path)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    let d = int8bench::diff(&base, &cand);
+    print!("{}", d.report);
+    if d.regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn load_compute(path: &Path) -> Result<compute::ComputeBench, ExitCode> {

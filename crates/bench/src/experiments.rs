@@ -795,7 +795,8 @@ pub fn ablation(scale: Scale, seed: u64) -> Vec<AblationRow> {
         let wf = WeightFile::from_network(model.net.as_ref());
         AblationRow {
             variant: label.to_string(),
-            n_flip: rhb_core::metrics::n_flip(&base_wf, &wf),
+            n_flip: rhb_core::metrics::n_flip(&base_wf, &wf)
+                .expect("ablation variants share one architecture"),
             ta: test_accuracy(model.net.as_mut(), &model.test_data) * 100.0,
             asr: attack_success_rate(model.net.as_mut(), &model.test_data, &result.trigger, 2)
                 * 100.0,

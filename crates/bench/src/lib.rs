@@ -18,6 +18,7 @@ pub mod artifact;
 pub mod compute;
 pub mod diff;
 pub mod experiments;
+pub mod int8bench;
 pub mod json;
 pub mod report;
 pub mod scale;

@@ -172,7 +172,10 @@ fn scope_mask(net: &dyn Network, scope: Scope) -> Option<Vec<usize>> {
                 }
                 base += p.numel();
             }
-            flat.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite gradients"));
+            // `total_cmp` gives a total order even when a backward pass
+            // produced NaN gradients (exploding activations do happen in
+            // attacker fine-tuning); NaNs sort last and never panic.
+            flat.sort_by(|a, b| b.1.total_cmp(&a.1));
             let mut mask: Vec<usize> = flat.into_iter().take(k).map(|(i, _)| i).collect();
             mask.sort_unstable();
             Some(mask)
@@ -214,7 +217,10 @@ pub fn restore_parameters(
         }
     }
     let restore_count = (modified.len() as f64 * restore_fraction).round() as usize;
-    modified.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite gradients"));
+    // NaN gradient magnitudes sort *largest* under `total_cmp`, so a
+    // weight with an unusable gradient is restored last — and the sweep
+    // no longer panics on non-finite gradients.
+    modified.sort_by(|a, b| a.2.total_cmp(&b.2));
     for &(pi, i, _) in modified.iter().take(restore_count) {
         params[pi].value.data_mut()[i] = original[pi].value_at(i);
     }
@@ -251,7 +257,7 @@ mod tests {
         let (mut model, trigger, config) = model_and_trigger(31);
         let base = WeightFile::from_network(model.net.as_ref());
         let trigger = badnet(model.net.as_mut(), &model.test_data, &config, trigger);
-        let flips = n_flip(&base, &WeightFile::from_network(model.net.as_ref()));
+        let flips = n_flip(&base, &WeightFile::from_network(model.net.as_ref())).unwrap();
         assert!(flips > 100, "BadNet flipped only {flips} bits");
         let asr = attack_success_rate(model.net.as_mut(), &model.test_data, &trigger, 2);
         assert!(asr > 0.5, "BadNet offline ASR {asr}");
@@ -310,6 +316,53 @@ mod tests {
             "FT flips spread over {} pages",
             pages.len()
         );
+    }
+
+    /// Regression: `scope_mask` used `partial_cmp(..).expect("finite
+    /// gradients")` and panicked when a backward pass produced NaN
+    /// gradients. `total_cmp` must rank them without panicking.
+    #[test]
+    fn tbt_scope_mask_tolerates_nan_gradients() {
+        let (mut model, _trigger, _config) = model_and_trigger(36);
+        for p in model.net.params_mut() {
+            p.grad.data_mut().fill(f32::NAN);
+        }
+        let mask = scope_mask(model.net.as_ref(), Scope::TopKLastLayer(8))
+            .expect("TopKLastLayer always yields a mask");
+        assert_eq!(mask.len(), 8);
+        let (start, total) = last_layer_span(model.net.as_ref());
+        for &i in &mask {
+            assert!((start..total).contains(&i), "index {i} outside last layer");
+        }
+    }
+
+    /// Regression: `restore_parameters` panicked on NaN gradient
+    /// magnitudes. NaNs now sort largest (restored last) and the sweep
+    /// completes.
+    #[test]
+    fn restore_parameters_tolerates_nan_gradients() {
+        let (mut model, _trigger, _config) = model_and_trigger(37);
+        let original: Vec<Tensor> = model.net.params().iter().map(|p| p.value.clone()).collect();
+        // Perturb one weight per parameter, then hand the sweep
+        // all-NaN gradients.
+        let n_params = {
+            let mut params = model.net.params_mut();
+            for p in params.iter_mut() {
+                p.value.data_mut()[0] += 1.0;
+            }
+            params.len()
+        };
+        let gradients: Vec<Tensor> = original
+            .iter()
+            .map(|o| {
+                let mut g = o.clone();
+                g.data_mut().fill(f32::NAN);
+                g
+            })
+            .collect();
+        let remaining = restore_parameters(model.net.as_mut(), &original, &gradients, 0.5);
+        let expected_restored = (n_params as f64 * 0.5).round() as usize;
+        assert_eq!(remaining, n_params - expected_restored);
     }
 
     #[test]

@@ -467,7 +467,7 @@ mod tests {
             Trigger::black_square(mask),
         );
         let attacked_wf = WeightFile::from_network(model.net.as_ref());
-        let flips = n_flip(&base_wf, &attacked_wf);
+        let flips = n_flip(&base_wf, &attacked_wf).unwrap();
         assert!(flips > 0, "no bits flipped");
         assert!(
             flips <= budget as u64,
@@ -514,8 +514,8 @@ mod tests {
             &quick_config(budget),
             Trigger::black_square(mask),
         );
-        let cft_flips = n_flip(&base, &WeightFile::from_network(a.net.as_ref()));
-        let br_flips = n_flip(&base, &WeightFile::from_network(b.net.as_ref()));
+        let cft_flips = n_flip(&base, &WeightFile::from_network(a.net.as_ref())).unwrap();
+        let br_flips = n_flip(&base, &WeightFile::from_network(b.net.as_ref())).unwrap();
         assert!(
             cft_flips >= br_flips,
             "CFT {cft_flips} flips vs CFT+BR {br_flips}"

@@ -3,17 +3,23 @@
 
 use crate::trigger::Trigger;
 use rhb_models::data::Dataset;
-use rhb_nn::layer::Mode;
-use rhb_nn::network::Network;
+use rhb_nn::network::{eval_mode, Network};
 use rhb_nn::weightfile::{WeightFile, PAGE_BITS};
+use rhb_nn::NnError;
 
 /// Number of flipped bits between two weight files — the Hamming distance
 /// summed over all layers.
-pub fn n_flip(original: &WeightFile, modified: &WeightFile) -> u64 {
+///
+/// # Errors
+///
+/// Returns [`NnError::ShapeMismatch`] if the files have different sizes.
+pub fn n_flip(original: &WeightFile, modified: &WeightFile) -> Result<u64, NnError> {
     original.hamming_distance(modified)
 }
 
 /// Test Accuracy (TA): correct classifications on clean test data.
+/// Deployed victims are evaluated on the int8 engine (see
+/// [`rhb_nn::network::eval_mode`]).
 pub fn test_accuracy(net: &mut dyn Network, data: &Dataset) -> f64 {
     rhb_models::train::evaluate(net, data, 64)
 }
@@ -34,10 +40,13 @@ pub fn attack_success_rate(
     let idx: Vec<usize> = (0..data.len())
         .filter(|&i| data.label(i) != target_label)
         .collect();
+    // Deployed victims serve int8; the trigger is measured against the
+    // same engine the victim runs.
+    let mode = eval_mode(net);
     for chunk in idx.chunks(64) {
         let (x, _) = data.batch(chunk);
         let triggered = trigger.apply(&x);
-        let logits = net.forward(&triggered, Mode::Eval);
+        let logits = net.forward(&triggered, mode);
         let classes = logits.shape().dim(1);
         for b in 0..chunk.len() {
             let row = &logits.data()[b * classes..(b + 1) * classes];

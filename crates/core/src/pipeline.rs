@@ -254,7 +254,8 @@ impl AttackPipeline {
         };
         drop(_offline_span);
         let attacked_weights = WeightFile::from_network(self.model.net.as_ref());
-        let flips = n_flip(&base_weights, &attacked_weights);
+        let flips = n_flip(&base_weights, &attacked_weights)
+            .expect("attacked weights describe the same architecture");
         rhb_telemetry::counter!("core/offline/bits_requested", flips);
         let (ta, asr) = {
             let _eval_span = rhb_telemetry::span!("evaluation");
@@ -387,7 +388,8 @@ impl AttackPipeline {
             .load_into(self.model.net.as_mut())
             .expect("weight file matches the network");
 
-        let realized_flips = n_flip(&offline.base_weights, &corrupted);
+        let realized_flips = n_flip(&offline.base_weights, &corrupted)
+            .expect("corrupted weights describe the same architecture");
         rhb_telemetry::counter!("core/online/realized_flips", realized_flips);
         let (ta, asr) = {
             let _eval_span = rhb_telemetry::span!("evaluation");

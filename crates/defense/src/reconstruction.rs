@@ -153,6 +153,6 @@ mod tests {
         model.net.load_quantized(&images);
         rec.reconstruct(model.net.as_mut());
         let after = model.net.quantized_params();
-        assert_eq!(clean[0].hamming_distance(&after[0]), 0);
+        assert_eq!(clean[0].hamming_distance(&after[0]).unwrap(), 0);
     }
 }

@@ -118,13 +118,24 @@ impl Trainer {
 }
 
 /// Evaluates classification accuracy on a dataset, batching to bound memory.
+///
+/// Deployed networks run on the int8 inference engine by default (the
+/// arithmetic the victim actually serves); undeployed networks — and
+/// every network when `RHB_ENGINE=f32` — use the f32 eval path. Use
+/// [`evaluate_mode`] to pin a specific engine.
 pub fn evaluate(net: &mut dyn Network, data: &Dataset, batch_size: usize) -> f64 {
+    let mode = rhb_nn::network::eval_mode(net);
+    evaluate_mode(net, data, batch_size, mode)
+}
+
+/// [`evaluate`] with an explicit forward mode (inference engine).
+pub fn evaluate_mode(net: &mut dyn Network, data: &Dataset, batch_size: usize, mode: Mode) -> f64 {
     let _span = rhb_telemetry::span!("evaluate", samples = data.len());
     let mut correct = 0.0f64;
     let idx: Vec<usize> = (0..data.len()).collect();
     for chunk in idx.chunks(batch_size.max(1)) {
         let (x, y) = data.batch(chunk);
-        let logits = net.forward(&x, Mode::Eval);
+        let logits = net.forward(&x, mode);
         correct += accuracy(&logits, &y) * chunk.len() as f64;
     }
     correct / data.len().max(1) as f64

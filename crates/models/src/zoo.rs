@@ -10,10 +10,10 @@
 
 use crate::data::{Dataset, SynthCifar, SynthImageNet};
 use crate::resnet::{ResNet, ResNetConfig};
-use crate::train::{evaluate, TrainConfig, Trainer};
+use crate::train::{evaluate, evaluate_mode, TrainConfig, Trainer};
 use crate::vgg::{Vgg, VggConfig};
 use rhb_nn::init::Rng;
-use rhb_nn::network::Network;
+use rhb_nn::network::{Engine, Network};
 use rhb_nn::optim::{SgdConfig, StepLr};
 
 /// The victim architectures evaluated in the paper.
@@ -139,6 +139,16 @@ pub struct PretrainedModel {
     pub base_accuracy: f64,
 }
 
+impl PretrainedModel {
+    /// Test accuracy under an explicit inference engine. Deployed zoo
+    /// victims expose both: the fake-quant f32 reference and the true
+    /// int8 serving path, which agree on argmax over the eval set (the
+    /// parity contract in `DESIGN.md`).
+    pub fn accuracy_with(&mut self, engine: Engine) -> f64 {
+        evaluate_mode(self.net.as_mut(), &self.test_data, 64, engine.mode())
+    }
+}
+
 impl std::fmt::Debug for PretrainedModel {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -256,7 +266,7 @@ mod tests {
         let b = pretrained(Architecture::ResNet20, &cfg, 5);
         let wa = WeightFile::from_network(a.net.as_ref());
         let wb = WeightFile::from_network(b.net.as_ref());
-        assert_eq!(wa.hamming_distance(&wb), 0);
+        assert_eq!(wa.hamming_distance(&wb).unwrap(), 0);
         assert_eq!(a.base_accuracy, b.base_accuracy);
     }
 
@@ -277,7 +287,43 @@ mod tests {
         let b = pretrained(Architecture::ResNet20, &cfg, 2);
         let wa = WeightFile::from_network(a.net.as_ref());
         let wb = WeightFile::from_network(b.net.as_ref());
-        assert!(wa.hamming_distance(&wb) > 0);
+        assert!(wa.hamming_distance(&wb).unwrap() > 0);
+    }
+
+    /// The zoo-eval-set half of the accuracy contract: the int8 engine
+    /// classifies every test sample identically to the fake-quant f32
+    /// reference on a deployed victim.
+    #[test]
+    fn engines_agree_on_argmax_over_the_eval_set() {
+        use rhb_nn::layer::Mode;
+        let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 5);
+        let idx: Vec<usize> = (0..model.test_data.len()).collect();
+        for chunk in idx.chunks(16) {
+            let (x, _) = model.test_data.batch(chunk);
+            let f32_logits = model.net.forward(&x, Mode::Eval);
+            let i8_logits = model.net.forward(&x, Mode::Int8);
+            let classes = f32_logits.shape().dim(1);
+            for (b, &sample) in chunk.iter().enumerate() {
+                let argmax = |t: &rhb_nn::Tensor| {
+                    let row = &t.data()[b * classes..(b + 1) * classes];
+                    row.iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.total_cmp(b.1))
+                        .map(|(i, _)| i)
+                        .unwrap()
+                };
+                assert_eq!(
+                    argmax(&f32_logits),
+                    argmax(&i8_logits),
+                    "engines disagree on test sample {sample}"
+                );
+            }
+        }
+        // Accuracy under either engine therefore matches exactly.
+        assert_eq!(
+            model.accuracy_with(Engine::FakeQuantF32),
+            model.accuracy_with(Engine::Int8)
+        );
     }
 
     #[test]

@@ -15,10 +15,12 @@
 
 use crate::error::{NnError, Result};
 use crate::gemm;
+use crate::gemm_i8;
 use crate::init::{kaiming_normal, Rng};
 use crate::layer::{Layer, Mode};
 use crate::param::Parameter;
-use crate::scratch::ScratchBuffer;
+use crate::quant::QuantScheme;
+use crate::scratch::{ScratchBuffer, ScratchI32, ScratchI8};
 use crate::tensor::Tensor;
 
 /// Spatial geometry of a convolution.
@@ -100,6 +102,14 @@ struct ConvScratch {
     dw_acc: ScratchBuffer,
     /// Per-image bias-gradient partials, `[batch, out_ch]`.
     dbias: ScratchBuffer,
+    /// Int8 engine: quantized kernel steps, `[out_ch, C*k*k]`.
+    wq: ScratchI8,
+    /// Int8 engine: quantized input activations, `[batch, C, H, W]`.
+    xq: ScratchI8,
+    /// Int8 engine: quantized im2col columns for the whole batch.
+    colsq: ScratchI8,
+    /// Int8 engine: `i32` GEMM accumulators, `[batch, out_ch * out²]`.
+    acc: ScratchI32,
 }
 
 impl std::fmt::Debug for Conv2d {
@@ -109,8 +119,17 @@ impl std::fmt::Debug for Conv2d {
 }
 
 /// Lowers one image `[C, H, W]` into a `[C*k*k, out*out]` column matrix.
-fn im2col_into(g: ConvGeometry, image: &[f32], in_side: usize, out: usize, cols: &mut [f32]) {
-    cols.fill(0.0);
+/// Generic over the element type: the f32 path lowers raw activations,
+/// the int8 path lowers already-quantized steps (zero padding is exact
+/// in both — the symmetric scheme has a zero zero-point).
+fn im2col_into<T: Copy + Default>(
+    g: ConvGeometry,
+    image: &[T],
+    in_side: usize,
+    out: usize,
+    cols: &mut [T],
+) {
+    cols.fill(T::default());
     for c in 0..g.in_channels {
         let chan = &image[c * in_side * in_side..(c + 1) * in_side * in_side];
         for ky in 0..g.kernel {
@@ -206,10 +225,98 @@ impl Conv2d {
     pub fn geometry(&self) -> ConvGeometry {
         self.geom
     }
+
+    /// The int8 engine's forward pass. Each image is quantized under its
+    /// own dynamic activation scale (so outputs are batch-size
+    /// invariant — see `DESIGN.md`, "Inference engines"), lowered to
+    /// `i8` columns per batch element on the pool, multiplied against
+    /// the kernel's raw `i8` steps with exact `i32` accumulation, and
+    /// requantized back to the activation scale; the f32 bias is added
+    /// last.
+    fn forward_int8(&mut self, input: &Tensor) -> Tensor {
+        let dims = input.shape().dims();
+        assert_eq!(dims.len(), 4, "conv input must be [batch, C, H, W]");
+        let (batch, chans, in_side) = (dims[0], dims[1], dims[2]);
+        assert_eq!(chans, self.geom.in_channels, "channel mismatch");
+        assert_eq!(dims[2], dims[3], "only square inputs supported");
+        let g = self.geom;
+        let out = g
+            .out_side(in_side)
+            .expect("kernel must fit the padded input");
+        let rows = g.in_channels * g.kernel * g.kernel;
+        let ow2 = out * out;
+        let gout_len = g.out_channels * ow2;
+        let image_len = chans * in_side * in_side;
+
+        let (wq, w_scheme) = self.weight.quantized_into(&mut self.scratch.wq);
+        let bias_eff: Option<&[f32]> = self
+            .bias
+            .as_ref()
+            .map(|b| b.effective_into(&mut self.scratch.bias_eff));
+        let xq_all = self.scratch.xq.filled(batch * image_len);
+        let mut img_deq = vec![0.0f32; batch];
+        for (b, (src, dst)) in input
+            .data()
+            .chunks(image_len)
+            .zip(xq_all.chunks_mut(image_len))
+            .enumerate()
+        {
+            let a_scheme = QuantScheme::for_activations(src);
+            a_scheme.quantize_into(src, dst);
+            img_deq[b] = a_scheme.scale * w_scheme.scale;
+            rhb_telemetry::observe!("nn/requant_scale", f64::from(img_deq[b]));
+        }
+        let xq_all: &[i8] = xq_all;
+        let img_deq: &[f32] = &img_deq;
+        let colsq_all = self.scratch.colsq.filled(batch * rows * ow2);
+        let acc_all = self.scratch.acc.filled(batch * gout_len);
+
+        let mut output = vec![0.0f32; batch * gout_len];
+        let pool = rhb_par::pool();
+        let ranges = rhb_par::split_range(batch, pool.threads(), 1);
+        let out_chunks = rhb_par::split_slice_mut(&mut output, &ranges, gout_len);
+        let col_chunks = rhb_par::split_slice_mut(colsq_all, &ranges, rows * ow2);
+        let acc_chunks = rhb_par::split_slice_mut(acc_all, &ranges, gout_len);
+        let tasks: Vec<rhb_par::Task<'_>> = ranges
+            .iter()
+            .zip(
+                out_chunks
+                    .into_iter()
+                    .zip(col_chunks.into_iter().zip(acc_chunks)),
+            )
+            .map(|(r, (out_chunk, (col_chunk, acc_chunk)))| {
+                let r = r.clone();
+                Box::new(move || {
+                    for (i, b) in r.clone().enumerate() {
+                        let image = &xq_all[b * image_len..(b + 1) * image_len];
+                        let cols = &mut col_chunk[i * rows * ow2..(i + 1) * rows * ow2];
+                        im2col_into(g, image, in_side, out, cols);
+                        let acc = &mut acc_chunk[i * gout_len..(i + 1) * gout_len];
+                        gemm_i8::gemm_i8_serial(wq, cols, acc, g.out_channels, rows, ow2);
+                        let dst = &mut out_chunk[i * gout_len..(i + 1) * gout_len];
+                        let deq = img_deq[b];
+                        for oc in 0..g.out_channels {
+                            let bval = bias_eff.map_or(0.0, |bv| bv[oc]);
+                            let acc_row = &acc[oc * ow2..(oc + 1) * ow2];
+                            let dst_row = &mut dst[oc * ow2..(oc + 1) * ow2];
+                            for (o, &a) in dst_row.iter_mut().zip(acc_row) {
+                                *o = a as f32 * deq + bval;
+                            }
+                        }
+                    }
+                }) as rhb_par::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        Tensor::from_vec(output, &[batch, g.out_channels, out, out])
+    }
 }
 
 impl Layer for Conv2d {
     fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Int8 {
+            return self.forward_int8(input);
+        }
         let dims = input.shape().dims();
         assert_eq!(dims.len(), 4, "conv input must be [batch, C, H, W]");
         let (batch, chans, in_side) = (dims[0], dims[1], dims[2]);

@@ -1,0 +1,468 @@
+//! Int8 GEMM kernels: `i8×i8` multiply with exact `i32` accumulation.
+//!
+//! These are the compute core of the deployed-model inference engine
+//! ([`crate::layer::Mode::Int8`]): the weight operand is the raw `i8`
+//! step grid of the victim's weight file — the very bytes Rowhammer
+//! flips — and the activation operand is the dynamically quantized
+//! input. Two variants cover the layer shapes:
+//!
+//! * [`gemm_i8`] — `C = A·B` with `A: [m,k]`, `B: [k,n]` (conv forward:
+//!   quantized kernel × im2col columns),
+//! * [`gemm_i8_nt`] — `C = A·Bᵀ` with `B: [n,k]` (linear forward:
+//!   quantized input × quantized weight rows).
+//!
+//! Layout mirrors [`crate::gemm`]: the public entry points record an
+//! `nn/gemm_i8_flops` histogram sample and split the `m` rows of `C`
+//! across the process-wide [`rhb_par`] pool when the product is large
+//! enough, while the `*_serial` kernels do the arithmetic and are what
+//! batch-parallel layers call from inside their own tasks. Both serial
+//! variants share one blocked core: panels are packed into a
+//! thread-local arena widened to `i16` and interleaved in *pairs* along
+//! `k`, the layout `pmaddwd` wants — on x86-64 the micro-kernel issues
+//! one SSE2 `_mm_madd_epi16` per 8 multiplies (SSE2 is baseline on
+//! x86-64, so this path needs no feature detection), and other
+//! architectures run an equivalent scalar pair loop.
+//!
+//! # Determinism
+//!
+//! Integer accumulation is exact and associative, so any blocking, any
+//! packing, and any thread count produce bit-identical `i32` results by
+//! construction — a strictly stronger guarantee than the f32 kernels'
+//! carefully ordered accumulation.
+//!
+//! # Overflow
+//!
+//! Products are bounded by `127·127 = 16129` in magnitude (note
+//! `-128·-128` cannot occur on the weight side of a symmetric scheme,
+//! but is still safely covered), so a `k`-long dot product stays inside
+//! `i32` for every `k ≤` [`MAX_K`]. The public entry points assert this;
+//! every layer shape in the repository is orders of magnitude below it.
+
+use std::cell::RefCell;
+
+/// Register tile height (rows of `C` per micro-kernel call).
+const MR: usize = 4;
+/// Register tile width (columns of `C` per micro-kernel call).
+const NR: usize = 8;
+/// `k`-block: one packed `A`/`B` panel pair stays L1/L2-resident.
+const KC: usize = 256;
+/// `m`-block per packed `A` panel.
+const MC: usize = 64;
+/// `n`-block per packed `B` panel.
+const NC: usize = 512;
+
+/// Below this many multiply-accumulates (`2·m·n·k`) a product runs
+/// serially even on a multi-thread pool.
+const PAR_MIN_FLOPS: usize = 1 << 18;
+
+/// Largest inner dimension for which a `k`-long `i8×i8` dot product is
+/// guaranteed not to overflow `i32`: `k · 128² ≤ i32::MAX`.
+pub const MAX_K: usize = (i32::MAX / (128 * 128)) as usize;
+
+thread_local! {
+    /// Per-thread packing arena `(A-panel, B-panel)`, grown monotonically.
+    static PACK_I8: RefCell<(Vec<i16>, Vec<i16>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+fn record_flops(m: usize, k: usize, n: usize) {
+    rhb_telemetry::observe!("nn/gemm_i8_flops", (2 * m * n * k) as f64);
+}
+
+fn should_parallelize(threads: usize, m: usize, k: usize, n: usize) -> bool {
+    threads > 1 && m >= 2 && 2 * m * n * k >= PAR_MIN_FLOPS
+}
+
+fn assert_no_overflow(k: usize) {
+    assert!(
+        k <= MAX_K,
+        "int8 GEMM inner dimension {k} could overflow the i32 accumulator (max {MAX_K})"
+    );
+}
+
+/// `C = A·B` (`A: [m,k]`, `B: [k,n]`, `C: [m,n]`, all row-major).
+/// Parallelizes over row blocks of `C`; exact at any pool size.
+pub fn gemm_i8(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_no_overflow(k);
+    record_flops(m, k, n);
+    let pool = rhb_par::pool();
+    if !should_parallelize(pool.threads(), m, k, n) {
+        return gemm_i8_serial(a, b, c, m, k, n);
+    }
+    let ranges = rhb_par::split_range(m, pool.threads(), MR);
+    let chunks = rhb_par::split_slice_mut(c, &ranges, n);
+    let tasks: Vec<rhb_par::Task<'_>> = ranges
+        .iter()
+        .zip(chunks)
+        .map(|(r, c_rows)| {
+            let a_rows = &a[r.start * k..r.end * k];
+            let rows = r.end - r.start;
+            Box::new(move || gemm_i8_serial(a_rows, b, c_rows, rows, k, n)) as rhb_par::Task<'_>
+        })
+        .collect();
+    pool.run(tasks);
+}
+
+/// `C = A·Bᵀ` (`A: [m,k]`, `B: [n,k]`, `C: [m,n]`). Row-parallel.
+pub fn gemm_i8_nt(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    assert_no_overflow(k);
+    record_flops(m, k, n);
+    let pool = rhb_par::pool();
+    if !should_parallelize(pool.threads(), m, k, n) {
+        return gemm_i8_nt_serial(a, b, c, m, k, n);
+    }
+    let ranges = rhb_par::split_range(m, pool.threads(), 1);
+    let chunks = rhb_par::split_slice_mut(c, &ranges, n);
+    let tasks: Vec<rhb_par::Task<'_>> = ranges
+        .iter()
+        .zip(chunks)
+        .map(|(r, c_rows)| {
+            let a_rows = &a[r.start * k..r.end * k];
+            let rows = r.end - r.start;
+            Box::new(move || gemm_i8_nt_serial(a_rows, b, c_rows, rows, k, n)) as rhb_par::Task<'_>
+        })
+        .collect();
+    pool.run(tasks);
+}
+
+/// How the `B` operand is stored in memory.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BLayout {
+    /// Row-major `[k, n]`.
+    Nn,
+    /// Row-major `[n, k]` (i.e. `Bᵀ` of the product).
+    Nt,
+}
+
+/// Serial blocked `C = A·B` (`B: [k,n]`). Packs pair-interleaved `i16`
+/// panels into the thread-local arena and runs the `MR×NR` micro-kernel
+/// with `C`-resident `i32` accumulation across `k`-blocks.
+pub fn gemm_i8_serial(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    gemm_i8_blocked(a, b, c, m, k, n, BLayout::Nn);
+}
+
+/// Serial blocked `C = A·Bᵀ` (`B: [n,k]`). Same core as
+/// [`gemm_i8_serial`]; only the `B` packing reads transposed.
+pub fn gemm_i8_nt_serial(a: &[i8], b: &[i8], c: &mut [i32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    gemm_i8_blocked(a, b, c, m, k, n, BLayout::Nt);
+}
+
+fn gemm_i8_blocked(
+    a: &[i8],
+    b: &[i8],
+    c: &mut [i32],
+    m: usize,
+    k: usize,
+    n: usize,
+    layout: BLayout,
+) {
+    debug_assert_eq!(c.len(), m * n);
+    c.fill(0);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    PACK_I8.with(|pack| {
+        let mut pack = pack.borrow_mut();
+        let (apack, bpack) = &mut *pack;
+        for jc in (0..n).step_by(NC) {
+            let nc = NC.min(n - jc);
+            for pc in (0..k).step_by(KC) {
+                let kc = KC.min(k - pc);
+                let kc2 = kc.next_multiple_of(2);
+                pack_b_panel(b, bpack, k, n, pc, kc, jc, nc, layout);
+                for ic in (0..m).step_by(MC) {
+                    let mc = MC.min(m - ic);
+                    pack_a_panel(a, apack, k, ic, mc, pc, kc);
+                    for jr in (0..nc).step_by(NR) {
+                        let nr = NR.min(nc - jr);
+                        let btile = &bpack[(jr / NR) * kc2 * NR..][..kc2 * NR];
+                        for ir in (0..mc).step_by(MR) {
+                            let mr = MR.min(mc - ir);
+                            let atile = &apack[(ir / MR) * kc2 * MR..][..kc2 * MR];
+                            microkernel(atile, btile, c, n, ic + ir, jc + jr, mr, nr, kc2);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Packs `A[ic..ic+mc, pc..pc+kc]` into `MR`-row tiles, sign-extending
+/// each step to `i16` and interleaving `k` in pairs: within tile `t`,
+/// pair `p` stores `[row0 k₂ₚ, row0 k₂ₚ₊₁, row1 k₂ₚ, …]` — so the
+/// micro-kernel broadcasts one row's pair with a single 32-bit read.
+/// Rows beyond `mc` and the odd trailing `k` are zero-padded (exact:
+/// a zero step contributes nothing to an integer dot product).
+fn pack_a_panel(
+    a: &[i8],
+    apack: &mut Vec<i16>,
+    k: usize,
+    ic: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    let kc2 = kc.next_multiple_of(2);
+    let tiles = mc.div_ceil(MR);
+    apack.clear();
+    apack.resize(tiles * kc2 * MR, 0);
+    for t in 0..tiles {
+        let dst = &mut apack[t * kc2 * MR..(t + 1) * kc2 * MR];
+        let rows = MR.min(mc - t * MR);
+        for p in 0..kc2 / 2 {
+            for i in 0..rows {
+                let row = &a[(ic + t * MR + i) * k + pc..];
+                dst[p * MR * 2 + i * 2] = i16::from(row[2 * p]);
+                if 2 * p + 1 < kc {
+                    dst[p * MR * 2 + i * 2 + 1] = i16::from(row[2 * p + 1]);
+                }
+            }
+        }
+    }
+}
+
+/// Packs a `kc × nc` block of `B` into `NR`-column tiles, sign-extending
+/// to `i16` and interleaving `k` in pairs: within tile `t`, pair `p`
+/// stores `[col0 k₂ₚ, col0 k₂ₚ₊₁, col1 k₂ₚ, …]` for all `NR` columns —
+/// 16 consecutive `i16`, i.e. exactly the two 128-bit `pmaddwd` operands
+/// for an 8-wide column tile. Zero-padded like the `A` panel.
+#[allow(clippy::too_many_arguments)]
+fn pack_b_panel(
+    b: &[i8],
+    bpack: &mut Vec<i16>,
+    k: usize,
+    n: usize,
+    pc: usize,
+    kc: usize,
+    jc: usize,
+    nc: usize,
+    layout: BLayout,
+) {
+    let kc2 = kc.next_multiple_of(2);
+    let tiles = nc.div_ceil(NR);
+    bpack.clear();
+    bpack.resize(tiles * kc2 * NR, 0);
+    let at = |kk: usize, j: usize| -> i16 {
+        match layout {
+            BLayout::Nn => i16::from(b[(pc + kk) * n + jc + j]),
+            BLayout::Nt => i16::from(b[(jc + j) * k + pc + kk]),
+        }
+    };
+    for t in 0..tiles {
+        let dst = &mut bpack[t * kc2 * NR..(t + 1) * kc2 * NR];
+        let cols = NR.min(nc - t * NR);
+        for p in 0..kc2 / 2 {
+            for j in 0..cols {
+                dst[p * NR * 2 + j * 2] = at(2 * p, t * NR + j);
+                if 2 * p + 1 < kc {
+                    dst[p * NR * 2 + j * 2 + 1] = at(2 * p + 1, t * NR + j);
+                }
+            }
+        }
+    }
+}
+
+/// The `MR×NR` register tile over pair-interleaved panels: per `k`-pair,
+/// each row's two steps are broadcast and multiply-added against 8
+/// columns' pairs — one SSE2 `pmaddwd` + `paddd` per 4 columns on
+/// x86-64. Integer arithmetic is exact, so the pairwise association
+/// changes nothing. The live `mr×nr` corner of `C` is accumulated into
+/// at the end (`C`-resident blocking across `k`-blocks).
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel(
+    atile: &[i16],
+    btile: &[i16],
+    c: &mut [i32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    nr: usize,
+    kc2: usize,
+) {
+    use std::arch::x86_64::{
+        __m128i, _mm_add_epi32, _mm_loadu_si128, _mm_madd_epi16, _mm_set1_epi32, _mm_setzero_si128,
+        _mm_storeu_si128,
+    };
+    debug_assert!(atile.len() >= kc2 * MR);
+    debug_assert!(btile.len() >= kc2 * NR);
+    // SAFETY: SSE2 is part of the x86-64 baseline, so the intrinsics are
+    // always available. All reads stay in bounds: pair index `p` ranges
+    // over `kc2/2`, so the B loads touch `i16`s `[p·16, p·16+16)` ≤
+    // `kc2·NR`, and the unaligned 32-bit A read covers `i16`s
+    // `p·MR·2 + i·2 + {0,1}` ≤ `kc2·MR` (both debug-asserted above).
+    unsafe {
+        let mut acc = [[_mm_setzero_si128(); 2]; MR];
+        let ap = atile.as_ptr();
+        let bp = btile.as_ptr();
+        for p in 0..kc2 / 2 {
+            let b0 = _mm_loadu_si128(bp.add(p * 16).cast::<__m128i>());
+            let b1 = _mm_loadu_si128(bp.add(p * 16 + 8).cast::<__m128i>());
+            let abase = ap.add(p * MR * 2);
+            for (i, acc_i) in acc.iter_mut().enumerate() {
+                let av = _mm_set1_epi32(abase.add(i * 2).cast::<i32>().read_unaligned());
+                acc_i[0] = _mm_add_epi32(acc_i[0], _mm_madd_epi16(av, b0));
+                acc_i[1] = _mm_add_epi32(acc_i[1], _mm_madd_epi16(av, b1));
+            }
+        }
+        for (i, acc_i) in acc.iter().enumerate().take(mr) {
+            let mut lane = [0i32; NR];
+            _mm_storeu_si128(lane.as_mut_ptr().cast::<__m128i>(), acc_i[0]);
+            _mm_storeu_si128(lane.as_mut_ptr().add(4).cast::<__m128i>(), acc_i[1]);
+            let c_row = &mut c[(row0 + i) * n + col0..][..nr];
+            for (cv, &l) in c_row.iter_mut().zip(&lane[..nr]) {
+                *cv += l;
+            }
+        }
+    }
+}
+
+/// Portable scalar equivalent of the `pmaddwd` micro-kernel: identical
+/// pair-interleaved panel layout, identical (exact) integer results.
+#[cfg(not(target_arch = "x86_64"))]
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn microkernel(
+    atile: &[i16],
+    btile: &[i16],
+    c: &mut [i32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    mr: usize,
+    nr: usize,
+    kc2: usize,
+) {
+    let mut acc = [[0i32; NR]; MR];
+    for p in 0..kc2 / 2 {
+        let apair = &atile[p * MR * 2..][..MR * 2];
+        let bpair = &btile[p * NR * 2..][..NR * 2];
+        for i in 0..MR {
+            let a0 = i32::from(apair[i * 2]);
+            let a1 = i32::from(apair[i * 2 + 1]);
+            let acc_row = &mut acc[i];
+            for j in 0..NR {
+                acc_row[j] += a0 * i32::from(bpair[j * 2]) + a1 * i32::from(bpair[j * 2 + 1]);
+            }
+        }
+    }
+    for (i, acc_row) in acc.iter().enumerate().take(mr) {
+        let c_row = &mut c[(row0 + i) * n + col0..][..nr];
+        for (cv, &v) in c_row.iter_mut().zip(&acc_row[..nr]) {
+            *cv += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(seed: u64, len: usize) -> Vec<i8> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 40) as i8
+            })
+            .collect()
+    }
+
+    fn naive(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+        let mut c = vec![0i32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for kk in 0..k {
+                    acc += i64::from(a[i * k + kk]) * i64::from(b[kk * n + j]);
+                }
+                c[i * n + j] = acc as i32;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (16, 16, 16),
+            (33, 70, 65),
+            (4, 300, 9),
+        ] {
+            let a = fill(m as u64 + 1, m * k);
+            let b = fill(n as u64 + 2, k * n);
+            let mut c = vec![0i32; m * n];
+            gemm_i8_serial(&a, &b, &mut c, m, k, n);
+            assert_eq!(c, naive(&a, &b, m, k, n), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn nt_matches_naive_on_materialized_transpose() {
+        for &(m, k, n) in &[(2, 3, 4), (17, 65, 9), (5, 128, 33)] {
+            let a = fill(7, m * k);
+            let bt = fill(8, n * k); // stored [n, k]
+            let mut b = vec![0i8; k * n];
+            for j in 0..n {
+                for kk in 0..k {
+                    b[kk * n + j] = bt[j * k + kk];
+                }
+            }
+            let mut c = vec![0i32; m * n];
+            gemm_i8_nt_serial(&a, &bt, &mut c, m, k, n);
+            assert_eq!(c, naive(&a, &b, m, k, n), "({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn parallel_dispatch_is_exact_at_any_thread_count() {
+        let (m, k, n) = (64, 96, 80); // above the parallel threshold
+        let a = fill(21, m * k);
+        let b = fill(22, k * n);
+        let bt = fill(23, n * k);
+        let mut serial = vec![0i32; m * n];
+        gemm_i8_serial(&a, &b, &mut serial, m, k, n);
+        let mut c = vec![0i32; m * n];
+        gemm_i8(&a, &b, &mut c, m, k, n);
+        assert_eq!(serial, c);
+        let mut serial_nt = vec![0i32; m * n];
+        gemm_i8_nt_serial(&a, &bt, &mut serial_nt, m, k, n);
+        let mut c = vec![0i32; m * n];
+        gemm_i8_nt(&a, &bt, &mut c, m, k, n);
+        assert_eq!(serial_nt, c);
+    }
+
+    #[test]
+    fn extreme_values_do_not_overflow() {
+        // All operands at the magnitude extremes; k well inside MAX_K.
+        let k = 1024;
+        let a = vec![-128i8; k];
+        let b = vec![-128i8; k];
+        let mut c = vec![0i32; 1];
+        gemm_i8_nt_serial(&a, &b, &mut c, 1, k, 1);
+        assert_eq!(c[0], 1024 * 128 * 128);
+        let mut c = vec![0i32; 1];
+        gemm_i8_serial(&a, &b, &mut c, 1, k, 1);
+        assert_eq!(c[0], 1024 * 128 * 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn oversized_inner_dimension_is_rejected() {
+        let a = vec![0i8; 4];
+        let b = vec![0i8; 4];
+        let mut c = vec![0i32; 1];
+        // Lie about k: the guard fires before any indexing.
+        gemm_i8(&a, &b, &mut c, 1, MAX_K + 1, 1);
+    }
+}

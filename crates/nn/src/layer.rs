@@ -21,6 +21,11 @@ use crate::tensor::Tensor;
 ///   the mode backdoor optimization uses: the attacker differentiates the
 ///   network the victim actually serves.
 /// * `Eval` — inference only; running statistics, no caches.
+/// * `Int8` — deployed inference on the true int8 engine: GEMM layers
+///   multiply `i8` weight steps straight off the weight-file grid against
+///   dynamically quantized `i8` activations with `i32` accumulation (see
+///   `DESIGN.md`, "Inference engines"). Non-GEMM layers behave exactly as
+///   in `Eval`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
     /// Training mode (batch statistics, caching).
@@ -29,12 +34,14 @@ pub enum Mode {
     Frozen,
     /// Inference mode (running statistics, no caching).
     Eval,
+    /// Deployed int8-engine inference (running statistics, no caching).
+    Int8,
 }
 
 impl Mode {
     /// Whether this mode caches activations for a later backward pass.
     pub fn caches(&self) -> bool {
-        !matches!(self, Mode::Eval)
+        !matches!(self, Mode::Eval | Mode::Int8)
     }
 
     /// Whether normalization layers use frozen running statistics.

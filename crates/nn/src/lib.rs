@@ -14,7 +14,9 @@
 //! * softmax cross-entropy loss with input gradients ([`loss`]) — the input
 //!   gradient is what the paper's FGSM trigger-learning step consumes,
 //! * symmetric 8-bit quantization in two's-complement form ([`quant`]),
-//!   matching the TensorRT-style scheme of the paper's §IV-C,
+//!   matching the TensorRT-style scheme of the paper's §IV-C, and a true
+//!   int8 inference engine ([`gemm_i8`], [`layer::Mode::Int8`]) that
+//!   multiplies those steps directly with `i32` accumulation,
 //! * a page-oriented weight-file codec ([`weightfile`]) that lays the
 //!   quantized parameters out exactly as they would be mmap'd into 4 KB
 //!   pages, and supports bit-level edits at (page, bit-offset) granularity.
@@ -36,6 +38,7 @@ pub mod activation;
 pub mod conv;
 pub mod error;
 pub mod gemm;
+pub mod gemm_i8;
 pub mod init;
 pub mod layer;
 pub mod linear;

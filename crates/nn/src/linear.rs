@@ -1,10 +1,12 @@
 //! Fully-connected layer.
 
 use crate::gemm;
+use crate::gemm_i8;
 use crate::init::{kaiming_normal, Rng};
 use crate::layer::{Layer, Mode};
 use crate::param::Parameter;
-use crate::scratch::ScratchBuffer;
+use crate::quant::QuantScheme;
+use crate::scratch::{ScratchBuffer, ScratchI32, ScratchI8};
 use crate::tensor::Tensor;
 
 /// A fully-connected layer: `y = x W^T + b`.
@@ -32,6 +34,12 @@ struct LinearScratch {
     bias_eff: ScratchBuffer,
     /// `dW` staging, `[out, in]`.
     dw: ScratchBuffer,
+    /// Int8 engine: quantized weight steps, `[out, in]`.
+    wq: ScratchI8,
+    /// Int8 engine: quantized input activations, `[batch, in]`.
+    xq: ScratchI8,
+    /// Int8 engine: `i32` GEMM accumulators, `[batch, out]`.
+    acc: ScratchI32,
 }
 
 impl Linear {
@@ -66,6 +74,52 @@ impl Linear {
     pub fn out_features(&self) -> usize {
         self.out_features
     }
+
+    /// The int8 engine's forward pass: `i8` weight steps (straight off
+    /// the weight-file grid) × dynamically quantized `i8` activations,
+    /// accumulated exactly in `i32`, then requantized back to the
+    /// activation scale in one f32 multiply per output. The bias — a
+    /// vector, not a matrix — is added in f32 from its own grid.
+    ///
+    /// Activations are quantized **per sample**: each batch row gets its
+    /// own dynamic scale, so a sample's logits never depend on its
+    /// batchmates and int8 outputs are batch-size invariant (the
+    /// batching half of the parity contract in `DESIGN.md`).
+    fn forward_int8(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.shape().dim(0);
+        let (m, k, n) = (batch, self.in_features, self.out_features);
+        let (wq, w_scheme) = self.weight.quantized_into(&mut self.scratch.wq);
+        let xq = self.scratch.xq.filled(m * k);
+        let mut row_deq = vec![0.0f32; m];
+        for (i, (src, dst)) in input.data().chunks(k).zip(xq.chunks_mut(k)).enumerate() {
+            let a_scheme = QuantScheme::for_activations(src);
+            a_scheme.quantize_into(src, dst);
+            row_deq[i] = a_scheme.scale * w_scheme.scale;
+            rhb_telemetry::observe!("nn/requant_scale", f64::from(row_deq[i]));
+        }
+        let acc = self.scratch.acc.filled(m * n);
+        // y_q = x_q W_q^T (exact integer arithmetic)
+        gemm_i8::gemm_i8_nt(xq, wq, acc, m, k, n);
+        let mut out = vec![0.0f32; m * n];
+        match &self.bias {
+            Some(bias) => {
+                let b = bias.effective_into(&mut self.scratch.bias_eff);
+                for ((row, acc_row), &deq) in out.chunks_mut(n).zip(acc.chunks(n)).zip(&row_deq) {
+                    for ((o, &a), &bv) in row.iter_mut().zip(acc_row).zip(b) {
+                        *o = a as f32 * deq + bv;
+                    }
+                }
+            }
+            None => {
+                for ((row, acc_row), &deq) in out.chunks_mut(n).zip(acc.chunks(n)).zip(&row_deq) {
+                    for (o, &a) in row.iter_mut().zip(acc_row) {
+                        *o = a as f32 * deq;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
 }
 
 impl Layer for Linear {
@@ -77,6 +131,9 @@ impl Layer for Linear {
             input.shape().dim(1),
             self.in_features
         );
+        if mode == Mode::Int8 {
+            return self.forward_int8(input);
+        }
         let batch = input.shape().dim(0);
         let (m, k, n) = (batch, self.in_features, self.out_features);
         let wmat = self.weight.effective_into(&mut self.scratch.wmat);
@@ -252,6 +309,77 @@ mod tests {
         let mut rng = Rng::seed_from(6);
         let mut layer = Linear::new(2, 2, false, &mut rng);
         layer.backward(&Tensor::zeros(&[1, 2]));
+    }
+
+    fn deployed_layer(seed: u64) -> Linear {
+        let mut rng = Rng::seed_from(seed);
+        let mut layer = Linear::new(16, 8, true, &mut rng);
+        for p in layer.params_mut() {
+            p.deploy().unwrap();
+        }
+        layer
+    }
+
+    fn random_input(seed: u64, rows: usize) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut x = Tensor::zeros(&[rows, 16]);
+        for v in x.data_mut() {
+            *v = rng.uniform(-1.0, 1.0);
+        }
+        x
+    }
+
+    /// The int8 path's only error source is activation rounding (deployed
+    /// weights sit exactly on the grid), so every logit must land within
+    /// half an activation step through the output's absolute weight mass.
+    #[test]
+    fn int8_forward_tracks_fake_quant_reference() {
+        let mut layer = deployed_layer(8);
+        let x = random_input(9, 4);
+        let y_ref = layer.forward_mode(&x, Mode::Eval);
+        let y_i8 = layer.forward_mode(&x, Mode::Int8);
+        let w = layer.params()[0];
+        let ws = w.scheme.unwrap();
+        let wabs: Vec<f32> = (0..8)
+            .map(|j| {
+                w.value.data()[j * 16..(j + 1) * 16]
+                    .iter()
+                    .map(|&v| ws.fake(v).abs())
+                    .sum()
+            })
+            .collect();
+        for (i, (row_ref, row_i8)) in y_ref
+            .data()
+            .chunks(8)
+            .zip(y_i8.data().chunks(8))
+            .enumerate()
+        {
+            let s_a = QuantScheme::for_activations(&x.data()[i * 16..(i + 1) * 16]).scale;
+            for j in 0..8 {
+                let bound = 0.5 * s_a * wabs[j] + 1e-5;
+                assert!(
+                    (row_ref[j] - row_i8[j]).abs() <= bound,
+                    "row {i} out {j}: {} vs {} (bound {bound})",
+                    row_ref[j],
+                    row_i8[j]
+                );
+            }
+        }
+    }
+
+    /// Per-sample activation scales make int8 outputs independent of
+    /// batch composition: a row forwarded alone equals the same row
+    /// forwarded inside a batch, bit for bit.
+    #[test]
+    fn int8_outputs_are_batch_invariant() {
+        let mut layer = deployed_layer(10);
+        let x = random_input(11, 5);
+        let y_all = layer.forward_mode(&x, Mode::Int8);
+        for i in 0..5 {
+            let xi = Tensor::from_vec(x.data()[i * 16..(i + 1) * 16].to_vec(), &[1, 16]);
+            let yi = layer.forward_mode(&xi, Mode::Int8);
+            assert_eq!(yi.data(), &y_all.data()[i * 8..(i + 1) * 8]);
+        }
     }
 
     #[test]

@@ -88,6 +88,55 @@ pub trait Network: Send {
     fn describe(&self) -> String;
 }
 
+/// Which arithmetic a deployed victim's forward pass runs.
+///
+/// The f32 engine fake-quantizes weights but keeps all arithmetic in
+/// f32 — the reference the paper's gradient machinery differentiates.
+/// The int8 engine multiplies the raw `i8` weight-file steps against
+/// dynamically quantized activations with exact `i32` accumulation —
+/// the arithmetic a TensorRT-style serving stack actually executes.
+/// See `DESIGN.md`, "Inference engines", for the parity contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// Fake-quantized f32 inference (`Mode::Eval`).
+    FakeQuantF32,
+    /// True int8 inference (`Mode::Int8`).
+    Int8,
+}
+
+impl Engine {
+    /// The forward-pass mode implementing this engine.
+    pub fn mode(self) -> Mode {
+        match self {
+            Engine::FakeQuantF32 => Mode::Eval,
+            Engine::Int8 => Mode::Int8,
+        }
+    }
+}
+
+/// Whether the int8 engine is enabled for deployed-model evaluation.
+/// Defaults to on; `RHB_ENGINE=f32` forces the fake-quant f32 path
+/// (the escape hatch documented in `EXPERIMENTS.md`).
+fn int8_engine_enabled() -> bool {
+    static ENABLED: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !std::env::var("RHB_ENGINE")
+            .map(|v| v.eq_ignore_ascii_case("f32"))
+            .unwrap_or(false)
+    })
+}
+
+/// The inference mode evaluation loops should use for `net`: the int8
+/// engine for deployed models (unless `RHB_ENGINE=f32`), the plain f32
+/// eval path otherwise. Gradient passes must keep using `Mode::Frozen`.
+pub fn eval_mode(net: &dyn Network) -> Mode {
+    if int8_engine_enabled() && net.is_deployed() {
+        Mode::Int8
+    } else {
+        Mode::Eval
+    }
+}
+
 /// Blanket helper: snapshot all float parameter values.
 pub fn snapshot_params(net: &dyn Network) -> Vec<Tensor> {
     net.params().iter().map(|p| p.value.clone()).collect()

@@ -99,6 +99,29 @@ impl Parameter {
         out
     }
 
+    /// Writes the quantized `i8` steps of a deployed parameter into a
+    /// layer-owned scratch arena, returning the steps and the frozen
+    /// scheme. Deployed weights are grid-snapped, so these steps are
+    /// bit-identical to the parameter's bytes in the weight file (see
+    /// the `quantize_recovers_grid_steps_exactly` property) — the int8
+    /// engine consumes them without materializing an f32 weight matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameter has not been deployed.
+    pub fn quantized_into<'a>(
+        &self,
+        buf: &'a mut crate::scratch::ScratchI8,
+    ) -> (&'a [i8], QuantScheme) {
+        let scheme = self
+            .scheme
+            .expect("int8 inference requires a deployed parameter");
+        let src = self.value.data();
+        let out = buf.filled(src.len());
+        scheme.quantize_into(src, out);
+        (out, scheme)
+    }
+
     /// Quantized image of the current weights.
     ///
     /// # Panics
@@ -175,6 +198,17 @@ mod tests {
         q.flip_bit(3, 7).unwrap();
         p.load_quantized(&q);
         assert_ne!(p.value.data()[3], before);
+    }
+
+    #[test]
+    fn quantized_into_matches_weight_file_bytes() {
+        let mut p = param();
+        p.deploy().unwrap();
+        let q = p.quantized();
+        let mut buf = crate::scratch::ScratchI8::new();
+        let (steps, scheme) = p.quantized_into(&mut buf);
+        assert_eq!(steps, q.values());
+        assert_eq!(scheme, q.scheme());
     }
 
     #[test]

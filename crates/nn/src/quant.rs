@@ -70,6 +70,35 @@ impl QuantScheme {
     pub fn fake(&self, v: f32) -> f32 {
         self.dequantize(self.quantize(v))
     }
+
+    /// Fits a symmetric scheme to an activation slice — the *dynamic*
+    /// per-tensor activation quantization of the int8 inference engine.
+    ///
+    /// Unlike [`QuantScheme::fit`], this never fails: an all-zero (or
+    /// degenerate) activation tensor gets the same unit-range fallback
+    /// scale that [`crate::param::Parameter::deploy`] uses, because a
+    /// forward pass must always be able to proceed.
+    pub fn for_activations(data: &[f32]) -> Self {
+        let max = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = if max.is_finite() && max > 0.0 {
+            max / (i8::MAX as f32)
+        } else {
+            1.0 / i8::MAX as f32
+        };
+        QuantScheme { scale }
+    }
+
+    /// Quantizes a slice into a pre-sized `i8` destination.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice lengths differ.
+    pub fn quantize_into(&self, src: &[f32], dst: &mut [i8]) {
+        assert_eq!(src.len(), dst.len(), "quantize_into length mismatch");
+        for (d, &v) in dst.iter_mut().zip(src) {
+            *d = self.quantize(v);
+        }
+    }
 }
 
 /// A tensor stored as quantized `i8` steps plus its [`QuantScheme`].
@@ -101,6 +130,30 @@ impl QuantizedTensor {
             values: t.data().iter().map(|&v| scheme.quantize(v)).collect(),
             scheme,
         }
+    }
+
+    /// Wraps raw quantized steps without any float round trip — the
+    /// decode path for weight-file bytes, whose steps are already
+    /// authoritative.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `dims` does not describe
+    /// exactly `values.len()` elements.
+    pub fn from_raw_steps(dims: &[usize], values: Vec<i8>, scheme: QuantScheme) -> Result<Self> {
+        let numel: usize = dims.iter().product();
+        if numel != values.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![numel],
+                actual: vec![values.len()],
+                op: "quantized tensor from raw steps",
+            });
+        }
+        Ok(QuantizedTensor {
+            dims: dims.to_vec(),
+            values,
+            scheme,
+        })
     }
 
     /// The quantization scheme.
@@ -171,16 +224,23 @@ impl QuantizedTensor {
     ///
     /// This is the per-tensor contribution to the paper's `N_flip` metric.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if lengths differ.
-    pub fn hamming_distance(&self, other: &QuantizedTensor) -> u64 {
-        assert_eq!(self.values.len(), other.values.len(), "length mismatch");
-        self.values
+    /// Returns [`NnError::ShapeMismatch`] if the lengths differ.
+    pub fn hamming_distance(&self, other: &QuantizedTensor) -> Result<u64> {
+        if self.values.len() != other.values.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![self.values.len()],
+                actual: vec![other.values.len()],
+                op: "quantized tensor hamming distance",
+            });
+        }
+        Ok(self
+            .values
             .iter()
             .zip(&other.values)
             .map(|(&a, &b)| ((a as u8) ^ (b as u8)).count_ones() as u64)
-            .sum()
+            .sum())
     }
 }
 
@@ -283,7 +343,33 @@ mod tests {
         b.flip_bit(0, 0).unwrap();
         b.flip_bit(1, 3).unwrap();
         b.flip_bit(1, 5).unwrap();
-        assert_eq!(a.hamming_distance(&b), 3);
+        assert_eq!(a.hamming_distance(&b).unwrap(), 3);
+    }
+
+    #[test]
+    fn hamming_distance_length_mismatch_is_an_error_not_a_panic() {
+        let a = QuantizedTensor::from_tensor(&Tensor::from_vec(vec![1.0, 0.5], &[2])).unwrap();
+        let b = QuantizedTensor::from_tensor(&Tensor::from_vec(vec![1.0], &[1])).unwrap();
+        let err = a.hamming_distance(&b).unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { op, .. } if op.contains("hamming")));
+    }
+
+    #[test]
+    fn from_raw_steps_preserves_bytes_and_checks_shape() {
+        let scheme = QuantScheme { scale: 0.5 };
+        let q = QuantizedTensor::from_raw_steps(&[2, 2], vec![1, -2, 127, -128], scheme).unwrap();
+        assert_eq!(q.values(), &[1, -2, 127, -128]);
+        assert_eq!(q.dims(), &[2, 2]);
+        assert_eq!(q.scheme(), scheme);
+        assert!(QuantizedTensor::from_raw_steps(&[3], vec![0, 0], scheme).is_err());
+    }
+
+    #[test]
+    fn for_activations_falls_back_on_degenerate_input() {
+        let s = QuantScheme::for_activations(&[0.0, 0.0]);
+        assert_eq!(s.scale, 1.0 / 127.0);
+        let s = QuantScheme::for_activations(&[1.0, -2.0, 0.5]);
+        assert_eq!(s.scale, 2.0 / 127.0);
     }
 
     proptest! {
@@ -319,6 +405,16 @@ mod tests {
             let once = scheme.fake(v);
             let twice = scheme.fake(once);
             prop_assert_eq!(once, twice);
+        }
+
+        /// Grid recovery: re-quantizing a dequantized step returns the
+        /// exact step. This is what lets the int8 engine rebuild the
+        /// weight-file bytes from deployed (grid-snapped) f32 masters
+        /// without materializing f32 weight matrices per layer.
+        #[test]
+        fn quantize_recovers_grid_steps_exactly(q: i8, scale in 1e-20f32..1e20) {
+            let scheme = QuantScheme { scale };
+            prop_assert_eq!(scheme.quantize(scheme.dequantize(q)), q);
         }
     }
 }

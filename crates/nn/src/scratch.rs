@@ -5,48 +5,69 @@
 //! column matrices, effective (fake-quantized) weight copies, gradient
 //! partials. Before this module they were allocated fresh on every call
 //! — the im2col columns alone dominated the allocator profile of a
-//! training epoch. A [`ScratchBuffer`] is owned by the layer, grows
+//! training epoch. A [`Scratch`] is owned by the layer, grows
 //! monotonically to the high-water mark of the shapes it has seen, and
 //! is handed out as plain slices so the kernels stay allocation-free
 //! after warm-up.
+//!
+//! The arena is generic over its element type: the f32 training path
+//! uses [`ScratchBuffer`], while the int8 inference engine stages
+//! quantized weights/activations in [`ScratchI8`] and its `i32` GEMM
+//! accumulators in [`ScratchI32`].
 
-/// A monotonically growing `f32` arena.
+/// A monotonically growing typed arena.
 ///
 /// `zeroed(len)` / `filled(len)` never shrink the backing storage, so a
 /// layer that alternates between batch sizes settles at the largest and
 /// stops allocating. The buffer deliberately has no `shrink` — layers
 /// live as long as training does and the high-water mark is the steady
 /// state.
-#[derive(Debug, Default)]
-pub struct ScratchBuffer {
-    data: Vec<f32>,
+#[derive(Debug)]
+pub struct Scratch<T> {
+    data: Vec<T>,
 }
 
-impl ScratchBuffer {
+/// The f32 arena used by the training/fake-quant paths.
+pub type ScratchBuffer = Scratch<f32>;
+
+/// Quantized-step arena for the int8 inference engine.
+pub type ScratchI8 = Scratch<i8>;
+
+/// `i32` accumulator arena for the int8 inference engine.
+pub type ScratchI32 = Scratch<i32>;
+
+impl<T> Default for Scratch<T> {
+    fn default() -> Self {
+        Scratch { data: Vec::new() }
+    }
+}
+
+impl<T: Copy + Default> Scratch<T> {
     /// Creates an empty buffer; storage is acquired lazily on first use.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Returns a zero-filled slice of exactly `len` elements.
-    pub fn zeroed(&mut self, len: usize) -> &mut [f32] {
+    /// Returns a default-filled (zero for all numeric `T`) slice of
+    /// exactly `len` elements.
+    pub fn zeroed(&mut self, len: usize) -> &mut [T] {
         self.data.clear();
-        self.data.resize(len, 0.0);
+        self.data.resize(len, T::default());
         &mut self.data[..len]
     }
 
     /// Returns a slice of exactly `len` elements without clearing prior
     /// contents beyond what `resize` demands. Callers must overwrite
     /// every element before reading.
-    pub fn filled(&mut self, len: usize) -> &mut [f32] {
+    pub fn filled(&mut self, len: usize) -> &mut [T] {
         if self.data.len() < len {
-            self.data.resize(len, 0.0);
+            self.data.resize(len, T::default());
         }
         &mut self.data[..len]
     }
 
     /// Read-only view of the first `len` elements.
-    pub fn slice(&self, len: usize) -> &[f32] {
+    pub fn slice(&self, len: usize) -> &[T] {
         &self.data[..len]
     }
 
@@ -75,5 +96,14 @@ mod tests {
         buf.zeroed(16);
         assert!(buf.capacity() >= high);
         assert_eq!(buf.slice(16).len(), 16);
+    }
+
+    #[test]
+    fn integer_arenas_zero_with_their_own_zero() {
+        let mut q = ScratchI8::new();
+        q.filled(3).copy_from_slice(&[1, -2, 3]);
+        assert!(q.zeroed(3).iter().all(|&v| v == 0));
+        let mut acc = ScratchI32::new();
+        assert!(acc.zeroed(5).iter().all(|&v| v == 0));
     }
 }

@@ -237,25 +237,28 @@ impl WeightFile {
 
     /// Hamming distance to another weight file (the `N_flip` metric).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the files have different sizes.
-    pub fn hamming_distance(&self, other: &WeightFile) -> u64 {
-        assert_eq!(
-            self.data.len(),
-            other.data.len(),
-            "weight file size mismatch"
-        );
+    /// Returns [`NnError::ShapeMismatch`] if the files have different
+    /// sizes (they describe different architectures).
+    pub fn hamming_distance(&self, other: &WeightFile) -> Result<u64> {
+        if self.data.len() != other.data.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: vec![self.data.len()],
+                actual: vec![other.data.len()],
+                op: "weight file hamming distance",
+            });
+        }
         // Integer popcount partials: summation order cannot change the
         // result, so any chunking is exact.
-        rhb_par::pool()
+        Ok(rhb_par::pool()
             .parallel_map(self.data.len(), 64 * 1024, |range| {
                 range
                     .map(|i| (self.data[i] ^ other.data[i]).count_ones() as u64)
                     .sum::<u64>()
             })
             .into_iter()
-            .sum()
+            .sum())
     }
 
     /// Decodes the file back into quantized parameter images.
@@ -283,14 +286,9 @@ impl WeightFile {
                 .iter()
                 .map(|&b| b as i8)
                 .collect();
-            let t = crate::tensor::Tensor::from_vec(
-                values.iter().map(|&q| scheme.dequantize(q)).collect(),
-                dims,
-            );
-            let mut q = QuantizedTensor::with_scheme(&t, *scheme);
-            // with_scheme re-quantizes; make sure raw steps are bit-exact.
-            q.values_mut().copy_from_slice(&values);
-            images.push(q);
+            // The raw steps are authoritative: wrap them directly, no
+            // dequantize/re-quantize round trip.
+            images.push(QuantizedTensor::from_raw_steps(dims, values, *scheme)?);
             cursor += size;
         }
         Ok(images)
@@ -300,12 +298,27 @@ impl WeightFile {
     ///
     /// # Errors
     ///
-    /// Propagates [`WeightFile::to_images`] errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the network's parameter structure does not match the file.
+    /// Propagates [`WeightFile::to_images`] errors, and returns
+    /// [`NnError::MalformedWeightFile`] if the network's parameter
+    /// structure (count or per-parameter sizes) does not match the file.
     pub fn load_into(&self, net: &mut dyn Network) -> Result<()> {
+        let params = net.params();
+        if params.len() != self.param_sizes.len() {
+            return Err(NnError::MalformedWeightFile(format!(
+                "file describes {} parameters, network has {}",
+                self.param_sizes.len(),
+                params.len()
+            )));
+        }
+        for (i, (p, &size)) in params.iter().zip(&self.param_sizes).enumerate() {
+            if p.numel() != size {
+                return Err(NnError::MalformedWeightFile(format!(
+                    "parameter {i} ({}) has {} weights, file records {size}",
+                    p.name,
+                    p.numel()
+                )));
+            }
+        }
         let images = self.to_images()?;
         net.load_quantized(&images);
         Ok(())
@@ -380,8 +393,16 @@ mod tests {
             3,
         )
         .unwrap();
-        assert_eq!(base.hamming_distance(&m), 3);
+        assert_eq!(base.hamming_distance(&m).unwrap(), 3);
         assert_eq!(base.diff(&m).len(), 3);
+    }
+
+    #[test]
+    fn hamming_distance_size_mismatch_is_an_error_not_a_panic() {
+        let a = WeightFile::from_images(&images(100));
+        let b = WeightFile::from_images(&images(5000));
+        let err = a.hamming_distance(&b).unwrap_err();
+        assert!(matches!(err, NnError::ShapeMismatch { op, .. } if op.contains("hamming")));
     }
 
     #[test]
@@ -397,8 +418,19 @@ mod tests {
         )
         .unwrap();
         let decoded = wf.to_images().unwrap();
-        assert_eq!(imgs[0].hamming_distance(&decoded[0]), 1);
+        assert_eq!(imgs[0].hamming_distance(&decoded[0]).unwrap(), 1);
         assert_ne!(imgs[0].values()[10], decoded[0].values()[10]);
+    }
+
+    #[test]
+    fn to_images_preserves_raw_steps_and_schemes() {
+        let imgs = images(300);
+        let wf = WeightFile::from_images(&imgs);
+        let decoded = wf.to_images().unwrap();
+        assert_eq!(decoded.len(), 1);
+        assert_eq!(decoded[0].values(), imgs[0].values());
+        assert_eq!(decoded[0].dims(), imgs[0].dims());
+        assert_eq!(decoded[0].scheme(), imgs[0].scheme());
     }
 
     #[test]

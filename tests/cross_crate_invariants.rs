@@ -67,7 +67,7 @@ proptest! {
             }
         }
         let decoded = modified.to_images().unwrap();
-        prop_assert_eq!(q.hamming_distance(&decoded[0]), unique.len() as u64);
+        prop_assert_eq!(q.hamming_distance(&decoded[0]).unwrap(), unique.len() as u64);
     }
 
     /// Group selection composed with bit reduction keeps C1+C2: at most

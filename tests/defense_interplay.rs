@@ -56,7 +56,7 @@ fn radar_misses_the_adaptive_attack_it_was_bypassed_by() {
     let radar = Radar::deploy(clean.net.as_ref(), 64, 2);
     let (model, base, attacked) = attack_with_mask(92, radar.unprotected_mask());
     assert!(
-        base.hamming_distance(&attacked) > 0,
+        base.hamming_distance(&attacked).unwrap() > 0,
         "adaptive attack made no modifications"
     );
     assert!(
@@ -96,10 +96,10 @@ fn aware_attack_sails_through_reconstruction() {
     let clean = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 95);
     let rec = WeightReconstruction::deploy(clean.net.as_ref(), 2);
     let (mut model, base, attacked) = attack_with_mask(95, rec.aware_attacker_mask());
-    let n_before = base.hamming_distance(&attacked);
+    let n_before = base.hamming_distance(&attacked).unwrap();
     assert!(n_before > 0);
     let repaired = rec.reconstruct(model.net.as_mut());
     assert_eq!(repaired, 0, "aware attack must survive reconstruction");
     let after = WeightFile::from_network(model.net.as_ref());
-    assert_eq!(base.hamming_distance(&after), n_before);
+    assert_eq!(base.hamming_distance(&after).unwrap(), n_before);
 }
