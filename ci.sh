@@ -56,6 +56,21 @@ echo "== int8 perf smoke =="
 cargo run --release -p rhb-bench --bin rhb-report -- bench-int8 --out ci_int8.json
 cargo run --release -p rhb-bench --bin rhb-report -- diff-int8 BENCH_5.json ci_int8.json
 
+echo "== observability smoke (blocking) =="
+# Run the observable attack driver with the live endpoint enabled and
+# validate it mid-attack: /status must carry the phase/health/ledger
+# schema and /metrics must be well-formed Prometheus text containing
+# the ETA gauge, pool utilization, and per-layer eval timing families
+# (rhb-report watch --check exits non-zero otherwise). The driver must
+# also exit cleanly after the endpoint is torn down.
+RHB_OBS_ADDR=127.0.0.1:9184 RHB_TELEMETRY=off \
+  cargo run --release -p rhb-bench --bin exp_backdoor_online -- \
+  --runs 2 --min-seconds 8 &
+OBS_PID=$!
+sleep 4
+cargo run --release -p rhb-bench --bin rhb-report -- watch 127.0.0.1:9184 --once --check
+wait "$OBS_PID"
+
 echo "== chaos smoke (blocking) =="
 # One seeded fault-injection run: at a 20% fault rate the pipeline must
 # degrade gracefully (never fail outright) and recover at least one

@@ -68,6 +68,7 @@ pub struct HistDigest {
     pub max: f64,
     pub p50: f64,
     pub p90: f64,
+    pub p95: f64,
     pub p99: f64,
 }
 
@@ -216,6 +217,7 @@ impl RunArtifact {
                 max: h.max,
                 p50: h.p50,
                 p90: h.p90,
+                p95: h.p95,
                 p99: h.p99,
             })
             .collect();
@@ -285,6 +287,7 @@ impl RunArtifact {
                 ("max", h.max),
                 ("p50", h.p50),
                 ("p90", h.p90),
+                ("p95", h.p95),
                 ("p99", h.p99),
             ] {
                 s.push_str(&format!(", \"{key}\": "));
@@ -417,6 +420,10 @@ impl RunArtifact {
                     max: f64_field(h, "max")?,
                     p50: f64_field(h, "p50")?,
                     p90: f64_field(h, "p90")?,
+                    // Artifacts written before the p95 column default to
+                    // 0 instead of failing to load (committed BENCH_*
+                    // baselines predate it).
+                    p95: f64_field(h, "p95").unwrap_or(0.0),
                     p99: f64_field(h, "p99")?,
                 })
             })
@@ -727,6 +734,7 @@ mod tests {
                 max: 411.9,
                 p50: 240.0,
                 p90: 260.0,
+                p95: 300.0,
                 p99: 420.0,
             }],
             metrics: Headline {

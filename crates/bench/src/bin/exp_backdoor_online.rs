@@ -1,0 +1,107 @@
+//! Long-running observable attack driver (not a paper artifact): runs
+//! the full offline+online CFT+BR pipeline against a tiny ResNet-20 in a
+//! loop, purpose-built for exercising the live observability plane.
+//!
+//! ```text
+//! RHB_OBS_ADDR=127.0.0.1:9184 exp_backdoor_online --runs 3 --min-seconds 10
+//! ```
+//!
+//! then scrape `http://127.0.0.1:9184/metrics` (Prometheus text) and
+//! `/status` (JSON), or point `rhb-report watch 127.0.0.1:9184` at it.
+//! Unlike the artifact smoke runs, telemetry is *not* reset between
+//! iterations: counters, histograms, and the health gauges accumulate
+//! across the whole session, which is what a dashboard wants to see.
+//!
+//! Flags: `--runs N` (default 1) pipeline iterations, `--min-seconds S`
+//! (default 0) keep iterating until this much wall time has passed,
+//! `--seed X` (default 41) base seed (each iteration offsets it).
+
+use rhb_core::pipeline::{AttackMethod, AttackPipeline};
+use rhb_models::zoo::{pretrained, Architecture, ZooConfig};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    runs: u64,
+    min_seconds: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        runs: 1,
+        min_seconds: 0.0,
+        seed: 41,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut grab = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--runs" => {
+                args.runs = grab("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?
+            }
+            "--min-seconds" => {
+                args.min_seconds = grab("--min-seconds")?
+                    .parse()
+                    .map_err(|e| format!("--min-seconds: {e}"))?
+            }
+            "--seed" => {
+                args.seed = grab("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            other => {
+                return Err(format!(
+                    "unknown flag '{other}' (flags: --runs N, --min-seconds S, --seed X)"
+                ))
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("exp_backdoor_online: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    rhb_bench::telemetry::init();
+    // Publish the health gauges immediately with the §VII a-priori model
+    // (seven-sided pattern, nominal ten-flip demand) so a scrape during
+    // the first offline phase already sees them; the online phase
+    // re-arms with the real target count and live rates.
+    rhb_core::health::HealthMonitor::new(
+        rhb_core::health::HealthConfig::default(),
+        rhb_dram::HammerPattern::seven_sided(),
+        10,
+    );
+    let started = Instant::now();
+    let mut iteration = 0u64;
+    loop {
+        let seed = args.seed.wrapping_add(iteration);
+        let _session = rhb_telemetry::span!("session", iteration = iteration, seed = seed);
+        let model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), seed);
+        let mut pipe = AttackPipeline::new(model, 2, seed);
+        let offline = pipe.run_offline(AttackMethod::CftBr);
+        let online = pipe.run_online(&offline);
+        iteration += 1;
+        println!(
+            "run {iteration}: seed {seed}  asr {:.2}%  clean {:.2}%  n_flip {}  {}  ({:.1}s elapsed)",
+            online.attack_success_rate * 100.0,
+            online.test_accuracy * 100.0,
+            online.n_flip,
+            online.classification.name(),
+            started.elapsed().as_secs_f64(),
+        );
+        if iteration >= args.runs && started.elapsed().as_secs_f64() >= args.min_seconds {
+            break;
+        }
+    }
+    rhb_bench::telemetry::finish();
+    ExitCode::SUCCESS
+}

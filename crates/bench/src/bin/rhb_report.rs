@@ -16,6 +16,10 @@
 //! rhb-report diff-int8 <baseline.json> <candidate.json>
 //!                                            # exit 1 when serial int8
 //!                                            # eval/GEMM regressed >10 %
+//! rhb-report watch <host:port> [--once] [--check] [--interval-ms N]
+//!                                            # live terminal view of a
+//!                                            # running attack's
+//!                                            # RHB_OBS_ADDR endpoint
 //! ```
 //!
 //! `diff` thresholds: phase time +15 %, ASR −1 pt, any flip-success drop
@@ -28,10 +32,12 @@ use rhb_bench::artifact::{smoke_run, RunArtifact};
 use rhb_bench::compute;
 use rhb_bench::diff::{diff, DiffConfig};
 use rhb_bench::int8bench;
+use rhb_bench::json;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
-const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json>>";
+const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json> | watch <host:port> [--once] [--check] [--interval-ms N]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +69,13 @@ fn main() -> ExitCode {
         Some("diff-int8") => match (args.get(1), args.get(2)) {
             (Some(base), Some(cand)) => diff_int8(Path::new(base), Path::new(cand)),
             _ => usage_error("diff-int8 needs a baseline and a candidate"),
+        },
+        Some("watch") => match args.get(1) {
+            Some(addr) => match WatchOpts::parse(&args[2..]) {
+                Ok(opts) => watch(addr, &opts),
+                Err(code) => code,
+            },
+            None => usage_error("watch needs the endpoint address (host:port)"),
         },
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
         None => usage_error("missing subcommand"),
@@ -161,13 +174,26 @@ fn render(a: &RunArtifact) -> String {
     if !a.histograms.is_empty() {
         out.push_str("  histograms:\n");
         for h in &a.histograms {
-            out.push_str(&format!(
-                "    {:<32} n={:<7} mean {:.1}  p50 {:.1}  p90 {:.1}  p99 {:.1}\n",
-                h.name, h.count, h.mean, h.p50, h.p90, h.p99
+            out.push_str(&hist_row(
+                h.name.as_str(),
+                h.count,
+                h.mean,
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max,
             ));
         }
     }
     out
+}
+
+/// One histogram table row — `show` (persisted artifacts) and `watch`
+/// (live /status digests) share this formatter so the two views line up.
+fn hist_row(name: &str, count: u64, mean: f64, p50: f64, p95: f64, p99: f64, max: f64) -> String {
+    format!(
+        "    {name:<32} n={count:<7} mean {mean:<9.3}  p50 {p50:<9.3}  p95 {p95:<9.3}  p99 {p99:<9.3}  max {max:<9.3}\n"
+    )
 }
 
 fn run_diff(base_path: &Path, cand_path: &Path) -> ExitCode {
@@ -299,4 +325,171 @@ fn diff_compute(base_path: &Path, cand_path: &Path) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+// ---------------------------------------------------------------------------
+// watch: live terminal view of a running attack's RHB_OBS_ADDR endpoint.
+// ---------------------------------------------------------------------------
+
+const SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
+
+struct WatchOpts {
+    /// Render one frame and exit instead of refreshing forever.
+    once: bool,
+    /// Also scrape /metrics and validate the exposition + required
+    /// metric families and status keys (the CI smoke gate).
+    check: bool,
+    interval: Duration,
+}
+
+impl WatchOpts {
+    fn parse(args: &[String]) -> Result<WatchOpts, ExitCode> {
+        let mut opts = WatchOpts {
+            once: false,
+            check: false,
+            interval: Duration::from_millis(1000),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--once" => opts.once = true,
+                "--check" => opts.check = true,
+                "--interval-ms" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) => opts.interval = Duration::from_millis(ms.max(50)),
+                    None => return Err(usage_error("--interval-ms needs a number")),
+                },
+                other => return Err(usage_error(&format!("unknown watch flag '{other}'"))),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn watch(addr: &str, opts: &WatchOpts) -> ExitCode {
+    let mut first = true;
+    loop {
+        let frame = match watch_frame(addr, opts.check) {
+            Ok(frame) => frame,
+            Err(msg) => {
+                eprintln!("rhb-report: {addr}: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if opts.once {
+            print!("{frame}");
+            return ExitCode::SUCCESS;
+        }
+        if !first {
+            // ANSI clear screen + home for the refreshing dashboard.
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        first = false;
+        std::thread::sleep(opts.interval);
+    }
+}
+
+/// Scrapes /status (and /metrics when checking) and renders one frame.
+/// Returns an error string on unreachable endpoint, malformed JSON, or
+/// (in check mode) an invalid exposition / missing metric families.
+fn watch_frame(addr: &str, check: bool) -> Result<String, String> {
+    let (code, body) =
+        rhb_obs::http_get(addr, "/status", SCRAPE_TIMEOUT).map_err(|e| e.to_string())?;
+    if code != 200 {
+        return Err(format!("/status answered HTTP {code}"));
+    }
+    let status = json::parse(&body).map_err(|e| format!("/status is not JSON: {e}"))?;
+    for key in ["phase", "classification", "ledger", "health", "histograms"] {
+        if status.get(key).is_none() {
+            return Err(format!("/status is missing the '{key}' key"));
+        }
+    }
+    let mut out = render_status(addr, &status);
+    if check {
+        let (code, text) =
+            rhb_obs::http_get(addr, "/metrics", SCRAPE_TIMEOUT).map_err(|e| e.to_string())?;
+        if code != 200 {
+            return Err(format!("/metrics answered HTTP {code}"));
+        }
+        rhb_obs::text::validate(&text).map_err(|e| format!("/metrics exposition invalid: {e}"))?;
+        rhb_obs::text::require_families(
+            &text,
+            &["rhb_core_health_eta_s", "rhb_par_", "rhb_nn_eval_"],
+        )?;
+        out.push_str("  check: /metrics exposition valid, required families present\n");
+    }
+    Ok(out)
+}
+
+fn render_status(addr: &str, status: &json::JsonValue) -> String {
+    let str_of = |key: &str| {
+        status
+            .get(key)
+            .and_then(json::JsonValue::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let f64_of = |v: Option<&json::JsonValue>| v.and_then(json::JsonValue::as_f64);
+    let mut out = String::new();
+    let uptime = f64_of(status.get("uptime_s")).unwrap_or(0.0);
+    let phase = str_of("phase");
+    out.push_str(&format!(
+        "watching {addr}  up {uptime:.1}s  phase {}  class {}\n",
+        if phase.is_empty() { "(idle)" } else { &phase },
+        str_of("classification"),
+    ));
+    if let Some(health) = status.get("health") {
+        let gauge = |k: &str| f64_of(health.get(k));
+        out.push_str(&format!(
+            "  health: eta {}  progress {}  hammer {}  templating {}  stalls {}\n",
+            gauge("eta_s").map_or("?".into(), |v| format!("{v:.1}s")),
+            gauge("progress").map_or("?".into(), |v| format!("{:.0}%", v * 100.0)),
+            gauge("hammer_success_rate").map_or("?".into(), |v| format!("{:.0}%", v * 100.0)),
+            gauge("templating_yield").map_or("?".into(), |v| format!("{:.0}%", v * 100.0)),
+            f64_of(health.get("stalls")).unwrap_or(0.0),
+        ));
+    }
+    if let Some(ledger) = status.get("ledger").and_then(json::JsonValue::as_object) {
+        out.push_str("  ledger:");
+        for (key, v) in ledger {
+            if let Some(n) = v.as_f64() {
+                if n > 0.0 {
+                    out.push_str(&format!("  {key} {n}"));
+                }
+            }
+        }
+        out.push('\n');
+    }
+    if let Some(rates) = status.get("rates").and_then(json::JsonValue::as_object) {
+        if !rates.is_empty() {
+            out.push_str("  rates (events/s):\n");
+            for (name, v) in rates {
+                if let Some(r) = v.as_f64() {
+                    out.push_str(&format!("    {name:<40} {r:>10.1}\n"));
+                }
+            }
+        }
+    }
+    if let Some(hists) = status.get("histograms").and_then(json::JsonValue::as_array) {
+        if !hists.is_empty() {
+            out.push_str("  histograms:\n");
+            for h in hists {
+                let f = |k: &str| f64_of(h.get(k)).unwrap_or(0.0);
+                out.push_str(&hist_row(
+                    h.get("name")
+                        .and_then(json::JsonValue::as_str)
+                        .unwrap_or("?"),
+                    f("count") as u64,
+                    f("mean"),
+                    f("p50"),
+                    f("p95"),
+                    f("p99"),
+                    f("max"),
+                ));
+            }
+        }
+    }
+    out
 }

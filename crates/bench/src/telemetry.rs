@@ -8,7 +8,13 @@
 //!   `rhb_trace.jsonl`) and `RHB_TELEMETRY=trace` (default
 //!   `rhb_trace.json`);
 //! * `RHB_TELEMETRY_REPORT=0` — suppress the end-of-run
-//!   [`rhb_telemetry::TelemetryReport`] table on stderr.
+//!   [`rhb_telemetry::TelemetryReport`] table on stderr;
+//! * `RHB_OBS_ADDR=<host:port>` — serve the live observability endpoint
+//!   (`/metrics` Prometheus text, `/status` JSON) for the duration of
+//!   the run, sampling every `RHB_OBS_INTERVAL_MS` (default 1000). The
+//!   endpoint needs metric aggregation, so setting it alongside
+//!   `RHB_TELEMETRY=off` enables collection with the no-op sink: no
+//!   event stream, registry only.
 //!
 //! Binaries call [`init`] first and [`finish`] last:
 //!
@@ -42,7 +48,7 @@ pub enum TelemetryMode {
 /// the experiment.
 pub fn init() -> TelemetryMode {
     let mode = std::env::var("RHB_TELEMETRY").unwrap_or_default();
-    match mode.as_str() {
+    let installed = match mode.as_str() {
         "off" | "0" | "none" => TelemetryMode::Off,
         "jsonl" => {
             let path = std::env::var("RHB_TRACE").unwrap_or_else(|_| "rhb_trace.jsonl".into());
@@ -84,6 +90,31 @@ pub fn init() -> TelemetryMode {
             rhb_telemetry::install(Arc::new(rhb_telemetry::ProgressSink::default()));
             TelemetryMode::Progress
         }
+    };
+    start_obs(installed);
+    installed
+}
+
+/// The live observability endpoint for the current run, if enabled.
+static OBS: std::sync::Mutex<Option<rhb_obs::ObsServer>> = std::sync::Mutex::new(None);
+
+/// Starts the `RHB_OBS_ADDR` endpoint if requested. The endpoint reads
+/// the metric registry, so with `RHB_TELEMETRY=off` collection is
+/// enabled with the no-op sink (aggregation only, no event stream).
+fn start_obs(installed: TelemetryMode) {
+    match rhb_obs::ObsServer::from_env() {
+        Ok(Some(server)) => {
+            if installed == TelemetryMode::Off {
+                rhb_telemetry::install(Arc::new(rhb_telemetry::NoopSink));
+            }
+            eprintln!(
+                "observability endpoint serving http://{}/ (/metrics, /status)",
+                server.local_addr()
+            );
+            *OBS.lock().unwrap_or_else(|e| e.into_inner()) = Some(server);
+        }
+        Ok(None) => {}
+        Err(e) => eprintln!("RHB_OBS_ADDR: {e}; continuing without the endpoint"),
     }
 }
 
@@ -91,6 +122,12 @@ pub fn init() -> TelemetryMode {
 /// (unless suppressed via `RHB_TELEMETRY_REPORT=0` or nothing was
 /// recorded), and disables collection.
 pub fn finish() {
+    // Stop serving before tearing telemetry down: shutdown joins the
+    // listener and sampler threads, so no scrape can observe a
+    // half-reset registry.
+    if let Some(server) = OBS.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        server.shutdown();
+    }
     if !rhb_telemetry::enabled() {
         return;
     }

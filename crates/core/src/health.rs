@@ -1,0 +1,333 @@
+//! Live attack health model.
+//!
+//! The paper's §VII attack-time model (hammer time per row × number of
+//! target bits) gives an a-priori ETA for the online phase; this module
+//! turns it into *live* telemetry. A [`HealthMonitor`] tracks rolling
+//! windows of templating-match and hammer-verification outcomes, keeps
+//! four gauges fresh for the observability endpoint —
+//!
+//! - `core/health/eta_s` — estimated seconds of hammering remaining,
+//! - `core/health/progress` — fraction of target bits resolved,
+//! - `core/health/hammer_success_rate` — rolling verified-flip rate,
+//! - `core/health/templating_yield` — rolling matched-target rate,
+//!
+//! — and emits a `health_stall` telemetry event (plus the
+//! `core/health/stalls` counter) whenever either rolling rate drops
+//! through its floor: the live counterpart of the end-of-run
+//! full/degraded/failed classification.
+
+use rhb_dram::hammer::HammerPattern;
+
+/// Thresholds for the stall/anomaly detector.
+#[derive(Debug, Clone, Copy)]
+pub struct HealthConfig {
+    /// Rolling-window length (outcomes) for both rates.
+    pub window: usize,
+    /// Minimum outcomes in a window before its rate can trip the
+    /// detector — a cold window never stalls.
+    pub min_samples: usize,
+    /// Hammer verification rate below this is a stall.
+    pub hammer_floor: f64,
+    /// Templating match rate below this is a stall.
+    pub yield_floor: f64,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            window: 32,
+            min_samples: 8,
+            // A cooperative DRAM verifies ~every flip and the paper's
+            // templating matches >90% of targets; half/quarter rates mean
+            // the run is degrading toward Failed.
+            hammer_floor: 0.5,
+            yield_floor: 0.25,
+        }
+    }
+}
+
+/// Fixed-capacity rolling window of boolean outcomes.
+#[derive(Debug, Clone)]
+struct RollingRatio {
+    slots: Vec<bool>,
+    next: usize,
+    filled: usize,
+    hits: usize,
+}
+
+impl RollingRatio {
+    fn new(window: usize) -> Self {
+        RollingRatio {
+            slots: vec![false; window.max(1)],
+            next: 0,
+            filled: 0,
+            hits: 0,
+        }
+    }
+
+    fn push(&mut self, hit: bool) {
+        if self.filled == self.slots.len() {
+            if self.slots[self.next] {
+                self.hits -= 1;
+            }
+        } else {
+            self.filled += 1;
+        }
+        self.slots[self.next] = hit;
+        if hit {
+            self.hits += 1;
+        }
+        self.next = (self.next + 1) % self.slots.len();
+    }
+
+    fn len(&self) -> usize {
+        self.filled
+    }
+
+    /// Hit rate over the window; 1.0 while empty (optimistic cold start).
+    fn rate(&self) -> f64 {
+        if self.filled == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.filled as f64
+        }
+    }
+}
+
+/// Live health state of one online attack run.
+pub struct HealthMonitor {
+    config: HealthConfig,
+    pattern: HammerPattern,
+    n_targets: usize,
+    resolved: usize,
+    hammer: RollingRatio,
+    templating: RollingRatio,
+    stalled: bool,
+    stalls: u64,
+}
+
+impl HealthMonitor {
+    /// Arms the monitor for a run of `n_targets` bits and publishes the
+    /// §VII a-priori ETA (`attack_time(n_targets)`) immediately, so a
+    /// scrape during matching/placement already sees the estimate.
+    pub fn new(config: HealthConfig, pattern: HammerPattern, n_targets: usize) -> Self {
+        let monitor = HealthMonitor {
+            config,
+            pattern,
+            n_targets,
+            resolved: 0,
+            hammer: RollingRatio::new(config.window),
+            templating: RollingRatio::new(config.window),
+            stalled: false,
+            stalls: 0,
+        };
+        monitor.publish();
+        monitor
+    }
+
+    /// Records one templating-match outcome (did the target find a
+    /// flippy frame?).
+    pub fn observe_match(&mut self, matched: bool) {
+        self.templating.push(matched);
+        self.after_observation();
+    }
+
+    /// Records one hammer outcome (did read-back verify the flip?) and
+    /// counts the target as resolved for progress/ETA purposes.
+    pub fn observe_hammer(&mut self, verified: bool) {
+        self.hammer.push(verified);
+        self.resolved = (self.resolved + 1).min(self.n_targets.max(1));
+        self.after_observation();
+    }
+
+    /// Marks the run complete: progress 1.0, ETA 0.
+    pub fn finish(&mut self) {
+        self.resolved = self.n_targets;
+        self.publish();
+    }
+
+    /// Fraction of target bits resolved so far.
+    pub fn progress(&self) -> f64 {
+        if self.n_targets == 0 {
+            1.0
+        } else {
+            self.resolved as f64 / self.n_targets as f64
+        }
+    }
+
+    /// Estimated seconds of hammering remaining: the §VII model for the
+    /// unresolved targets, inflated by the observed verification rate
+    /// (a 50% rate doubles the expected passes per remaining bit).
+    pub fn eta_seconds(&self) -> f64 {
+        let remaining = self.n_targets.saturating_sub(self.resolved);
+        let base = self.pattern.attack_time(remaining).as_secs_f64();
+        base / self.hammer.rate().max(0.05)
+    }
+
+    /// Rolling hammer verification rate.
+    pub fn hammer_success_rate(&self) -> f64 {
+        self.hammer.rate()
+    }
+
+    /// Rolling templating match rate.
+    pub fn templating_yield(&self) -> f64 {
+        self.templating.rate()
+    }
+
+    /// Whether the detector currently considers the run stalled.
+    pub fn is_stalled(&self) -> bool {
+        self.stalled
+    }
+
+    /// Stall transitions seen so far.
+    pub fn stall_count(&self) -> u64 {
+        self.stalls
+    }
+
+    fn after_observation(&mut self) {
+        let hammer_bad = self.hammer.len() >= self.config.min_samples
+            && self.hammer.rate() < self.config.hammer_floor;
+        let yield_bad = self.templating.len() >= self.config.min_samples
+            && self.templating.rate() < self.config.yield_floor;
+        let now_stalled = hammer_bad || yield_bad;
+        if now_stalled && !self.stalled {
+            self.stalls += 1;
+            rhb_telemetry::counter!("core/health/stalls", 1);
+            rhb_telemetry::event!(
+                "health_stall",
+                hammer_success_rate = self.hammer.rate(),
+                templating_yield = self.templating.rate(),
+                progress = self.progress(),
+            );
+        } else if !now_stalled && self.stalled {
+            rhb_telemetry::event!(
+                "health_recovered",
+                hammer_success_rate = self.hammer.rate(),
+                templating_yield = self.templating.rate(),
+            );
+        }
+        self.stalled = now_stalled;
+        self.publish();
+    }
+
+    fn publish(&self) {
+        rhb_telemetry::gauge!("core/health/eta_s", self.eta_seconds());
+        rhb_telemetry::gauge!("core/health/progress", self.progress());
+        rhb_telemetry::gauge!(
+            "core/health/hammer_success_rate",
+            self.hammer_success_rate()
+        );
+        rhb_telemetry::gauge!("core/health/templating_yield", self.templating_yield());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn monitor(n_targets: usize) -> HealthMonitor {
+        HealthMonitor::new(
+            HealthConfig::default(),
+            HammerPattern::seven_sided(),
+            n_targets,
+        )
+    }
+
+    #[test]
+    fn initial_eta_matches_the_section_vii_model() {
+        let m = monitor(10);
+        // 10 targets × 400 ms/row at seven sides, perfect cold-start rate.
+        assert!((m.eta_seconds() - 4.0).abs() < 1e-9, "{}", m.eta_seconds());
+        assert_eq!(m.progress(), 0.0);
+        assert!(!m.is_stalled());
+    }
+
+    #[test]
+    fn eta_shrinks_with_progress_and_inflates_with_failures() {
+        let mut m = monitor(10);
+        for _ in 0..5 {
+            m.observe_hammer(true);
+        }
+        assert_eq!(m.progress(), 0.5);
+        assert!((m.eta_seconds() - 2.0).abs() < 1e-9, "{}", m.eta_seconds());
+        // Failures halve the rolling rate → remaining ETA doubles.
+        let mut m = monitor(10);
+        for _ in 0..4 {
+            m.observe_hammer(true);
+            m.observe_hammer(false);
+        }
+        assert_eq!(m.hammer_success_rate(), 0.5);
+        // 2 targets remain × 0.4 s/row, inflated by the 0.5 rate.
+        let expect = 2.0 * 0.4 / 0.5;
+        assert!(
+            (m.eta_seconds() - expect).abs() < 1e-9,
+            "{}",
+            m.eta_seconds()
+        );
+    }
+
+    #[test]
+    fn stall_fires_once_per_transition_not_per_sample() {
+        let mut m = monitor(100);
+        // 8+ samples all failing: one stall transition.
+        for _ in 0..12 {
+            m.observe_hammer(false);
+        }
+        assert!(m.is_stalled());
+        assert_eq!(m.stall_count(), 1);
+        // Recovery: enough successes to clear the floor…
+        for _ in 0..32 {
+            m.observe_hammer(true);
+        }
+        assert!(!m.is_stalled());
+        // …and a relapse counts as a second stall.
+        for _ in 0..32 {
+            m.observe_hammer(false);
+        }
+        assert!(m.is_stalled());
+        assert_eq!(m.stall_count(), 2);
+    }
+
+    #[test]
+    fn cold_window_never_stalls() {
+        let mut m = monitor(100);
+        for _ in 0..7 {
+            m.observe_hammer(false); // below min_samples = 8
+        }
+        assert!(!m.is_stalled());
+    }
+
+    #[test]
+    fn templating_yield_floor_trips_the_detector_independently() {
+        let mut m = monitor(100);
+        for _ in 0..10 {
+            m.observe_match(false);
+        }
+        assert!(m.is_stalled());
+        assert_eq!(m.hammer_success_rate(), 1.0, "hammer window untouched");
+        assert_eq!(m.templating_yield(), 0.0);
+    }
+
+    #[test]
+    fn rolling_window_forgets_old_outcomes() {
+        let mut r = RollingRatio::new(4);
+        for _ in 0..4 {
+            r.push(false);
+        }
+        assert_eq!(r.rate(), 0.0);
+        for _ in 0..4 {
+            r.push(true);
+        }
+        assert_eq!(r.rate(), 1.0, "old failures must age out");
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn zero_target_runs_are_complete_and_healthy() {
+        let mut m = monitor(0);
+        assert_eq!(m.progress(), 1.0);
+        assert_eq!(m.eta_seconds(), 0.0);
+        m.finish();
+        assert_eq!(m.progress(), 1.0);
+    }
+}

@@ -23,6 +23,7 @@
 pub mod baselines;
 pub mod cft;
 pub mod groupsel;
+pub mod health;
 pub mod metrics;
 pub mod objective;
 pub mod pipeline;

@@ -341,6 +341,14 @@ impl AttackPipeline {
         };
         let alternates = alternate_map(&dram_targets, &offline.alternates, group_plan.as_ref());
 
+        // Arm the live health model: the §VII a-priori ETA publishes
+        // before hammering starts, so a mid-run scrape already sees it.
+        let mut health = crate::health::HealthMonitor::new(
+            crate::health::HealthConfig::default(),
+            self.hammer.pattern,
+            dram_targets.len(),
+        );
+
         // Recovery only arms alongside chaos: on a cooperative DRAM the
         // single-pass attack and the adaptive driver are byte-identical,
         // and a disabled policy keeps them on the same code path.
@@ -351,6 +359,18 @@ impl AttackPipeline {
         };
         let adaptive = attack.execute_adaptive(&mut bytes, &dram_targets, &alternates, &policy);
         let outcome = &adaptive.outcome;
+
+        // Feed the health model from the per-target records so the
+        // rolling rates, progress, and refined ETA reflect this run; the
+        // end-of-run classification gauge keys /status.
+        for rec in &outcome.records {
+            health.observe_match(rec.matched_frame.is_some());
+            if rec.hammer_attempts > 0 {
+                health.observe_hammer(rec.verified);
+            }
+        }
+        health.finish();
+        rhb_telemetry::gauge!("core/run_class", adaptive.classification.rank());
 
         let ledger: Vec<FlipRecord> = outcome
             .records

@@ -151,21 +151,24 @@ impl BasicBlock {
     }
 
     fn forward(&mut self, x: &Tensor, mode: Mode) -> Tensor {
-        let main = self.conv1.forward_mode(x, mode);
-        let main = self.bn1.forward_mode(&main, mode);
-        let main = self.relu1.forward_mode(&main, mode);
-        let main = self.conv2.forward_mode(&main, mode);
-        let mut main = self.bn2.forward_mode(&main, mode);
+        // `forward_instrumented` feeds the per-layer `nn/eval/*` timing
+        // histograms, which ResNet must populate itself: its residual
+        // graph bypasses `Sequential`.
+        let main = self.conv1.forward_instrumented(x, mode);
+        let main = self.bn1.forward_instrumented(&main, mode);
+        let main = self.relu1.forward_instrumented(&main, mode);
+        let main = self.conv2.forward_instrumented(&main, mode);
+        let mut main = self.bn2.forward_instrumented(&main, mode);
         let skip = match &mut self.downsample {
             Some((conv, bn)) => {
-                let s = conv.forward_mode(x, mode);
-                bn.forward_mode(&s, mode)
+                let s = conv.forward_instrumented(x, mode);
+                bn.forward_instrumented(&s, mode)
             }
             None => x.clone(),
         };
         main.axpy(1.0, &skip);
         self.cached_skip_needed = mode.caches();
-        self.relu2.forward_mode(&main, mode)
+        self.relu2.forward_instrumented(&main, mode)
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -287,14 +290,14 @@ impl ResNet {
 
 impl Network for ResNet {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let x = self.stem_conv.forward_mode(input, mode);
-        let x = self.stem_bn.forward_mode(&x, mode);
-        let mut x = self.stem_relu.forward_mode(&x, mode);
+        let x = self.stem_conv.forward_instrumented(input, mode);
+        let x = self.stem_bn.forward_instrumented(&x, mode);
+        let mut x = self.stem_relu.forward_instrumented(&x, mode);
         for block in &mut self.blocks {
             x = block.forward(&x, mode);
         }
-        let x = self.pool.forward_mode(&x, mode);
-        self.fc.forward_mode(&x, mode)
+        let x = self.pool.forward_instrumented(&x, mode);
+        self.fc.forward_instrumented(&x, mode)
     }
 
     fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
@@ -432,6 +435,31 @@ mod tests {
         for (a, b) in before.data().iter().zip(after.data()) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn eval_forward_records_per_layer_timings() {
+        rhb_telemetry::install(std::sync::Arc::new(rhb_telemetry::NoopSink));
+        let mut net = tiny();
+        net.forward(&Tensor::zeros(&[1, 3, 16, 16]), Mode::Eval);
+        let report = rhb_telemetry::report();
+        let names: Vec<&str> = report
+            .histograms
+            .iter()
+            .map(|h| h.name.as_str())
+            .filter(|n| n.starts_with("nn/eval/"))
+            .collect();
+        for expected in [
+            "nn/eval/conv2d_f32_s",
+            "nn/eval/batch_norm2d_f32_s",
+            "nn/eval/relu_f32_s",
+            "nn/eval/global_avg_pool_f32_s",
+            "nn/eval/linear_f32_s",
+        ] {
+            assert!(names.contains(&expected), "{expected} missing in {names:?}");
+        }
+        rhb_telemetry::shutdown();
+        rhb_telemetry::reset();
     }
 
     #[test]

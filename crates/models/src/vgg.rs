@@ -116,8 +116,8 @@ impl Vgg {
 impl Network for Vgg {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let x = self.features.forward_mode(input, mode);
-        let x = self.pool.forward_mode(&x, mode);
-        self.fc.forward_mode(&x, mode)
+        let x = self.pool.forward_instrumented(&x, mode);
+        self.fc.forward_instrumented(&x, mode)
     }
 
     fn backward(&mut self, grad_logits: &Tensor) -> Tensor {

@@ -51,6 +51,10 @@ impl Layer for Relu {
     fn describe(&self) -> String {
         "ReLU".into()
     }
+
+    fn op_name(&self) -> &'static str {
+        "relu"
+    }
 }
 
 #[cfg(test)]

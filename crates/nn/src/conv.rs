@@ -501,6 +501,10 @@ impl Layer for Conv2d {
             self.geom.padding
         )
     }
+
+    fn op_name(&self) -> &'static str {
+        "conv2d"
+    }
 }
 
 #[cfg(test)]

@@ -89,6 +89,39 @@ pub trait Layer: Send {
 
     /// Human-readable layer description for debugging.
     fn describe(&self) -> String;
+
+    /// Short stable op label (`conv2d`, `linear`, …) keying the
+    /// per-layer eval-timing histograms (`nn/eval/<op>_<engine>_s`).
+    fn op_name(&self) -> &'static str {
+        "layer"
+    }
+
+    /// [`Layer::forward_mode`] plus a per-layer eval-timing sample.
+    ///
+    /// For the two inference modes this records the layer's wall time
+    /// into `nn/eval/<op>_<engine>_s` (`engine` = `f32` for [`Mode::Eval`],
+    /// `i8` for [`Mode::Int8`]) — the measurement surface for "where does
+    /// inference time go, and does int8 actually win per op?". Training
+    /// and frozen forwards, or a disabled registry, skip straight to
+    /// `forward_mode`. [`Sequential`] and the model zoo's hand-rolled
+    /// forward graphs route every layer call through this.
+    fn forward_instrumented(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let engine = match mode {
+            Mode::Eval => "f32",
+            Mode::Int8 => "i8",
+            Mode::Train | Mode::Frozen => return self.forward_mode(input, mode),
+        };
+        if !rhb_telemetry::enabled() {
+            return self.forward_mode(input, mode);
+        }
+        let t0 = std::time::Instant::now();
+        let out = self.forward_mode(input, mode);
+        rhb_telemetry::observe_value(
+            &format!("nn/eval/{}_{engine}_s", self.op_name()),
+            t0.elapsed().as_secs_f64(),
+        );
+        out
+    }
 }
 
 /// A stack of layers applied in sequence.
@@ -151,7 +184,7 @@ impl Layer for Sequential {
         let t0 = rhb_telemetry::enabled().then(std::time::Instant::now);
         let mut x = input.clone();
         for layer in &mut self.layers {
-            x = layer.forward_mode(&x, mode);
+            x = layer.forward_instrumented(&x, mode);
         }
         if let Some(t0) = t0 {
             rhb_telemetry::observe_value("nn/seq_forward_s", t0.elapsed().as_secs_f64());
@@ -228,6 +261,43 @@ mod tests {
         let names: Vec<String> = net.params().iter().map(|p| p.name.clone()).collect();
         assert_eq!(names.len(), 4);
         assert!(names[0].contains("weight") && names[1].contains("bias"));
+    }
+
+    #[test]
+    fn eval_modes_record_per_layer_timings_by_op_and_engine() {
+        rhb_telemetry::install(std::sync::Arc::new(rhb_telemetry::NoopSink));
+        let mut rng = Rng::seed_from(9);
+        let mut net = Sequential::new();
+        net.push(Box::new(Linear::new(6, 4, true, &mut rng)));
+        net.push(Box::new(Relu::new()));
+        let x = Tensor::zeros(&[2, 6]);
+        net.forward_mode(&x, Mode::Eval);
+        for p in net.params_mut() {
+            p.deploy().expect("quantize test parameters");
+        }
+        net.forward_mode(&x, Mode::Int8);
+        net.forward_mode(&x, Mode::Train); // must NOT add eval timings
+        let report = rhb_telemetry::report();
+        let names: Vec<&str> = report
+            .histograms
+            .iter()
+            .map(|h| h.name.as_str())
+            .filter(|n| n.starts_with("nn/eval/"))
+            .collect();
+        assert!(names.contains(&"nn/eval/linear_f32_s"), "{names:?}");
+        assert!(names.contains(&"nn/eval/relu_f32_s"), "{names:?}");
+        assert!(names.contains(&"nn/eval/linear_i8_s"), "{names:?}");
+        assert!(names.contains(&"nn/eval/relu_i8_s"), "{names:?}");
+        rhb_telemetry::shutdown();
+        rhb_telemetry::reset();
+    }
+
+    #[test]
+    fn op_names_are_stable_labels() {
+        let mut rng = Rng::seed_from(10);
+        assert_eq!(Linear::new(2, 2, false, &mut rng).op_name(), "linear");
+        assert_eq!(Relu::new().op_name(), "relu");
+        assert_eq!(Sequential::new().op_name(), "layer", "default label");
     }
 
     #[test]

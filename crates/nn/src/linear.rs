@@ -214,6 +214,10 @@ impl Layer for Linear {
     fn describe(&self) -> String {
         format!("Linear({}->{})", self.in_features, self.out_features)
     }
+
+    fn op_name(&self) -> &'static str {
+        "linear"
+    }
 }
 
 #[cfg(test)]

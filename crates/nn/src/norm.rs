@@ -198,6 +198,10 @@ impl Layer for BatchNorm2d {
     fn describe(&self) -> String {
         format!("BatchNorm2d({})", self.channels)
     }
+
+    fn op_name(&self) -> &'static str {
+        "batch_norm2d"
+    }
 }
 
 #[cfg(test)]

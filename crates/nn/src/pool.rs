@@ -66,6 +66,10 @@ impl Layer for GlobalAvgPool {
     fn describe(&self) -> String {
         "GlobalAvgPool".into()
     }
+
+    fn op_name(&self) -> &'static str {
+        "global_avg_pool"
+    }
 }
 
 /// Non-overlapping max pooling with a square window.
@@ -171,6 +175,10 @@ impl Layer for MaxPool2d {
 
     fn describe(&self) -> String {
         format!("MaxPool2d({})", self.window)
+    }
+
+    fn op_name(&self) -> &'static str {
+        "max_pool2d"
     }
 }
 

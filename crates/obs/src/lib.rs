@@ -1,0 +1,288 @@
+//! # rhb-obs
+//!
+//! Live observability endpoint for the rowhammer-backdoor pipeline: a
+//! dependency-free blocking HTTP server (one listener thread, std-only —
+//! the same no-external-deps discipline as `rhb-par`) exposing the
+//! global telemetry registry while an attack runs.
+//!
+//! Routes:
+//!
+//! - `GET /metrics` — Prometheus text exposition (format 0.0.4) of every
+//!   counter, gauge, histogram, and span aggregate.
+//! - `GET /status` — JSON attack status: current phase (live span path),
+//!   run classification, flip-ledger summary, health-model gauges, and
+//!   histogram percentile digests. `rhb-report watch` renders from this.
+//! - `GET /` — a plain-text index naming the other two.
+//!
+//! Scrapes are served from the [`Sampler`]'s latest snapshot, so an HTTP
+//! request never touches the metric locks on the hot path; the sampler
+//! takes one consistent snapshot per `RHB_OBS_INTERVAL_MS` (default
+//! 1000 ms). The whole plane is off unless `RHB_OBS_ADDR` is set — a
+//! disabled run pays nothing beyond the telemetry crate's usual one
+//! relaxed atomic load per instrumentation site.
+//!
+//! ```no_run
+//! // Serve on a fixed port for the lifetime of a run:
+//! let server = rhb_obs::ObsServer::start("127.0.0.1:9184", std::time::Duration::from_millis(250))
+//!     .expect("bind obs endpoint");
+//! // ... run the attack ...
+//! server.shutdown(); // joins the listener and sampler threads
+//! ```
+
+mod client;
+pub mod status;
+pub mod text;
+
+pub use client::http_get;
+
+use rhb_telemetry::{MetricsSnapshot, Sampler};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Environment variable that enables the endpoint (`host:port`).
+pub const ADDR_ENV: &str = "RHB_OBS_ADDR";
+
+/// Largest request head we will buffer before answering 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// The observability HTTP server plus its background sampler.
+///
+/// Dropping the server (or calling [`ObsServer::shutdown`]) stops and
+/// joins both threads; shutdown is synchronous so a process exiting
+/// right after can't leak a half-written response.
+pub struct ObsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+    sampler: Option<Arc<Sampler>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for an ephemeral
+    /// port) and starts the listener and sampler threads.
+    pub fn start(addr: &str, interval: Duration) -> std::io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = Arc::new(Sampler::start(interval));
+        let thread_stop = Arc::clone(&stop);
+        let thread_sampler = Arc::clone(&sampler);
+        let handle = std::thread::Builder::new()
+            .name("rhb-obs".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Serial handling: scrapes are rare (one per poll
+                    // interval) and tiny, so one thread is plenty and the
+                    // server can never amplify load on the attack.
+                    let _ = handle_connection(stream, &thread_sampler);
+                }
+            })?;
+        Ok(ObsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+            sampler: Some(sampler),
+        })
+    }
+
+    /// Starts the endpoint if `RHB_OBS_ADDR` is set; `Ok(None)` when it
+    /// is not. The interval comes from `RHB_OBS_INTERVAL_MS`.
+    pub fn from_env() -> std::io::Result<Option<ObsServer>> {
+        match std::env::var(ADDR_ENV) {
+            Ok(addr) if !addr.trim().is_empty() => {
+                Self::start(addr.trim(), rhb_telemetry::interval_from_env()).map(Some)
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the listener and sampler and joins both threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop: the listener only re-checks the stop
+        // flag when a connection arrives, so give it one.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            // The listener thread has joined, so ours is the last Arc.
+            if let Ok(sampler) = Arc::try_unwrap(sampler) {
+                sampler.stop();
+            }
+        }
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The freshest snapshot available: the sampler's latest, waiting
+/// briefly for its first publication right after startup, falling back
+/// to a direct registry snapshot if it never arrives.
+fn current_snapshot(sampler: &Sampler) -> Arc<MetricsSnapshot> {
+    let deadline = Instant::now() + Duration::from_millis(500);
+    loop {
+        if let Some(snap) = sampler.latest() {
+            return snap;
+        }
+        if Instant::now() >= deadline {
+            return Arc::new(rhb_telemetry::snapshot());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, sampler: &Sampler) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut head = Vec::new();
+    let mut buf = [0u8; 1024];
+    // Read until the end of the request head; bodies are ignored (GET).
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        if head.len() > MAX_REQUEST_BYTES {
+            return respond(&mut stream, 400, "text/plain", "request too large\n");
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+            Err(_) => break, // timeout or reset: answer what we have
+        }
+    }
+    let head = String::from_utf8_lossy(&head);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    }
+    // Strip any query string; the endpoint takes no parameters.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => {
+            let body = text::render(&current_snapshot(sampler));
+            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+        }
+        "/status" => {
+            let body = status::render(&current_snapshot(sampler));
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/" => respond(
+            &mut stream,
+            200,
+            "text/plain",
+            "rhb-obs endpoints:\n  /metrics  Prometheus text exposition\n  /status   JSON attack status\n",
+        ),
+        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    let header = format!(
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_telemetry::NoopSink;
+    use std::sync::Arc as StdArc;
+
+    const T: Duration = Duration::from_secs(5);
+
+    fn serving() -> ObsServer {
+        rhb_telemetry::install(StdArc::new(NoopSink));
+        ObsServer::start("127.0.0.1:0", Duration::from_millis(25)).expect("bind ephemeral port")
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_valid_prometheus_text() {
+        let server = serving();
+        rhb_telemetry::add_counter("obs_test/hits", 11);
+        // Let the sampler pick up the counter.
+        std::thread::sleep(Duration::from_millis(60));
+        let (code, body) =
+            http_get(&server.local_addr().to_string(), "/metrics", T).expect("scrape");
+        assert_eq!(code, 200);
+        text::validate(&body).expect("exposition must validate");
+        assert!(body.contains("rhb_obs_test_hits 11"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn status_endpoint_serves_json_with_phase_and_ledger() {
+        let server = serving();
+        let (code, body) =
+            http_get(&server.local_addr().to_string(), "/status", T).expect("scrape");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"phase\""));
+        assert!(body.contains("\"ledger\""));
+        assert!(body.contains("\"classification\""));
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_404_and_non_get_405() {
+        let server = serving();
+        let addr = server.local_addr().to_string();
+        let (code, _) = http_get(&addr, "/nope", T).expect("scrape");
+        assert_eq!(code, 404);
+        // Index route names the real endpoints.
+        let (code, body) = http_get(&addr, "/", T).expect("scrape");
+        assert_eq!(code, 200);
+        assert!(body.contains("/metrics"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_both_threads_and_frees_the_port() {
+        let server = serving();
+        let addr = server.local_addr();
+        server.shutdown(); // hangs the test if either thread fails to join
+                           // The port is released: a rebind on the exact address succeeds.
+        TcpListener::bind(addr).expect("port must be free after shutdown");
+    }
+
+    #[test]
+    fn from_env_is_inert_without_the_variable() {
+        // RHB_OBS_ADDR is not set in the test environment.
+        assert!(ObsServer::from_env().expect("no io error").is_none());
+    }
+}

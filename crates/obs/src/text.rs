@@ -1,0 +1,337 @@
+//! Prometheus text exposition (format 0.0.4) over a metrics snapshot,
+//! plus a validator the CI smoke gate and `rhb-report watch --check`
+//! share.
+//!
+//! Metric names are the telemetry names with `/` (and anything else
+//! outside `[a-zA-Z0-9_:]`) mapped to `_` and an `rhb_` prefix, so
+//! `dram/bits_flipped` exposes as `rhb_dram_bits_flipped`. Histograms
+//! render cumulative `_bucket{le="..."}` series (empty buckets are
+//! skipped — a legal sub-sampling of the grid — and the `+Inf` bucket is
+//! always present), `_sum`, and `_count`. Span aggregates expose as two
+//! counters per path: `..._seconds_total` and `..._count`.
+
+use rhb_telemetry::MetricsSnapshot;
+use std::fmt::Write as _;
+
+/// Maps a telemetry metric name onto the Prometheus grammar.
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("rhb_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else if v.is_nan() {
+        "NaN".into()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders one snapshot in Prometheus text exposition format.
+pub fn render(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    // Endpoint self-description first, so even an idle registry serves a
+    // non-empty, valid exposition.
+    let _ = writeln!(out, "# TYPE rhb_obs_uptime_seconds gauge");
+    let _ = writeln!(
+        out,
+        "rhb_obs_uptime_seconds {}",
+        fmt_value(snap.uptime.as_secs_f64())
+    );
+    let _ = writeln!(out, "# TYPE rhb_obs_snapshot_seq counter");
+    let _ = writeln!(out, "rhb_obs_snapshot_seq {}", snap.seq);
+    if let Some(interval) = snap.interval {
+        let _ = writeln!(out, "# TYPE rhb_obs_snapshot_interval_seconds gauge");
+        let _ = writeln!(
+            out,
+            "rhb_obs_snapshot_interval_seconds {}",
+            fmt_value(interval.as_secs_f64())
+        );
+    }
+    for c in &snap.counters {
+        let name = sanitize(&c.name);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {}", c.total);
+    }
+    for (gname, value) in &snap.gauges {
+        let name = sanitize(gname);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", fmt_value(*value));
+    }
+    for h in &snap.histograms {
+        let name = sanitize(&h.name);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in h.hist.buckets() {
+            cumulative += count;
+            if count == 0 && bound.is_finite() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{le=\"{}\"}} {cumulative}",
+                fmt_value(bound)
+            );
+        }
+        let _ = writeln!(out, "{name}_sum {}", fmt_value(h.hist.sum()));
+        let _ = writeln!(out, "{name}_count {}", h.hist.count());
+    }
+    for s in &snap.spans {
+        let name = sanitize(&format!("span/{}", s.path));
+        let _ = writeln!(out, "# TYPE {name}_seconds_total counter");
+        let _ = writeln!(
+            out,
+            "{name}_seconds_total {}",
+            fmt_value(s.total.as_secs_f64())
+        );
+        let _ = writeln!(out, "# TYPE {name}_count counter");
+        let _ = writeln!(out, "{name}_count {}", s.count);
+    }
+    out
+}
+
+fn is_name_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_' || c == ':'
+}
+
+fn is_name_char(c: char) -> bool {
+    is_name_start(c) || c.is_ascii_digit()
+}
+
+/// The metric family a sample series belongs to: histogram series
+/// (`_bucket`/`_sum`/`_count`) fold onto their base name when the base
+/// was declared as a histogram.
+fn family_of<'a>(series: &'a str, types: &std::collections::BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = series.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    series
+}
+
+/// Validates Prometheus text exposition syntax: every line is a comment
+/// or a well-formed sample, every sample's family has a preceding
+/// `# TYPE` declaration, and histogram bucket series are cumulative.
+pub fn validate(text: &str) -> Result<(), String> {
+    let mut types: std::collections::BTreeMap<String, String> = Default::default();
+    let mut last_bucket: std::collections::BTreeMap<String, u64> = Default::default();
+    if text.trim().is_empty() {
+        return Err("empty exposition".into());
+    }
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.split_whitespace();
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts
+                        .next()
+                        .ok_or_else(|| format!("line {n}: TYPE without a name"))?;
+                    let kind = parts
+                        .next()
+                        .ok_or_else(|| format!("line {n}: TYPE without a kind"))?;
+                    if !["counter", "gauge", "histogram", "summary", "untyped"].contains(&kind) {
+                        return Err(format!("line {n}: unknown TYPE kind '{kind}'"));
+                    }
+                    types.insert(name.to_string(), kind.to_string());
+                }
+                _ => continue, // HELP and free comments
+            }
+            continue;
+        }
+        // Sample: name[{labels}] value [timestamp]
+        let mut chars = line.char_indices();
+        let Some((_, first)) = chars.next() else {
+            continue;
+        };
+        if !is_name_start(first) {
+            return Err(format!("line {n}: bad metric name start: {line:?}"));
+        }
+        let mut name_end = line.len();
+        for (i, c) in chars {
+            if !is_name_char(c) {
+                name_end = i;
+                break;
+            }
+        }
+        let name = &line[..name_end];
+        let mut rest = &line[name_end..];
+        let mut le_label: Option<String> = None;
+        if let Some(stripped) = rest.strip_prefix('{') {
+            let close = stripped
+                .find('}')
+                .ok_or_else(|| format!("line {n}: unterminated label set"))?;
+            let labels = &stripped[..close];
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {n}: label without '=': {pair:?}"))?;
+                let v = v
+                    .strip_prefix('"')
+                    .and_then(|v| v.strip_suffix('"'))
+                    .ok_or_else(|| format!("line {n}: unquoted label value: {pair:?}"))?;
+                if k == "le" {
+                    le_label = Some(v.to_string());
+                }
+            }
+            rest = &stripped[close + 1..];
+        }
+        let mut fields = rest.split_whitespace();
+        let value = fields
+            .next()
+            .ok_or_else(|| format!("line {n}: sample without a value"))?;
+        if !["+Inf", "-Inf", "NaN"].contains(&value) && value.parse::<f64>().is_err() {
+            return Err(format!("line {n}: unparseable value {value:?}"));
+        }
+        if let Some(ts) = fields.next() {
+            ts.parse::<i64>()
+                .map_err(|_| format!("line {n}: bad timestamp {ts:?}"))?;
+        }
+        let family = family_of(name, &types);
+        if !types.contains_key(family) {
+            return Err(format!("line {n}: sample '{name}' has no preceding # TYPE"));
+        }
+        // Histogram buckets must be cumulative (non-decreasing in le order,
+        // which is emission order here).
+        if le_label.is_some() && name.ends_with("_bucket") {
+            let v = value
+                .parse::<f64>()
+                .map_err(|_| format!("line {n}: non-numeric bucket count"))?
+                as u64;
+            let prev = last_bucket.entry(family.to_string()).or_insert(0);
+            if v < *prev {
+                return Err(format!(
+                    "line {n}: bucket counts not cumulative for {family}"
+                ));
+            }
+            *prev = v;
+        }
+    }
+    Ok(())
+}
+
+/// Checks that every required family (exact name or `_`-delimited
+/// prefix ending in `_`) appears in the exposition.
+pub fn require_families(text: &str, required: &[&str]) -> Result<(), String> {
+    let mut missing = Vec::new();
+    for want in required {
+        let found = text.lines().any(|line| {
+            let Some(rest) = line.strip_prefix("# TYPE ") else {
+                return false;
+            };
+            let name = rest.split_whitespace().next().unwrap_or("");
+            if want.ends_with('_') {
+                name.starts_with(want)
+            } else {
+                name == *want
+            }
+        });
+        if !found {
+            missing.push(*want);
+        }
+    }
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("missing metric families: {}", missing.join(", ")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rhb_telemetry::{NoopSink, Telemetry};
+    use std::sync::Arc;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let tel = Telemetry::new();
+        tel.install(Arc::new(NoopSink));
+        tel.add_counter("dram/bits_flipped", 7);
+        tel.gauge("core/health/eta_s", 12.5);
+        tel.observe("nn/eval/conv2d_f32_s", 0.002);
+        tel.observe("nn/eval/conv2d_f32_s", 0.004);
+        {
+            let _g = tel.start_span("pipeline", &[]);
+        }
+        tel.snapshot()
+    }
+
+    #[test]
+    fn sanitize_maps_slashes_and_prefixes() {
+        assert_eq!(sanitize("dram/bits_flipped"), "rhb_dram_bits_flipped");
+        assert_eq!(sanitize("core/health/eta_s"), "rhb_core_health_eta_s");
+        assert_eq!(sanitize("weird name-1"), "rhb_weird_name_1");
+    }
+
+    #[test]
+    fn render_emits_all_families_and_validates() {
+        let text = render(&sample_snapshot());
+        validate(&text).expect("own exposition must validate");
+        assert!(text.contains("# TYPE rhb_dram_bits_flipped counter"));
+        assert!(text.contains("rhb_dram_bits_flipped 7"));
+        assert!(text.contains("# TYPE rhb_core_health_eta_s gauge"));
+        assert!(text.contains("rhb_core_health_eta_s 12.5"));
+        assert!(text.contains("# TYPE rhb_nn_eval_conv2d_f32_s histogram"));
+        assert!(text.contains("rhb_nn_eval_conv2d_f32_s_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("rhb_nn_eval_conv2d_f32_s_count 2"));
+        assert!(text.contains("rhb_span_pipeline_seconds_total"));
+        assert!(text.contains("rhb_obs_uptime_seconds"));
+    }
+
+    #[test]
+    fn empty_registry_still_serves_a_valid_exposition() {
+        let tel = Telemetry::new();
+        let text = render(&tel.snapshot());
+        validate(&text).expect("idle exposition must validate");
+        assert!(text.contains("rhb_obs_snapshot_seq 1"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_expositions() {
+        assert!(validate("").is_err());
+        assert!(validate("1bad_name 3\n").is_err(), "name starts with digit");
+        assert!(validate("rhb_x 3\n").is_err(), "sample without TYPE");
+        assert!(validate("# TYPE rhb_x counter\nrhb_x notanumber\n").is_err());
+        assert!(validate("# TYPE rhb_x widget\nrhb_x 1\n").is_err());
+        assert!(validate("# TYPE rhb_x counter\nrhb_x{le=\"1\" 3\n").is_err());
+        let decreasing = "# TYPE rhb_h histogram\n\
+                          rhb_h_bucket{le=\"1\"} 5\n\
+                          rhb_h_bucket{le=\"+Inf\"} 3\n\
+                          rhb_h_sum 1\nrhb_h_count 3\n";
+        assert!(validate(decreasing).is_err(), "non-cumulative buckets");
+    }
+
+    #[test]
+    fn require_families_matches_exact_and_prefix() {
+        let text = render(&sample_snapshot());
+        require_families(
+            &text,
+            &[
+                "rhb_core_health_eta_s",
+                "rhb_nn_eval_",
+                "rhb_dram_bits_flipped",
+            ],
+        )
+        .expect("families present");
+        let err = require_families(&text, &["rhb_missing_thing"]).unwrap_err();
+        assert!(err.contains("rhb_missing_thing"));
+    }
+}

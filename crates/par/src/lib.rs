@@ -93,7 +93,7 @@ impl Pool {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("rhb-par-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn pool worker")
             })
             .collect();
@@ -239,8 +239,16 @@ impl Drop for Pool {
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
+    // Per-worker utilization accounting. Handles bypass the name lookup
+    // and the sink, so the hot loop pays two Instant reads and two
+    // relaxed adds per task while telemetry is enabled — and only the
+    // usual one relaxed load per iteration while it is not. Task latency
+    // additionally feeds the shared `par/task_s` histogram.
+    let busy = rhb_telemetry::counter_handle(&format!("par/worker/{index}/busy_us"));
+    let idle = rhb_telemetry::counter_handle(&format!("par/worker/{index}/idle_us"));
     loop {
+        let wait_start = rhb_telemetry::enabled().then(std::time::Instant::now);
         let task = {
             let mut queue = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
             loop {
@@ -253,10 +261,19 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.signal.wait(queue).unwrap_or_else(|e| e.into_inner());
             }
         };
+        if let Some(t0) = wait_start {
+            idle.add(t0.elapsed().as_micros() as u64);
+        }
         match task {
             Some(task) => {
                 rhb_telemetry::counter!("par/tasks_on_workers", 1);
+                let t0 = rhb_telemetry::enabled().then(std::time::Instant::now);
                 task();
+                if let Some(t0) = t0 {
+                    let elapsed = t0.elapsed();
+                    busy.add(elapsed.as_micros() as u64);
+                    rhb_telemetry::observe_value("par/task_s", elapsed.as_secs_f64());
+                }
             }
             None => return,
         }
@@ -365,6 +382,35 @@ mod tests {
                 assert!(ranges.len() <= n.div_ceil(grain));
             }
         }
+    }
+
+    #[test]
+    fn workers_record_utilization_and_task_latency() {
+        rhb_telemetry::install(Arc::new(rhb_telemetry::NoopSink));
+        let pool = Pool::new(4);
+        let tasks: Vec<Task<'_>> = (0..64)
+            .map(|_| {
+                Box::new(|| std::thread::sleep(std::time::Duration::from_micros(200))) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        let report = rhb_telemetry::report();
+        let hist = report
+            .histograms
+            .iter()
+            .find(|h| h.name == "par/task_s")
+            .expect("task latency histogram recorded");
+        assert!(hist.count > 0);
+        // At least one worker accumulated busy time (the submitter drains
+        // too, so not every worker necessarily ran a task).
+        let busy: u64 = report
+            .counters_with_prefix("par/worker")
+            .iter()
+            .filter(|(n, _)| n.ends_with("busy_us"))
+            .map(|(_, v)| v)
+            .sum();
+        assert!(busy > 0, "no worker recorded busy time");
+        rhb_telemetry::shutdown();
     }
 
     #[test]

@@ -187,6 +187,44 @@ mod tests {
     fn empty_histogram_has_no_quantiles() {
         let h = Histogram::default();
         assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(1.0), None);
         assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn single_observation_owns_every_quantile() {
+        let mut h = Histogram::with_boundaries(&[1.0, 2.0]);
+        h.observe(1.5);
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(1.5), "q={q}");
+        }
+        // Out-of-range q clamps rather than panicking or extrapolating.
+        assert_eq!(h.quantile(-0.5), Some(1.5));
+        assert_eq!(h.quantile(2.0), Some(1.5));
+    }
+
+    #[test]
+    fn boundary_value_lands_in_its_inclusive_bucket_for_quantiles() {
+        let mut h = Histogram::with_boundaries(&[1.0, 2.0, 4.0]);
+        // Exactly on the 2.0 bound: the bucket with bound 2.0 holds it,
+        // so the median reports 2.0, not the next bound up.
+        for _ in 0..3 {
+            h.observe(2.0);
+        }
+        assert_eq!(h.quantile(0.5), Some(2.0));
+        assert_eq!(h.quantile(1.0), Some(2.0));
+    }
+
+    #[test]
+    fn overflow_bucket_quantiles_clamp_to_observed_max() {
+        let mut h = Histogram::with_boundaries(&[1.0]);
+        h.observe(0.5);
+        h.observe(1e12); // above the last finite bound → +inf bucket
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99.is_finite(), "+inf bucket must not leak infinity");
+        assert_eq!(p99, 1e12, "clamps to the observed max");
+        // Low quantiles report the finite bucket's upper bound.
+        assert_eq!(h.quantile(0.25), Some(1.0));
     }
 }

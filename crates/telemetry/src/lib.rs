@@ -44,12 +44,14 @@
 mod histogram;
 mod report;
 mod sink;
+mod snapshot;
 mod trace;
 mod value;
 
 pub use histogram::Histogram;
 pub use report::{HistogramSummary, SpanSummary, TelemetryReport};
 pub use sink::{JsonlSink, NoopSink, ProgressSink, Sink};
+pub use snapshot::{interval_from_env, CounterSample, HistogramSample, MetricsSnapshot, Sampler};
 pub use trace::TraceSink;
 pub use value::Value;
 
@@ -91,10 +93,18 @@ impl SpanStat {
 pub struct Telemetry {
     enabled: AtomicBool,
     sink: RwLock<Arc<dyn Sink>>,
-    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
-    gauges: Mutex<BTreeMap<String, f64>>,
-    histograms: Mutex<BTreeMap<String, Histogram>>,
-    spans: Mutex<BTreeMap<String, SpanStat>>,
+    pub(crate) counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    pub(crate) gauges: Mutex<BTreeMap<String, f64>>,
+    pub(crate) histograms: Mutex<BTreeMap<String, Histogram>>,
+    pub(crate) spans: Mutex<BTreeMap<String, SpanStat>>,
+    /// Registry creation time — snapshot uptimes are measured from here.
+    pub(crate) epoch: Instant,
+    /// Delta baseline for [`Telemetry::snapshot`].
+    pub(crate) snap: Mutex<snapshot::SnapBaseline>,
+    /// Most recent span transition on any thread (the live "phase").
+    /// Unlike the thread-local span stack, this is shared so a sampler
+    /// or HTTP thread can report what the pipeline is doing right now.
+    pub(crate) current_path: Mutex<String>,
 }
 
 thread_local! {
@@ -118,6 +128,9 @@ impl Telemetry {
             gauges: Mutex::new(BTreeMap::new()),
             histograms: Mutex::new(BTreeMap::new()),
             spans: Mutex::new(BTreeMap::new()),
+            epoch: Instant::now(),
+            snap: Mutex::new(snapshot::SnapBaseline::default()),
+            current_path: Mutex::new(String::new()),
         }
     }
 
@@ -145,11 +158,15 @@ impl Telemetry {
     /// Clears every accumulated metric (run boundary), including the
     /// calling thread's span path stack: a span guard leaked (or held)
     /// across a reset must not prefix the paths of the next run's spans.
+    /// The snapshot delta baseline clears too — the next snapshot after
+    /// a reset starts a fresh sequence instead of reporting stale deltas.
     pub fn reset(&self) {
         self.counters.lock().clear();
         self.gauges.lock().clear();
         self.histograms.lock().clear();
         self.spans.lock().clear();
+        self.snap.lock().clear();
+        self.current_path.lock().clear();
         SPAN_STACK.with(|stack| stack.borrow_mut().clear());
     }
 
@@ -178,6 +195,7 @@ impl Telemetry {
             stack.push(path.clone());
             (path, depth)
         });
+        self.current_path.lock().clone_from(&path);
         self.sink.read().span_start(&path, depth, fields);
         SpanGuard {
             tel: self,
@@ -283,6 +301,25 @@ impl Telemetry {
         TelemetryReport::collect(self)
     }
 
+    /// Takes a consistent live snapshot, advancing the delta baseline:
+    /// each call reports deltas and rates against the previous call (see
+    /// [`MetricsSnapshot`]). Intended to be driven by one [`Sampler`];
+    /// concurrent callers each consume part of the window.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        snapshot::take(self)
+    }
+
+    /// The most recent span transition on any thread — the live "current
+    /// phase" (empty when no span is open or collection is disabled).
+    pub fn current_span_path(&self) -> String {
+        self.current_path.lock().clone()
+    }
+
+    /// Time since this registry was created.
+    pub fn uptime(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
     pub(crate) fn span_snapshot(&self) -> BTreeMap<String, SpanStat> {
         self.spans.lock().clone()
     }
@@ -336,6 +373,15 @@ impl Drop for SpanGuard<'_> {
                 stack.truncate(pos);
             }
         });
+        // Closing a span steps the live phase back to its parent path.
+        let parent = info.path.rfind('/').map(|i| &info.path[..i]).unwrap_or("");
+        {
+            let mut current = self.tel.current_path.lock();
+            if *current == info.path {
+                current.clear();
+                current.push_str(parent);
+            }
+        }
         self.tel
             .spans
             .lock()
@@ -452,6 +498,18 @@ pub fn message(text: &str) {
 /// Snapshots the global registry.
 pub fn report() -> TelemetryReport {
     global().report()
+}
+
+/// Takes a live snapshot of the global registry (see
+/// [`Telemetry::snapshot`]).
+pub fn snapshot() -> MetricsSnapshot {
+    global().snapshot()
+}
+
+/// The global registry's live span path (see
+/// [`Telemetry::current_span_path`]).
+pub fn current_span_path() -> String {
+    global().current_span_path()
 }
 
 // ---------------------------------------------------------------------------

@@ -43,11 +43,15 @@ pub struct HistogramSummary {
     pub max: f64,
     pub p50: f64,
     pub p90: f64,
+    pub p95: f64,
     pub p99: f64,
 }
 
 impl HistogramSummary {
-    fn from_histogram(name: &str, h: &Histogram) -> Self {
+    /// Digests one histogram's bucket state. Public so live consumers
+    /// (snapshot samples, the `rhb-obs` endpoint) share the exact
+    /// quantile math of the end-of-run report.
+    pub fn of(name: &str, h: &Histogram) -> Self {
         HistogramSummary {
             name: name.to_string(),
             count: h.count(),
@@ -56,6 +60,7 @@ impl HistogramSummary {
             max: h.max().unwrap_or(0.0),
             p50: h.quantile(0.5).unwrap_or(0.0),
             p90: h.quantile(0.9).unwrap_or(0.0),
+            p95: h.quantile(0.95).unwrap_or(0.0),
             p99: h.quantile(0.99).unwrap_or(0.0),
         }
     }
@@ -92,7 +97,7 @@ impl TelemetryReport {
             .histogram_snapshot()
             .iter()
             .filter(|(_, h)| h.count() > 0)
-            .map(|(name, h)| HistogramSummary::from_histogram(name, h))
+            .map(|(name, h)| HistogramSummary::of(name, h))
             .collect();
         TelemetryReport {
             spans,
@@ -211,14 +216,14 @@ impl TelemetryReport {
                 .unwrap_or(0);
             let _ = writeln!(
                 out,
-                "{:width$}  {:>7}  {:>11}  {:>11}  {:>11}  {:>11}",
-                "name", "count", "mean", "p50", "p90", "p99"
+                "{:width$}  {:>7}  {:>11}  {:>11}  {:>11}  {:>11}  {:>11}",
+                "name", "count", "mean", "p50", "p95", "p99", "max"
             );
             for h in &self.histograms {
                 let _ = writeln!(
                     out,
-                    "{:width$}  {:>7}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>11.4e}",
-                    h.name, h.count, h.mean, h.p50, h.p90, h.p99,
+                    "{:width$}  {:>7}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>11.4e}",
+                    h.name, h.count, h.mean, h.p50, h.p95, h.p99, h.max,
                 );
             }
         }
@@ -278,6 +283,8 @@ impl TelemetryReport {
             crate::Value::F64(h.p50).write_json(&mut out);
             out.push_str(",\"p90\":");
             crate::Value::F64(h.p90).write_json(&mut out);
+            out.push_str(",\"p95\":");
+            crate::Value::F64(h.p95).write_json(&mut out);
             out.push_str(",\"p99\":");
             crate::Value::F64(h.p99).write_json(&mut out);
             out.push('}');

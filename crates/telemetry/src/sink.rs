@@ -156,17 +156,20 @@ pub struct JsonlSink {
 
 impl JsonlSink {
     /// A JSONL sink over any writer (a `File`, a `Vec<u8>` buffer, ...).
+    /// The writer is buffered internally — one line per event would
+    /// otherwise cost a syscall per emission from hot loops — and
+    /// flushed by [`Sink::flush`] and on drop.
     pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
         JsonlSink {
             epoch: Instant::now(),
-            out: Mutex::new(writer),
+            out: Mutex::new(Box::new(std::io::BufWriter::new(writer))),
         }
     }
 
     /// A JSONL sink appending to the file at `path`.
     pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        Ok(Self::to_writer(Box::new(std::io::BufWriter::new(file))))
+        Ok(Self::to_writer(Box::new(file)))
     }
 
     fn emit(&self, body: &str) {
@@ -255,6 +258,15 @@ impl Sink for JsonlSink {
     }
 }
 
+impl Drop for JsonlSink {
+    /// The harness normally flushes via `shutdown()`; dropping an
+    /// installed-then-replaced sink (or a test-local one) must not lose
+    /// the buffered tail.
+    fn drop(&mut self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -283,6 +295,7 @@ mod tests {
         sink.counter("c", 2, 7);
         sink.event("a/b", "tick", &[("ok", Value::Bool(true))]);
         sink.message("hello \"world\"");
+        sink.flush();
         let text = String::from_utf8(buf.0.lock().clone()).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 5);
@@ -295,6 +308,20 @@ mod tests {
         assert!(lines[2].contains("\"total\":7"));
         assert!(lines[3].contains("\"name\":\"tick\""));
         assert!(lines[4].contains("hello \\\"world\\\""));
+    }
+
+    #[test]
+    fn jsonl_buffers_writes_and_drop_flushes_the_tail() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::to_writer(Box::new(buf.clone()));
+        sink.counter("c", 1, 1);
+        assert!(
+            buf.0.lock().is_empty(),
+            "one small event must stay in the buffer, not hit the writer"
+        );
+        drop(sink);
+        let text = String::from_utf8(buf.0.lock().clone()).unwrap();
+        assert!(text.contains("\"total\":1"), "drop lost the buffered tail");
     }
 
     #[test]

@@ -50,12 +50,16 @@ pub struct TraceSink {
 
 impl TraceSink {
     /// A trace sink over any writer (a `File`, a `Vec<u8>` buffer, ...).
-    pub fn to_writer(mut writer: Box<dyn Write + Send>) -> Self {
+    /// The writer is buffered internally (events fire from hot loops;
+    /// a syscall per event would dominate) and flushed by
+    /// [`TraceSink::flush`] and on drop.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        let mut writer = std::io::BufWriter::new(writer);
         let _ = write!(writer, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
         TraceSink {
             epoch: Instant::now(),
             inner: Mutex::new(TraceInner {
-                out: writer,
+                out: Box::new(writer),
                 first: true,
                 closed: false,
                 tids: HashMap::new(),
@@ -66,7 +70,7 @@ impl TraceSink {
     /// A trace sink writing to the file at `path`.
     pub fn to_file(path: &std::path::Path) -> std::io::Result<Self> {
         let file = std::fs::File::create(path)?;
-        Ok(Self::to_writer(Box::new(std::io::BufWriter::new(file))))
+        Ok(Self::to_writer(Box::new(file)))
     }
 
     /// Emits one event object. `body` is everything after the timestamp,
@@ -179,6 +183,14 @@ impl Sink for TraceSink {
             let _ = write!(inner.out, "\n]}}");
         }
         let _ = inner.out.flush();
+    }
+}
+
+impl Drop for TraceSink {
+    /// A sink dropped without an explicit flush (test-local, or replaced
+    /// without `shutdown()`) still closes the JSON and drains the buffer.
+    fn drop(&mut self) {
+        Sink::flush(self);
     }
 }
 
