@@ -71,10 +71,19 @@ sleep 4
 cargo run --release -p rhb-bench --bin rhb-report -- watch 127.0.0.1:9184 --once --check
 wait "$OBS_PID"
 
-echo "== chaos smoke (blocking) =="
-# One seeded fault-injection run: at a 20% fault rate the pipeline must
-# degrade gracefully (never fail outright) and recover at least one
-# target through retries/fallbacks. Deterministic chaos RNG → gateable.
-cargo run --release -p rhb-bench --bin exp_chaos_sweep -- --rates 0.2 --assert-degraded
+echo "== chaos smoke + flight recorder gate (blocking) =="
+# One seeded fault-injection run with the flight recorder on: at a 20%
+# fault rate the pipeline must degrade gracefully (never fail outright)
+# and recover at least one target through retries/fallbacks. The
+# recorded timeline must then replay (`rhb-report timeline`) and the
+# post-mortem must find at least one fired stall/recovery/downgrade
+# alert (`--require-alert` exits 1 otherwise). Deterministic chaos RNG
+# and a final end-of-run snapshot → gateable.
+rm -rf results/timelines/ci-chaos
+RHB_OBS_RECORD=ci-chaos RHB_OBS_INTERVAL_MS=25 RHB_TELEMETRY=off \
+  cargo run --release -p rhb-bench --bin exp_chaos_sweep -- --rates 0.2 --assert-degraded
+cargo run --release -p rhb-bench --bin rhb-report -- timeline results/timelines/ci-chaos
+cargo run --release -p rhb-bench --bin rhb-report -- \
+  postmortem results/timelines/ci-chaos --require-alert stall,recovery,downgrade
 
 echo "CI OK"

@@ -134,6 +134,44 @@ impl Default for RecoverySummary {
     }
 }
 
+/// One alert the run's rule engine fired, as persisted. Artifacts carry
+/// the post-hoc evaluation of the built-in rules against the end-of-run
+/// snapshot (plus anything a live recorder observed is in the timeline,
+/// not here), so `rhb-report show/diff` can surface "this run stalled"
+/// without the timeline. Empty for healthy runs and for artifacts
+/// written before this field existed, which parse leniently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRecord {
+    /// Rule name (e.g. `attack-stall`).
+    pub rule: String,
+    /// `info` / `warn` / `critical`.
+    pub severity: String,
+    /// Sequence number of the triggering snapshot.
+    pub seq: u64,
+    /// Live span path at trigger time.
+    pub phase: String,
+    /// Observed signal value that tripped the rule.
+    pub value: f64,
+    /// Threshold it tripped against.
+    pub threshold: f64,
+    /// Rule message.
+    pub message: String,
+}
+
+impl From<&rhb_alert::Alert> for AlertRecord {
+    fn from(a: &rhb_alert::Alert) -> AlertRecord {
+        AlertRecord {
+            rule: a.rule.clone(),
+            severity: a.severity.as_str().to_string(),
+            seq: a.seq,
+            phase: a.phase.clone(),
+            value: a.value,
+            threshold: a.threshold,
+            message: a.message.clone(),
+        }
+    }
+}
+
 /// One frozen pipeline run.
 #[derive(Debug, Clone)]
 pub struct RunArtifact {
@@ -155,6 +193,8 @@ pub struct RunArtifact {
     pub metrics: Headline,
     /// Chaos/recovery summary (all-zero `full` for cooperative runs).
     pub recovery: RecoverySummary,
+    /// Alerts the built-in rules fired against the end-of-run snapshot.
+    pub alerts: Vec<AlertRecord>,
     /// Flip provenance ledger, in request order.
     pub flips: Vec<FlipRecord>,
 }
@@ -331,7 +371,25 @@ impl RunArtifact {
             r.retemplate_rounds,
             r.recovery_time_ms
         ));
-        s.push_str("\"flips\": [\n");
+        s.push_str("\"alerts\": [\n");
+        for (i, a) in self.alerts.iter().enumerate() {
+            s.push_str(&format!(
+                " {{\"rule\": {}, \"severity\": {}, \"seq\": {}, \"phase\": {}, \"value\": ",
+                quoted(&a.rule),
+                quoted(&a.severity),
+                a.seq,
+                quoted(&a.phase),
+            ));
+            json::write_f64(a.value, &mut s);
+            s.push_str(", \"threshold\": ");
+            json::write_f64(a.threshold, &mut s);
+            s.push_str(&format!(
+                ", \"message\": {}}}{}\n",
+                quoted(&a.message),
+                comma(i, self.alerts.len())
+            ));
+        }
+        s.push_str("],\n\"flips\": [\n");
         for (i, f) in self.flips.iter().enumerate() {
             s.push_str(&format!(
                 " {{\"weight_idx\": {}, \"page\": {}, \"page_group\": {}, \"bit\": {}, \
@@ -471,6 +529,24 @@ impl RunArtifact {
                 ..RecoverySummary::default()
             },
         };
+        // Pre-alerting artifacts parse as alert-free.
+        let alerts = match doc.get("alerts").and_then(JsonValue::as_array) {
+            Some(list) => list
+                .iter()
+                .map(|a| {
+                    Ok(AlertRecord {
+                        rule: str_field(a, "rule")?,
+                        severity: str_field(a, "severity")?,
+                        seq: u64_field(a, "seq")?,
+                        phase: str_field(a, "phase")?,
+                        value: f64_field(a, "value")?,
+                        threshold: f64_field(a, "threshold")?,
+                        message: str_field(a, "message")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+            None => Vec::new(),
+        };
         Ok(RunArtifact {
             exp: str_field(&doc, "exp")?,
             created_unix: u64_field(&doc, "created_unix")?,
@@ -501,6 +577,7 @@ impl RunArtifact {
                 attack_time_ms: u64_field(m, "attack_time_ms")?,
             },
             recovery,
+            alerts,
             flips,
         })
     }
@@ -659,6 +736,18 @@ pub fn smoke_run_with_chaos(
     let offline = pipe.run_offline(AttackMethod::CftBr);
     let online = pipe.run_online(&offline);
     let report = rhb_telemetry::report();
+    // Post-hoc alert evaluation of the end-of-run state. One snapshot,
+    // so the postmortem rule set (sustain windows forced to 1) applies;
+    // with a fixed seed and chaos config the resulting alert list is
+    // deterministic. Runs after `report()` so the artifact's counter
+    // table is not perturbed by the `core/alerts/*` fire counters.
+    let final_snap = rhb_telemetry::snapshot();
+    let alerts: Vec<AlertRecord> = rhb_alert::AlertEngine::postmortem()
+        .evaluate(&final_snap)
+        .iter()
+        .filter(|a| a.state == rhb_alert::AlertState::Fired)
+        .map(AlertRecord::from)
+        .collect();
 
     let created_unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -693,6 +782,7 @@ pub fn smoke_run_with_chaos(
             retemplate_rounds: online.retemplate_rounds,
             recovery_time_ms: online.recovery_time.as_millis() as u64,
         },
+        alerts,
         flips: online.ledger.clone(),
     };
     artifact.fold_report(&report);
@@ -758,6 +848,15 @@ mod tests {
                 retemplate_rounds: 1,
                 recovery_time_ms: 900,
             },
+            alerts: vec![AlertRecord {
+                rule: "attack-stall".into(),
+                severity: "warn".into(),
+                seq: 1,
+                phase: "pipeline/hammering".into(),
+                value: 2.0,
+                threshold: 0.0,
+                message: "attack health model entered a stall".into(),
+            }],
             flips: vec![FlipRecord {
                 weight_idx: 12_345,
                 page: 3,
@@ -788,7 +887,19 @@ mod tests {
         assert_eq!(a.histograms, b.histograms);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.recovery, b.recovery);
+        assert_eq!(a.alerts, b.alerts);
         assert_eq!(a.flips, b.flips);
+    }
+
+    #[test]
+    fn pre_alerting_artifacts_parse_with_empty_alerts() {
+        let mut a = sample();
+        a.alerts.clear();
+        let text = a.to_json().replace("\"alerts\": [\n],\n", "");
+        assert!(!text.contains("\"alerts\""), "block was not stripped");
+        let b = RunArtifact::from_json(&text).unwrap();
+        assert!(b.alerts.is_empty());
+        assert_eq!(b.recovery, a.recovery);
     }
 
     #[test]

@@ -20,24 +20,39 @@
 //!                                            # live terminal view of a
 //!                                            # running attack's
 //!                                            # RHB_OBS_ADDR endpoint
+//! rhb-report timeline <timeline-dir>         # replay a flight-recorder
+//!                                            # timeline: per-metric
+//!                                            # sparklines, phase
+//!                                            # boundaries, alert markers
+//! rhb-report postmortem <timeline-dir> [--last N] [--require-alert a,b]
+//!                                            # reconstruct the snapshots
+//!                                            # before the first anomaly
+//!                                            # and diff them against a
+//!                                            # healthy baseline window
 //! ```
 //!
 //! `diff` thresholds: phase time +15 %, ASR −1 pt, any flip-success drop
 //! (see `rhb_bench::diff::DiffConfig`). `diff-compute` blocks only on
 //! serial wall-time regressions; parallel speedup below target is
-//! reported but non-blocking (see `rhb_bench::compute`). Exit codes:
-//! 0 ok, 1 regression detected, 2 usage or I/O error.
+//! reported but non-blocking (see `rhb_bench::compute`). Timeline
+//! directories are what `RHB_OBS_RECORD=<run-id>` writes under
+//! `results/timelines/`. `postmortem --require-alert` takes
+//! comma-separated substrings and exits 1 unless at least one fired
+//! alert's rule name matches one of them (the CI chaos gate). Exit
+//! codes: 0 ok, 1 regression / required alert missing, 2 usage or I/O
+//! error.
 
 use rhb_bench::artifact::{smoke_run, RunArtifact};
 use rhb_bench::compute;
 use rhb_bench::diff::{diff, DiffConfig};
 use rhb_bench::int8bench;
 use rhb_bench::json;
+use rhb_bench::timeline::{sparkline, Timeline};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json> | watch <host:port> [--once] [--check] [--interval-ms N]>";
+const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json> | watch <host:port> [--once] [--check] [--interval-ms N] | timeline <timeline-dir> | postmortem <timeline-dir> [--last N] [--require-alert substr[,substr...]]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +91,17 @@ fn main() -> ExitCode {
                 Err(code) => code,
             },
             None => usage_error("watch needs the endpoint address (host:port)"),
+        },
+        Some("timeline") => match args.get(1) {
+            Some(dir) => timeline_cmd(Path::new(dir)),
+            None => usage_error("timeline needs a timeline directory"),
+        },
+        Some("postmortem") => match args.get(1) {
+            Some(dir) => match PostmortemOpts::parse(&args[2..]) {
+                Ok(opts) => postmortem_cmd(Path::new(dir), &opts),
+                Err(code) => code,
+            },
+            None => usage_error("postmortem needs a timeline directory"),
         },
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
         None => usage_error("missing subcommand"),
@@ -163,6 +189,25 @@ fn render(a: &RunArtifact) -> String {
             r.recovered_flips,
             r.recovery_time_ms
         ));
+    }
+    if !a.alerts.is_empty() {
+        out.push_str("  alerts:\n");
+        for alert in &a.alerts {
+            out.push_str(&format!(
+                "    [{}] {} @seq {} ({}): value {:.4} vs threshold {:.4} — {}\n",
+                alert.severity,
+                alert.rule,
+                alert.seq,
+                if alert.phase.is_empty() {
+                    "(idle)"
+                } else {
+                    &alert.phase
+                },
+                alert.value,
+                alert.threshold,
+                alert.message
+            ));
+        }
     }
     out.push_str("  phases:\n");
     for p in &a.phases {
@@ -407,6 +452,16 @@ fn watch_frame(addr: &str, check: bool) -> Result<String, String> {
         }
     }
     let mut out = render_status(addr, &status);
+    match rhb_obs::http_get(addr, "/alerts", SCRAPE_TIMEOUT) {
+        Ok((200, body)) => {
+            let alerts = json::parse(&body).map_err(|e| format!("/alerts is not JSON: {e}"))?;
+            out.push_str(&render_alerts(&alerts));
+        }
+        Ok((code, _)) if check => return Err(format!("/alerts answered HTTP {code}")),
+        Err(e) if check => return Err(format!("/alerts unreachable: {e}")),
+        // Outside check mode, tolerate an older endpoint without /alerts.
+        _ => {}
+    }
     if check {
         let (code, text) =
             rhb_obs::http_get(addr, "/metrics", SCRAPE_TIMEOUT).map_err(|e| e.to_string())?;
@@ -421,6 +476,47 @@ fn watch_frame(addr: &str, check: bool) -> Result<String, String> {
         out.push_str("  check: /metrics exposition valid, required families present\n");
     }
     Ok(out)
+}
+
+/// Renders the `/alerts` JSON block for the watch dashboard: a one-line
+/// totals summary plus the currently-active rules, if any.
+fn render_alerts(alerts: &json::JsonValue) -> String {
+    let num = |key: &str| {
+        alerts
+            .get(key)
+            .and_then(json::JsonValue::as_f64)
+            .unwrap_or(0.0)
+    };
+    let active = alerts
+        .get("active")
+        .and_then(json::JsonValue::as_array)
+        .map(<[json::JsonValue]>::len)
+        .unwrap_or(0);
+    let mut out = format!(
+        "  alerts: {active} active, {} fired / {} resolved total\n",
+        num("fired_total"),
+        num("resolved_total")
+    );
+    if let Some(rules) = alerts.get("rules").and_then(json::JsonValue::as_array) {
+        for rule in rules {
+            if rule.get("active").and_then(json::JsonValue::as_bool) != Some(true) {
+                continue;
+            }
+            let s = |key: &str| {
+                rule.get(key)
+                    .and_then(json::JsonValue::as_str)
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            out.push_str(&format!(
+                "    [{}] {} — {}\n",
+                s("severity"),
+                s("name"),
+                s("condition")
+            ));
+        }
+    }
+    out
 }
 
 fn render_status(addr: &str, status: &json::JsonValue) -> String {
@@ -492,4 +588,272 @@ fn render_status(addr: &str, status: &json::JsonValue) -> String {
         }
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// timeline / postmortem: replay a flight-recorder timeline directory.
+// ---------------------------------------------------------------------------
+
+/// Gauges worth a sparkline row whenever the timeline recorded them.
+const TIMELINE_GAUGES: &[&str] = &[
+    "core/run_class",
+    "core/health/progress",
+    "core/health/hammer_success_rate",
+    "core/health/templating_yield",
+    "core/health/eta_s",
+    "core/alerts/active",
+];
+
+/// How many counter-rate sparklines `timeline` renders (busiest first).
+const TIMELINE_COUNTER_ROWS: usize = 8;
+
+/// Sparkline width in cells; longer series are bucketed down to this.
+const SPARK_WIDTH: usize = 64;
+
+/// Buckets a series down to at most `width` cells (mean of the finite
+/// values per bucket; a bucket with none stays NaN and renders as a gap).
+fn downsample(series: &[f64], width: usize) -> Vec<f64> {
+    if series.len() <= width {
+        return series.to_vec();
+    }
+    (0..width)
+        .map(|b| {
+            let start = b * series.len() / width;
+            let end = ((b + 1) * series.len() / width).max(start + 1);
+            let finite: Vec<f64> = series[start..end]
+                .iter()
+                .copied()
+                .filter(|v| v.is_finite())
+                .collect();
+            if finite.is_empty() {
+                f64::NAN
+            } else {
+                finite.iter().sum::<f64>() / finite.len() as f64
+            }
+        })
+        .collect()
+}
+
+fn load_timeline(dir: &Path) -> Result<Timeline, ExitCode> {
+    Timeline::load(dir).map_err(|e| {
+        eprintln!("rhb-report: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn timeline_cmd(dir: &Path) -> ExitCode {
+    let t = match load_timeline(dir) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    print!("{}", render_timeline(&t));
+    ExitCode::SUCCESS
+}
+
+fn render_timeline(t: &Timeline) -> String {
+    let mut out = String::new();
+    let span = t
+        .points
+        .last()
+        .map(|p| p.uptime_s - t.points.first().map(|f| f.uptime_s).unwrap_or(0.0))
+        .unwrap_or(0.0);
+    out.push_str(&format!(
+        "timeline {} — {} snapshots over {span:.1}s, {} alert events, {} segment(s)\n",
+        t.run_id,
+        t.points.len(),
+        t.alerts.len(),
+        t.segments
+    ));
+    if t.skipped_lines > 0 {
+        out.push_str(&format!(
+            "  (skipped {} unparseable line(s) — truncated or foreign records)\n",
+            t.skipped_lines
+        ));
+    }
+    let boundaries = t.phase_boundaries();
+    if !boundaries.is_empty() {
+        out.push_str("  phases:\n");
+        for (i, phase) in &boundaries {
+            let label = if phase.is_empty() { "(idle)" } else { phase };
+            out.push_str(&format!(
+                "    @{i:<4} {:>8.2}s  {label}\n",
+                t.points[*i].uptime_s
+            ));
+        }
+    }
+    out.push_str("  gauges:\n");
+    for name in TIMELINE_GAUGES {
+        let series = t.gauge_series(name);
+        if series.iter().all(|v| v.is_nan()) {
+            continue;
+        }
+        let last = series.iter().rev().find(|v| v.is_finite()).copied();
+        out.push_str(&format!(
+            "    {name:<36} {}  last {}\n",
+            sparkline(&downsample(&series, SPARK_WIDTH)),
+            last.map_or("?".into(), |v| format!("{v:.3}"))
+        ));
+    }
+    let busiest = t.busiest_counters();
+    if !busiest.is_empty() {
+        out.push_str("  counter rates (events/s):\n");
+        for (name, total) in busiest.iter().take(TIMELINE_COUNTER_ROWS) {
+            let series = t.counter_rate_series(name);
+            let peak = series.iter().copied().fold(0.0_f64, f64::max);
+            out.push_str(&format!(
+                "    {name:<36} {}  peak {peak:.1}/s  Δ{total}\n",
+                sparkline(&downsample(&series, SPARK_WIDTH))
+            ));
+        }
+        if busiest.len() > TIMELINE_COUNTER_ROWS {
+            out.push_str(&format!(
+                "    ... {} more counters moved\n",
+                busiest.len() - TIMELINE_COUNTER_ROWS
+            ));
+        }
+    }
+    if !t.alerts.is_empty() {
+        out.push_str("  alert markers:\n");
+        for a in &t.alerts {
+            out.push_str(&format!(
+                "    {:>8.2}s @seq {:<4} [{}] {} {} — {}\n",
+                a.uptime_s, a.seq, a.severity, a.rule, a.state, a.message
+            ));
+        }
+    }
+    out
+}
+
+struct PostmortemOpts {
+    /// Window width N: the last N snapshots before the anomaly.
+    last: usize,
+    /// Comma-separated substrings; at least one fired alert's rule name
+    /// must contain one of them or the command exits 1.
+    require_alert: Vec<String>,
+}
+
+impl PostmortemOpts {
+    fn parse(args: &[String]) -> Result<PostmortemOpts, ExitCode> {
+        let mut opts = PostmortemOpts {
+            last: 5,
+            require_alert: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--last" => match it.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => opts.last = n,
+                    _ => return Err(usage_error("--last needs a positive number")),
+                },
+                "--require-alert" => match it.next() {
+                    Some(list) => opts.require_alert.extend(
+                        list.split(',')
+                            .map(str::trim)
+                            .filter(|s| !s.is_empty())
+                            .map(str::to_string),
+                    ),
+                    None => return Err(usage_error("--require-alert needs substrings")),
+                },
+                other => return Err(usage_error(&format!("unknown postmortem flag '{other}'"))),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn postmortem_cmd(dir: &Path, opts: &PostmortemOpts) -> ExitCode {
+    let t = match load_timeline(dir) {
+        Ok(t) => t,
+        Err(code) => return code,
+    };
+    let Some(pm) = t.postmortem(opts.last) else {
+        eprintln!("rhb-report: {}: timeline holds no snapshots", dir.display());
+        return ExitCode::from(2);
+    };
+    let mut out = format!("postmortem {} ({} snapshots)\n", t.run_id, t.points.len());
+    match &pm.anomaly {
+        Some(anomaly) => {
+            let p = &t.points[anomaly.index];
+            out.push_str(&format!(
+                "  anomaly @seq {} ({:.2}s, phase {}): {}\n",
+                p.seq,
+                p.uptime_s,
+                if p.phase.is_empty() {
+                    "(idle)"
+                } else {
+                    &p.phase
+                },
+                anomaly.describe()
+            ));
+        }
+        None => out.push_str("  no anomaly detected — run looks healthy; diffing run tail\n"),
+    }
+    out.push_str(&format!(
+        "  window: snapshots [{}..{}], baseline [{}..{})\n",
+        pm.window.0, pm.window.1, pm.baseline.0, pm.baseline.1
+    ));
+    let (start, end) = pm.window;
+    out.push_str("  snapshots into the anomaly:\n");
+    for p in &t.points[start..=end] {
+        let class = p
+            .gauge("core/run_class")
+            .map_or("-".into(), |v| format!("{v:.0}"));
+        out.push_str(&format!(
+            "    @seq {:<4} {:>8.2}s  phase {:<24} class {class}  stallsΔ {}\n",
+            p.seq,
+            p.uptime_s,
+            if p.phase.is_empty() {
+                "(idle)"
+            } else {
+                &p.phase
+            },
+            p.counter_delta("core/health/stalls"),
+        ));
+    }
+    if pm.baseline.0 < pm.baseline.1 && !pm.diffs.is_empty() {
+        out.push_str("  movement vs healthy baseline (largest first):\n");
+        for d in pm.diffs.iter().take(10) {
+            let change = if d.before.abs() < 1e-9 {
+                "(new)".to_string()
+            } else if d.after.abs() < 1e-9 {
+                "(gone)".to_string()
+            } else {
+                format!("({:+.0}%)", d.relative_change() * 100.0)
+            };
+            out.push_str(&format!(
+                "    {:<40} {:<12} {:>12.3} -> {:<12.3} {change}\n",
+                d.name, d.kind, d.before, d.after
+            ));
+        }
+    }
+    let fired = t.fired_alerts();
+    if !fired.is_empty() {
+        out.push_str("  fired alerts:\n");
+        for a in &fired {
+            out.push_str(&format!(
+                "    {:>8.2}s [{}] {} — {}\n",
+                a.uptime_s, a.severity, a.rule, a.message
+            ));
+        }
+    }
+    print!("{out}");
+    if !opts.require_alert.is_empty() {
+        let matched = fired.iter().any(|a| {
+            opts.require_alert
+                .iter()
+                .any(|needle| a.rule.contains(needle.as_str()))
+        });
+        if !matched {
+            eprintln!(
+                "rhb-report: no fired alert matched --require-alert {}",
+                opts.require_alert.join(",")
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "  required alert present ({})",
+            opts.require_alert.join(",")
+        );
+    }
+    ExitCode::SUCCESS
 }

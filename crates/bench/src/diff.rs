@@ -333,6 +333,7 @@ mod tests {
                 verified_flips: flipped.iter().filter(|&&f| f).count(),
                 ..RecoverySummary::default()
             },
+            alerts: Vec::new(),
             flips: flipped
                 .iter()
                 .map(|&flipped| FlipRecord {

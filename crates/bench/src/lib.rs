@@ -10,9 +10,12 @@
 //!
 //! The flight-recorder half of the crate persists runs and compares them:
 //! [`artifact`] freezes one pipeline run (config, phase timings, metrics,
-//! flip ledger) as JSON under `results/runs/`, [`diff`] detects
-//! regressions between two artifacts, [`json`] is the hand-rolled parser
-//! both rely on, and the `rhb-report` binary is the CLI over all three.
+//! flip ledger, fired alerts) as JSON under `results/runs/`, [`diff`]
+//! detects regressions between two artifacts, [`timeline`] replays the
+//! snapshot timelines the `RHB_OBS_RECORD` recorder persists under
+//! `results/timelines/` (and reconstructs post-mortems from them),
+//! [`json`] is the hand-rolled parser they all rely on, and the
+//! `rhb-report` binary is the CLI over all of it.
 
 pub mod artifact;
 pub mod compute;
@@ -23,3 +26,4 @@ pub mod json;
 pub mod report;
 pub mod scale;
 pub mod telemetry;
+pub mod timeline;

@@ -10,11 +10,17 @@
 //! * `RHB_TELEMETRY_REPORT=0` — suppress the end-of-run
 //!   [`rhb_telemetry::TelemetryReport`] table on stderr;
 //! * `RHB_OBS_ADDR=<host:port>` — serve the live observability endpoint
-//!   (`/metrics` Prometheus text, `/status` JSON) for the duration of
-//!   the run, sampling every `RHB_OBS_INTERVAL_MS` (default 1000). The
-//!   endpoint needs metric aggregation, so setting it alongside
+//!   (`/metrics` Prometheus text, `/status` and `/alerts` JSON) for the
+//!   duration of the run, sampling every `RHB_OBS_INTERVAL_MS` (default
+//!   1000). The plane needs metric aggregation, so setting it alongside
 //!   `RHB_TELEMETRY=off` enables collection with the no-op sink: no
-//!   event stream, registry only.
+//!   event stream, registry only;
+//! * `RHB_OBS_RECORD=<run-id>` — persist every sampler snapshot (and
+//!   fired alerts) to the `results/timelines/<run-id>/` flight-recorder
+//!   timeline, capped at `RHB_OBS_TIMELINE_CAP` lines (default 4096);
+//!   works with or without `RHB_OBS_ADDR`;
+//! * `RHB_ALERT_RULES` — extra alert rules on top of the built-ins, in
+//!   the `rhb_alert::parse_rules` DSL.
 //!
 //! Binaries call [`init`] first and [`finish`] last:
 //!
@@ -95,26 +101,34 @@ pub fn init() -> TelemetryMode {
     installed
 }
 
-/// The live observability endpoint for the current run, if enabled.
-static OBS: std::sync::Mutex<Option<rhb_obs::ObsServer>> = std::sync::Mutex::new(None);
+/// The live observability plane for the current run, if enabled.
+static OBS: std::sync::Mutex<Option<rhb_obs::ObsPlane>> = std::sync::Mutex::new(None);
 
-/// Starts the `RHB_OBS_ADDR` endpoint if requested. The endpoint reads
-/// the metric registry, so with `RHB_TELEMETRY=off` collection is
-/// enabled with the no-op sink (aggregation only, no event stream).
+/// Starts the observability plane if requested: the `RHB_OBS_ADDR`
+/// HTTP endpoint and/or the `RHB_OBS_RECORD` flight recorder (timeline
+/// under `results/timelines/<run-id>/`, capped by
+/// `RHB_OBS_TIMELINE_CAP`), with alert rules from `RHB_ALERT_RULES` on
+/// top of the built-ins. The plane reads the metric registry, so with
+/// `RHB_TELEMETRY=off` collection is enabled with the no-op sink
+/// (aggregation only, no event stream).
 fn start_obs(installed: TelemetryMode) {
-    match rhb_obs::ObsServer::from_env() {
-        Ok(Some(server)) => {
+    match rhb_obs::ObsPlane::from_env() {
+        Ok(Some(plane)) => {
             if installed == TelemetryMode::Off {
                 rhb_telemetry::install(Arc::new(rhb_telemetry::NoopSink));
             }
-            eprintln!(
-                "observability endpoint serving http://{}/ (/metrics, /status)",
-                server.local_addr()
-            );
-            *OBS.lock().unwrap_or_else(|e| e.into_inner()) = Some(server);
+            if let Some(addr) = plane.server_addr() {
+                eprintln!(
+                    "observability endpoint serving http://{addr}/ (/metrics, /status, /alerts)"
+                );
+            }
+            if let Some(dir) = plane.timeline_dir() {
+                eprintln!("flight recorder writing timeline to {}", dir.display());
+            }
+            *OBS.lock().unwrap_or_else(|e| e.into_inner()) = Some(plane);
         }
         Ok(None) => {}
-        Err(e) => eprintln!("RHB_OBS_ADDR: {e}; continuing without the endpoint"),
+        Err(e) => eprintln!("observability plane: {e}; continuing without it"),
     }
 }
 
@@ -122,11 +136,11 @@ fn start_obs(installed: TelemetryMode) {
 /// (unless suppressed via `RHB_TELEMETRY_REPORT=0` or nothing was
 /// recorded), and disables collection.
 pub fn finish() {
-    // Stop serving before tearing telemetry down: shutdown joins the
-    // listener and sampler threads, so no scrape can observe a
-    // half-reset registry.
-    if let Some(server) = OBS.lock().unwrap_or_else(|e| e.into_inner()).take() {
-        server.shutdown();
+    // Stop the plane before tearing telemetry down: shutdown joins the
+    // listener and sampler threads (recording one final end-of-run
+    // snapshot), so no scrape can observe a half-reset registry.
+    if let Some(plane) = OBS.lock().unwrap_or_else(|e| e.into_inner()).take() {
+        plane.shutdown();
     }
     if !rhb_telemetry::enabled() {
         return;

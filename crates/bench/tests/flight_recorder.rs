@@ -206,6 +206,7 @@ fn fixture_json(offline_us: u64) -> String {
             r_match: 100.0,
             attack_time_ms: 800,
         },
+        alerts: Vec::new(),
         flips: Vec::new(),
         recovery: rhb_bench::artifact::RecoverySummary::default(),
     };

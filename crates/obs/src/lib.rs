@@ -1,9 +1,11 @@
 //! # rhb-obs
 //!
-//! Live observability endpoint for the rowhammer-backdoor pipeline: a
+//! Live observability plane for the rowhammer-backdoor pipeline: a
 //! dependency-free blocking HTTP server (one listener thread, std-only —
 //! the same no-external-deps discipline as `rhb-par`) exposing the
-//! global telemetry registry while an attack runs.
+//! global telemetry registry while an attack runs, plus the flight-data
+//! recorder and alert engine that turn each run into an analyzable
+//! artifact.
 //!
 //! Routes:
 //!
@@ -12,14 +14,24 @@
 //! - `GET /status` — JSON attack status: current phase (live span path),
 //!   run classification, flip-ledger summary, health-model gauges, and
 //!   histogram percentile digests. `rhb-report watch` renders from this.
-//! - `GET /` — a plain-text index naming the other two.
+//! - `GET /alerts` — JSON alert-engine state: rule list, active alerts,
+//!   and the recent fired/resolved event log.
+//! - `GET /` — a plain-text index naming the other routes.
 //!
-//! Scrapes are served from the [`Sampler`]'s latest snapshot, so an HTTP
-//! request never touches the metric locks on the hot path; the sampler
-//! takes one consistent snapshot per `RHB_OBS_INTERVAL_MS` (default
-//! 1000 ms). The whole plane is off unless `RHB_OBS_ADDR` is set — a
-//! disabled run pays nothing beyond the telemetry crate's usual one
-//! relaxed atomic load per instrumentation site.
+//! `HEAD` is answered for every route (headers and Content-Length, no
+//! body), so `curl -I` and liveness probes work.
+//!
+//! One background [`Sampler`] drives everything: each snapshot it takes
+//! is published for scrapers, appended to the [`Recorder`] timeline
+//! (when `RHB_OBS_RECORD` is set), and fed through the
+//! [`AlertEngine`] — fired alerts become timeline annotations and
+//! `core/alerts/*` counters. A single sampler matters: `snapshot()`
+//! advances the registry's delta baseline, so exactly one consumer must
+//! own the cadence.
+//!
+//! The whole plane is off unless `RHB_OBS_ADDR` and/or `RHB_OBS_RECORD`
+//! is set — a disabled run pays nothing beyond the telemetry crate's
+//! usual one relaxed atomic load per instrumentation site.
 //!
 //! ```no_run
 //! // Serve on a fixed port for the lifetime of a run:
@@ -34,12 +46,15 @@ pub mod status;
 pub mod text;
 
 pub use client::http_get;
+pub use rhb_alert::AlertEngine;
 
-use rhb_telemetry::{MetricsSnapshot, Sampler};
+use rhb_alert::Alert;
+use rhb_telemetry::{MetricsSnapshot, Recorder, Sampler, SnapshotObserver};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -48,6 +63,132 @@ pub const ADDR_ENV: &str = "RHB_OBS_ADDR";
 
 /// Largest request head we will buffer before answering 400.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// The whole observability plane: one sampler feeding the HTTP server,
+/// the flight recorder, and the alert engine.
+///
+/// Built from the environment by [`ObsPlane::from_env`]:
+/// `RHB_OBS_ADDR` turns on the HTTP server, `RHB_OBS_RECORD` the
+/// timeline recorder; either alone works. Shutdown (or drop) joins the
+/// listener, then stops the sampler — which takes one final snapshot,
+/// so the timeline always ends with the end-of-run state.
+pub struct ObsPlane {
+    sampler: Option<Arc<Sampler>>,
+    server: Option<ObsServer>,
+    alerts: Arc<Mutex<AlertEngine>>,
+    timeline: Option<PathBuf>,
+}
+
+impl ObsPlane {
+    /// Starts the plane: always a sampler + alert engine; an HTTP
+    /// server when `addr` is given; timeline persistence when
+    /// `recorder` is given.
+    pub fn start(
+        addr: Option<&str>,
+        interval: Duration,
+        mut recorder: Option<Recorder>,
+        engine: AlertEngine,
+    ) -> std::io::Result<ObsPlane> {
+        let timeline = recorder.as_ref().map(|r| r.dir().to_path_buf());
+        let alerts = Arc::new(Mutex::new(engine));
+        let observer_alerts = Arc::clone(&alerts);
+        let observer: SnapshotObserver = Box::new(move |snap: &Arc<MetricsSnapshot>| {
+            if let Some(rec) = recorder.as_mut() {
+                // Recording failures (disk full, dir deleted) must not
+                // take down the attack the recorder is observing.
+                let _ = rec.record_snapshot(snap);
+            }
+            let events: Vec<Alert> = observer_alerts
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .evaluate(snap);
+            if let Some(rec) = recorder.as_mut() {
+                for alert in &events {
+                    let _ = rec.record_line(&alert.to_json());
+                }
+            }
+        });
+        let sampler = Arc::new(Sampler::start_with_observer(interval, Some(observer)));
+        let server = match addr {
+            Some(addr) => Some(ObsServer::attach(
+                addr,
+                Arc::clone(&sampler),
+                Arc::clone(&alerts),
+            )?),
+            None => None,
+        };
+        Ok(ObsPlane {
+            sampler: Some(sampler),
+            server,
+            alerts,
+            timeline,
+        })
+    }
+
+    /// Builds the plane from `RHB_OBS_ADDR` / `RHB_OBS_RECORD` /
+    /// `RHB_ALERT_RULES` / `RHB_OBS_INTERVAL_MS` / `RHB_OBS_TIMELINE_CAP`;
+    /// `Ok(None)` when neither the server nor recording is requested.
+    pub fn from_env() -> std::io::Result<Option<ObsPlane>> {
+        let addr = std::env::var(ADDR_ENV)
+            .ok()
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty());
+        let run_id = rhb_telemetry::record_run_id_from_env();
+        if addr.is_none() && run_id.is_none() {
+            return Ok(None);
+        }
+        let recorder = match &run_id {
+            Some(id) => Some(Recorder::create(id)?),
+            None => None,
+        };
+        ObsPlane::start(
+            addr.as_deref(),
+            rhb_telemetry::interval_from_env(),
+            recorder,
+            AlertEngine::from_env(),
+        )
+        .map(Some)
+    }
+
+    /// The HTTP server's bound address, when one is running.
+    pub fn server_addr(&self) -> Option<SocketAddr> {
+        self.server.as_ref().map(|s| s.local_addr())
+    }
+
+    /// The timeline directory being recorded to, when recording.
+    pub fn timeline_dir(&self) -> Option<&Path> {
+        self.timeline.as_deref()
+    }
+
+    /// The shared alert engine (the sampler evaluates it; callers may
+    /// inspect state between snapshots).
+    pub fn alerts(&self) -> Arc<Mutex<AlertEngine>> {
+        Arc::clone(&self.alerts)
+    }
+
+    /// Joins the listener, then stops the sampler (which records one
+    /// final snapshot before exiting).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        if let Some(sampler) = self.sampler.take() {
+            if let Ok(sampler) = Arc::try_unwrap(sampler) {
+                sampler.stop();
+            }
+        }
+    }
+}
+
+impl Drop for ObsPlane {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
 
 /// The observability HTTP server plus its background sampler.
 ///
@@ -63,12 +204,33 @@ pub struct ObsServer {
 
 impl ObsServer {
     /// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for an ephemeral
-    /// port) and starts the listener and sampler threads.
+    /// port) and starts the listener and sampler threads, with a
+    /// built-in alert engine and no recording. For the full plane use
+    /// [`ObsPlane`].
     pub fn start(addr: &str, interval: Duration) -> std::io::Result<ObsServer> {
+        let alerts = Arc::new(Mutex::new(AlertEngine::builtin()));
+        let observer_alerts = Arc::clone(&alerts);
+        let observer: SnapshotObserver = Box::new(move |snap: &Arc<MetricsSnapshot>| {
+            observer_alerts
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .evaluate(snap);
+        });
+        let sampler = Arc::new(Sampler::start_with_observer(interval, Some(observer)));
+        Self::attach(addr, sampler, alerts)
+    }
+
+    /// Binds `addr` and serves an externally-owned sampler and alert
+    /// engine. Shutdown only stops the sampler if this server holds the
+    /// last reference to it.
+    fn attach(
+        addr: &str,
+        sampler: Arc<Sampler>,
+        alerts: Arc<Mutex<AlertEngine>>,
+    ) -> std::io::Result<ObsServer> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let sampler = Arc::new(Sampler::start(interval));
         let thread_stop = Arc::clone(&stop);
         let thread_sampler = Arc::clone(&sampler);
         let handle = std::thread::Builder::new()
@@ -82,7 +244,7 @@ impl ObsServer {
                     // Serial handling: scrapes are rare (one per poll
                     // interval) and tiny, so one thread is plenty and the
                     // server can never amplify load on the attack.
-                    let _ = handle_connection(stream, &thread_sampler);
+                    let _ = handle_connection(stream, &thread_sampler, &alerts);
                 }
             })?;
         Ok(ObsServer {
@@ -123,7 +285,9 @@ impl ObsServer {
             let _ = handle.join();
         }
         if let Some(sampler) = self.sampler.take() {
-            // The listener thread has joined, so ours is the last Arc.
+            // The listener thread has joined; if ours is the last Arc
+            // (standalone mode) the sampler stops here. In plane mode
+            // the ObsPlane owns the other reference and stops it after.
             if let Ok(sampler) = Arc::try_unwrap(sampler) {
                 sampler.stop();
             }
@@ -153,7 +317,11 @@ fn current_snapshot(sampler: &Sampler) -> Arc<MetricsSnapshot> {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, sampler: &Sampler) -> std::io::Result<()> {
+fn handle_connection(
+    mut stream: TcpStream,
+    sampler: &Sampler,
+    alerts: &Mutex<AlertEngine>,
+) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
     stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut head = Vec::new();
@@ -161,7 +329,7 @@ fn handle_connection(mut stream: TcpStream, sampler: &Sampler) -> std::io::Resul
     // Read until the end of the request head; bodies are ignored (GET).
     while !head.windows(4).any(|w| w == b"\r\n\r\n") {
         if head.len() > MAX_REQUEST_BYTES {
-            return respond(&mut stream, 400, "text/plain", "request too large\n");
+            return respond(&mut stream, 400, "text/plain", "request too large\n", false);
         }
         match stream.read(&mut buf) {
             Ok(0) => break,
@@ -173,27 +341,47 @@ fn handle_connection(mut stream: TcpStream, sampler: &Sampler) -> std::io::Resul
     let mut parts = head.lines().next().unwrap_or("").split_whitespace();
     let method = parts.next().unwrap_or("");
     let path = parts.next().unwrap_or("");
-    if method != "GET" {
-        return respond(&mut stream, 405, "text/plain", "only GET is supported\n");
+    // HEAD gets the exact GET headers (including Content-Length) with
+    // no body, so probes and `curl -I` parse cleanly.
+    let head_only = method == "HEAD";
+    if method != "GET" && !head_only {
+        return respond(
+            &mut stream,
+            405,
+            "text/plain",
+            "only GET and HEAD are supported\n",
+            false,
+        );
     }
     // Strip any query string; the endpoint takes no parameters.
     let path = path.split('?').next().unwrap_or(path);
     match path {
         "/metrics" => {
             let body = text::render(&current_snapshot(sampler));
-            respond(&mut stream, 200, "text/plain; version=0.0.4", &body)
+            respond(
+                &mut stream,
+                200,
+                "text/plain; version=0.0.4",
+                &body,
+                head_only,
+            )
         }
         "/status" => {
             let body = status::render(&current_snapshot(sampler));
-            respond(&mut stream, 200, "application/json", &body)
+            respond(&mut stream, 200, "application/json", &body, head_only)
+        }
+        "/alerts" => {
+            let body = alerts.lock().unwrap_or_else(|e| e.into_inner()).render_json();
+            respond(&mut stream, 200, "application/json", &body, head_only)
         }
         "/" => respond(
             &mut stream,
             200,
             "text/plain",
-            "rhb-obs endpoints:\n  /metrics  Prometheus text exposition\n  /status   JSON attack status\n",
+            "rhb-obs endpoints:\n  /metrics  Prometheus text exposition\n  /status   JSON attack status\n  /alerts   JSON alert-engine state\n",
+            head_only,
         ),
-        _ => respond(&mut stream, 404, "text/plain", "not found\n"),
+        _ => respond(&mut stream, 404, "text/plain", "not found\n", head_only),
     }
 }
 
@@ -202,6 +390,7 @@ fn respond(
     code: u16,
     content_type: &str,
     body: &str,
+    head_only: bool,
 ) -> std::io::Result<()> {
     let reason = match code {
         200 => "OK",
@@ -215,7 +404,9 @@ fn respond(
         body.len()
     );
     stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    if !head_only {
+        stream.write_all(body.as_bytes())?;
+    }
     stream.flush()
 }
 
@@ -230,6 +421,25 @@ mod tests {
     fn serving() -> ObsServer {
         rhb_telemetry::install(StdArc::new(NoopSink));
         ObsServer::start("127.0.0.1:0", Duration::from_millis(25)).expect("bind ephemeral port")
+    }
+
+    /// Sends a raw request and returns the full response bytes.
+    fn raw_request(addr: &str, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(request.as_bytes()).expect("send");
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).expect("read");
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    fn header_value<'a>(response: &'a str, name: &str) -> Option<&'a str> {
+        response
+            .lines()
+            .take_while(|l| !l.is_empty())
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case(name).then(|| v.trim())
+            })
     }
 
     #[test]
@@ -259,15 +469,58 @@ mod tests {
     }
 
     #[test]
-    fn unknown_paths_get_404_and_non_get_405() {
+    fn alerts_endpoint_serves_engine_state() {
+        let server = serving();
+        let (code, body) =
+            http_get(&server.local_addr().to_string(), "/alerts", T).expect("scrape");
+        assert_eq!(code, 200);
+        assert!(body.contains("\"fired_total\""));
+        assert!(body.contains("\"rules\""));
+        assert!(body.contains("hammer-success-collapse"), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_paths_get_404_with_content_length_and_non_get_405() {
         let server = serving();
         let addr = server.local_addr().to_string();
-        let (code, _) = http_get(&addr, "/nope", T).expect("scrape");
-        assert_eq!(code, 404);
+        let response = raw_request(&addr, "GET /nope HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 404 "), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).expect("body");
+        let len: usize = header_value(&response, "Content-Length")
+            .expect("404 must carry Content-Length")
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len(), "Content-Length must match the body");
         // Index route names the real endpoints.
         let (code, body) = http_get(&addr, "/", T).expect("scrape");
         assert_eq!(code, 200);
         assert!(body.contains("/metrics"));
+        assert!(body.contains("/alerts"));
+        let response = raw_request(&addr, "POST /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(response.starts_with("HTTP/1.1 405 "), "{response}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn head_requests_get_headers_and_no_body() {
+        let server = serving();
+        let addr = server.local_addr().to_string();
+        for path in ["/metrics", "/status", "/alerts", "/", "/nope"] {
+            let response = raw_request(&addr, &format!("HEAD {path} HTTP/1.1\r\nHost: x\r\n\r\n"));
+            let (head, body) = response.split_once("\r\n\r\n").expect("complete head");
+            assert!(body.is_empty(), "HEAD {path} must not carry a body: {body}");
+            let len: usize = header_value(head, "Content-Length")
+                .unwrap_or_else(|| panic!("HEAD {path} missing Content-Length"))
+                .parse()
+                .unwrap();
+            if path == "/nope" {
+                assert!(head.starts_with("HTTP/1.1 404 "));
+            } else {
+                assert!(head.starts_with("HTTP/1.1 200 "), "{head}");
+                assert!(len > 0, "HEAD {path} advertises the GET body length");
+            }
+        }
         server.shutdown();
     }
 
@@ -282,7 +535,50 @@ mod tests {
 
     #[test]
     fn from_env_is_inert_without_the_variable() {
-        // RHB_OBS_ADDR is not set in the test environment.
+        // RHB_OBS_ADDR / RHB_OBS_RECORD are not set in the test env.
         assert!(ObsServer::from_env().expect("no io error").is_none());
+        assert!(ObsPlane::from_env().expect("no io error").is_none());
+    }
+
+    #[test]
+    fn plane_records_a_timeline_and_serves_alerts_while_recording() {
+        rhb_telemetry::install(StdArc::new(NoopSink));
+        let dir = std::env::temp_dir().join(format!("rhb-obs-plane-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder =
+            rhb_telemetry::Recorder::with_layout(dir.clone(), 1024, 64).expect("recorder");
+        let plane = ObsPlane::start(
+            Some("127.0.0.1:0"),
+            Duration::from_millis(20),
+            Some(recorder),
+            AlertEngine::builtin(),
+        )
+        .expect("start plane");
+        let addr = plane.server_addr().expect("server").to_string();
+        rhb_telemetry::add_counter("plane_test/ticks", 2);
+        std::thread::sleep(Duration::from_millis(70));
+        // /metrics still validates with recording enabled.
+        let (code, body) = http_get(&addr, "/metrics", T).expect("scrape");
+        assert_eq!(code, 200);
+        text::validate(&body).expect("exposition must validate while recording");
+        let (code, _) = http_get(&addr, "/alerts", T).expect("scrape");
+        assert_eq!(code, 200);
+        assert_eq!(plane.timeline_dir(), Some(dir.as_path()));
+        plane.shutdown();
+        // The timeline holds at least the startup snapshot and the
+        // final stop-path snapshot, as parsable JSONL.
+        let mut lines = 0;
+        for entry in std::fs::read_dir(&dir).expect("timeline dir") {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "jsonl") {
+                let content = std::fs::read_to_string(&path).unwrap();
+                for line in content.lines() {
+                    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+                    lines += 1;
+                }
+            }
+        }
+        assert!(lines >= 2, "expected >=2 recorded snapshots, got {lines}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -42,6 +42,7 @@
 //! [`TelemetryReport`] and the JSONL stream both carry.
 
 mod histogram;
+mod recorder;
 mod report;
 mod sink;
 mod snapshot;
@@ -49,9 +50,15 @@ mod trace;
 mod value;
 
 pub use histogram::Histogram;
+pub use recorder::{
+    record_run_id_from_env, snapshot_json, timeline_cap_from_env, Recorder, DEFAULT_SEGMENT_LINES,
+    DEFAULT_TIMELINE_CAP, RECORD_ENV, TIMELINE_CAP_ENV, TIMELINE_ROOT,
+};
 pub use report::{HistogramSummary, SpanSummary, TelemetryReport};
 pub use sink::{JsonlSink, NoopSink, ProgressSink, Sink};
-pub use snapshot::{interval_from_env, CounterSample, HistogramSample, MetricsSnapshot, Sampler};
+pub use snapshot::{
+    interval_from_env, CounterSample, HistogramSample, MetricsSnapshot, Sampler, SnapshotObserver,
+};
 pub use trace::TraceSink;
 pub use value::Value;
 

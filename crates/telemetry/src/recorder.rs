@@ -1,0 +1,379 @@
+//! Flight-data recorder: persists every [`MetricsSnapshot`] the
+//! background [`crate::Sampler`] publishes into an on-disk ring-buffer
+//! timeline, one JSON object per line.
+//!
+//! Layout under `results/timelines/<run-id>/`:
+//!
+//! ```text
+//! meta.json            {"schema":"rhb-timeline/v1","run_id":...,"cap":...}
+//! segment-00000000.jsonl
+//! segment-00000001.jsonl
+//! ...
+//! ```
+//!
+//! Segments rotate every [`DEFAULT_SEGMENT_LINES`] lines; once the total
+//! retained line count exceeds the cap (`RHB_OBS_TIMELINE_CAP`), the
+//! oldest closed segments are deleted — a ring buffer over files, so a
+//! multi-hour campaign keeps its most recent history at bounded disk
+//! cost. Every line is flushed as it is written: a crash loses at most
+//! the line being written, and the reader (`rhb-report timeline`)
+//! re-parses leniently, skipping any truncated tail.
+
+use crate::value::write_json_string;
+use crate::MetricsSnapshot;
+use std::fmt::Write as _;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Env var naming the run to record (`RHB_OBS_RECORD=<run-id>`); the
+/// values `1`, `on`, and `true` generate a timestamped id instead.
+pub const RECORD_ENV: &str = "RHB_OBS_RECORD";
+/// Env var bounding the retained timeline length in lines.
+pub const TIMELINE_CAP_ENV: &str = "RHB_OBS_TIMELINE_CAP";
+/// Retained-line cap when `RHB_OBS_TIMELINE_CAP` is unset.
+pub const DEFAULT_TIMELINE_CAP: usize = 4096;
+/// Lines per segment file before rotation.
+pub const DEFAULT_SEGMENT_LINES: usize = 128;
+/// Directory all timelines live under, relative to the working dir.
+pub const TIMELINE_ROOT: &str = "results/timelines";
+
+/// Retained-line cap from `RHB_OBS_TIMELINE_CAP` (floor: one segment,
+/// so the ring always holds some history).
+pub fn timeline_cap_from_env() -> usize {
+    std::env::var(TIMELINE_CAP_ENV)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(DEFAULT_TIMELINE_CAP)
+        .max(DEFAULT_SEGMENT_LINES)
+}
+
+/// Run id from `RHB_OBS_RECORD`: `None` when unset/empty/`0`/`off`, a
+/// generated `run-<unix-secs>-<pid>` id for `1`/`on`/`true`, otherwise
+/// the literal value.
+pub fn record_run_id_from_env() -> Option<String> {
+    let raw = std::env::var(RECORD_ENV).ok()?;
+    let v = raw.trim();
+    match v {
+        "" | "0" | "off" | "false" => None,
+        "1" | "on" | "true" => {
+            let secs = std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0);
+            Some(format!("run-{secs}-{}", std::process::id()))
+        }
+        id => Some(id.to_string()),
+    }
+}
+
+/// Appends snapshot and annotation lines to a segment ring buffer.
+pub struct Recorder {
+    dir: PathBuf,
+    cap: usize,
+    segment_lines: usize,
+    /// Closed segments still on disk, oldest first: `(index, lines)`.
+    closed: Vec<(u64, usize)>,
+    current_index: u64,
+    current_lines: usize,
+    current: File,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("segment-{index:08}.jsonl"))
+}
+
+impl Recorder {
+    /// Opens (or resumes) the timeline for `run_id` under
+    /// [`TIMELINE_ROOT`], with the cap from the environment.
+    pub fn create(run_id: &str) -> io::Result<Recorder> {
+        let dir = Path::new(TIMELINE_ROOT).join(run_id);
+        Recorder::with_layout(dir, timeline_cap_from_env(), DEFAULT_SEGMENT_LINES)
+    }
+
+    /// Opens a timeline at an explicit directory with explicit ring
+    /// geometry (`cap` total retained lines, `segment_lines` per file).
+    pub fn with_layout(dir: PathBuf, cap: usize, segment_lines: usize) -> io::Result<Recorder> {
+        let segment_lines = segment_lines.max(1);
+        let cap = cap.max(segment_lines);
+        std::fs::create_dir_all(&dir)?;
+        // Resume after any existing segments (same run id re-recorded,
+        // or a crashed run restarting): keep their lines in the ring
+        // accounting and start a fresh segment after the highest index.
+        let mut closed: Vec<(u64, usize)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(index) = name
+                .strip_prefix("segment-")
+                .and_then(|s| s.strip_suffix(".jsonl"))
+                .and_then(|s| s.parse::<u64>().ok())
+            {
+                let lines = std::fs::read_to_string(entry.path())
+                    .map(|s| s.lines().count())
+                    .unwrap_or(0);
+                closed.push((index, lines));
+            }
+        }
+        closed.sort_unstable();
+        let current_index = closed.last().map(|(i, _)| i + 1).unwrap_or(0);
+        let meta = dir.join("meta.json");
+        if !meta.exists() {
+            let run_id = dir
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let mut doc = String::new();
+            doc.push_str("{\"schema\": \"rhb-timeline/v1\", \"run_id\": ");
+            write_json_string(&run_id, &mut doc);
+            let _ = write!(
+                doc,
+                ", \"cap\": {cap}, \"segment_lines\": {segment_lines}}}"
+            );
+            doc.push('\n');
+            std::fs::write(&meta, doc)?;
+        }
+        let current = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&dir, current_index))?;
+        let mut rec = Recorder {
+            dir,
+            cap,
+            segment_lines,
+            closed,
+            current_index,
+            current_lines: 0,
+            current,
+        };
+        rec.prune()?;
+        Ok(rec)
+    }
+
+    /// The directory this timeline is being written to.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total lines currently retained across all segments.
+    pub fn retained_lines(&self) -> usize {
+        self.closed.iter().map(|(_, n)| n).sum::<usize>() + self.current_lines
+    }
+
+    /// Persists one snapshot as a `{"kind":"snapshot",...}` line.
+    pub fn record_snapshot(&mut self, snap: &MetricsSnapshot) -> io::Result<()> {
+        let line = snapshot_json(snap);
+        self.append(&line)
+    }
+
+    /// Persists one pre-rendered annotation object (e.g. a fired alert,
+    /// `{"kind":"alert",...}`). The line must be a single JSON object
+    /// without a trailing newline.
+    pub fn record_line(&mut self, line: &str) -> io::Result<()> {
+        self.append(line)
+    }
+
+    fn append(&mut self, line: &str) -> io::Result<()> {
+        if self.current_lines >= self.segment_lines {
+            self.rotate()?;
+        }
+        self.current.write_all(line.as_bytes())?;
+        self.current.write_all(b"\n")?;
+        // Flush per line: a crash loses at most the line in flight.
+        self.current.flush()?;
+        self.current_lines += 1;
+        Ok(())
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.closed.push((self.current_index, self.current_lines));
+        self.current_index += 1;
+        self.current_lines = 0;
+        self.current = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(segment_path(&self.dir, self.current_index))?;
+        self.prune()
+    }
+
+    /// Deletes oldest closed segments until the retained line count is
+    /// back under the cap. The segment being written is never deleted.
+    fn prune(&mut self) -> io::Result<()> {
+        while self.retained_lines() > self.cap && !self.closed.is_empty() {
+            let (index, _) = self.closed.remove(0);
+            match std::fs::remove_file(segment_path(&self.dir, index)) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+fn num(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        // JSON has no Inf/NaN; readers treat null as "unknown".
+        out.push_str("null");
+    }
+}
+
+/// Renders one snapshot as a single-line JSON object — the timeline
+/// wire format. Key order is stable (sorted metric names from the
+/// snapshot itself) so identical runs produce identical timelines.
+pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    let _ = write!(out, "{{\"kind\": \"snapshot\", \"seq\": {}", snap.seq);
+    out.push_str(", \"uptime_s\": ");
+    num(snap.uptime.as_secs_f64(), &mut out);
+    out.push_str(", \"interval_s\": ");
+    match snap.interval {
+        Some(d) => num(d.as_secs_f64(), &mut out),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"phase\": ");
+    write_json_string(&snap.current_span, &mut out);
+    out.push_str(", \"counters\": {");
+    for (i, c) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_json_string(&c.name, &mut out);
+        let _ = write!(
+            out,
+            ": {{\"total\": {}, \"delta\": {}, \"rate\": ",
+            c.total, c.delta
+        );
+        num(c.rate, &mut out);
+        out.push('}');
+    }
+    out.push_str("}, \"gauges\": {");
+    for (i, (name, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_json_string(name, &mut out);
+        out.push_str(": ");
+        num(*value, &mut out);
+    }
+    out.push_str("}, \"histograms\": {");
+    for (i, h) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let s = h.summary();
+        write_json_string(&h.name, &mut out);
+        let _ = write!(
+            out,
+            ": {{\"count\": {}, \"delta\": {}, \"rate\": ",
+            s.count, h.delta_count
+        );
+        num(h.rate, &mut out);
+        for (key, v) in [
+            ("mean", s.mean),
+            ("p50", s.p50),
+            ("p90", s.p90),
+            ("p95", s.p95),
+            ("p99", s.p99),
+            ("min", s.min),
+            ("max", s.max),
+        ] {
+            let _ = write!(out, ", \"{key}\": ");
+            num(v, &mut out);
+        }
+        out.push('}');
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NoopSink, Telemetry};
+    use std::sync::Arc;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rhb-recorder-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let tel = Telemetry::new();
+        tel.install(Arc::new(NoopSink));
+        tel.add_counter("dram/bits_flipped", 7);
+        tel.gauge("core/run_class", 2.0);
+        tel.observe("nn/eval/fc_s", 0.25);
+        tel.snapshot()
+    }
+
+    #[test]
+    fn snapshot_json_is_one_parsable_line_with_all_families() {
+        let line = snapshot_json(&sample_snapshot());
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"kind\": \"snapshot\""));
+        assert!(line.contains("\"dram/bits_flipped\": {\"total\": 7, \"delta\": 7"));
+        assert!(line.contains("\"core/run_class\": 2"));
+        assert!(line.contains("\"nn/eval/fc_s\": {\"count\": 1"));
+    }
+
+    #[test]
+    fn recorder_writes_rotates_and_prunes_to_cap() {
+        let dir = temp_dir("ring");
+        let mut rec = Recorder::with_layout(dir.clone(), 6, 3).unwrap();
+        for i in 0..20 {
+            rec.record_line(&format!("{{\"kind\": \"note\", \"i\": {i}}}"))
+                .unwrap();
+        }
+        assert!(rec.retained_lines() <= 6 + 3, "cap plus one open segment");
+        let mut names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("segment-"))
+            .collect();
+        names.sort();
+        assert!(names.len() <= 4, "old segments pruned: {names:?}");
+        // The newest lines survive; the oldest are gone.
+        let all: String = names
+            .iter()
+            .map(|n| std::fs::read_to_string(dir.join(n)).unwrap())
+            .collect();
+        assert!(all.contains("\"i\": 19"));
+        assert!(!all.contains("\"i\": 0}"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recorder_resumes_after_reopen_and_writes_meta_once() {
+        let dir = temp_dir("resume");
+        {
+            let mut rec = Recorder::with_layout(dir.clone(), 100, 4).unwrap();
+            rec.record_line("{\"kind\": \"note\", \"gen\": 1}").unwrap();
+        }
+        {
+            let mut rec = Recorder::with_layout(dir.clone(), 100, 4).unwrap();
+            rec.record_line("{\"kind\": \"note\", \"gen\": 2}").unwrap();
+            assert_eq!(rec.retained_lines(), 2, "first generation still counted");
+        }
+        let meta = std::fs::read_to_string(dir.join("meta.json")).unwrap();
+        assert!(meta.contains("rhb-timeline/v1"));
+        assert!(meta.contains("\"run_id\": \"rhb-recorder-resume"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn record_env_parses_off_literal_and_generated_ids() {
+        // Uses the parsing helpers directly; the env var itself is not
+        // set in the test environment.
+        assert_eq!(record_run_id_from_env(), None);
+        assert_eq!(timeline_cap_from_env(), DEFAULT_TIMELINE_CAP);
+    }
+}

@@ -120,8 +120,7 @@ pub(crate) fn take(tel: &Telemetry) -> MetricsSnapshot {
     let mut base = tel.snap.lock();
     let now = Instant::now();
     let interval = base.prev_at.map(|p| now.saturating_duration_since(p));
-    let secs = interval.map(|d| d.as_secs_f64()).unwrap_or(0.0);
-    let rate_of = |delta: u64| if secs > 0.0 { delta as f64 / secs } else { 0.0 };
+    let rate_of = |delta: u64| safe_rate(delta, interval);
 
     let counters: Vec<CounterSample> = counters_guard
         .iter()
@@ -181,6 +180,27 @@ pub(crate) fn take(tel: &Telemetry) -> MetricsSnapshot {
     }
 }
 
+/// Minimum window over which a per-second rate is meaningful. Snapshots
+/// separated by less than this (concurrent scrapers, coarse clocks)
+/// report rate 0 rather than dividing a delta by a near-zero interval.
+pub(crate) const MIN_RATE_WINDOW: Duration = Duration::from_millis(1);
+
+/// `delta / interval` guarded so the result is always finite: `None`,
+/// zero, and sub-[`MIN_RATE_WINDOW`] intervals all yield 0.0, never
+/// NaN/inf — `/metrics` serves these values verbatim.
+pub(crate) fn safe_rate(delta: u64, interval: Option<Duration>) -> f64 {
+    let Some(iv) = interval else { return 0.0 };
+    if iv < MIN_RATE_WINDOW {
+        return 0.0;
+    }
+    let rate = delta as f64 / iv.as_secs_f64();
+    if rate.is_finite() {
+        rate
+    } else {
+        0.0
+    }
+}
+
 /// Sampler interval from `RHB_OBS_INTERVAL_MS` (default 1000, floor 10).
 pub fn interval_from_env() -> Duration {
     let ms = std::env::var("RHB_OBS_INTERVAL_MS")
@@ -197,6 +217,11 @@ struct SamplerShared {
     wake: Condvar,
 }
 
+/// Callback the sampler thread invokes with every snapshot it publishes
+/// — the hook the flight recorder and alert engine hang off. Runs on the
+/// sampler thread; keep it cheap relative to the sampling interval.
+pub type SnapshotObserver = Box<dyn FnMut(&Arc<MetricsSnapshot>) + Send>;
+
 /// Background thread snapshotting the global registry at a fixed
 /// interval. One snapshot is taken immediately at start so scrapers
 /// never observe an empty window; [`Sampler::stop`] (or drop) joins the
@@ -210,30 +235,54 @@ pub struct Sampler {
 impl Sampler {
     /// Starts sampling [`crate::global`] every `interval`.
     pub fn start(interval: Duration) -> Sampler {
+        Sampler::start_with_observer(interval, None)
+    }
+
+    /// Starts sampling with an observer invoked on every published
+    /// snapshot. On stop, one final snapshot is taken and observed
+    /// before the thread exits, so even runs shorter than one interval
+    /// leave a complete end-of-run record.
+    pub fn start_with_observer(
+        interval: Duration,
+        mut observer: Option<SnapshotObserver>,
+    ) -> Sampler {
         let shared = Arc::new(SamplerShared {
             latest: Mutex::new(None),
             stop: Mutex::new(false),
             wake: Condvar::new(),
         });
+        let slot = Arc::clone(&shared);
         let thread_shared = Arc::clone(&shared);
         let handle = std::thread::Builder::new()
             .name("rhb-obs-sampler".into())
-            .spawn(move || loop {
-                let snap = Arc::new(crate::global().snapshot());
-                *thread_shared
-                    .latest
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner()) = Some(snap);
-                let stopped = thread_shared.stop.lock().unwrap_or_else(|e| e.into_inner());
-                if *stopped {
-                    return;
-                }
-                let (stopped, _) = thread_shared
-                    .wake
-                    .wait_timeout(stopped, interval)
-                    .unwrap_or_else(|e| e.into_inner());
-                if *stopped {
-                    return;
+            .spawn(move || {
+                let mut publish = move || {
+                    let snap = Arc::new(crate::global().snapshot());
+                    *slot.latest.lock().unwrap_or_else(|e| e.into_inner()) =
+                        Some(Arc::clone(&snap));
+                    if let Some(obs) = observer.as_mut() {
+                        obs(&snap);
+                    }
+                };
+                loop {
+                    publish();
+                    let stopped = thread_shared.stop.lock().unwrap_or_else(|e| e.into_inner());
+                    if *stopped {
+                        // Stop raced the snapshot we just took; it is
+                        // the final one.
+                        return;
+                    }
+                    let (stopped, _) = thread_shared
+                        .wake
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    if *stopped {
+                        drop(stopped);
+                        // Final cut: capture the end-of-run state for
+                        // the recorder before the thread exits.
+                        publish();
+                        return;
+                    }
                 }
             })
             .expect("spawn sampler thread");
@@ -390,6 +439,70 @@ mod tests {
         };
         assert!(snap.counter_total("sampler_test/ticks") >= 3);
         sampler.stop(); // joins; a hang here fails the test by timeout
+        crate::shutdown();
+    }
+
+    #[test]
+    fn rates_guard_zero_and_near_zero_intervals() {
+        assert_eq!(safe_rate(5, None), 0.0);
+        assert_eq!(safe_rate(5, Some(Duration::ZERO)), 0.0);
+        assert_eq!(safe_rate(5, Some(Duration::from_nanos(1))), 0.0);
+        assert_eq!(
+            safe_rate(u64::MAX, Some(Duration::from_nanos(999_999))),
+            0.0,
+            "just under the window floor must clamp to 0"
+        );
+        let r = safe_rate(u64::MAX, Some(MIN_RATE_WINDOW));
+        assert!(r.is_finite() && r > 0.0);
+        assert_eq!(safe_rate(3, Some(Duration::from_secs(1))), 3.0);
+    }
+
+    #[test]
+    fn back_to_back_snapshots_never_emit_non_finite_rates() {
+        let tel = armed();
+        tel.add_counter("burst", u64::MAX / 2);
+        tel.snapshot();
+        // Immediate re-snapshots: the window is zero-to-nanoseconds wide.
+        for _ in 0..4 {
+            tel.add_counter("burst", 1_000_000);
+            let snap = tel.snapshot();
+            for c in &snap.counters {
+                assert!(c.rate.is_finite(), "{}: rate {} not finite", c.name, c.rate);
+            }
+            for h in &snap.histograms {
+                assert!(h.rate.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_snapshot_plus_a_final_one_on_stop() {
+        crate::install(StdArc::new(NoopSink));
+        crate::add_counter("observer_test/ticks", 1);
+        let seen: StdArc<Mutex<Vec<u64>>> = StdArc::new(Mutex::new(Vec::new()));
+        let sink = StdArc::clone(&seen);
+        let sampler = Sampler::start_with_observer(
+            Duration::from_millis(10),
+            Some(Box::new(move |snap| {
+                sink.lock().unwrap().push(snap.seq);
+            })),
+        );
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while seen.lock().unwrap().is_empty() {
+            assert!(Instant::now() < deadline, "observer never ran");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let before = seen.lock().unwrap().len();
+        sampler.stop();
+        let after = seen.lock().unwrap().clone();
+        assert!(
+            after.len() >= before,
+            "stop must not lose observed snapshots"
+        );
+        // The stop path either raced a just-taken snapshot or took a
+        // final one; either way the last observed seq is the newest.
+        let max = *after.iter().max().unwrap();
+        assert_eq!(*after.last().unwrap(), max);
         crate::shutdown();
     }
 
