@@ -86,4 +86,19 @@ cargo run --release -p rhb-bench --bin rhb-report -- timeline results/timelines/
 cargo run --release -p rhb-bench --bin rhb-report -- \
   postmortem results/timelines/ci-chaos --require-alert stall,recovery,downgrade
 
+
+echo "== campaign kill-resume gate (blocking) =="
+# Fault-tolerant campaign supervisor, end to end: an in-process phase
+# proves panicking and hanging runs are isolated, retried with backoff,
+# and quarantined without wedging the queue; a child-process phase
+# SIGKILLs a live sabotaged campaign mid-flight and resumes it with the
+# identical command. `rhb-report campaign` then audits the journal:
+# every run settled, zero duplicate run-ids, at least one recorded
+# retry. All three checks exit non-zero on violation.
+rm -rf results/campaigns/ci-kill results/campaigns/ci-kill-domains
+RHB_TELEMETRY=off cargo run --release -p rhb-bench --bin exp_campaign_kill
+cargo run --release -p rhb-bench --bin rhb-report -- \
+  campaign results/campaigns/ci-kill \
+  --require-complete --require-retried --forbid-duplicates
+
 echo "CI OK"

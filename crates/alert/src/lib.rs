@@ -701,6 +701,20 @@ pub fn builtin_rules() -> Vec<Rule> {
             },
             "hammer recovery retries observed this run",
         ),
+        // Campaign fleet health: the supervisor's heartbeat exports
+        // seconds-since-last-settled-run. A missing gauge makes the
+        // rule inert, so non-campaign runs never see it fire.
+        Rule::new(
+            "campaign-stall",
+            Severity::Warn,
+            Predicate::Compare {
+                signal: Signal::Gauge("campaign/stall_s".into()),
+                cmp: Cmp::Gt,
+                threshold: 120.0,
+            },
+            "campaign made no progress for 2 minutes (watchdogs and retries may be churning)",
+        )
+        .sustained(2, 2),
     ]
 }
 
@@ -1096,6 +1110,7 @@ mod tests {
             "run-class-downgrade",
             "attack-stall",
             "recovery-pressure",
+            "campaign-stall",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }

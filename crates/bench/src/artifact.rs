@@ -605,7 +605,9 @@ impl RunArtifact {
             format_timestamp(self.created_unix),
             self.exp
         ));
-        std::fs::write(&path, self.to_json())?;
+        // Atomic write (temp + rename): a SIGKILL mid-save must never
+        // leave a torn artifact that poisons later report/diff runs.
+        rhb_telemetry::write_atomic(&path, &self.to_json())?;
         Ok(path)
     }
 }

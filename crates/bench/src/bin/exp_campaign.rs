@@ -1,0 +1,159 @@
+//! Fault-tolerant campaign driver: executes (or resumes) a declarative
+//! sweep grid under the `rhb-campaign` supervisor — per-run panic
+//! isolation, deadline watchdogs, retry budgets with exponential
+//! backoff, quarantine, and a crash-safe checkpoint journal under
+//! `results/campaigns/<name>/`.
+//!
+//! ```text
+//! exp_campaign [--name <campaign>] [--models ResNet20] [--methods CFT+BR,FT]
+//!              [--chips K1] [--rates 0.0,0.2] [--seeds 41,42,43]
+//!              [--workers N] [--timeout-s 120] [--max-attempts 3]
+//!              [--sabotage-every M]
+//! ```
+//!
+//! Re-running the same command resumes: completed run-ids are skipped,
+//! in-flight attempts re-execute, and templating results are served
+//! from the on-disk template cache, so a resumed campaign re-hammers
+//! instead of re-templating. `--sabotage-every M` panics the first
+//! attempt of every M-th grid index — the fault-injection knob the
+//! kill-resume CI gate uses; leave it unset for real sweeps.
+//!
+//! Exit codes: 0 when every run is settled (completed or quarantined),
+//! 1 when the campaign could not settle the grid, 2 on usage errors.
+
+use rhb_bench::campaign_run::{campaign_dir, parse_grid, pipeline_run_fn};
+use rhb_campaign::{run_campaign, CampaignStore, SupervisorConfig};
+use rhb_dram::TemplateCache;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "usage: exp_campaign [--name <campaign>] [--models <list>] \
+                     [--methods <list>] [--chips <list>] [--rates <list>] \
+                     [--seeds <list>] [--workers N] [--timeout-s S] \
+                     [--max-attempts N] [--sabotage-every M]";
+
+fn main() -> ExitCode {
+    let mut name = "default".to_string();
+    let mut models = "ResNet20".to_string();
+    let mut methods = "CFT+BR".to_string();
+    let mut chips = "K1".to_string();
+    let mut rates = "0.0".to_string();
+    let mut seeds = "41".to_string();
+    let mut config = SupervisorConfig::default();
+    let mut sabotage_every: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else {
+            eprintln!("exp_campaign: {flag} needs a value\n{USAGE}");
+            return ExitCode::from(2);
+        };
+        match flag {
+            "--name" => name = value.clone(),
+            "--models" => models = value.clone(),
+            "--methods" => methods = value.clone(),
+            "--chips" => chips = value.clone(),
+            "--rates" => rates = value.clone(),
+            "--seeds" => seeds = value.clone(),
+            "--workers" => match value.parse::<usize>() {
+                Ok(n) if n > 0 => config.workers = n,
+                _ => {
+                    eprintln!("exp_campaign: bad --workers '{value}'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timeout-s" => match value.parse::<u64>() {
+                Ok(s) if s > 0 => config.run_timeout = Duration::from_secs(s),
+                _ => {
+                    eprintln!("exp_campaign: bad --timeout-s '{value}'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-attempts" => match value.parse::<u32>() {
+                Ok(n) if n > 0 => config.max_attempts = n,
+                _ => {
+                    eprintln!("exp_campaign: bad --max-attempts '{value}'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--sabotage-every" => match value.parse::<usize>() {
+                Ok(m) if m > 0 => sabotage_every = Some(m),
+                _ => {
+                    eprintln!("exp_campaign: bad --sabotage-every '{value}'\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("exp_campaign: unknown flag '{other}'\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let spec = match parse_grid(&name, &models, &methods, &chips, &rates, &seeds) {
+        Ok(spec) => spec,
+        Err(msg) => {
+            eprintln!("exp_campaign: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    rhb_bench::telemetry::init();
+    let dir = campaign_dir(&spec.name);
+    let cache = Arc::new(TemplateCache::persistent(&dir.join("templates")));
+    let run = pipeline_run_fn(cache, sabotage_every);
+    eprintln!(
+        "campaign '{}': {} runs, {} workers, {}s deadline, {} attempts max, journal at {}",
+        spec.name,
+        spec.len(),
+        config.workers,
+        config.run_timeout.as_secs(),
+        config.max_attempts,
+        dir.display()
+    );
+
+    let outcome = match run_campaign(&spec, &dir, &config, run) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("exp_campaign: journal failure: {err}");
+            rhb_bench::telemetry::finish();
+            return ExitCode::from(1);
+        }
+    };
+
+    let store = CampaignStore::from_state(outcome.state.clone());
+    match store.save(&dir) {
+        Ok(path) => eprintln!("aggregate written to {}", path.display()),
+        Err(err) => eprintln!("exp_campaign: aggregate write failed: {err}"),
+    }
+
+    println!(
+        "campaign {}: {}/{} settled ({} full, {} degraded, {} failed, {} timed_out, \
+         {} quarantined), {} retried, {} resumed-skips, {} attempts this process, {} ms",
+        spec.name,
+        store.counts.settled(),
+        store.total_runs,
+        store.counts.full,
+        store.counts.degraded,
+        store.counts.failed,
+        store.counts.timed_out,
+        store.counts.quarantined,
+        store.retried,
+        outcome.resumed_skips,
+        outcome.attempts_run,
+        outcome.wall_ms
+    );
+    rhb_bench::telemetry::finish();
+
+    if outcome.is_complete(&spec) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("exp_campaign: grid not settled; resume by re-running the same command");
+        ExitCode::from(1)
+    }
+}

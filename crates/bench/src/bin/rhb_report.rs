@@ -29,6 +29,15 @@
 //!                                            # before the first anomaly
 //!                                            # and diff them against a
 //!                                            # healthy baseline window
+//! rhb-report campaign <campaign-dir> [--require-complete]
+//!                     [--require-retried] [--forbid-duplicates]
+//!                                            # replay a campaign's
+//!                                            # checkpoint journal:
+//!                                            # classification roll-up,
+//!                                            # retry/quarantine audit;
+//!                                            # the --require/--forbid
+//!                                            # flags turn it into the
+//!                                            # kill-resume CI gate
 //! ```
 //!
 //! `diff` thresholds: phase time +15 %, ASR −1 pt, any flip-success drop
@@ -52,7 +61,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json> | watch <host:port> [--once] [--check] [--interval-ms N] | timeline <timeline-dir> | postmortem <timeline-dir> [--last N] [--require-alert substr[,substr...]]>";
+const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json> | watch <host:port> [--once] [--check] [--interval-ms N] | timeline <timeline-dir> | postmortem <timeline-dir> [--last N] [--require-alert substr[,substr...]] | campaign <campaign-dir> [--require-complete] [--require-retried] [--forbid-duplicates]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -102,6 +111,13 @@ fn main() -> ExitCode {
                 Err(code) => code,
             },
             None => usage_error("postmortem needs a timeline directory"),
+        },
+        Some("campaign") => match args.get(1) {
+            Some(dir) => match CampaignOpts::parse(&args[2..]) {
+                Ok(opts) => campaign_cmd(Path::new(dir), &opts),
+                Err(code) => code,
+            },
+            None => usage_error("campaign needs a campaign directory"),
         },
         Some(other) => usage_error(&format!("unknown subcommand '{other}'")),
         None => usage_error("missing subcommand"),
@@ -856,4 +872,115 @@ fn postmortem_cmd(dir: &Path, opts: &PostmortemOpts) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+// --- campaign ---------------------------------------------------------------
+
+#[derive(Default)]
+struct CampaignOpts {
+    require_complete: bool,
+    require_retried: bool,
+    forbid_duplicates: bool,
+}
+
+impl CampaignOpts {
+    fn parse(rest: &[String]) -> Result<CampaignOpts, ExitCode> {
+        let mut opts = CampaignOpts::default();
+        for arg in rest {
+            match arg.as_str() {
+                "--require-complete" => opts.require_complete = true,
+                "--require-retried" => opts.require_retried = true,
+                "--forbid-duplicates" => opts.forbid_duplicates = true,
+                other => return Err(usage_error(&format!("campaign: unknown flag '{other}'"))),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// Replays a campaign's checkpoint journal and prints the aggregate:
+/// classification roll-up, retry and quarantine audit, journal health.
+/// The `--require-*` / `--forbid-*` flags make it a blocking gate.
+fn campaign_cmd(dir: &Path, opts: &CampaignOpts) -> ExitCode {
+    let store = match rhb_campaign::CampaignStore::load(dir) {
+        Ok(store) => store,
+        Err(e) => {
+            eprintln!("rhb-report: campaign {}: {e}", dir.display());
+            return ExitCode::from(2);
+        }
+    };
+    if store.total_runs == 0 && store.state.completed.is_empty() {
+        eprintln!(
+            "rhb-report: campaign {}: no journal found (is this a campaign directory?)",
+            dir.display()
+        );
+        return ExitCode::from(2);
+    }
+
+    let c = &store.counts;
+    let mut out = String::new();
+    out.push_str(&format!("campaign {} — {}\n", store.name, dir.display()));
+    out.push_str(&format!(
+        "  grid: {} runs, {} settled ({})\n",
+        store.total_runs,
+        c.settled(),
+        if store.is_complete() {
+            "complete"
+        } else {
+            "INCOMPLETE"
+        }
+    ));
+    out.push_str(&format!(
+        "  classes: {:>3} full  {:>3} degraded  {:>3} failed  {:>3} timed_out  {:>3} quarantined\n",
+        c.full, c.degraded, c.failed, c.timed_out, c.quarantined
+    ));
+    out.push_str(&format!(
+        "  retries: {} runs needed >1 attempt; {} ms total backoff charged\n",
+        store.retried, store.total_backoff_ms
+    ));
+    if c.completed() > 0 {
+        out.push_str(&format!(
+            "  results: mean ASR {:.4}, total attack time {} ms\n",
+            store.mean_asr, store.total_attack_time_ms
+        ));
+    }
+    out.push_str(&format!(
+        "  journal: {} duplicate done lines, {} unparsable lines\n",
+        store.duplicate_done, store.skipped_lines
+    ));
+    if !store.state.quarantined.is_empty() {
+        let mut ids: Vec<&String> = store.state.quarantined.iter().collect();
+        ids.sort();
+        out.push_str("  quarantined runs:\n");
+        for id in ids {
+            out.push_str(&format!("    {} ({})\n", id, store.retired_class(id)));
+        }
+    }
+    print!("{out}");
+
+    let mut ok = true;
+    if opts.require_complete && !store.is_complete() {
+        eprintln!(
+            "rhb-report: campaign incomplete: {}/{} settled",
+            c.settled(),
+            store.total_runs
+        );
+        ok = false;
+    }
+    if opts.require_retried && store.retried < 1 {
+        eprintln!("rhb-report: no retried run recorded (--require-retried)");
+        ok = false;
+    }
+    if opts.forbid_duplicates && store.duplicate_done > 0 {
+        eprintln!(
+            "rhb-report: {} duplicate done lines (--forbid-duplicates)",
+            store.duplicate_done
+        );
+        ok = false;
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

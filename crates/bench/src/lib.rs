@@ -18,6 +18,7 @@
 //! `rhb-report` binary is the CLI over all of it.
 
 pub mod artifact;
+pub mod campaign_run;
 pub mod compute;
 pub mod diff;
 pub mod experiments;

@@ -97,8 +97,32 @@ pub fn init() -> TelemetryMode {
             TelemetryMode::Progress
         }
     };
+    install_panic_hook();
     start_obs(installed);
     installed
+}
+
+/// Installs (once per process) a panic hook that flushes the telemetry
+/// sink and the flight recorder before unwinding, so a crashing run
+/// still leaves a timeline ending at the moment of death. The hook
+/// chains the previous hook (the default backtrace printer, or a test
+/// harness's), uses `try_lock` throughout, and is cheap on caught
+/// panics — campaign fault domains fire it on every sabotage/chaos
+/// panic they contain.
+fn install_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Ok(guard) = OBS.try_lock() {
+                if let Some(plane) = guard.as_ref() {
+                    plane.flush_crash_snapshot(&info.to_string());
+                }
+            }
+            rhb_telemetry::flush();
+            previous(info);
+        }));
+    });
 }
 
 /// The live observability plane for the current run, if enabled.

@@ -1,0 +1,42 @@
+//! # rhb-campaign
+//!
+//! Fault-tolerant campaign supervisor: executes a declarative sweep grid
+//! (model × method × chip × chaos rate × seed) as a fleet of isolated
+//! runs over an `rhb-par` pool, and survives every failure mode a long
+//! campaign meets in practice:
+//!
+//! * **Per-run fault domains** — each attempt runs on its own thread
+//!   under `catch_unwind`, so one panicking configuration never takes
+//!   the supervisor (or its siblings) down.
+//! * **Deadline watchdog** — a configurable per-run timeout; an attempt
+//!   that overruns is marked `timed_out`, its [`rhb_par::CancelToken`]
+//!   is cancelled (cooperative), the runaway thread is abandoned, and
+//!   the worker lane is reclaimed immediately.
+//! * **Retry budgets** — failed attempts are retried with exponential
+//!   backoff (charged to the campaign's §VII attack-time accounting)
+//!   and deterministic per-attempt seeds; a config that fails
+//!   `max_attempts` consecutive times is quarantined instead of wedging
+//!   the queue.
+//! * **Crash-safe resume** — every state transition is appended to a
+//!   per-line-flushed JSONL checkpoint journal (same truncated-tail
+//!   discipline as the flight recorder). A SIGKILL'd campaign resumes
+//!   exactly: completed run-ids are skipped, in-flight attempts are
+//!   re-executed, attempt counters carry over.
+//!
+//! The crate is execution-agnostic: the caller supplies the run closure
+//! (`rhb-bench` wires in the real attack pipeline), so the supervisor
+//! itself stays dependency-light and unit-testable with synthetic
+//! workloads.
+
+pub mod journal;
+pub mod spec;
+pub mod store;
+pub mod supervisor;
+
+pub use journal::{Journal, JournalEvent, JournalState, RunRecord};
+pub use spec::{CampaignSpec, RunSpec};
+pub use store::{CampaignStore, ClassCounts};
+pub use supervisor::{
+    attempt_seed, backoff_ms, run_campaign, Attempt, CampaignOutcome, RunFn, RunResult,
+    SupervisorConfig, CLASS_FAILED, CLASS_QUARANTINED, CLASS_TIMED_OUT,
+};

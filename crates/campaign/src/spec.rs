@@ -1,0 +1,183 @@
+//! Declarative sweep grids and the per-run specs they expand into.
+//!
+//! A [`CampaignSpec`] is the cartesian product the ROADMAP's campaign
+//! orchestrator calls for: models × methods × chips × chaos rates ×
+//! seeds. [`CampaignSpec::expand`] flattens it into [`RunSpec`]s with
+//! stable, filename-safe run-ids — the identity the checkpoint journal
+//! keys resume on, so expansion order and id derivation must never
+//! depend on anything but the grid itself.
+
+/// One axis-point of the sweep grid: a single attack run to execute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSpec {
+    /// Position in the expanded grid (stable across resumes, used for
+    /// deterministic per-run behaviors such as sabotage injection).
+    pub index: usize,
+    /// Stable identity; the journal's resume key.
+    pub run_id: String,
+    /// Victim architecture name (e.g. `ResNet20`).
+    pub model: String,
+    /// Attack method name (e.g. `CFT+BR`).
+    pub method: String,
+    /// DRAM chip tag from Table I (e.g. `K1`).
+    pub chip: String,
+    /// Chaos fault-injection rate in `[0, 1]`.
+    pub chaos_rate: f64,
+    /// Base seed; per-attempt seeds derive from it deterministically.
+    pub seed: u64,
+}
+
+/// The declarative sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (journal header + report label).
+    pub name: String,
+    /// Victim architectures to sweep.
+    pub models: Vec<String>,
+    /// Attack methods to sweep.
+    pub methods: Vec<String>,
+    /// Chip tags to sweep.
+    pub chips: Vec<String>,
+    /// Chaos rates to sweep.
+    pub chaos_rates: Vec<f64>,
+    /// Base seeds to sweep.
+    pub seeds: Vec<u64>,
+}
+
+impl CampaignSpec {
+    /// A single-cell grid, for tests and smoke campaigns.
+    pub fn single(name: &str, model: &str, method: &str, chip: &str, seed: u64) -> Self {
+        CampaignSpec {
+            name: name.to_string(),
+            models: vec![model.to_string()],
+            methods: vec![method.to_string()],
+            chips: vec![chip.to_string()],
+            chaos_rates: vec![0.0],
+            seeds: vec![seed],
+        }
+    }
+
+    /// Total grid size.
+    pub fn len(&self) -> usize {
+        self.models.len()
+            * self.methods.len()
+            * self.chips.len()
+            * self.chaos_rates.len()
+            * self.seeds.len()
+    }
+
+    /// Whether the grid is empty (any empty axis empties the product).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Expands the grid into run specs, slowest axis first (model,
+    /// method, chip, rate, seed), with stable run-ids.
+    pub fn expand(&self) -> Vec<RunSpec> {
+        let mut out = Vec::with_capacity(self.len());
+        for model in &self.models {
+            for method in &self.methods {
+                for chip in &self.chips {
+                    for &rate in &self.chaos_rates {
+                        for &seed in &self.seeds {
+                            let index = out.len();
+                            out.push(RunSpec {
+                                index,
+                                run_id: run_id(model, method, chip, rate, seed),
+                                model: model.clone(),
+                                method: method.clone(),
+                                chip: chip.clone(),
+                                chaos_rate: rate,
+                                seed,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Derives the stable, filename-safe run-id for one grid point. Chaos
+/// rates are encoded in permille so distinct sweep rates (paper-scale
+/// steps are 0.05) can never collide.
+pub fn run_id(model: &str, method: &str, chip: &str, rate: f64, seed: u64) -> String {
+    let raw = format!(
+        "{}-{}-{}-c{:04}-s{}",
+        model,
+        method,
+        chip,
+        (rate * 1000.0).round() as u64,
+        seed
+    );
+    sanitize(&raw)
+}
+
+/// Maps a label onto the `[A-Za-z0-9._-]` filename-safe alphabet.
+pub fn sanitize(raw: &str) -> String {
+    raw.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> CampaignSpec {
+        CampaignSpec {
+            name: "unit".into(),
+            models: vec!["ResNet20".into()],
+            methods: vec!["CFT+BR".into(), "FT".into()],
+            chips: vec!["K1".into()],
+            chaos_rates: vec![0.0, 0.2],
+            seeds: vec![41, 42],
+        }
+    }
+
+    #[test]
+    fn expand_covers_the_product_with_unique_stable_ids() {
+        let spec = grid();
+        let runs = spec.expand();
+        assert_eq!(runs.len(), spec.len());
+        assert_eq!(runs.len(), 8);
+        let mut ids: Vec<&str> = runs.iter().map(|r| r.run_id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "run ids must be unique");
+        // Expansion is deterministic: same grid, same order, same ids.
+        let again = spec.expand();
+        assert_eq!(runs, again);
+        for (i, r) in runs.iter().enumerate() {
+            assert_eq!(r.index, i);
+        }
+    }
+
+    #[test]
+    fn run_ids_are_filename_safe_and_rate_distinct() {
+        let a = run_id("ResNet20", "CFT+BR", "K1", 0.2, 41);
+        let b = run_id("ResNet20", "CFT+BR", "K1", 0.25, 41);
+        assert_ne!(a, b, "close rates must not collide");
+        assert_eq!(a, "ResNet20-CFT_BR-K1-c0200-s41");
+        for id in [&a, &b] {
+            assert!(id
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')));
+        }
+    }
+
+    #[test]
+    fn empty_axis_empties_the_grid() {
+        let mut spec = grid();
+        spec.seeds.clear();
+        assert!(spec.is_empty());
+        assert!(spec.expand().is_empty());
+    }
+}

@@ -1,0 +1,719 @@
+//! The campaign supervisor: sharded execution with per-run fault
+//! domains, deadline watchdogs, retry budgets, and quarantine.
+//!
+//! Each worker lane claims pending runs off a shared atomic cursor and
+//! drives one run at a time through its attempt loop. Every attempt
+//! executes on a **dedicated thread** under `catch_unwind` with a
+//! deadline-armed [`CancelToken`]; the lane waits on a channel with
+//! `recv_timeout`, so a hung attempt (one that never reaches a
+//! cancellation checkpoint) is abandoned at the deadline and the lane
+//! is reclaimed immediately — the watchdog guarantee is wall-clock, not
+//! cooperative. Failed attempts retry with exponential backoff and
+//! deterministic per-attempt seeds; `max_attempts` consecutive recorded
+//! failures quarantine the configuration instead of wedging the queue.
+//!
+//! All journal writes happen on lane threads (never on attempt
+//! threads), so an abandoned runaway can corrupt nothing but its own
+//! sandboxed result, which nobody is listening for anymore.
+
+use std::io;
+use std::panic::{self, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use rhb_par::CancelToken;
+
+use crate::journal::{Journal, JournalEvent, JournalState};
+use crate::spec::{CampaignSpec, RunSpec};
+
+/// Classification recorded for a run whose *pipeline* verdict was a
+/// clean failure (attack ran, trigger did not take).
+pub const CLASS_FAILED: &str = "failed";
+/// Classification for a run retired after exhausting its retry budget
+/// on panics/errors.
+pub const CLASS_QUARANTINED: &str = "quarantined";
+/// Classification for a run retired after exhausting its retry budget
+/// on deadline overruns.
+pub const CLASS_TIMED_OUT: &str = "timed_out";
+
+/// Failure reason strings recorded in `fail` journal lines.
+pub const REASON_PANIC: &str = "panic";
+pub const REASON_TIMEOUT: &str = "timeout";
+pub const REASON_ERROR: &str = "error";
+
+/// Supervisor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Concurrent worker lanes.
+    pub workers: usize,
+    /// Per-attempt wall-clock deadline.
+    pub run_timeout: Duration,
+    /// Consecutive failures before a config is quarantined.
+    pub max_attempts: u32,
+    /// First retry backoff, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2);
+        SupervisorConfig {
+            workers,
+            run_timeout: Duration::from_secs(120),
+            max_attempts: 3,
+            backoff_base_ms: 250,
+            backoff_cap_ms: 4_000,
+        }
+    }
+}
+
+/// One attempt's identity, handed to the run closure. The seed derives
+/// deterministically from the spec seed and the attempt number, so a
+/// resumed campaign replays the exact attempt schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attempt {
+    /// 1-based attempt number for this run (carries over across resume).
+    pub number: u32,
+    /// Deterministic per-attempt seed.
+    pub seed: u64,
+}
+
+/// What a successful run closure returns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// Pipeline classification name (`full` / `degraded` / `failed`).
+    pub class: String,
+    /// Attack success rate.
+    pub asr: f64,
+    /// Modeled §VII attack time, milliseconds.
+    pub attack_time_ms: u64,
+}
+
+/// The run closure the caller supplies: executes one attempt of one
+/// grid point. `Err` is an orderly failure (retried like a panic);
+/// panics are caught; ignoring the token only costs cooperative
+/// cancellation — the watchdog reclaims the lane regardless.
+pub type RunFn =
+    Arc<dyn Fn(&RunSpec, &Attempt, &CancelToken) -> Result<RunResult, String> + Send + Sync>;
+
+/// What `run_campaign` hands back after the fleet drains.
+#[derive(Debug, Clone)]
+pub struct CampaignOutcome {
+    /// Final journal state, re-replayed from disk after the run (so the
+    /// outcome is exactly what a resume would see).
+    pub state: JournalState,
+    /// Runs skipped because the journal already settled them.
+    pub resumed_skips: usize,
+    /// Attempts executed by this process.
+    pub attempts_run: usize,
+    /// Runs quarantined by this process.
+    pub quarantined_now: usize,
+    /// Wall-clock duration of this process's share, milliseconds.
+    pub wall_ms: u64,
+}
+
+impl CampaignOutcome {
+    /// Whether every grid point is settled (completed or quarantined).
+    pub fn is_complete(&self, spec: &CampaignSpec) -> bool {
+        self.state.completed.len() + self.state.quarantined.len() >= spec.len()
+    }
+}
+
+/// splitmix64 — the standard 64-bit mixer; full-avalanche, so adjacent
+/// attempt numbers produce unrelated seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic per-attempt seed: same (base seed, attempt) always
+/// yields the same seed, on first run and on resume.
+pub fn attempt_seed(base: u64, attempt: u32) -> u64 {
+    splitmix64(base ^ splitmix64(u64::from(attempt)))
+}
+
+/// Exponential backoff before retry `attempt` (the attempt about to
+/// run): `base << (attempt - 2)` capped, zero before the first attempt.
+pub fn backoff_ms(config: &SupervisorConfig, attempt: u32) -> u64 {
+    if attempt <= 1 {
+        return 0;
+    }
+    let shift = (attempt - 2).min(16);
+    config
+        .backoff_base_ms
+        .saturating_shl(shift)
+        .min(config.backoff_cap_ms)
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> u64 {
+        self.checked_shl(shift).unwrap_or(u64::MAX)
+    }
+}
+
+/// Shared progress the heartbeat thread exports as gauges.
+struct Heartbeat {
+    total: usize,
+    settled: AtomicUsize,
+    in_flight: AtomicUsize,
+    /// Milliseconds since `start` of the last settle event.
+    last_progress_ms: AtomicU64,
+    done: AtomicBool,
+    start: Instant,
+}
+
+impl Heartbeat {
+    fn new(total: usize, already_settled: usize) -> Self {
+        Heartbeat {
+            total,
+            settled: AtomicUsize::new(already_settled),
+            in_flight: AtomicUsize::new(0),
+            last_progress_ms: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+            start: Instant::now(),
+        }
+    }
+
+    fn mark_progress(&self) {
+        self.settled.fetch_add(1, Ordering::Relaxed);
+        self.last_progress_ms
+            .store(self.start.elapsed().as_millis() as u64, Ordering::Relaxed);
+    }
+
+    fn publish(&self) {
+        let settled = self.settled.load(Ordering::Relaxed);
+        let progress = if self.total == 0 {
+            1.0
+        } else {
+            settled as f64 / self.total as f64
+        };
+        let last = self.last_progress_ms.load(Ordering::Relaxed);
+        let stall_s =
+            (self.start.elapsed().as_millis() as u64).saturating_sub(last) as f64 / 1000.0;
+        rhb_telemetry::set_gauge("campaign/total_runs", self.total as f64);
+        rhb_telemetry::set_gauge(
+            "campaign/in_flight",
+            self.in_flight.load(Ordering::Relaxed) as f64,
+        );
+        rhb_telemetry::set_gauge("campaign/progress", progress);
+        rhb_telemetry::set_gauge("campaign/stall_s", stall_s);
+    }
+}
+
+/// The outcome of one sandboxed attempt.
+enum AttemptVerdict {
+    Ok(RunResult),
+    Err(String),
+    Panic(String),
+    Timeout,
+}
+
+/// Runs one attempt on a dedicated thread under `catch_unwind`, waiting
+/// at most `timeout`. On deadline the token is cancelled (cooperative
+/// unwinding for checkpoint-aware runs) and the thread abandoned — the
+/// lane returns immediately either way.
+fn run_attempt(run: &RunFn, spec: &RunSpec, attempt: Attempt, timeout: Duration) -> AttemptVerdict {
+    let token = CancelToken::with_deadline(timeout);
+    let (tx, rx) = mpsc::channel::<Result<Result<RunResult, String>, String>>();
+    let thread_run = Arc::clone(run);
+    let thread_spec = spec.clone();
+    let thread_token = token.clone();
+    let builder = std::thread::Builder::new()
+        .name(format!("rhb-attempt-{}", spec.run_id))
+        .stack_size(8 * 1024 * 1024);
+    let spawned = builder.spawn(move || {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+            thread_run(&thread_spec, &attempt, &thread_token)
+        }))
+        .map_err(|payload| panic_detail(payload.as_ref()));
+        // The receiver may be gone (watchdog fired): ignore send errors.
+        let _ = tx.send(outcome);
+    });
+    if spawned.is_err() {
+        return AttemptVerdict::Err("failed to spawn attempt thread".to_string());
+    }
+    match rx.recv_timeout(timeout) {
+        Ok(Ok(Ok(result))) => AttemptVerdict::Ok(result),
+        Ok(Ok(Err(msg))) => AttemptVerdict::Err(msg),
+        Ok(Err(panic_msg)) => AttemptVerdict::Panic(panic_msg),
+        Err(_) => {
+            // Deadline. Cancel cooperatively and abandon the thread; the
+            // lane moves on now. join() would re-block on the runaway.
+            token.cancel();
+            AttemptVerdict::Timeout
+        }
+    }
+}
+
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Executes (or resumes) a campaign: expands the grid, replays the
+/// checkpoint journal under `dir`, skips settled runs, and drives the
+/// rest through worker lanes until every run is completed or
+/// quarantined. Returns the final state re-replayed from disk.
+///
+/// # Errors
+///
+/// Propagates journal I/O errors. Run failures never error — they are
+/// retried and ultimately quarantined.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    dir: &Path,
+    config: &SupervisorConfig,
+    run: RunFn,
+) -> io::Result<CampaignOutcome> {
+    let start = Instant::now();
+    let runs = spec.expand();
+    let (journal, state) = Journal::open(dir)?;
+    let journal = Arc::new(Mutex::new(journal));
+    append(
+        &journal,
+        &JournalEvent::Campaign {
+            name: spec.name.clone(),
+            total_runs: runs.len(),
+        },
+    )?;
+
+    let pending: Vec<RunSpec> = runs
+        .iter()
+        .filter(|r| !state.is_settled(&r.run_id))
+        .cloned()
+        .collect();
+    let resumed_skips = runs.len() - pending.len();
+    if resumed_skips > 0 {
+        rhb_telemetry::add_counter("campaign/resumed_skips", resumed_skips as u64);
+    }
+
+    let heartbeat = Arc::new(Heartbeat::new(runs.len(), runs.len() - pending.len()));
+    heartbeat.publish();
+    let beat = Arc::clone(&heartbeat);
+    let beat_thread = std::thread::spawn(move || {
+        while !beat.done.load(Ordering::Acquire) {
+            beat.publish();
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        beat.publish();
+    });
+
+    let cursor = Arc::new(AtomicUsize::new(0));
+    let attempts_run = Arc::new(AtomicUsize::new(0));
+    let quarantined_now = Arc::new(AtomicUsize::new(0));
+    let pending = Arc::new(pending);
+    let state = Arc::new(state);
+    let io_failure: Arc<Mutex<Option<io::Error>>> = Arc::new(Mutex::new(None));
+
+    let lanes = config.workers.max(1).min(pending.len().max(1));
+    let mut handles = Vec::with_capacity(lanes);
+    for lane in 0..lanes {
+        let pending = Arc::clone(&pending);
+        let cursor = Arc::clone(&cursor);
+        let journal = Arc::clone(&journal);
+        let state = Arc::clone(&state);
+        let run = Arc::clone(&run);
+        let config = config.clone();
+        let heartbeat = Arc::clone(&heartbeat);
+        let attempts_run = Arc::clone(&attempts_run);
+        let quarantined_now = Arc::clone(&quarantined_now);
+        let io_failure = Arc::clone(&io_failure);
+        let builder = std::thread::Builder::new().name(format!("rhb-campaign-lane-{lane}"));
+        handles.push(
+            builder
+                .spawn(move || {
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(run_spec) = pending.get(i) else {
+                            break;
+                        };
+                        heartbeat.in_flight.fetch_add(1, Ordering::Relaxed);
+                        let outcome =
+                            drive_run(run_spec, &state, &config, &run, &journal, &attempts_run);
+                        heartbeat.in_flight.fetch_sub(1, Ordering::Relaxed);
+                        match outcome {
+                            Ok(settled_as_quarantine) => {
+                                if settled_as_quarantine {
+                                    quarantined_now.fetch_add(1, Ordering::Relaxed);
+                                }
+                                heartbeat.mark_progress();
+                            }
+                            Err(err) => {
+                                // Journal I/O failure: stop claiming work — a
+                                // campaign that cannot checkpoint must not run
+                                // ahead of its own crash safety.
+                                io_failure.lock().unwrap().get_or_insert(err);
+                                break;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn campaign lane"),
+        );
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    heartbeat.done.store(true, Ordering::Release);
+    let _ = beat_thread.join();
+
+    if let Some(err) = io_failure.lock().unwrap().take() {
+        return Err(err);
+    }
+
+    // Re-replay from disk: the outcome is exactly what a resume would
+    // reconstruct, so any divergence between in-memory bookkeeping and
+    // the journal surfaces here instead of in the next crash.
+    let final_state = Journal::replay(dir)?;
+    Ok(CampaignOutcome {
+        state: final_state,
+        resumed_skips,
+        attempts_run: attempts_run.load(Ordering::Relaxed),
+        quarantined_now: quarantined_now.load(Ordering::Relaxed),
+        wall_ms: start.elapsed().as_millis() as u64,
+    })
+}
+
+fn append(journal: &Arc<Mutex<Journal>>, event: &JournalEvent) -> io::Result<()> {
+    journal.lock().unwrap().append(event)
+}
+
+/// Drives one run to a settled state (done or quarantined). Returns
+/// `Ok(true)` when the run was quarantined by this call.
+fn drive_run(
+    spec: &RunSpec,
+    resume: &JournalState,
+    config: &SupervisorConfig,
+    run: &RunFn,
+    journal: &Arc<Mutex<Journal>>,
+    attempts_run: &AtomicUsize,
+) -> io::Result<bool> {
+    // Carry attempt history across resume: recorded failures count
+    // toward the quarantine budget, and a crashed in-flight attempt
+    // advances the attempt number so its seed is never replayed.
+    let prior_failures = resume.failures.get(&spec.run_id).copied().unwrap_or(0);
+    let prior_started = resume
+        .attempts_started
+        .get(&spec.run_id)
+        .copied()
+        .unwrap_or(0);
+    let mut failures = prior_failures;
+    let mut attempt_no = prior_failures.max(prior_started);
+    let mut last_reason = resume
+        .last_fail_reason
+        .get(&spec.run_id)
+        .cloned()
+        .unwrap_or_else(|| REASON_ERROR.to_string());
+
+    while failures < config.max_attempts {
+        attempt_no += 1;
+        let attempt = Attempt {
+            number: attempt_no,
+            seed: attempt_seed(spec.seed, attempt_no),
+        };
+        let pause_ms = backoff_ms(config, attempt_no);
+        if pause_ms > 0 {
+            rhb_telemetry::add_counter("campaign/backoff_ms", pause_ms);
+            rhb_telemetry::add_counter("campaign/retries", 1);
+            std::thread::sleep(Duration::from_millis(pause_ms));
+        }
+        append(
+            journal,
+            &JournalEvent::Attempt {
+                run_id: spec.run_id.clone(),
+                attempt: attempt.number,
+                seed: attempt.seed,
+            },
+        )?;
+        rhb_telemetry::add_counter("campaign/attempts", 1);
+        attempts_run.fetch_add(1, Ordering::Relaxed);
+
+        match run_attempt(run, spec, attempt, config.run_timeout) {
+            AttemptVerdict::Ok(result) => {
+                append(
+                    journal,
+                    &JournalEvent::Done {
+                        run_id: spec.run_id.clone(),
+                        attempt: attempt.number,
+                        class: result.class,
+                        asr: result.asr,
+                        attack_time_ms: result.attack_time_ms,
+                        backoff_ms: pause_ms,
+                    },
+                )?;
+                rhb_telemetry::add_counter("campaign/completed", 1);
+                return Ok(false);
+            }
+            AttemptVerdict::Err(detail) => {
+                failures += 1;
+                last_reason = REASON_ERROR.to_string();
+                append(
+                    journal,
+                    &JournalEvent::Fail {
+                        run_id: spec.run_id.clone(),
+                        attempt: attempt.number,
+                        reason: REASON_ERROR.to_string(),
+                        detail,
+                        backoff_ms: pause_ms,
+                    },
+                )?;
+            }
+            AttemptVerdict::Panic(detail) => {
+                failures += 1;
+                last_reason = REASON_PANIC.to_string();
+                rhb_telemetry::add_counter("campaign/panics", 1);
+                append(
+                    journal,
+                    &JournalEvent::Fail {
+                        run_id: spec.run_id.clone(),
+                        attempt: attempt.number,
+                        reason: REASON_PANIC.to_string(),
+                        detail,
+                        backoff_ms: pause_ms,
+                    },
+                )?;
+            }
+            AttemptVerdict::Timeout => {
+                failures += 1;
+                last_reason = REASON_TIMEOUT.to_string();
+                rhb_telemetry::add_counter("campaign/timeouts", 1);
+                append(
+                    journal,
+                    &JournalEvent::Fail {
+                        run_id: spec.run_id.clone(),
+                        attempt: attempt.number,
+                        reason: REASON_TIMEOUT.to_string(),
+                        detail: format!("exceeded {} ms deadline", config.run_timeout.as_millis()),
+                        backoff_ms: pause_ms,
+                    },
+                )?;
+            }
+        }
+    }
+    append(
+        journal,
+        &JournalEvent::Quarantine {
+            run_id: spec.run_id.clone(),
+            attempts: attempt_no,
+            reason: last_reason,
+        },
+    )?;
+    rhb_telemetry::add_counter("campaign/quarantined", 1);
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicU32;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rhb-supervisor-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fast_config() -> SupervisorConfig {
+        SupervisorConfig {
+            workers: 2,
+            run_timeout: Duration::from_millis(400),
+            max_attempts: 3,
+            backoff_base_ms: 1,
+            backoff_cap_ms: 4,
+        }
+    }
+
+    fn ok_result() -> RunResult {
+        RunResult {
+            class: "full".into(),
+            asr: 0.99,
+            attack_time_ms: 10,
+        }
+    }
+
+    #[test]
+    fn attempt_seeds_are_deterministic_and_distinct() {
+        assert_eq!(attempt_seed(42, 1), attempt_seed(42, 1));
+        assert_ne!(attempt_seed(42, 1), attempt_seed(42, 2));
+        assert_ne!(attempt_seed(42, 1), attempt_seed(43, 1));
+        // Same schedule on "resume": recompute from scratch.
+        let schedule: Vec<u64> = (1..=5).map(|a| attempt_seed(7, a)).collect();
+        let replayed: Vec<u64> = (1..=5).map(|a| attempt_seed(7, a)).collect();
+        assert_eq!(schedule, replayed);
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let config = SupervisorConfig {
+            backoff_base_ms: 100,
+            backoff_cap_ms: 450,
+            ..fast_config()
+        };
+        assert_eq!(backoff_ms(&config, 1), 0, "first attempt is free");
+        assert_eq!(backoff_ms(&config, 2), 100);
+        assert_eq!(backoff_ms(&config, 3), 200);
+        assert_eq!(backoff_ms(&config, 4), 400);
+        assert_eq!(backoff_ms(&config, 5), 450, "capped");
+        assert_eq!(backoff_ms(&config, 60), 450, "huge attempts stay capped");
+    }
+
+    #[test]
+    fn panicking_run_is_retried_then_succeeds() {
+        let dir = temp_dir("retry");
+        let spec = CampaignSpec::single("retry", "ResNet20", "CFT+BR", "K1", 41);
+        let calls = Arc::new(AtomicU32::new(0));
+        let calls_in = Arc::clone(&calls);
+        let run: RunFn = Arc::new(move |_spec, attempt, _token| {
+            calls_in.fetch_add(1, Ordering::SeqCst);
+            if attempt.number == 1 {
+                panic!("sabotage on first attempt");
+            }
+            Ok(ok_result())
+        });
+        let outcome = run_campaign(&spec, &dir, &fast_config(), run).unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(outcome.state.completed.len(), 1);
+        let record = outcome.state.completed.values().next().unwrap();
+        assert_eq!(record.attempt, 2, "completed on the retry");
+        assert!(record.backoff_ms > 0, "retry was charged backoff");
+        assert_eq!(outcome.state.retried_runs(), 1);
+        assert!(outcome.is_complete(&spec));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn poison_config_is_quarantined_without_wedging_the_queue() {
+        let dir = temp_dir("quarantine");
+        let spec = CampaignSpec {
+            name: "q".into(),
+            models: vec!["ResNet20".into()],
+            methods: vec!["CFT+BR".into()],
+            chips: vec!["K1".into()],
+            chaos_rates: vec![0.0],
+            seeds: vec![1, 2, 3],
+        };
+        let run: RunFn = Arc::new(|spec, _attempt, _token| {
+            if spec.seed == 2 {
+                panic!("always fails");
+            }
+            Ok(ok_result())
+        });
+        let outcome = run_campaign(&spec, &dir, &fast_config(), run).unwrap();
+        assert_eq!(outcome.state.completed.len(), 2);
+        assert_eq!(outcome.state.quarantined.len(), 1);
+        assert_eq!(outcome.quarantined_now, 1);
+        assert!(outcome.is_complete(&spec));
+        // 2 clean + 3 attempts burned on the poison config.
+        assert_eq!(outcome.attempts_run, 5);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn hung_run_trips_the_watchdog_and_is_reclaimed() {
+        let dir = temp_dir("watchdog");
+        let spec = CampaignSpec::single("w", "ResNet20", "CFT+BR", "K1", 9);
+        let run: RunFn = Arc::new(|_spec, attempt, _token| {
+            if attempt.number == 1 {
+                // Ignores the cancel token entirely: only the wall-clock
+                // watchdog can reclaim this lane.
+                std::thread::sleep(Duration::from_secs(30));
+            }
+            Ok(ok_result())
+        });
+        let config = SupervisorConfig {
+            run_timeout: Duration::from_millis(50),
+            ..fast_config()
+        };
+        let started = Instant::now();
+        let outcome = run_campaign(&spec, &dir, &config, run).unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(10),
+            "watchdog must reclaim the lane long before the 30s sleep"
+        );
+        assert_eq!(outcome.state.completed.len(), 1);
+        let record = outcome.state.completed.values().next().unwrap();
+        assert_eq!(record.attempt, 2, "first attempt timed out");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cooperative_cancellation_is_signalled_at_the_deadline() {
+        let dir = temp_dir("coop");
+        let spec = CampaignSpec::single("c", "ResNet20", "CFT+BR", "K1", 5);
+        let observed_cancel = Arc::new(AtomicBool::new(false));
+        let observed_in = Arc::clone(&observed_cancel);
+        let run: RunFn = Arc::new(move |_spec, attempt, token| {
+            if attempt.number == 1 {
+                let deadline = Instant::now() + Duration::from_secs(5);
+                while Instant::now() < deadline {
+                    if token.is_cancelled() {
+                        observed_in.store(true, Ordering::SeqCst);
+                        return Err("cancelled".into());
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            }
+            Ok(ok_result())
+        });
+        let config = SupervisorConfig {
+            run_timeout: Duration::from_millis(60),
+            ..fast_config()
+        };
+        let outcome = run_campaign(&spec, &dir, &config, run).unwrap();
+        assert_eq!(outcome.state.completed.len(), 1);
+        assert!(
+            observed_cancel.load(Ordering::SeqCst),
+            "deadline token must flip for checkpoint-aware runs"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_skips_settled_runs_and_never_re_executes_them() {
+        let dir = temp_dir("resume-skip");
+        let spec = CampaignSpec {
+            name: "r".into(),
+            models: vec!["ResNet20".into()],
+            methods: vec!["CFT+BR".into()],
+            chips: vec!["K1".into()],
+            chaos_rates: vec![0.0],
+            seeds: vec![1, 2],
+        };
+        // First pass: complete everything.
+        let run: RunFn = Arc::new(|_s, _a, _t| Ok(ok_result()));
+        let first = run_campaign(&spec, &dir, &fast_config(), run).unwrap();
+        assert_eq!(first.state.completed.len(), 2);
+        // Second pass: the closure must never fire.
+        let run: RunFn = Arc::new(|spec, _a, _t| {
+            panic!("re-executed settled run {}", spec.run_id);
+        });
+        let second = run_campaign(&spec, &dir, &fast_config(), run).unwrap();
+        assert_eq!(second.resumed_skips, 2);
+        assert_eq!(second.attempts_run, 0);
+        assert_eq!(second.state.completed.len(), 2);
+        assert_eq!(second.state.duplicate_done, 0, "no run recorded twice");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

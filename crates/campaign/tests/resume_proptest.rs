@@ -1,0 +1,263 @@
+//! Property tests for the crash-safe resume contract.
+//!
+//! The campaign journal is the only thing standing between a SIGKILL
+//! and lost/duplicated science, so the properties are stated over
+//! *arbitrary* damage: journals with truncated tails (crash mid-write)
+//! and duplicated lines (replayed segments) must still resume to a
+//! state where *no run is lost* and *no settled run is re-executed* —
+//! and the retry schedule itself must be a pure function of the seed.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rhb_campaign::{
+    attempt_seed, backoff_ms, run_campaign, CampaignSpec, Journal, RunFn, RunResult,
+    SupervisorConfig,
+};
+
+fn temp_dir(tag: &str, case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rhb-resume-prop-{tag}-{case}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fast_config() -> SupervisorConfig {
+    SupervisorConfig {
+        workers: 2,
+        run_timeout: Duration::from_secs(5),
+        max_attempts: 3,
+        backoff_base_ms: 1,
+        backoff_cap_ms: 2,
+    }
+}
+
+fn grid(n_seeds: usize) -> CampaignSpec {
+    CampaignSpec {
+        name: "prop".into(),
+        models: vec!["ResNet20".into()],
+        methods: vec!["CFT+BR".into()],
+        chips: vec!["K1".into()],
+        chaos_rates: vec![0.0],
+        seeds: (0..n_seeds as u64).collect(),
+    }
+}
+
+fn ok_result() -> RunResult {
+    RunResult {
+        class: "full".into(),
+        asr: 0.95,
+        attack_time_ms: 5,
+    }
+}
+
+/// Concatenates every journal segment (in index order) into lines.
+fn read_journal_lines(dir: &PathBuf) -> Vec<String> {
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("journal-") && n.ends_with(".jsonl"))
+        .collect();
+    names.sort();
+    let mut lines = Vec::new();
+    for name in names {
+        let content = std::fs::read_to_string(dir.join(name)).unwrap();
+        lines.extend(content.lines().map(str::to_string));
+    }
+    lines
+}
+
+/// Replaces all segments with a single corrupted one.
+fn write_corrupted_journal(dir: &PathBuf, content: &str) {
+    for entry in std::fs::read_dir(dir).unwrap().filter_map(|e| e.ok()) {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.starts_with("journal-") && name.ends_with(".jsonl") {
+            std::fs::remove_file(entry.path()).unwrap();
+        }
+    }
+    std::fs::write(dir.join("journal-00000000.jsonl"), content).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Resume after an arbitrarily truncated tail plus a duplicated
+    /// line: every settled run is skipped, every unsettled run is
+    /// executed exactly once, nothing is lost.
+    #[test]
+    fn resume_survives_truncated_tails_and_duplicate_lines(
+        n_seeds in 1usize..5,
+        poison_mask in 0u64..32,
+        dup_pick in 0u64..1_000,
+        cut_bytes in 0usize..160,
+        case in 0u64..1_000_000,
+    ) {
+        let dir = temp_dir("corrupt", case);
+        let spec = grid(n_seeds);
+        let total = spec.len();
+
+        // First pass: some seeds are poison (always panic → quarantine).
+        let first: RunFn = Arc::new(move |run_spec, _attempt, _token| {
+            if poison_mask & (1u64 << (run_spec.seed % 6)) != 0 {
+                panic!("poison seed {}", run_spec.seed);
+            }
+            Ok(ok_result())
+        });
+        let first_outcome = run_campaign(&spec, &dir, &fast_config(), first).unwrap();
+        prop_assert!(first_outcome.is_complete(&spec));
+
+        // Corrupt the journal: duplicate one line, then truncate the tail.
+        let lines = read_journal_lines(&dir);
+        prop_assert!(!lines.is_empty());
+        let mut corrupted = lines.clone();
+        let dup_at = (dup_pick as usize) % lines.len();
+        corrupted.insert(dup_at + 1, lines[dup_at].clone());
+        let mut blob = corrupted.join("\n");
+        blob.push('\n');
+        let keep = blob.len().saturating_sub(cut_bytes);
+        blob.truncate(keep);
+        write_corrupted_journal(&dir, &blob);
+
+        // What a resume will believe before running anything.
+        let pre_state = Journal::replay(&dir).unwrap();
+
+        // Resume with an execution-counting closure that always succeeds.
+        let executions: Arc<Mutex<HashMap<String, u32>>> =
+            Arc::new(Mutex::new(HashMap::new()));
+        let exec_in = Arc::clone(&executions);
+        let second: RunFn = Arc::new(move |run_spec, _attempt, _token| {
+            *exec_in
+                .lock()
+                .unwrap()
+                .entry(run_spec.run_id.clone())
+                .or_insert(0) += 1;
+            Ok(ok_result())
+        });
+        let outcome = run_campaign(&spec, &dir, &fast_config(), second).unwrap();
+
+        // No run lost: every grid point is settled after resume.
+        prop_assert!(outcome.is_complete(&spec));
+        prop_assert_eq!(
+            outcome.state.completed.len() + outcome.state.quarantined.len(),
+            total
+        );
+
+        // No settled run re-executed; every pending run with budget left
+        // executed exactly once. (A run whose quarantine line was
+        // truncated but whose recorded failures already exhaust the
+        // budget is re-quarantined without another execution.)
+        let config = fast_config();
+        let executed = executions.lock().unwrap();
+        for run in spec.expand() {
+            let count = executed.get(&run.run_id).copied().unwrap_or(0);
+            let prior_failures =
+                pre_state.failures.get(&run.run_id).copied().unwrap_or(0);
+            let expected = if pre_state.is_settled(&run.run_id)
+                || prior_failures >= config.max_attempts
+            {
+                0
+            } else {
+                1
+            };
+            prop_assert_eq!(
+                count, expected,
+                "run {} executed {} times, expected {}", run.run_id, count, expected
+            );
+        }
+
+        // The final on-disk state agrees with an independent replay.
+        let final_state = Journal::replay(&dir).unwrap();
+        prop_assert_eq!(
+            final_state.completed.len(),
+            outcome.state.completed.len()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Same base seed → same attempt seed schedule and the same backoff
+    /// schedule (monotone, capped); different base seeds diverge.
+    #[test]
+    fn retry_schedule_is_a_pure_function_of_the_seed(
+        base in 0u64..u64::MAX / 2,
+        backoff_base in 1u64..500,
+        cap_extra in 0u64..2_000,
+    ) {
+        let config = SupervisorConfig {
+            backoff_base_ms: backoff_base,
+            backoff_cap_ms: backoff_base + cap_extra,
+            ..fast_config()
+        };
+        let seeds: Vec<u64> = (1..=6).map(|a| attempt_seed(base, a)).collect();
+        let replay: Vec<u64> = (1..=6).map(|a| attempt_seed(base, a)).collect();
+        prop_assert_eq!(&seeds, &replay, "schedule must be deterministic");
+        let other: Vec<u64> = (1..=6).map(|a| attempt_seed(base ^ 1, a)).collect();
+        prop_assert_ne!(&seeds, &other, "different base seeds must diverge");
+
+        let mut prev = 0u64;
+        for attempt in 1..=8u32 {
+            let pause = backoff_ms(&config, attempt);
+            prop_assert!(pause <= config.backoff_cap_ms, "backoff must respect the cap");
+            prop_assert!(pause >= prev, "backoff must be monotone non-decreasing");
+            prev = pause;
+        }
+        prop_assert_eq!(backoff_ms(&config, 1), 0, "first attempt is free");
+    }
+}
+
+/// Deterministic (non-property) end-to-end: a campaign interrupted
+/// between attempts resumes with attempt numbers carried over — the
+/// retry that completes a previously-failing run is recorded as such.
+#[test]
+fn interrupted_campaign_resumes_with_attempt_numbers_carried_over() {
+    let dir = temp_dir("carryover", 0);
+    let spec = grid(1);
+
+    // First process: the run always panics, but we simulate a SIGKILL
+    // after the first failure by capping max_attempts at 1... which
+    // would quarantine. Instead: fail twice (max_attempts 3 means two
+    // recorded failures leave the run pending), then "crash".
+    let calls = Arc::new(AtomicU32::new(0));
+    let calls_in = Arc::clone(&calls);
+    let flaky: RunFn = Arc::new(move |_spec, _attempt, _token| {
+        calls_in.fetch_add(1, Ordering::SeqCst);
+        Err("transient fault".into())
+    });
+    let config = SupervisorConfig {
+        max_attempts: 2,
+        ..fast_config()
+    };
+    let first = run_campaign(&spec, &dir, &config, flaky).unwrap();
+    assert_eq!(first.state.quarantined.len(), 1, "budget exhausted");
+
+    // "Operator intervenes": wipe the quarantine by replaying only the
+    // fail lines (simulating a journal whose quarantine line was lost
+    // with the crash), then resume with a healthy closure.
+    let lines = read_journal_lines(&dir);
+    let kept: Vec<String> = lines
+        .into_iter()
+        .filter(|l| !l.contains("\"kind\": \"quarantine\""))
+        .collect();
+    write_corrupted_journal(&dir, &(kept.join("\n") + "\n"));
+
+    let pre = Journal::replay(&dir).unwrap();
+    let run_id = spec.expand()[0].run_id.clone();
+    assert_eq!(pre.failures.get(&run_id), Some(&2));
+
+    let healthy: RunFn = Arc::new(|_s, _a, _t| Ok(ok_result()));
+    let resumed = run_campaign(&spec, &dir, &fast_config(), healthy).unwrap();
+    let record = resumed.state.completed.get(&run_id).expect("completed");
+    assert_eq!(
+        record.attempt, 3,
+        "attempt numbering must carry over across resume"
+    );
+    assert_eq!(resumed.state.retried_runs(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -33,6 +33,6 @@ pub mod trigger;
 
 pub use cft::{AlternateTarget, CftConfig, CftResult};
 pub use metrics::{attack_success_rate, r_match, test_accuracy};
-pub use pipeline::{AttackMethod, AttackPipeline, OfflineReport, OnlineReport};
+pub use pipeline::{AttackMethod, AttackPipeline, OfflineReport, OnlineReport, RunVerdict};
 pub use provenance::FlipRecord;
 pub use trigger::{Trigger, TriggerMask};

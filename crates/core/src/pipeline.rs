@@ -59,6 +59,87 @@ impl AttackMethod {
             AttackMethod::CftBr => "CFT+BR",
         }
     }
+
+    /// Parses a paper-style display name (case-insensitive; `+` and `-`
+    /// are interchangeable, so campaign run-ids like `CFT_BR` resolve
+    /// too). `None` for unknown methods.
+    pub fn from_name(name: &str) -> Option<AttackMethod> {
+        let canon: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        AttackMethod::ALL.iter().copied().find(|m| {
+            let mine: String = m
+                .name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .map(|c| c.to_ascii_lowercase())
+                .collect();
+            mine == canon
+        })
+    }
+}
+
+/// The typed verdict a campaign records for one run: the pipeline's
+/// graceful-degradation classes for completed runs, plus the two
+/// supervisor-assigned retirement classes for runs that never produced
+/// an [`OnlineReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RunVerdict {
+    /// Completed; every requested flip landed ([`RunClass::Full`]).
+    Full,
+    /// Completed with partial efficacy ([`RunClass::Degraded`]).
+    Degraded,
+    /// Completed but the trigger did not take ([`RunClass::Failed`]).
+    Failed,
+    /// Retired by the supervisor after repeated deadline overruns.
+    TimedOut,
+    /// Retired by the supervisor after repeated panics or errors.
+    Quarantined,
+}
+
+impl RunVerdict {
+    /// Stable lower-case name (journal and report vocabulary).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunVerdict::Full => "full",
+            RunVerdict::Degraded => "degraded",
+            RunVerdict::Failed => "failed",
+            RunVerdict::TimedOut => "timed_out",
+            RunVerdict::Quarantined => "quarantined",
+        }
+    }
+
+    /// Parses the stable name. `None` for unknown classes.
+    pub fn from_name(name: &str) -> Option<RunVerdict> {
+        match name {
+            "full" => Some(RunVerdict::Full),
+            "degraded" => Some(RunVerdict::Degraded),
+            "failed" => Some(RunVerdict::Failed),
+            "timed_out" => Some(RunVerdict::TimedOut),
+            "quarantined" => Some(RunVerdict::Quarantined),
+            _ => None,
+        }
+    }
+
+    /// Lifts a pipeline classification into the campaign vocabulary.
+    pub fn from_run_class(class: RunClass) -> RunVerdict {
+        match class {
+            RunClass::Full => RunVerdict::Full,
+            RunClass::Degraded => RunVerdict::Degraded,
+            RunClass::Failed => RunVerdict::Failed,
+        }
+    }
+
+    /// Whether the run actually executed to completion (produced a
+    /// report), as opposed to being retired by the supervisor.
+    pub fn is_completed(&self) -> bool {
+        matches!(
+            self,
+            RunVerdict::Full | RunVerdict::Degraded | RunVerdict::Failed
+        )
+    }
 }
 
 /// Results of the offline phase (left half of Table II).
@@ -153,6 +234,11 @@ pub struct AttackPipeline {
     /// Recovery policy the online phase uses *when chaos is active*; with
     /// chaos off the pipeline runs the plain single-pass attack.
     pub recovery: RecoveryPolicy,
+    /// Shared template cache: when set, `run_online` fetches the flip
+    /// profile through it instead of templating inline, so campaign
+    /// retries and resumes re-hammer instead of re-templating. `None`
+    /// preserves the original template-every-run behavior.
+    pub template_cache: Option<std::sync::Arc<rhb_dram::TemplateCache>>,
 }
 
 impl std::fmt::Debug for AttackPipeline {
@@ -180,7 +266,14 @@ impl AttackPipeline {
             hammer: HammerConfig::default(),
             chaos: None,
             recovery: RecoveryPolicy::default(),
+            template_cache: None,
         }
+    }
+
+    /// Routes templating through a shared cache (builder-style).
+    pub fn with_template_cache(mut self, cache: std::sync::Arc<rhb_dram::TemplateCache>) -> Self {
+        self.template_cache = Some(cache);
+        self
     }
 
     /// The victim's trigger mask (paper proportions for its image size).
@@ -306,7 +399,10 @@ impl AttackPipeline {
 
         let profile = {
             let _templating_span = rhb_telemetry::span!("templating", pages = self.profile_pages);
-            FlipProfile::template(self.chip, self.profile_pages, self.seed)
+            match &self.template_cache {
+                Some(cache) => (*cache.profile(self.chip, self.profile_pages, self.seed)).clone(),
+                None => FlipProfile::template(self.chip, self.profile_pages, self.seed),
+            }
         };
         // Beyond the explicit buffer, the attacker templates most of the
         // 16 GB DIMM (§IV-A2: "multiple buffers of 128MB can be taken at a

@@ -34,6 +34,7 @@ pub mod plundervolt;
 pub mod profile;
 pub mod rowconflict;
 pub mod spoiler;
+pub mod template_cache;
 
 pub use chaos::{ChaosConfig, ChaosEngine, FaultKind, InjectedFault};
 pub use chips::{ChipKind, ChipModel};
@@ -45,3 +46,4 @@ pub use online::{
     RetryRecord, RunClass, TargetRecord,
 };
 pub use profile::{FlipCell, FlipDirection, FlipProfile};
+pub use template_cache::TemplateCache;

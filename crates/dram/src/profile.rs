@@ -106,6 +106,21 @@ impl FlipProfile {
         profile
     }
 
+    /// Reconstructs a profile from previously templated cells — the
+    /// deserialization path for the on-disk template cache, so resumed
+    /// campaigns re-hammer instead of re-template. No templating
+    /// telemetry is emitted: these pages were already paid for.
+    pub fn from_cells(chip: ChipModel, num_pages: usize, cells: Vec<FlipCell>) -> Self {
+        let mut profile = FlipProfile {
+            chip,
+            num_pages,
+            cells,
+            by_page: HashMap::new(),
+        };
+        profile.rebuild_index();
+        profile
+    }
+
     fn rebuild_index(&mut self) {
         self.by_page.clear();
         for (i, c) in self.cells.iter().enumerate() {

@@ -1,0 +1,290 @@
+//! Template-cache: memoizes flip profiles per (chip, pages, seed).
+//!
+//! Templating is the dominant §VII cost (94 minutes for 128 MB on the
+//! paper's DDR3 chip), and it is a pure function of the chip model,
+//! buffer size, and seed — so a campaign that retries a run, or resumes
+//! after a crash, should never pay it twice. The cache keeps profiles
+//! in memory and, when given a directory, persists each profile as a
+//! TSV of cells with thresholds stored as exact `f64` bit patterns, so
+//! the disk round-trip reproduces the profile bit-for-bit. Files are
+//! written atomically (temp + rename) to survive SIGKILL mid-save.
+//!
+//! Hit/miss traffic is exported on the `dram/template_cache/*` counters
+//! so the observability plane can confirm a resumed campaign is
+//! actually re-hammering rather than re-templating.
+
+use crate::chips::ChipModel;
+use crate::profile::{FlipCell, FlipDirection, FlipProfile, PAGE_BITS};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: everything [`FlipProfile::template`] is a function of.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct Key {
+    chip_tag: &'static str,
+    pages: usize,
+    seed: u64,
+}
+
+/// A process-wide (when shared via `Arc`) memo of templating results,
+/// optionally backed by an on-disk profile store.
+pub struct TemplateCache {
+    entries: Mutex<HashMap<Key, Arc<FlipProfile>>>,
+    dir: Option<PathBuf>,
+}
+
+impl TemplateCache {
+    /// In-memory cache only.
+    pub fn new() -> Self {
+        TemplateCache {
+            entries: Mutex::new(HashMap::new()),
+            dir: None,
+        }
+    }
+
+    /// Cache backed by `dir` (created on first save). Profiles found on
+    /// disk are loaded instead of re-templated; fresh templating results
+    /// are persisted for the next process.
+    pub fn persistent(dir: &Path) -> Self {
+        TemplateCache {
+            entries: Mutex::new(HashMap::new()),
+            dir: Some(dir.to_path_buf()),
+        }
+    }
+
+    /// Returns the flip profile for `(chip, pages, seed)` — from memory,
+    /// from disk, or by templating (in that order). Templating results
+    /// are cached in memory and, if the cache is persistent, on disk.
+    pub fn profile(&self, chip: ChipModel, pages: usize, seed: u64) -> Arc<FlipProfile> {
+        let key = Key {
+            chip_tag: chip.tag,
+            pages,
+            seed,
+        };
+        if let Some(hit) = self.entries.lock().unwrap().get(&key) {
+            rhb_telemetry::counter!("dram/template_cache/hits", 1);
+            return Arc::clone(hit);
+        }
+        let (profile, disk_hit) = match self.try_load(&key, chip) {
+            Some(profile) => (profile, true),
+            None => (FlipProfile::template(chip, pages, seed), false),
+        };
+        if disk_hit {
+            rhb_telemetry::counter!("dram/template_cache/disk_hits", 1);
+        } else {
+            rhb_telemetry::counter!("dram/template_cache/misses", 1);
+            if self.save(&key, &profile) {
+                rhb_telemetry::counter!("dram/template_cache/saves", 1);
+            }
+        }
+        let profile = Arc::new(profile);
+        self.entries
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&profile));
+        profile
+    }
+
+    /// Profiles currently held in memory.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the in-memory cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn file_path(&self, key: &Key) -> Option<PathBuf> {
+        self.dir.as_ref().map(|d| {
+            d.join(format!(
+                "tmpl-{}-{}-{}.tsv",
+                key.chip_tag, key.pages, key.seed
+            ))
+        })
+    }
+
+    fn try_load(&self, key: &Key, chip: ChipModel) -> Option<FlipProfile> {
+        let path = self.file_path(key)?;
+        let content = std::fs::read_to_string(path).ok()?;
+        parse_profile_tsv(&content, chip, key.pages)
+    }
+
+    /// Persists a freshly templated profile; `false` when the cache is
+    /// memory-only or the write failed (a cache write failure is never
+    /// fatal — the profile is still returned).
+    fn save(&self, key: &Key, profile: &FlipProfile) -> bool {
+        let Some(path) = self.file_path(key) else {
+            return false;
+        };
+        if let Some(parent) = path.parent() {
+            if std::fs::create_dir_all(parent).is_err() {
+                return false;
+            }
+        }
+        rhb_telemetry::write_atomic(&path, &render_profile_tsv(profile)).is_ok()
+    }
+}
+
+impl Default for TemplateCache {
+    fn default() -> Self {
+        TemplateCache::new()
+    }
+}
+
+/// One cell per line: `page \t bit_offset \t direction \t threshold-bits`.
+/// Thresholds are stored as hex `f64` bit patterns for an exact
+/// round-trip (a decimal rendering would perturb match decisions right
+/// at a cell's aggression threshold).
+fn render_profile_tsv(profile: &FlipProfile) -> String {
+    let mut out = String::with_capacity(profile.cells().len() * 32 + 64);
+    out.push_str(&format!(
+        "# rhb-template-cache/v1 chip={} pages={} cells={}\n",
+        profile.chip().tag,
+        profile.num_pages(),
+        profile.total_flips()
+    ));
+    for cell in profile.cells() {
+        let dir = match cell.direction {
+            FlipDirection::ZeroToOne => '1',
+            FlipDirection::OneToZero => '0',
+        };
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{:016x}\n",
+            cell.page,
+            cell.bit_offset,
+            dir,
+            cell.threshold.to_bits()
+        ));
+    }
+    out
+}
+
+/// Lenient parser for the TSV format; `None` on any malformed content
+/// (the cache then falls back to templating — corruption costs time,
+/// never correctness).
+fn parse_profile_tsv(content: &str, chip: ChipModel, pages: usize) -> Option<FlipProfile> {
+    let mut lines = content.lines();
+    let header = lines.next()?;
+    if !header.starts_with("# rhb-template-cache/v1") {
+        return None;
+    }
+    let mut cells = Vec::new();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut parts = line.split('\t');
+        let page: usize = parts.next()?.parse().ok()?;
+        let bit_offset: usize = parts.next()?.parse().ok()?;
+        let direction = match parts.next()? {
+            "1" => FlipDirection::ZeroToOne,
+            "0" => FlipDirection::OneToZero,
+            _ => return None,
+        };
+        let threshold = f64::from_bits(u64::from_str_radix(parts.next()?, 16).ok()?);
+        if page >= pages || bit_offset >= PAGE_BITS || !threshold.is_finite() {
+            return None;
+        }
+        cells.push(FlipCell {
+            page,
+            bit_offset,
+            direction,
+            threshold,
+        });
+    }
+    Some(FlipProfile::from_cells(chip, pages, cells))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chips::ChipModel;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rhb-tmpl-cache-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn chip() -> ChipModel {
+        ChipModel::online_ddr4()
+    }
+
+    fn assert_profiles_identical(a: &FlipProfile, b: &FlipProfile) {
+        assert_eq!(a.num_pages(), b.num_pages());
+        assert_eq!(a.cells().len(), b.cells().len());
+        for (x, y) in a.cells().iter().zip(b.cells().iter()) {
+            assert_eq!(x.page, y.page);
+            assert_eq!(x.bit_offset, y.bit_offset);
+            assert_eq!(x.direction, y.direction);
+            assert_eq!(
+                x.threshold.to_bits(),
+                y.threshold.to_bits(),
+                "thresholds must round-trip bit-for-bit"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_cache_returns_the_same_profile_instance() {
+        let cache = TemplateCache::new();
+        let a = cache.profile(chip(), 4, 7);
+        let b = cache.profile(chip(), 4, 7);
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must hit");
+        let c = cache.profile(chip(), 4, 8);
+        assert!(!Arc::ptr_eq(&a, &c), "different seed, different profile");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn persistent_cache_round_trips_profiles_bit_for_bit() {
+        let dir = temp_dir("roundtrip");
+        let first = TemplateCache::persistent(&dir);
+        let templated = first.profile(chip(), 6, 42);
+        // A fresh cache (fresh process) must load from disk, not re-template.
+        let second = TemplateCache::persistent(&dir);
+        let loaded = second.profile(chip(), 6, 42);
+        assert_profiles_identical(&templated, &loaded);
+        // Disk round-trip equals direct templating (pure-function check).
+        let direct = FlipProfile::template(chip(), 6, 42);
+        assert_profiles_identical(&loaded, &direct);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_file_falls_back_to_templating() {
+        let dir = temp_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("tmpl-K1-3-5.tsv"),
+            "# rhb-template-cache/v1\nnot\tvalid\n",
+        )
+        .unwrap();
+        let cache = TemplateCache::persistent(&dir);
+        let profile = cache.profile(chip(), 3, 5);
+        let direct = FlipProfile::template(chip(), 3, 5);
+        assert_profiles_identical(&profile, &direct);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_leaves_no_temp_files_behind() {
+        let dir = temp_dir("atomic");
+        let cache = TemplateCache::persistent(&dir);
+        let _ = cache.profile(chip(), 2, 1);
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -60,6 +60,22 @@ impl Architecture {
         }
     }
 
+    /// Parses a display name, case-insensitively and ignoring `-`/`_`
+    /// separators (`resnet-20`, `ResNet20`, and `RESNET_20` all
+    /// resolve), so campaign grids can name victims loosely. `None` for
+    /// unknown architectures.
+    pub fn from_name(name: &str) -> Option<Architecture> {
+        let canon: String = name
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        Architecture::ALL
+            .iter()
+            .copied()
+            .find(|a| a.name().to_ascii_lowercase() == canon)
+    }
+
     /// Whether the paper evaluates this victim on ImageNet-scale data.
     pub fn is_imagenet(&self) -> bool {
         matches!(self, Architecture::ResNet34 | Architecture::ResNet50)

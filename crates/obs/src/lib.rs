@@ -76,6 +76,7 @@ pub struct ObsPlane {
     sampler: Option<Arc<Sampler>>,
     server: Option<ObsServer>,
     alerts: Arc<Mutex<AlertEngine>>,
+    recorder: Arc<Mutex<Option<Recorder>>>,
     timeline: Option<PathBuf>,
 }
 
@@ -83,17 +84,41 @@ impl ObsPlane {
     /// Starts the plane: always a sampler + alert engine; an HTTP
     /// server when `addr` is given; timeline persistence when
     /// `recorder` is given.
+    ///
+    /// A bind failure on `addr` (port already taken — common when
+    /// several campaign processes inherit the same `RHB_OBS_ADDR`)
+    /// **degrades** the plane instead of failing it: a warning is
+    /// logged, the HTTP server is skipped, and the recorder and alert
+    /// engine keep running. Only recorder/thread errors are fatal.
     pub fn start(
         addr: Option<&str>,
         interval: Duration,
-        mut recorder: Option<Recorder>,
+        recorder: Option<Recorder>,
         engine: AlertEngine,
     ) -> std::io::Result<ObsPlane> {
         let timeline = recorder.as_ref().map(|r| r.dir().to_path_buf());
+        let recorder = Arc::new(Mutex::new(recorder));
         let alerts = Arc::new(Mutex::new(engine));
+        // Bind before starting the sampler: an address conflict must not
+        // leak a running sampler thread into the error path.
+        let listener = match addr {
+            Some(addr) => match TcpListener::bind(addr) {
+                Ok(listener) => Some(listener),
+                Err(err) => {
+                    eprintln!(
+                        "[rhb-obs] warning: cannot bind {ADDR_ENV}={addr}: {err}; \
+                         metrics endpoint disabled, recorder and alerts continue"
+                    );
+                    None
+                }
+            },
+            None => None,
+        };
         let observer_alerts = Arc::clone(&alerts);
+        let observer_recorder = Arc::clone(&recorder);
         let observer: SnapshotObserver = Box::new(move |snap: &Arc<MetricsSnapshot>| {
-            if let Some(rec) = recorder.as_mut() {
+            let mut rec_guard = observer_recorder.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(rec) = rec_guard.as_mut() {
                 // Recording failures (disk full, dir deleted) must not
                 // take down the attack the recorder is observing.
                 let _ = rec.record_snapshot(snap);
@@ -102,16 +127,16 @@ impl ObsPlane {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .evaluate(snap);
-            if let Some(rec) = recorder.as_mut() {
+            if let Some(rec) = rec_guard.as_mut() {
                 for alert in &events {
                     let _ = rec.record_line(&alert.to_json());
                 }
             }
         });
         let sampler = Arc::new(Sampler::start_with_observer(interval, Some(observer)));
-        let server = match addr {
-            Some(addr) => Some(ObsServer::attach(
-                addr,
+        let server = match listener {
+            Some(listener) => Some(ObsServer::attach_listener(
+                listener,
                 Arc::clone(&sampler),
                 Arc::clone(&alerts),
             )?),
@@ -121,8 +146,41 @@ impl ObsPlane {
             sampler: Some(sampler),
             server,
             alerts,
+            recorder,
             timeline,
         })
+    }
+
+    /// Last-gasp flush for panic hooks: records one final snapshot and
+    /// a crash marker line on the timeline, then flushes. Uses
+    /// `try_lock` so a panic *on* the sampler/observer thread (which
+    /// holds the recorder lock while recording) degrades to a no-op
+    /// instead of deadlocking the unwind, and so the hook stays cheap
+    /// when campaign fault domains catch sabotage panics in bulk.
+    pub fn flush_crash_snapshot(&self, detail: &str) {
+        let Ok(mut guard) = self.recorder.try_lock() else {
+            return;
+        };
+        let Some(rec) = guard.as_mut() else {
+            return;
+        };
+        let snap = rhb_telemetry::snapshot();
+        let _ = rec.record_snapshot(&snap);
+        let escaped: String = detail
+            .chars()
+            .map(|c| match c {
+                '"' => "\\\"".to_string(),
+                '\\' => "\\\\".to_string(),
+                '\n' => "\\n".to_string(),
+                '\r' => "\\r".to_string(),
+                '\t' => "\\t".to_string(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32),
+                c => c.to_string(),
+            })
+            .collect();
+        let _ = rec.record_line(&format!(
+            "{{\"type\": \"crash\", \"detail\": \"{escaped}\"}}"
+        ));
     }
 
     /// Builds the plane from `RHB_OBS_ADDR` / `RHB_OBS_RECORD` /
@@ -228,7 +286,17 @@ impl ObsServer {
         sampler: Arc<Sampler>,
         alerts: Arc<Mutex<AlertEngine>>,
     ) -> std::io::Result<ObsServer> {
-        let listener = TcpListener::bind(addr)?;
+        Self::attach_listener(TcpListener::bind(addr)?, sampler, alerts)
+    }
+
+    /// Serves on an already-bound listener (lets callers separate the
+    /// fallible bind from thread startup, as [`ObsPlane::start`] does to
+    /// degrade gracefully on address conflicts).
+    fn attach_listener(
+        listener: TcpListener,
+        sampler: Arc<Sampler>,
+        alerts: Arc<Mutex<AlertEngine>>,
+    ) -> std::io::Result<ObsServer> {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
@@ -579,6 +647,61 @@ mod tests {
             }
         }
         assert!(lines >= 2, "expected >=2 recorded snapshots, got {lines}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn plane_degrades_to_recording_only_when_the_address_is_taken() {
+        rhb_telemetry::install(StdArc::new(NoopSink));
+        // Occupy a port, then ask the plane for the same one.
+        let squatter = std::net::TcpListener::bind("127.0.0.1:0").expect("squat");
+        let taken = squatter.local_addr().unwrap().to_string();
+        let dir = std::env::temp_dir().join(format!(
+            "rhb-obs-degrade-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let recorder =
+            rhb_telemetry::Recorder::with_layout(dir.clone(), 1024, 64).expect("recorder");
+        let plane = ObsPlane::start(
+            Some(&taken),
+            Duration::from_millis(20),
+            Some(recorder),
+            AlertEngine::builtin(),
+        )
+        .expect("bind conflict must degrade, not error");
+        assert!(
+            plane.server_addr().is_none(),
+            "no HTTP server when degraded"
+        );
+        assert_eq!(plane.timeline_dir(), Some(dir.as_path()));
+        // The recorder is still live: a crash flush lands on the timeline.
+        plane.flush_crash_snapshot("synthetic panic: \"quoted\"\nsecond line");
+        std::thread::sleep(Duration::from_millis(50));
+        plane.shutdown();
+        let mut found_crash = false;
+        let mut snapshots = 0;
+        for entry in std::fs::read_dir(&dir).expect("timeline dir") {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "jsonl") {
+                let content = std::fs::read_to_string(&path).unwrap();
+                for line in content.lines() {
+                    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+                    snapshots += 1;
+                    if line.contains("\"type\": \"crash\"") {
+                        found_crash = true;
+                        assert!(
+                            line.contains("synthetic panic"),
+                            "crash detail must survive escaping: {line}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(found_crash, "crash marker must be recorded while degraded");
+        assert!(snapshots >= 2, "recorder must keep sampling while degraded");
+        drop(squatter);
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

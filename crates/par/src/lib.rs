@@ -40,6 +40,101 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Cancellable tasks.
+// ---------------------------------------------------------------------------
+
+/// Error a cancelled task observes at its next [`CancelToken::checkpoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cancelled;
+
+impl std::fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task cancelled")
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+struct CancelInner {
+    cancelled: AtomicBool,
+    deadline: Option<Instant>,
+}
+
+/// Cooperative cancellation handle for long-running tasks.
+///
+/// A supervisor holds one clone and the task another; the task polls
+/// [`CancelToken::checkpoint`] (or [`CancelToken::is_cancelled`]) at its
+/// natural yield points and bails out when the supervisor called
+/// [`CancelToken::cancel`] or the deadline passed. Cancellation is purely
+/// cooperative — a task that never polls is abandoned, not killed; the
+/// campaign watchdog pairs this token with a supervisor-side timeout so
+/// the *worker* is reclaimed even when the task ignores the token.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A token with no deadline; cancels only via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: None,
+            }),
+        }
+    }
+
+    /// A token that auto-cancels once `timeout` elapses.
+    pub fn with_deadline(timeout: Duration) -> Self {
+        CancelToken {
+            inner: Arc::new(CancelInner {
+                cancelled: AtomicBool::new(false),
+                deadline: Instant::now().checked_add(timeout),
+            }),
+        }
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation was requested or the deadline passed.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::Acquire)
+            || self.inner.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Time left before the deadline auto-cancels, if one was set.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.inner
+            .deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Poll point for cooperative tasks: `Err(Cancelled)` once cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Cancelled`] when the token was cancelled or timed out.
+    pub fn checkpoint(&self) -> Result<(), Cancelled> {
+        if self.is_cancelled() {
+            Err(Cancelled)
+        } else {
+            Ok(())
+        }
+    }
+}
 
 /// A unit of work submitted to the pool. Scoped: may borrow from the
 /// caller's stack, because [`Pool::run`] does not return before every
@@ -411,6 +506,32 @@ mod tests {
             .sum();
         assert!(busy > 0, "no worker recorded busy time");
         rhb_telemetry::shutdown();
+    }
+
+    #[test]
+    fn cancel_token_flags_every_clone_and_checkpoint_errors() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        assert!(clone.checkpoint().is_ok());
+        assert_eq!(token.remaining(), None);
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert_eq!(clone.checkpoint(), Err(Cancelled));
+    }
+
+    #[test]
+    fn cancel_token_deadline_auto_cancels() {
+        let token = CancelToken::with_deadline(Duration::from_millis(10));
+        assert!(token.remaining().is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(token.is_cancelled(), "deadline must auto-cancel");
+        assert_eq!(token.remaining(), Some(Duration::ZERO));
+        // A generous deadline does not cancel on its own.
+        let slow = CancelToken::with_deadline(Duration::from_secs(3600));
+        assert!(!slow.is_cancelled());
+        slow.cancel();
+        assert!(slow.is_cancelled());
     }
 
     #[test]

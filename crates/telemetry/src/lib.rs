@@ -51,8 +51,8 @@ mod value;
 
 pub use histogram::Histogram;
 pub use recorder::{
-    record_run_id_from_env, snapshot_json, timeline_cap_from_env, Recorder, DEFAULT_SEGMENT_LINES,
-    DEFAULT_TIMELINE_CAP, RECORD_ENV, TIMELINE_CAP_ENV, TIMELINE_ROOT,
+    record_run_id_from_env, snapshot_json, timeline_cap_from_env, write_atomic, Recorder,
+    DEFAULT_SEGMENT_LINES, DEFAULT_TIMELINE_CAP, RECORD_ENV, TIMELINE_CAP_ENV, TIMELINE_ROOT,
 };
 pub use report::{HistogramSummary, SpanSummary, TelemetryReport};
 pub use sink::{JsonlSink, NoopSink, ProgressSink, Sink};

@@ -67,6 +67,31 @@ pub fn record_run_id_from_env() -> Option<String> {
     }
 }
 
+/// Writes `contents` to `path` atomically: the bytes land in a
+/// `<path>.tmp` sibling first (same directory, so the rename below never
+/// crosses a filesystem), are flushed, and the temp file is renamed over
+/// the destination. A crash mid-write leaves either the old file or no
+/// file — never a truncated JSON for a later reader to choke on.
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let tmp = path.with_extension(match path.extension() {
+        Some(ext) => format!("{}.tmp", ext.to_string_lossy()),
+        None => "tmp".to_string(),
+    });
+    {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.flush()?;
+        f.sync_all()?;
+    }
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
 /// Appends snapshot and annotation lines to a segment ring buffer.
 pub struct Recorder {
     dir: PathBuf,
@@ -132,7 +157,7 @@ impl Recorder {
                 ", \"cap\": {cap}, \"segment_lines\": {segment_lines}}}"
             );
             doc.push('\n');
-            std::fs::write(&meta, doc)?;
+            write_atomic(&meta, &doc)?;
         }
         let current = OpenOptions::new()
             .create(true)
@@ -366,6 +391,26 @@ mod tests {
         let meta = std::fs::read_to_string(dir.join("meta.json")).unwrap();
         assert!(meta.contains("rhb-timeline/v1"));
         assert!(meta.contains("\"run_id\": \"rhb-recorder-resume"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_atomic_replaces_and_leaves_no_temp_file() {
+        let dir = temp_dir("atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta.json");
+        write_atomic(&path, "{\"gen\": 1}\n").unwrap();
+        write_atomic(&path, "{\"gen\": 2}\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "{\"gen\": 2}\n");
+        let leftovers: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 
