@@ -49,12 +49,20 @@ echo "== int8 parity suite (blocking) =="
 RHB_THREADS=1 cargo test --release -p rhb-nn --test int8_parity -q
 cargo test --release -p rhb-nn --test int8_parity -q
 
-echo "== int8 perf smoke =="
-# Re-measure int8-vs-f32 GEMM and deployed-eval wall times and compare
-# against the committed BENCH_5.json baseline. A serial int8 regression
-# beyond 10% is blocking; speedup losses are reported but non-blocking.
-cargo run --release -p rhb-bench --bin rhb-report -- bench-int8 --out ci_int8.json
-cargo run --release -p rhb-bench --bin rhb-report -- diff-int8 BENCH_5.json ci_int8.json
+echo "== int8 perf gate (RHB_THREADS matrix, blocking) =="
+# Re-measure int8-vs-f32 GEMM and whole-model eval wall times under a
+# forced 1-thread and 4-thread pool, comparing each against the
+# committed BENCH_6.json baseline. Blocking: a serial int8 eval
+# regression beyond 10%, a GEMM-reference int8 speedup below 2x, a
+# whole-model int8-over-f32 eval speedup below 1.5x (2x stretch target
+# reported only), or int8 eval slower than f32 eval at any thread count
+# (the BENCH_5-era 2-thread regression).
+for threads in 1 4; do
+  RHB_THREADS=$threads cargo run --release -p rhb-bench --bin rhb-report -- \
+    bench-int8 --out "ci_int8_t${threads}.json"
+  RHB_THREADS=$threads cargo run --release -p rhb-bench --bin rhb-report -- \
+    diff-int8 BENCH_6.json "ci_int8_t${threads}.json"
+done
 
 echo "== observability smoke (blocking) =="
 # Run the observable attack driver with the live endpoint enabled and

@@ -12,10 +12,12 @@
 //!                                            # exit 1 when the serial
 //!                                            # wall time regressed >10 %
 //! rhb-report bench-int8 [--out <path>]       # int8-vs-f32 engine timings
-//!                                            #   → BENCH_5.json
+//!                                            #   → BENCH_6.json
 //! rhb-report diff-int8 <baseline.json> <candidate.json>
 //!                                            # exit 1 when serial int8
-//!                                            # eval/GEMM regressed >10 %
+//!                                            # eval/GEMM regressed >10 %,
+//!                                            # whole-model speedup <1.5x,
+//!                                            # or threads made eval slower
 //! rhb-report watch <host:port> [--once] [--check] [--interval-ms N]
 //!                                            # live terminal view of a
 //!                                            # running attack's
@@ -86,7 +88,7 @@ fn main() -> ExitCode {
             (Some(base), Some(cand)) => diff_compute(Path::new(base), Path::new(cand)),
             _ => usage_error("diff-compute needs a baseline and a candidate"),
         },
-        Some("bench-int8") => match parse_out(&args, "BENCH_5.json") {
+        Some("bench-int8") => match parse_out(&args, "BENCH_6.json") {
             Ok(out) => bench_int8(Path::new(&out)),
             Err(code) => code,
         },
@@ -332,7 +334,7 @@ fn bench_int8(out: &Path) -> ExitCode {
             e.threads,
             e.f32_eval_ms,
             e.int8_eval_ms,
-            e.f32_eval_ms / e.int8_eval_ms.max(1e-9)
+            e.speedup()
         );
     }
     ExitCode::SUCCESS

@@ -1,12 +1,28 @@
-//! Int8-engine benchmark (`BENCH_5.json`): serial int8-vs-f32 GEMM on a
-//! fixed 192×192×192 problem, plus deployed-model evaluation wall time
+//! Int8-engine benchmark (`BENCH_6.json`): serial int8-vs-f32 GEMM on a
+//! fixed 192×192×192 problem, plus whole-model evaluation wall time
 //! under both inference engines at 1, 2, and N threads.
 //!
-//! Two numbers are gating (see `ci.sh`): the serial (`threads = 1`)
-//! int8 evaluation wall time and the serial int8 GEMM time must not
-//! regress more than 10 % against the committed baseline. The
-//! int8-over-f32 speedup is *recorded* but non-blocking — it documents
-//! what the host that produced the baseline measured.
+//! Four checks are gating (see `ci.sh`):
+//!
+//! 1. the serial (`threads = 1`) int8 evaluation wall time must not
+//!    regress more than 10 % against the committed baseline;
+//! 2. the serial int8-over-f32 GEMM speedup on the 192³ reference must
+//!    stay at or above [`GEMM_SPEEDUP_FLOOR`];
+//! 3. the whole-model serial int8-over-f32 eval speedup must stay at or
+//!    above [`EVAL_SPEEDUP_FLOOR`] (1.5×; the stretch target of 2× is
+//!    reported but not enforced);
+//! 4. at every measured thread count the int8 engine must be at least
+//!    as fast as f32 at the same thread count — the BENCH_5-era
+//!    regression was int8 eval *slower* than f32 once the pool had two
+//!    threads, and it must never come back.
+//!
+//! Checks 2–4 are speedup ratios taken inside one measurement window,
+//! so they stay meaningful on shared runners whose absolute wall
+//! clocks jitter by tens of percent under CPU-steal storms (the
+//! sub-millisecond GEMM reference is especially exposed — a
+//! cross-baseline wall-time gate on it flaked 40 %+). Multi-thread-
+//! vs-serial and GEMM wall times are reported but never block for
+//! exactly that reason.
 
 use crate::compute::SERIAL_BUDGET;
 use crate::json::{self, JsonValue};
@@ -15,6 +31,24 @@ use rhb_models::zoo::{build, dataset_for, Architecture, ZooConfig};
 use rhb_nn::init::Rng;
 use rhb_nn::layer::Mode;
 use std::time::Instant;
+
+/// Blocking floor on the whole-model serial int8-over-f32 eval speedup.
+/// The tentpole target is 2×; CI fails below 1.5× so the packed-cache
+/// and fused-pass wins cannot silently erode.
+pub const EVAL_SPEEDUP_FLOOR: f64 = 1.5;
+
+/// Reported (non-blocking) stretch target for the same speedup.
+pub const EVAL_SPEEDUP_TARGET: f64 = 2.0;
+
+/// Blocking floor on every entry's speedup, whatever its thread count:
+/// int8 eval must never be slower than f32 eval measured in the same
+/// window (BENCH_5's 2-thread entry broke exactly this).
+pub const EVAL_SPEEDUP_ANY_THREADS_FLOOR: f64 = 1.0;
+
+/// Blocking floor on the serial 192³ GEMM int8-over-f32 speedup. The
+/// AVX2 pair-dot kernel measures ~4× on this problem; 2× leaves noise
+/// headroom while still catching a kernel- or packing-level slide.
+pub const GEMM_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// Evaluation timings at one thread count.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,6 +59,17 @@ pub struct Int8Entry {
     pub f32_eval_ms: f64,
     /// Int8 engine evaluation wall time, milliseconds.
     pub int8_eval_ms: f64,
+}
+
+impl Int8Entry {
+    /// Whole-model int8-over-f32 speedup at this thread count.
+    pub fn speedup(&self) -> f64 {
+        if self.int8_eval_ms > 0.0 {
+            self.f32_eval_ms / self.int8_eval_ms
+        } else {
+            f64::INFINITY
+        }
+    }
 }
 
 /// The full benchmark result.
@@ -65,20 +110,18 @@ fn thread_points() -> Vec<usize> {
     points
 }
 
-fn median(mut samples: Vec<f64>) -> f64 {
-    samples.sort_by(f64::total_cmp);
-    samples[samples.len() / 2]
-}
-
+/// Minimum wall time over `reps` runs. The minimum, not the median:
+/// these numbers feed blocking wall-clock gates, and on shared runners
+/// the minimum is the sample least polluted by scheduler interference —
+/// medians jitter 15 %+ run-to-run on a busy single-core host.
 fn time_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    let samples: Vec<f64> = (0..reps)
+    (0..reps)
         .map(|_| {
             let start = Instant::now();
             f();
             start.elapsed().as_secs_f64() * 1e3
         })
-        .collect();
-    median(samples)
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// Serial f32-vs-int8 GEMM reference on a fixed 192×192×192 problem.
@@ -102,8 +145,8 @@ fn gemm_reference_ms() -> (f64, f64) {
     let ai = quant(&af);
     let bi = quant(&bf);
     let mut ci = vec![0i32; N * N];
-    let f32_ms = time_ms(5, || rhb_nn::gemm::gemm_serial(&af, &bf, &mut cf, N, N, N));
-    let i8_ms = time_ms(5, || {
+    let f32_ms = time_ms(20, || rhb_nn::gemm::gemm_serial(&af, &bf, &mut cf, N, N, N));
+    let i8_ms = time_ms(20, || {
         rhb_nn::gemm_i8::gemm_i8_serial(&ai, &bi, &mut ci, N, N, N)
     });
     (f32_ms, i8_ms)
@@ -125,10 +168,10 @@ pub fn run() -> Int8Bench {
         // One warm-up pass per engine grows the scratch arenas.
         evaluate_mode(net.as_mut(), &data, 32, Mode::Eval);
         evaluate_mode(net.as_mut(), &data, 32, Mode::Int8);
-        let f32_eval_ms = time_ms(3, || {
+        let f32_eval_ms = time_ms(7, || {
             evaluate_mode(net.as_mut(), &data, 32, Mode::Eval);
         });
-        let int8_eval_ms = time_ms(3, || {
+        let int8_eval_ms = time_ms(7, || {
             evaluate_mode(net.as_mut(), &data, 32, Mode::Int8);
         });
         entries.push(Int8Entry {
@@ -148,11 +191,12 @@ pub fn run() -> Int8Bench {
     }
 }
 
-/// Serializes as the `BENCH_5.json` schema.
+/// Serializes as the `BENCH_6.json` schema (v2: per-entry whole-model
+/// speedups are materialized for human readers; parsers derive them).
 pub fn to_json(bench: &Int8Bench) -> String {
     let mut s = String::with_capacity(1024);
     s.push_str("{\n");
-    s.push_str("\"schema\": \"rhb-int8-bench/v1\",\n");
+    s.push_str("\"schema\": \"rhb-int8-bench/v2\",\n");
     s.push_str(&format!(
         "\"threads_available\": {},\n",
         bench.threads_available
@@ -169,6 +213,8 @@ pub fn to_json(bench: &Int8Bench) -> String {
         json::write_f64(e.f32_eval_ms, &mut s);
         s.push_str(", \"int8_eval_ms\": ");
         json::write_f64(e.int8_eval_ms, &mut s);
+        s.push_str(", \"speedup\": ");
+        json::write_f64(e.speedup(), &mut s);
         s.push_str(if i + 1 == bench.entries.len() {
             "}\n"
         } else {
@@ -179,7 +225,7 @@ pub fn to_json(bench: &Int8Bench) -> String {
     s
 }
 
-/// Parses a `BENCH_5.json` document.
+/// Parses a `BENCH_6.json` (or legacy `BENCH_5.json`) document.
 ///
 /// # Errors
 ///
@@ -231,8 +277,12 @@ pub fn from_json(text: &str) -> Result<Int8Bench, String> {
 pub struct Int8Diff {
     /// Human-readable comparison.
     pub report: String,
-    /// True when a *blocking* regression was found (serial int8 eval or
-    /// serial int8 GEMM more than 10 % over baseline).
+    /// True when a *blocking* regression was found: serial int8 eval
+    /// more than 10 % over baseline, GEMM-reference speedup below
+    /// [`GEMM_SPEEDUP_FLOOR`], serial whole-model speedup below
+    /// [`EVAL_SPEEDUP_FLOOR`], or any entry's speedup below
+    /// [`EVAL_SPEEDUP_ANY_THREADS_FLOOR`] (int8 slower than f32 at
+    /// that thread count).
     pub regressed: bool,
 }
 
@@ -262,29 +312,63 @@ pub fn diff(base: &Int8Bench, cand: &Int8Bench) -> Int8Diff {
         ),
         _ => report.push_str("int8 eval serial: entry missing, skipped\n"),
     }
-    gate(
-        "int8 gemm serial",
-        base.gemm_i8_ms,
-        cand.gemm_i8_ms,
-        &mut report,
-    );
+    let gemm_sp = cand.gemm_speedup();
+    let gemm_verdict = if gemm_sp < GEMM_SPEEDUP_FLOOR {
+        regressed = true;
+        "REGRESSED (blocking)"
+    } else {
+        "ok"
+    };
     report.push_str(&format!(
-        "gemm 192^3: f32 {:.2} ms, i8 {:.2} ms ({:.2}x int8 speedup, non-blocking)\n",
-        cand.gemm_f32_ms,
-        cand.gemm_i8_ms,
-        cand.gemm_speedup()
+        "gemm 192^3: f32 {:.2} ms, i8 {:.2} ms — speedup {gemm_sp:.2}x (floor {GEMM_SPEEDUP_FLOOR:.1}x) {gemm_verdict}\n",
+        cand.gemm_f32_ms, cand.gemm_i8_ms
     ));
-    for e in &cand.entries {
+    // Blocking: whole-model serial speedup floor (stretch target reported).
+    if let Some(serial) = cand.eval_at(1) {
+        let sp = serial.speedup();
+        let verdict = if sp < EVAL_SPEEDUP_FLOOR {
+            regressed = true;
+            "REGRESSED (blocking)"
+        } else if sp < EVAL_SPEEDUP_TARGET {
+            "ok (below the 2.0x stretch target)"
+        } else {
+            "ok"
+        };
         report.push_str(&format!(
-            "eval at {} threads: f32 {:.2} ms, int8 {:.2} ms ({:.2}x, non-blocking)\n",
-            e.threads,
-            e.f32_eval_ms,
-            e.int8_eval_ms,
-            if e.int8_eval_ms > 0.0 {
-                e.f32_eval_ms / e.int8_eval_ms
+            "int8 eval speedup serial: {sp:.2}x (floor {EVAL_SPEEDUP_FLOOR:.1}x) {verdict}\n"
+        ));
+        // Non-blocking: multi-thread wall times vs serial, informational
+        // only (absolute wall clocks are too steal-noisy to gate on).
+        for e in cand.entries.iter().filter(|e| e.threads > 1) {
+            let ratio = if serial.int8_eval_ms > 0.0 {
+                e.int8_eval_ms / serial.int8_eval_ms
             } else {
-                f64::INFINITY
-            }
+                1.0
+            };
+            report.push_str(&format!(
+                "int8 eval at {} threads vs serial: {:.2} ms vs {:.2} ms ({:+.1} %, non-blocking)\n",
+                e.threads,
+                e.int8_eval_ms,
+                serial.int8_eval_ms,
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    } else {
+        report.push_str("int8 eval speedup serial: entry missing, skipped\n");
+    }
+    // Blocking: int8 must beat f32 at *every* thread count — the
+    // BENCH_5-era regression was 2-thread int8 eval slower than f32.
+    for e in &cand.entries {
+        let sp = e.speedup();
+        let verdict = if sp < EVAL_SPEEDUP_ANY_THREADS_FLOOR {
+            regressed = true;
+            "REGRESSED (blocking)"
+        } else {
+            "ok"
+        };
+        report.push_str(&format!(
+            "eval at {} threads: f32 {:.2} ms, int8 {:.2} ms ({:.2}x) {verdict}\n",
+            e.threads, e.f32_eval_ms, e.int8_eval_ms, sp
         ));
     }
     Int8Diff { report, regressed }
@@ -322,10 +406,10 @@ mod tests {
     }
 
     #[test]
-    fn serial_int8_regression_blocks_but_speedup_loss_does_not() {
+    fn serial_int8_regression_blocks() {
         let base = sample();
         let mut cand = sample();
-        // 10 % is within budget…
+        // 10 % is within budget (and 100/66 = 1.52x stays above the floor)…
         cand.entries[0].int8_eval_ms = 66.0;
         assert!(!diff(&base, &cand).regressed);
         // …12 % is not.
@@ -336,15 +420,60 @@ mod tests {
         let mut slow_f32 = sample();
         slow_f32.entries[0].f32_eval_ms = 500.0;
         assert!(!diff(&base, &slow_f32).regressed);
-        // A regressed int8 GEMM blocks.
+        // An int8 GEMM that loses its 2x edge over f32 blocks; a
+        // uniformly slower window (both engines hit by the same storm,
+        // ratio intact) does not.
         let mut slow_gemm = sample();
         slow_gemm.gemm_i8_ms = 2.5;
         let d = diff(&base, &slow_gemm);
         assert!(d.regressed, "{}", d.report);
+        let mut storm = sample();
+        storm.gemm_f32_ms = 8.0;
+        storm.gemm_i8_ms = 4.0;
+        assert!(!diff(&base, &storm).regressed);
+    }
+
+    #[test]
+    fn serial_speedup_below_the_floor_blocks() {
+        let base = sample();
+        // Serial f32 80 ms / int8 60 ms = 1.33x < 1.5x: blocking even
+        // though the int8 wall time itself did not regress.
+        let mut cand = sample();
+        cand.entries[0].f32_eval_ms = 80.0;
+        let d = diff(&base, &cand);
+        assert!(d.regressed, "{}", d.report);
+        assert!(d.report.contains("speedup serial: 1.33x"), "{}", d.report);
+        // 1.6x passes the floor but is flagged as below the stretch target.
+        cand.entries[0].f32_eval_ms = 96.0;
+        let d = diff(&base, &cand);
+        assert!(!d.regressed, "{}", d.report);
+        assert!(d.report.contains("stretch target"), "{}", d.report);
+    }
+
+    #[test]
+    fn int8_slower_than_f32_at_any_thread_count_blocks() {
+        let base = sample();
+        // The BENCH_5-era regression: 4-thread int8 eval (35 ms) slower
+        // than 4-thread f32 eval (30 ms) — speedup 0.86x < 1.0x.
+        let mut cand = sample();
+        cand.entries[1].int8_eval_ms = 35.0;
+        let d = diff(&base, &cand);
+        assert!(d.regressed, "{}", d.report);
+        assert!(d.report.contains("4 threads"), "{}", d.report);
+        // At parity or faster, the entry passes; multi-thread-vs-serial
+        // wall times are reported but never block.
+        cand.entries[1].int8_eval_ms = 30.0;
+        assert!(!diff(&base, &cand).regressed);
+        cand.entries[1].int8_eval_ms = 80.0;
+        cand.entries[1].f32_eval_ms = 120.0;
+        let d = diff(&base, &cand);
+        assert!(!d.regressed, "{}", d.report);
+        assert!(d.report.contains("non-blocking"), "{}", d.report);
     }
 
     #[test]
     fn gemm_speedup_is_f32_over_i8() {
         assert!((sample().gemm_speedup() - 2.0).abs() < 1e-12);
+        assert!((sample().entries[0].speedup() - 100.0 / 60.0).abs() < 1e-12);
     }
 }

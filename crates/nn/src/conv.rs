@@ -17,11 +17,35 @@ use crate::error::{NnError, Result};
 use crate::gemm;
 use crate::gemm_i8;
 use crate::init::{kaiming_normal, Rng};
-use crate::layer::{Layer, Mode};
+use crate::layer::{Int8Epilogue, Layer, Mode};
 use crate::param::Parameter;
 use crate::quant::QuantScheme;
 use crate::scratch::{ScratchBuffer, ScratchI32, ScratchI8};
 use crate::tensor::Tensor;
+
+/// Minimum whole-layer flop count (`2·batch·M·K·N`) before a conv
+/// forward is split across the pool at all.
+///
+/// Below this the per-dispatch cost of waking worker threads exceeds
+/// the GEMM work itself — the zoo-scale models that exposed the
+/// 2-thread int8 regression in `BENCH_5` spend ~1–2 µs of arithmetic
+/// per conv call against ~10 µs of pool hand-off — so small layers run
+/// inline on the calling thread at every thread count. Batch chunks are
+/// independent images, so this changes scheduling only: outputs are
+/// bit-identical either way (see `DESIGN.md`, "Threading model").
+pub const BATCH_PAR_MIN_FLOPS: usize = 1 << 21;
+
+/// Runs a prepared batch task set: inline when there is only one task
+/// (no pool hand-off), on the global pool otherwise.
+fn run_batch_tasks(tasks: Vec<rhb_par::Task<'_>>) {
+    if tasks.len() == 1 {
+        for t in tasks {
+            t();
+        }
+    } else {
+        rhb_par::pool().run(tasks);
+    }
+}
 
 /// Spatial geometry of a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +95,54 @@ pub struct Conv2d {
     bias: Option<Parameter>,
     cached: Option<CachedForward>,
     scratch: ConvScratch,
+    /// Int8 engine: persistent packed weight panels (see
+    /// [`ConvPackedCache`]).
+    packed: Option<ConvPackedCache>,
+}
+
+/// Persistent int8 weight state: the kernel's `i8` steps quantized and
+/// packed into GEMM panels **once per weight generation** instead of on
+/// every forward call.
+///
+/// Invalidation contract: the cache is valid iff
+/// `weight.generation() == self.generation` (see
+/// [`Parameter::generation`]). Every weight mutation path — optimizer
+/// steps, `deploy`, and crucially `load_quantized` (the Rowhammer flip
+/// injection path) — advances the generation, so a mid-run bit flip
+/// always repacks before the next int8 forward; a stale panel can never
+/// mask a flip.
+struct ConvPackedCache {
+    /// `[out_ch, C·k·k]` weight steps packed for [`gemm_i8::gemm_i8_pa_serial`].
+    pa: gemm_i8::PackedA,
+    /// The frozen weight quantization scheme at pack time.
+    scheme: QuantScheme,
+    /// `Parameter::generation()` observed at pack time.
+    generation: u64,
+}
+
+/// Returns the packed weight panels, rebuilding them first if `slot` is
+/// empty or stale. Free function over disjoint `Conv2d` fields so the
+/// returned borrow ties only to `slot`, leaving the other scratch
+/// arenas free for the caller.
+fn ensure_packed<'a>(
+    slot: &'a mut Option<ConvPackedCache>,
+    weight: &Parameter,
+    wq: &mut ScratchI8,
+    m: usize,
+    k: usize,
+) -> (&'a gemm_i8::PackedA, QuantScheme) {
+    let generation = weight.generation();
+    if slot.as_ref().is_none_or(|c| c.generation != generation) {
+        let (steps, scheme) = weight.quantized_into(wq);
+        *slot = Some(ConvPackedCache {
+            pa: gemm_i8::PackedA::pack(steps, m, k),
+            scheme,
+            generation,
+        });
+        rhb_telemetry::add_counter("nn/int8_weight_repacks", 1);
+    }
+    let c = slot.as_ref().expect("slot was just filled");
+    (&c.pa, c.scheme)
 }
 
 /// Shape of the last training-mode forward; the column matrices
@@ -155,6 +227,68 @@ fn im2col_into<T: Copy + Default>(
     }
 }
 
+/// Strided variant of [`im2col_into`] for the int8 engine's
+/// merged-batch GEMM: lowers one image into its `out²`-wide column band
+/// of a `[C*k*k, row_stride]` matrix shared by a whole batch chunk
+/// (band `i` starts at column `col_offset = i·out²`). The caller
+/// zero-fills the matrix once per chunk; this only writes in-bounds
+/// gathers, so padding stays exactly zero (the symmetric scheme has a
+/// zero zero-point).
+fn im2col_strided_into<T: Copy>(
+    g: ConvGeometry,
+    image: &[T],
+    in_side: usize,
+    out: usize,
+    cols: &mut [T],
+    row_stride: usize,
+    col_offset: usize,
+) {
+    for c in 0..g.in_channels {
+        let chan = &image[c * in_side * in_side..(c + 1) * in_side * in_side];
+        for ky in 0..g.kernel {
+            for kx in 0..g.kernel {
+                let row = (c * g.kernel + ky) * g.kernel + kx;
+                let row_base = row * row_stride + col_offset;
+                if g.stride == 1 {
+                    // Unit stride: the valid `ox` range maps to a
+                    // contiguous run of the input row — one slice copy
+                    // per output row instead of per-element gathers.
+                    let ox_lo = g.padding.saturating_sub(kx);
+                    let ox_hi = (in_side + g.padding).saturating_sub(kx).min(out);
+                    if ox_lo >= ox_hi {
+                        continue;
+                    }
+                    let run = ox_hi - ox_lo;
+                    for oy in 0..out {
+                        let iy = (oy + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy as usize >= in_side {
+                            continue;
+                        }
+                        let src = iy as usize * in_side + ox_lo + kx - g.padding;
+                        let dst = row_base + oy * out + ox_lo;
+                        cols[dst..dst + run].copy_from_slice(&chan[src..src + run]);
+                    }
+                } else {
+                    for oy in 0..out {
+                        let iy = (oy * g.stride + ky) as isize - g.padding as isize;
+                        if iy < 0 || iy as usize >= in_side {
+                            continue;
+                        }
+                        let iy = iy as usize;
+                        for ox in 0..out {
+                            let ix = (ox * g.stride + kx) as isize - g.padding as isize;
+                            if ix < 0 || ix as usize >= in_side {
+                                continue;
+                            }
+                            cols[row_base + oy * out + ox] = chan[iy * in_side + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Scatters a `[C*k*k, out*out]` column-gradient back onto an image.
 fn col2im_into(g: ConvGeometry, cols: &[f32], in_side: usize, out: usize, image: &mut [f32]) {
     image.fill(0.0);
@@ -218,6 +352,7 @@ impl Conv2d {
             bias,
             cached: None,
             scratch: ConvScratch::default(),
+            packed: None,
         }
     }
 
@@ -229,11 +364,19 @@ impl Conv2d {
     /// The int8 engine's forward pass. Each image is quantized under its
     /// own dynamic activation scale (so outputs are batch-size
     /// invariant — see `DESIGN.md`, "Inference engines"), lowered to
-    /// `i8` columns per batch element on the pool, multiplied against
-    /// the kernel's raw `i8` steps with exact `i32` accumulation, and
-    /// requantized back to the activation scale; the f32 bias is added
-    /// last.
-    fn forward_int8(&mut self, input: &Tensor) -> Tensor {
+    /// `i8` columns directly (no f32 column buffer), multiplied against
+    /// the persistent packed weight panels with exact `i32`
+    /// accumulation, and requantized back to the activation scale with
+    /// the f32 bias — and, when fused, the following Relu/MaxPool —
+    /// applied in the same sweep.
+    ///
+    /// Each batch chunk runs ONE merged GEMM over `chunk·out²` columns
+    /// (images side by side) instead of a GEMM per image, amortizing the
+    /// per-call blocking and packing overhead that dominates at zoo
+    /// scale. Integer accumulation is exact under any column blocking
+    /// and per-image scales are applied only in the epilogue, so the
+    /// output is bit-identical at every thread count and chunking.
+    fn forward_int8(&mut self, input: &Tensor, epi: Int8Epilogue) -> Tensor {
         let dims = input.shape().dims();
         assert_eq!(dims.len(), 4, "conv input must be [batch, C, H, W]");
         let (batch, chans, in_side) = (dims[0], dims[1], dims[2]);
@@ -245,10 +388,28 @@ impl Conv2d {
             .expect("kernel must fit the padded input");
         let rows = g.in_channels * g.kernel * g.kernel;
         let ow2 = out * out;
-        let gout_len = g.out_channels * ow2;
         let image_len = chans * in_side * in_side;
+        // Geometry after the fused epilogue (pooling shrinks the side).
+        let out_final = match epi {
+            Int8Epilogue::MaxPool { window } => {
+                assert!(
+                    out >= window && out.is_multiple_of(window),
+                    "caller must decline unfusable pool shapes"
+                );
+                out / window
+            }
+            _ => out,
+        };
+        let fin2 = out_final * out_final;
+        let fout_len = g.out_channels * fin2;
 
-        let (wq, w_scheme) = self.weight.quantized_into(&mut self.scratch.wq);
+        let (pa, w_scheme) = ensure_packed(
+            &mut self.packed,
+            &self.weight,
+            &mut self.scratch.wq,
+            g.out_channels,
+            rows,
+        );
         let bias_eff: Option<&[f32]> = self
             .bias
             .as_ref()
@@ -269,14 +430,20 @@ impl Conv2d {
         let xq_all: &[i8] = xq_all;
         let img_deq: &[f32] = &img_deq;
         let colsq_all = self.scratch.colsq.filled(batch * rows * ow2);
-        let acc_all = self.scratch.acc.filled(batch * gout_len);
+        let acc_all = self.scratch.acc.filled(batch * g.out_channels * ow2);
 
-        let mut output = vec![0.0f32; batch * gout_len];
-        let pool = rhb_par::pool();
-        let ranges = rhb_par::split_range(batch, pool.threads(), 1);
-        let out_chunks = rhb_par::split_slice_mut(&mut output, &ranges, gout_len);
+        let mut output = vec![0.0f32; batch * fout_len];
+        let flops = 2 * batch * g.out_channels * rows * ow2;
+        let threads = if flops < BATCH_PAR_MIN_FLOPS {
+            1
+        } else {
+            rhb_par::pool().threads()
+        };
+        let ranges = rhb_par::split_range(batch, threads, 1);
+        let out_chunks = rhb_par::split_slice_mut(&mut output, &ranges, fout_len);
         let col_chunks = rhb_par::split_slice_mut(colsq_all, &ranges, rows * ow2);
-        let acc_chunks = rhb_par::split_slice_mut(acc_all, &ranges, gout_len);
+        let acc_chunks = rhb_par::split_slice_mut(acc_all, &ranges, g.out_channels * ow2);
+        let is_1x1 = g.kernel == 1 && g.stride == 1 && g.padding == 0;
         let tasks: Vec<rhb_par::Task<'_>> = ranges
             .iter()
             .zip(
@@ -287,35 +454,104 @@ impl Conv2d {
             .map(|(r, (out_chunk, (col_chunk, acc_chunk)))| {
                 let r = r.clone();
                 Box::new(move || {
+                    let clen = r.len();
+                    let cstride = clen * ow2;
+                    // Lower the whole chunk into one [rows, clen·out²]
+                    // column matrix, images side by side.
+                    if is_1x1 {
+                        // 1×1 s1 p0: column row r of image i IS channel
+                        // r — a straight strided copy, every element
+                        // written (no zero-fill needed).
+                        for (i, b) in r.clone().enumerate() {
+                            let image = &xq_all[b * image_len..(b + 1) * image_len];
+                            for c in 0..rows {
+                                let dst = c * cstride + i * ow2;
+                                col_chunk[dst..dst + ow2]
+                                    .copy_from_slice(&image[c * ow2..(c + 1) * ow2]);
+                            }
+                        }
+                    } else {
+                        col_chunk[..rows * cstride].fill(0);
+                        for (i, b) in r.clone().enumerate() {
+                            let image = &xq_all[b * image_len..(b + 1) * image_len];
+                            im2col_strided_into(
+                                g,
+                                image,
+                                in_side,
+                                out,
+                                col_chunk,
+                                cstride,
+                                i * ow2,
+                            );
+                        }
+                    }
+                    // One merged GEMM for the chunk.
+                    gemm_i8::gemm_i8_pa_serial(
+                        pa,
+                        &col_chunk[..rows * cstride],
+                        acc_chunk,
+                        cstride,
+                    );
+                    // Per-image requantize epilogue (each image has its
+                    // own deq scale), with the fused tail applied in the
+                    // same sweep.
                     for (i, b) in r.clone().enumerate() {
-                        let image = &xq_all[b * image_len..(b + 1) * image_len];
-                        let cols = &mut col_chunk[i * rows * ow2..(i + 1) * rows * ow2];
-                        im2col_into(g, image, in_side, out, cols);
-                        let acc = &mut acc_chunk[i * gout_len..(i + 1) * gout_len];
-                        gemm_i8::gemm_i8_serial(wq, cols, acc, g.out_channels, rows, ow2);
-                        let dst = &mut out_chunk[i * gout_len..(i + 1) * gout_len];
                         let deq = img_deq[b];
+                        let dst = &mut out_chunk[i * fout_len..(i + 1) * fout_len];
                         for oc in 0..g.out_channels {
                             let bval = bias_eff.map_or(0.0, |bv| bv[oc]);
-                            let acc_row = &acc[oc * ow2..(oc + 1) * ow2];
-                            let dst_row = &mut dst[oc * ow2..(oc + 1) * ow2];
-                            for (o, &a) in dst_row.iter_mut().zip(acc_row) {
-                                *o = a as f32 * deq + bval;
+                            let arow =
+                                &acc_chunk[oc * cstride + i * ow2..oc * cstride + i * ow2 + ow2];
+                            match epi {
+                                Int8Epilogue::None => {
+                                    for (o, &a) in
+                                        dst[oc * ow2..(oc + 1) * ow2].iter_mut().zip(arow)
+                                    {
+                                        *o = a as f32 * deq + bval;
+                                    }
+                                }
+                                Int8Epilogue::Relu => {
+                                    for (o, &a) in
+                                        dst[oc * ow2..(oc + 1) * ow2].iter_mut().zip(arow)
+                                    {
+                                        *o = (a as f32 * deq + bval).max(0.0);
+                                    }
+                                }
+                                Int8Epilogue::MaxPool { window } => {
+                                    // `acc ↦ acc·deq + bias` is monotone
+                                    // (deq > 0), so the window max over
+                                    // i32 accumulators requantizes to
+                                    // exactly the max of the requantized
+                                    // values.
+                                    let drow = &mut dst[oc * fin2..(oc + 1) * fin2];
+                                    for py in 0..out_final {
+                                        for px in 0..out_final {
+                                            let mut m = i32::MIN;
+                                            for wy in 0..window {
+                                                let base = (py * window + wy) * out + px * window;
+                                                for &a in &arow[base..base + window] {
+                                                    m = m.max(a);
+                                                }
+                                            }
+                                            drow[py * out_final + px] = m as f32 * deq + bval;
+                                        }
+                                    }
+                                }
                             }
                         }
                     }
                 }) as rhb_par::Task<'_>
             })
             .collect();
-        pool.run(tasks);
-        Tensor::from_vec(output, &[batch, g.out_channels, out, out])
+        run_batch_tasks(tasks);
+        Tensor::from_vec(output, &[batch, g.out_channels, out_final, out_final])
     }
 }
 
 impl Layer for Conv2d {
     fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Int8 {
-            return self.forward_int8(input);
+            return self.forward_int8(input, Int8Epilogue::None);
         }
         let dims = input.shape().dims();
         assert_eq!(dims.len(), 4, "conv input must be [batch, C, H, W]");
@@ -347,8 +583,13 @@ impl Layer for Conv2d {
         let cols_all = colbuf.filled(batch * rows * ow2);
 
         let mut output = vec![0.0f32; batch * gout_len];
-        let pool = rhb_par::pool();
-        let ranges = rhb_par::split_range(batch, pool.threads(), 1);
+        let flops = 2 * batch * g.out_channels * rows * ow2;
+        let threads = if flops < BATCH_PAR_MIN_FLOPS {
+            1
+        } else {
+            rhb_par::pool().threads()
+        };
+        let ranges = rhb_par::split_range(batch, threads, 1);
         let out_chunks = rhb_par::split_slice_mut(&mut output, &ranges, gout_len);
         let col_chunks = rhb_par::split_slice_mut(cols_all, &ranges, rows * ow2);
         let input_data = input.data();
@@ -375,7 +616,7 @@ impl Layer for Conv2d {
                 }) as rhb_par::Task<'_>
             })
             .collect();
-        pool.run(tasks);
+        run_batch_tasks(tasks);
 
         if mode.caches() {
             self.cached = Some(CachedForward { in_side, batch });
@@ -504,6 +745,23 @@ impl Layer for Conv2d {
 
     fn op_name(&self) -> &'static str {
         "conv2d"
+    }
+
+    fn try_forward_int8_fused(&mut self, input: &Tensor, epi: Int8Epilogue) -> Option<Tensor> {
+        let dims = input.shape().dims();
+        if dims.len() != 4 || dims[2] != dims[3] {
+            return None;
+        }
+        let out = self.geom.out_side(dims[2]).ok()?;
+        if let Int8Epilogue::MaxPool { window } = epi {
+            // Decline shapes the standalone MaxPool2d treats specially
+            // (identity when side < window) or that don't tile evenly —
+            // the pair then runs unfused and stays bit-identical.
+            if out < window || out % window != 0 {
+                return None;
+            }
+        }
+        Some(self.forward_int8(input, epi))
     }
 }
 
@@ -641,6 +899,109 @@ mod tests {
                 "input[{idx}]: analytic {analytic} vs numeric {numeric}"
             );
         }
+    }
+
+    fn random_input(dims: &[usize], seed: u64) -> Tensor {
+        let mut rng = Rng::seed_from(seed);
+        let mut x = Tensor::zeros(dims);
+        for v in x.data_mut() {
+            *v = rng.uniform(-1.0, 1.0);
+        }
+        x
+    }
+
+    #[test]
+    fn int8_output_is_batch_invariant_under_merged_gemm() {
+        let mut conv = tiny_conv(1, 1);
+        for p in conv.params_mut() {
+            p.deploy().unwrap();
+        }
+        let x = random_input(&[3, 2, 6, 6], 11);
+        let batched = conv.forward_mode(&x, Mode::Int8);
+        let per_image_len = x.numel() / 3;
+        let out_len = batched.numel() / 3;
+        for b in 0..3 {
+            let img = Tensor::from_vec(
+                x.data()[b * per_image_len..(b + 1) * per_image_len].to_vec(),
+                &[1, 2, 6, 6],
+            );
+            let single = conv.forward_mode(&img, Mode::Int8);
+            assert_eq!(
+                single.data(),
+                &batched.data()[b * out_len..(b + 1) * out_len],
+                "image {b}: merged-batch GEMM must be bit-identical to per-image"
+            );
+        }
+    }
+
+    #[test]
+    fn int8_relu_and_maxpool_fusion_are_bit_identical_to_unfused() {
+        use crate::pool::MaxPool2d;
+        let mut conv = tiny_conv(1, 1);
+        for p in conv.params_mut() {
+            p.deploy().unwrap();
+        }
+        let x = random_input(&[2, 2, 8, 8], 13);
+        let base = conv.forward_mode(&x, Mode::Int8);
+
+        let fused_relu = conv
+            .try_forward_int8_fused(&x, Int8Epilogue::Relu)
+            .expect("relu fusion is always available");
+        assert_eq!(fused_relu, base.map(|v| v.max(0.0)));
+
+        let mut pool = MaxPool2d::new(2);
+        let unfused_pool = pool.forward_mode(&base, Mode::Int8);
+        let fused_pool = conv
+            .try_forward_int8_fused(&x, Int8Epilogue::MaxPool { window: 2 })
+            .expect("8x8 output tiles evenly by 2");
+        assert_eq!(fused_pool, unfused_pool);
+    }
+
+    #[test]
+    fn int8_fusion_declines_pool_shapes_the_layer_treats_specially() {
+        let mut conv = tiny_conv(1, 1);
+        for p in conv.params_mut() {
+            p.deploy().unwrap();
+        }
+        let x = random_input(&[1, 2, 3, 3], 17);
+        // out side 3: window 2 doesn't divide it; window 4 exceeds it
+        // (standalone MaxPool2d would run its identity path).
+        assert!(conv
+            .try_forward_int8_fused(&x, Int8Epilogue::MaxPool { window: 2 })
+            .is_none());
+        assert!(conv
+            .try_forward_int8_fused(&x, Int8Epilogue::MaxPool { window: 4 })
+            .is_none());
+    }
+
+    #[test]
+    fn packed_weight_cache_invalidates_on_bit_flip_reload() {
+        let mut conv = tiny_conv(1, 1);
+        for p in conv.params_mut() {
+            p.deploy().unwrap();
+        }
+        let x = random_input(&[2, 2, 6, 6], 19);
+        // Warm the packed cache, then flip a weight bit through the
+        // quantized-image path (the Rowhammer injection route).
+        let before = conv.forward_mode(&x, Mode::Int8);
+        let mut q = conv.weight.quantized();
+        q.flip_bit(5, 6).unwrap();
+        conv.weight.load_quantized(&q);
+        let after_warm = conv.forward_mode(&x, Mode::Int8);
+        assert_ne!(
+            before.data(),
+            after_warm.data(),
+            "flip must change the output"
+        );
+        // A cold-cache layer with the same flipped weights must agree
+        // bit-for-bit: the warm cache may never mask a flip.
+        let mut cold = tiny_conv(1, 1);
+        for p in cold.params_mut() {
+            p.deploy().unwrap();
+        }
+        cold.weight.load_quantized(&q);
+        let after_cold = cold.forward_mode(&x, Mode::Int8);
+        assert_eq!(after_warm.data(), after_cold.data());
     }
 
     #[test]

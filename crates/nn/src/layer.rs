@@ -50,6 +50,38 @@ impl Mode {
     }
 }
 
+/// A cheap elementwise/pooling tail a GEMM layer can absorb into its
+/// int8 requantize sweep.
+///
+/// In [`Mode::Int8`] the conv/linear epilogue already walks every `i32`
+/// accumulator once to requantize it (`acc · deq + bias`); applying the
+/// *next* layer's function during that same walk removes a full tensor
+/// traversal plus an output-tensor allocation per fused pair. Both
+/// fusions are bit-identical to running the layers separately:
+///
+/// * `Relu` — `max(acc·deq + bias, 0)` is exactly relu-after-requantize.
+/// * `MaxPool` — requantization is monotone non-decreasing in `acc`
+///   (`deq > 0`), so `max` commutes through it *exactly*, window by
+///   window.
+///
+/// [`Sequential::forward_mode`] runs the peephole: when a layer reports
+/// an absorbable epilogue via [`Layer::int8_epilogue`], the preceding
+/// layer is offered it through [`Layer::try_forward_int8_fused`] and the
+/// absorbed layer is skipped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Int8Epilogue {
+    /// Plain requantize: `acc·deq + bias`.
+    None,
+    /// Fused `max(·, 0)` (an absorbed `Relu`).
+    Relu,
+    /// Fused non-overlapping spatial max-pool (an absorbed `MaxPool2d`
+    /// with `stride == window`), applied after requantization.
+    MaxPool {
+        /// Pooling window side (= stride).
+        window: usize,
+    },
+}
+
 /// One differentiable building block.
 ///
 /// Contract: `backward` may only be called after `forward` with
@@ -94,6 +126,30 @@ pub trait Layer: Send {
     /// per-layer eval-timing histograms (`nn/eval/<op>_<engine>_s`).
     fn op_name(&self) -> &'static str {
         "layer"
+    }
+
+    /// If this layer is a cheap elementwise/pooling op the *previous*
+    /// GEMM layer could absorb into its int8 requantize sweep, the
+    /// epilogue describing it. `None` (the default) means the layer must
+    /// run on its own.
+    ///
+    /// Only layers whose int8 forward is a pure function the fused
+    /// epilogue reproduces **bit-identically** may return `Some` —
+    /// `Relu`, and `MaxPool2d` with `stride == window`.
+    fn int8_epilogue(&self) -> Option<Int8Epilogue> {
+        None
+    }
+
+    /// Attempts a fused [`Mode::Int8`] forward with `epi` applied inside
+    /// this layer's requantize sweep, returning the tensor the *pair*
+    /// (this layer + the absorbed one) would have produced.
+    ///
+    /// Returning `None` means this layer cannot absorb `epi` (or has no
+    /// fused path at all — the default); the caller must then run both
+    /// layers unfused. Implementations must be bit-identical to the
+    /// unfused pair.
+    fn try_forward_int8_fused(&mut self, _input: &Tensor, _epi: Int8Epilogue) -> Option<Tensor> {
+        None
     }
 
     /// [`Layer::forward_mode`] plus a per-layer eval-timing sample.
@@ -183,8 +239,31 @@ impl Layer for Sequential {
     fn forward_mode(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let t0 = rhb_telemetry::enabled().then(std::time::Instant::now);
         let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward_instrumented(&x, mode);
+        let mut i = 0;
+        while i < self.layers.len() {
+            // Int8 peephole: when the next layer is an absorbable
+            // epilogue (Relu / non-overlapping MaxPool2d), offer it to
+            // the current layer's fused requantize sweep and skip the
+            // absorbed layer. Bit-identical to the unfused pair; timing
+            // for the fused call is recorded under the GEMM layer's op.
+            if mode == Mode::Int8 && i + 1 < self.layers.len() {
+                if let Some(epi) = self.layers[i + 1].int8_epilogue() {
+                    let tf = rhb_telemetry::enabled().then(std::time::Instant::now);
+                    if let Some(out) = self.layers[i].try_forward_int8_fused(&x, epi) {
+                        if let Some(tf) = tf {
+                            rhb_telemetry::observe_value(
+                                &format!("nn/eval/{}_i8_s", self.layers[i].op_name()),
+                                tf.elapsed().as_secs_f64(),
+                            );
+                        }
+                        x = out;
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+            x = self.layers[i].forward_instrumented(&x, mode);
+            i += 1;
         }
         if let Some(t0) = t0 {
             rhb_telemetry::observe_value("nn/seq_forward_s", t0.elapsed().as_secs_f64());
@@ -287,9 +366,37 @@ mod tests {
         assert!(names.contains(&"nn/eval/linear_f32_s"), "{names:?}");
         assert!(names.contains(&"nn/eval/relu_f32_s"), "{names:?}");
         assert!(names.contains(&"nn/eval/linear_i8_s"), "{names:?}");
-        assert!(names.contains(&"nn/eval/relu_i8_s"), "{names:?}");
+        assert!(
+            !names.contains(&"nn/eval/relu_i8_s"),
+            "int8 relu is absorbed into the linear requantize sweep: {names:?}"
+        );
         rhb_telemetry::shutdown();
         rhb_telemetry::reset();
+    }
+
+    #[test]
+    fn int8_relu_fusion_is_bit_identical_to_unfused_layers() {
+        let mut rng = Rng::seed_from(21);
+        let mut lin = Linear::new(7, 5, true, &mut rng);
+        let mut relu = Relu::new();
+        let x = {
+            let mut t = Tensor::zeros(&[3, 7]);
+            let mut r = Rng::seed_from(22);
+            for v in t.data_mut() {
+                *v = r.normal();
+            }
+            t
+        };
+        for p in lin.params_mut() {
+            p.deploy().expect("deploy test weights");
+        }
+        let unfused = relu.forward_mode(&lin.forward_mode(&x, Mode::Int8), Mode::Int8);
+
+        let mut net = Sequential::new();
+        net.push(Box::new(lin));
+        net.push(Box::new(relu));
+        let fused = net.forward_mode(&x, Mode::Int8);
+        assert_eq!(fused, unfused, "fused epilogue must be bit-identical");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use crate::gemm;
 use crate::gemm_i8;
 use crate::init::{kaiming_normal, Rng};
-use crate::layer::{Layer, Mode};
+use crate::layer::{Int8Epilogue, Layer, Mode};
 use crate::param::Parameter;
 use crate::quant::QuantScheme;
 use crate::scratch::{ScratchBuffer, ScratchI32, ScratchI8};
@@ -16,7 +16,6 @@ use crate::tensor::Tensor;
 /// through the blocked, row-parallel kernels in [`crate::gemm`], with
 /// effective weights and the `dW` partial staged in layer-owned scratch
 /// arenas instead of fresh allocations.
-#[derive(Debug)]
 pub struct Linear {
     weight: Parameter,
     bias: Option<Parameter>,
@@ -24,6 +23,52 @@ pub struct Linear {
     out_features: usize,
     cached_input: Option<Tensor>,
     scratch: LinearScratch,
+    /// Int8 engine: persistent packed weight panels (see
+    /// [`LinearPackedCache`]).
+    packed: Option<LinearPackedCache>,
+}
+
+impl std::fmt::Debug for Linear {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Linear({}->{})", self.in_features, self.out_features)
+    }
+}
+
+/// Persistent int8 weight state: the `[out, in]` weight steps quantized
+/// and packed into `Bᵀ` GEMM panels **once per weight generation**.
+///
+/// Same invalidation contract as the conv cache: valid iff
+/// `weight.generation()` still equals the stamp recorded at pack time
+/// (see [`Parameter::generation`]); any weight write — including
+/// `load_quantized` after a Rowhammer flip — forces a repack before the
+/// next int8 forward.
+struct LinearPackedCache {
+    pb: gemm_i8::PackedB,
+    scheme: QuantScheme,
+    generation: u64,
+}
+
+/// Returns the packed weight panels, rebuilding if stale (free function
+/// over disjoint `Linear` fields, mirroring the conv helper).
+fn ensure_packed<'a>(
+    slot: &'a mut Option<LinearPackedCache>,
+    weight: &Parameter,
+    wq: &mut ScratchI8,
+    n: usize,
+    k: usize,
+) -> (&'a gemm_i8::PackedB, QuantScheme) {
+    let generation = weight.generation();
+    if slot.as_ref().is_none_or(|c| c.generation != generation) {
+        let (steps, scheme) = weight.quantized_into(wq);
+        *slot = Some(LinearPackedCache {
+            pb: gemm_i8::PackedB::pack_nt(steps, n, k),
+            scheme,
+            generation,
+        });
+        rhb_telemetry::add_counter("nn/int8_weight_repacks", 1);
+    }
+    let c = slot.as_ref().expect("slot was just filled");
+    (&c.pb, c.scheme)
 }
 
 #[derive(Debug, Default)]
@@ -62,6 +107,7 @@ impl Linear {
             out_features,
             cached_input: None,
             scratch: LinearScratch::default(),
+            packed: None,
         }
     }
 
@@ -85,10 +131,11 @@ impl Linear {
     /// own dynamic scale, so a sample's logits never depend on its
     /// batchmates and int8 outputs are batch-size invariant (the
     /// batching half of the parity contract in `DESIGN.md`).
-    fn forward_int8(&mut self, input: &Tensor) -> Tensor {
+    fn forward_int8(&mut self, input: &Tensor, epi: Int8Epilogue) -> Tensor {
         let batch = input.shape().dim(0);
         let (m, k, n) = (batch, self.in_features, self.out_features);
-        let (wq, w_scheme) = self.weight.quantized_into(&mut self.scratch.wq);
+        let (pb, w_scheme) =
+            ensure_packed(&mut self.packed, &self.weight, &mut self.scratch.wq, n, k);
         let xq = self.scratch.xq.filled(m * k);
         let mut row_deq = vec![0.0f32; m];
         for (i, (src, dst)) in input.data().chunks(k).zip(xq.chunks_mut(k)).enumerate() {
@@ -98,22 +145,25 @@ impl Linear {
             rhb_telemetry::observe!("nn/requant_scale", f64::from(row_deq[i]));
         }
         let acc = self.scratch.acc.filled(m * n);
-        // y_q = x_q W_q^T (exact integer arithmetic)
-        gemm_i8::gemm_i8_nt(xq, wq, acc, m, k, n);
+        // y_q = x_q W_q^T (exact integer arithmetic, prepacked panels)
+        gemm_i8::gemm_i8_nt_pb(xq, pb, acc, m);
+        let relu = epi == Int8Epilogue::Relu;
         let mut out = vec![0.0f32; m * n];
         match &self.bias {
             Some(bias) => {
                 let b = bias.effective_into(&mut self.scratch.bias_eff);
                 for ((row, acc_row), &deq) in out.chunks_mut(n).zip(acc.chunks(n)).zip(&row_deq) {
                     for ((o, &a), &bv) in row.iter_mut().zip(acc_row).zip(b) {
-                        *o = a as f32 * deq + bv;
+                        let v = a as f32 * deq + bv;
+                        *o = if relu { v.max(0.0) } else { v };
                     }
                 }
             }
             None => {
                 for ((row, acc_row), &deq) in out.chunks_mut(n).zip(acc.chunks(n)).zip(&row_deq) {
                     for (o, &a) in row.iter_mut().zip(acc_row) {
-                        *o = a as f32 * deq;
+                        let v = a as f32 * deq;
+                        *o = if relu { v.max(0.0) } else { v };
                     }
                 }
             }
@@ -132,7 +182,7 @@ impl Layer for Linear {
             self.in_features
         );
         if mode == Mode::Int8 {
-            return self.forward_int8(input);
+            return self.forward_int8(input, Int8Epilogue::None);
         }
         let batch = input.shape().dim(0);
         let (m, k, n) = (batch, self.in_features, self.out_features);
@@ -217,6 +267,15 @@ impl Layer for Linear {
 
     fn op_name(&self) -> &'static str {
         "linear"
+    }
+
+    fn try_forward_int8_fused(&mut self, input: &Tensor, epi: Int8Epilogue) -> Option<Tensor> {
+        // Linear outputs are [batch, out]: only the elementwise Relu
+        // tail can be absorbed; spatial pooling cannot.
+        match epi {
+            Int8Epilogue::Relu => Some(self.forward_int8(input, epi)),
+            _ => None,
+        }
     }
 }
 
@@ -384,6 +443,36 @@ mod tests {
             let yi = layer.forward_mode(&xi, Mode::Int8);
             assert_eq!(yi.data(), &y_all.data()[i * 8..(i + 1) * 8]);
         }
+    }
+
+    #[test]
+    fn int8_relu_fusion_is_bit_identical_and_pool_is_declined() {
+        let mut layer = deployed_layer(12);
+        let x = random_input(13, 3);
+        let base = layer.forward_mode(&x, Mode::Int8);
+        let fused = layer
+            .try_forward_int8_fused(&x, Int8Epilogue::Relu)
+            .expect("linear absorbs relu");
+        assert_eq!(fused, base.map(|v| v.max(0.0)));
+        assert!(layer
+            .try_forward_int8_fused(&x, Int8Epilogue::MaxPool { window: 2 })
+            .is_none());
+    }
+
+    #[test]
+    fn packed_weight_cache_invalidates_on_bit_flip_reload() {
+        let mut layer = deployed_layer(14);
+        let x = random_input(15, 2);
+        let before = layer.forward_mode(&x, Mode::Int8); // warms the cache
+        let mut q = layer.weight.quantized();
+        q.flip_bit(7, 6).unwrap();
+        layer.weight.load_quantized(&q);
+        let after_warm = layer.forward_mode(&x, Mode::Int8);
+        assert_ne!(before.data(), after_warm.data());
+        let mut cold = deployed_layer(14);
+        cold.weight.load_quantized(&q);
+        let after_cold = cold.forward_mode(&x, Mode::Int8);
+        assert_eq!(after_warm.data(), after_cold.data());
     }
 
     #[test]

@@ -72,7 +72,7 @@ impl Layer for BatchNorm2d {
         let count = (batch * plane) as f32;
 
         #[allow(clippy::needless_range_loop)]
-        let (mean, var) = if !mode.uses_running_stats() {
+        let batch_stats = if !mode.uses_running_stats() {
             let mut mean = vec![0.0f32; chans];
             let mut var = vec![0.0f32; chans];
             for b in 0..batch {
@@ -103,34 +103,55 @@ impl Layer for BatchNorm2d {
                 self.running_var[c] =
                     (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
             }
-            (mean, var)
+            Some((mean, var))
         } else {
-            (self.running_mean.clone(), self.running_var.clone())
+            None
+        };
+        // Inference borrows the frozen stats in place — no per-call clones.
+        let (mean, var): (&[f32], &[f32]) = match &batch_stats {
+            Some((m, v)) => (m, v),
+            None => (&self.running_mean, &self.running_var),
         };
 
         let std_inv: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let gamma = self.gamma.effective();
         let beta = self.beta.effective();
         let mut out = vec![0.0f32; input.numel()];
-        let mut normalized = vec![0.0f32; input.numel()];
-        for b in 0..batch {
-            for c in 0..chans {
-                let base = (b * chans + c) * plane;
-                let (g, be, m, si) = (gamma.data()[c], beta.data()[c], mean[c], std_inv[c]);
-                for i in 0..plane {
-                    let n = (input.data()[base + i] - m) * si;
-                    normalized[base + i] = n;
-                    out[base + i] = g * n + be;
+        if mode.caches() {
+            let mut normalized = vec![0.0f32; input.numel()];
+            for b in 0..batch {
+                for c in 0..chans {
+                    let base = (b * chans + c) * plane;
+                    let (g, be, m, si) = (gamma.data()[c], beta.data()[c], mean[c], std_inv[c]);
+                    for i in 0..plane {
+                        let n = (input.data()[base + i] - m) * si;
+                        normalized[base + i] = n;
+                        out[base + i] = g * n + be;
+                    }
                 }
             }
-        }
-        if mode.caches() {
             self.cache = Some(BnCache {
                 normalized: Tensor::from_vec(normalized, &dims),
                 std_inv,
                 dims: dims.clone(),
                 frozen: mode.uses_running_stats(),
             });
+        } else {
+            // Inference: same per-element expression (bit-identical),
+            // without materializing the input-sized `normalized` buffer
+            // that only a pending backward would read.
+            for b in 0..batch {
+                for c in 0..chans {
+                    let base = (b * chans + c) * plane;
+                    let (g, be, m, si) = (gamma.data()[c], beta.data()[c], mean[c], std_inv[c]);
+                    for (o, &v) in out[base..base + plane]
+                        .iter_mut()
+                        .zip(&input.data()[base..base + plane])
+                    {
+                        *o = g * ((v - m) * si) + be;
+                    }
+                }
+            }
         }
         Tensor::from_vec(out, &dims)
     }

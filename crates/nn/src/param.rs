@@ -73,6 +73,21 @@ impl Parameter {
         self.scheme.is_some()
     }
 
+    /// Generation stamp of the current weights — the underlying tensor's
+    /// content version (see [`Tensor::version`]).
+    ///
+    /// This is the invalidation contract for derived caches such as the
+    /// int8 engine's packed weight panels: a cache entry built at
+    /// generation `g` is valid if and only if `generation()` still
+    /// returns `g`. Every path that can change the weights — direct
+    /// `data_mut` writes, optimizer steps, CFT perturbations, `deploy`'s
+    /// grid snap, and crucially [`load_quantized`](Self::load_quantized)
+    /// (the Rowhammer flip injection path) — advances the stamp, so a
+    /// mid-run bit flip can never be masked by a stale packed panel.
+    pub fn generation(&self) -> u64 {
+        self.value.version()
+    }
+
     /// The effective weights used in the forward pass: fake-quantized when
     /// deployed, raw floats otherwise.
     pub fn effective(&self) -> Tensor {
@@ -209,6 +224,21 @@ mod tests {
         let (steps, scheme) = p.quantized_into(&mut buf);
         assert_eq!(steps, q.values());
         assert_eq!(scheme, q.scheme());
+    }
+
+    #[test]
+    fn generation_advances_on_every_weight_mutation_path() {
+        let mut p = param();
+        let g0 = p.generation();
+        p.deploy().unwrap();
+        let g1 = p.generation();
+        assert!(g1 > g0, "deploy grid-snap must advance the generation");
+        let q = p.quantized();
+        p.load_quantized(&q);
+        let g2 = p.generation();
+        assert!(g2 > g1, "load_quantized must advance the generation");
+        p.value.data_mut()[0] += 1.0;
+        assert!(p.generation() > g2, "direct writes must advance it too");
     }
 
     #[test]

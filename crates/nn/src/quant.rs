@@ -90,15 +90,91 @@ impl QuantScheme {
 
     /// Quantizes a slice into a pre-sized `i8` destination.
     ///
+    /// On AVX2 hosts the bulk of the slice goes through a vectorized
+    /// path that is **bit-identical** to the scalar [`quantize`]
+    /// (IEEE division is exact in SIMD, and round-half-away-from-zero
+    /// is emulated exactly — see `quantize_avx2`); elsewhere, and for
+    /// the tail, the scalar loop runs. The per-element division here
+    /// used to be a top-three cost of the whole int8 conv forward.
+    ///
     /// # Panics
     ///
     /// Panics if the slice lengths differ.
     pub fn quantize_into(&self, src: &[f32], dst: &mut [i8]) {
         assert_eq!(src.len(), dst.len(), "quantize_into length mismatch");
-        for (d, &v) in dst.iter_mut().zip(src) {
+        let mut done = 0;
+        #[cfg(target_arch = "x86_64")]
+        if src.len() >= 32 && std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: AVX2 support was just verified.
+            done = unsafe { quantize_avx2(self.scale, src, dst) };
+        }
+        for (d, &v) in dst[done..].iter_mut().zip(&src[done..]) {
             *d = self.quantize(v);
         }
     }
+}
+
+/// AVX2 bulk quantization, bit-identical to [`QuantScheme::quantize`]:
+/// processes `src` in blocks of 32 and returns how many elements were
+/// written (the caller finishes the tail with the scalar loop).
+///
+/// Exactness argument, lane by lane:
+/// * `x = v / scale` uses `vdivps`, which is correctly rounded IEEE
+///   division — the same bits as the scalar `/`.
+/// * `f32::round` rounds half *away from zero*, but `vcvtps2dq` rounds
+///   half to even. The fix: convert, take `d = x − round_even(x)`
+///   (exact — both operands are below 2⁹ after the pre-clamp, so the
+///   cancellation loses no bits), and when `d == ±0.5` with the sign of
+///   `x`, the even-rounding went toward zero where `round` would have
+///   gone away — add `±1`. All other values agree.
+/// * The pre-clamp to `[-129, 128]` only moves values whose final
+///   clamped result is saturated anyway, and keeps `vcvtps2dq` in exact
+///   range; the post-clamp to `[-128, 127]` mirrors the scalar `clamp`.
+/// * NaN lanes are forced to 0, matching `NaN.clamp(..) as i8 == 0`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn quantize_avx2(scale: f32, src: &[f32], dst: &mut [i8]) -> usize {
+    use std::arch::x86_64::*;
+    let scale_v = _mm256_set1_ps(scale);
+    let sign_mask = _mm256_set1_ps(-0.0);
+    let half = _mm256_set1_ps(0.5);
+    let one = _mm256_set1_ps(1.0);
+    let pre_lo = _mm256_set1_ps(-129.0);
+    let pre_hi = _mm256_set1_ps(128.0);
+    let lo = _mm256_set1_ps(i8::MIN as f32);
+    let hi = _mm256_set1_ps(i8::MAX as f32);
+    // Restores value order after the lane-interleaving packs below.
+    let unshuffle = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+    let blocks = src.len() / 32;
+    // Rounds one lane-octet; returns exact integers as i32 lanes.
+    let round8 = |v: __m256| -> __m256i {
+        let x = _mm256_div_ps(v, scale_v);
+        let nan = _mm256_cmp_ps::<_CMP_UNORD_Q>(x, x);
+        let xc = _mm256_max_ps(_mm256_min_ps(x, pre_hi), pre_lo);
+        let ri = _mm256_cvtps_epi32(xc);
+        let rf = _mm256_cvtepi32_ps(ri);
+        let d = _mm256_sub_ps(xc, rf);
+        let sign = _mm256_and_ps(xc, sign_mask);
+        let tie_away = _mm256_cmp_ps::<_CMP_EQ_OQ>(d, _mm256_or_ps(half, sign));
+        let fixed = _mm256_add_ps(rf, _mm256_and_ps(tie_away, _mm256_or_ps(one, sign)));
+        let clamped = _mm256_max_ps(_mm256_min_ps(fixed, hi), lo);
+        _mm256_andnot_si256(_mm256_castps_si256(nan), _mm256_cvtps_epi32(clamped))
+    };
+    for blk in 0..blocks {
+        let p = src.as_ptr().add(blk * 32);
+        let r0 = round8(_mm256_loadu_ps(p));
+        let r1 = round8(_mm256_loadu_ps(p.add(8)));
+        let r2 = round8(_mm256_loadu_ps(p.add(16)));
+        let r3 = round8(_mm256_loadu_ps(p.add(24)));
+        // i32 → i16 → i8 saturating packs (values already in range),
+        // then undo the within-lane interleave.
+        let p01 = _mm256_packs_epi32(r0, r1);
+        let p23 = _mm256_packs_epi32(r2, r3);
+        let bytes = _mm256_packs_epi16(p01, p23);
+        let ordered = _mm256_permutevar8x32_epi32(bytes, unshuffle);
+        _mm256_storeu_si256(dst.as_mut_ptr().add(blk * 32).cast(), ordered);
+    }
+    blocks * 32
 }
 
 /// A tensor stored as quantized `i8` steps plus its [`QuantScheme`].

@@ -4,6 +4,15 @@ use crate::error::{NnError, Result};
 use crate::shape::Shape;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide monotone source of tensor content versions. Starts at 1 so
+/// 0 can serve as "never seen any tensor" in caches.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A dense, row-major tensor of `f32` values.
 ///
@@ -20,10 +29,25 @@ use std::fmt;
 /// let b = a.map(|v| v * 2.0);
 /// assert_eq!(b.data()[3], 8.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+    /// Content version stamp: every construction takes a fresh id from a
+    /// process-wide counter and every mutable access takes another, so two
+    /// observations of the same version guarantee unchanged contents.
+    /// Clones share their source's version (identical contents); equality
+    /// ignores it. Downstream caches (packed int8 weight panels) key on
+    /// this to detect weight mutations — including Rowhammer flip
+    /// injection via `load_quantized` — without content hashing.
+    version: u64,
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        // The version stamp is an identity/caching aid, not content.
+        self.shape == other.shape && self.data == other.data
+    }
 }
 
 impl Tensor {
@@ -34,6 +58,7 @@ impl Tensor {
         Tensor {
             shape,
             data: vec![0.0; n],
+            version: fresh_version(),
         }
     }
 
@@ -44,6 +69,7 @@ impl Tensor {
         Tensor {
             shape,
             data: vec![value; n],
+            version: fresh_version(),
         }
     }
 
@@ -61,7 +87,22 @@ impl Tensor {
             data.len(),
             shape
         );
-        Tensor { shape, data }
+        Tensor {
+            shape,
+            data,
+            version: fresh_version(),
+        }
+    }
+
+    /// The tensor's content version stamp.
+    ///
+    /// Monotone across the process: any mutation (mutable access)
+    /// replaces it with a strictly newer value, and clones carry their
+    /// source's stamp. Cache packed derivatives of a tensor keyed on
+    /// this value; never reuse a cache entry whose recorded version
+    /// differs from the current one.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The tensor's shape.
@@ -80,7 +121,12 @@ impl Tensor {
     }
 
     /// Mutable view of the underlying row-major data.
+    ///
+    /// Takes a fresh content version: callers holding the returned slice
+    /// may write anything, so the old stamp can no longer vouch for the
+    /// contents.
     pub fn data_mut(&mut self) -> &mut [f32] {
+        self.version = fresh_version();
         &mut self.data
     }
 
@@ -106,6 +152,7 @@ impl Tensor {
         Ok(Tensor {
             shape: new_shape,
             data: self.data.clone(),
+            version: fresh_version(),
         })
     }
 
@@ -116,6 +163,7 @@ impl Tensor {
 
     /// Mutable element at a multi-dimensional index.
     pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        self.version = fresh_version();
         let flat = self.shape.flat_index(idx);
         &mut self.data[flat]
     }
@@ -125,11 +173,13 @@ impl Tensor {
         Tensor {
             shape: self.shape.clone(),
             data: self.data.iter().map(|&v| f(v)).collect(),
+            version: fresh_version(),
         }
     }
 
     /// Applies `f` elementwise in place.
     pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.version = fresh_version();
         for v in &mut self.data {
             *v = f(*v);
         }
@@ -156,6 +206,7 @@ impl Tensor {
                 .zip(&other.data)
                 .map(|(&a, &b)| f(a, b))
                 .collect(),
+            version: fresh_version(),
         })
     }
 
@@ -171,6 +222,7 @@ impl Tensor {
             self.shape,
             other.shape
         );
+        self.version = fresh_version();
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -178,6 +230,7 @@ impl Tensor {
 
     /// Multiplies every element by `alpha`.
     pub fn scale(&mut self, alpha: f32) {
+        self.version = fresh_version();
         for v in &mut self.data {
             *v *= alpha;
         }
@@ -185,6 +238,7 @@ impl Tensor {
 
     /// Sets every element to zero, keeping the allocation.
     pub fn fill_zero(&mut self) {
+        self.version = fresh_version();
         self.data.fill(0.0);
     }
 
@@ -242,6 +296,7 @@ impl Tensor {
         Ok(Tensor {
             shape: Shape::new(&[m, n]),
             data: out,
+            version: fresh_version(),
         })
     }
 
@@ -273,6 +328,7 @@ impl Tensor {
         Ok(Tensor {
             shape: Shape::new(&[m, n]),
             data: out,
+            version: fresh_version(),
         })
     }
 
@@ -299,11 +355,13 @@ impl Tensor {
         Ok(Tensor {
             shape: Shape::new(&[n, m]),
             data: out,
+            version: fresh_version(),
         })
     }
 
     /// Clamps every element into `[lo, hi]`.
     pub fn clamp_inplace(&mut self, lo: f32, hi: f32) {
+        self.version = fresh_version();
         for v in &mut self.data {
             *v = v.clamp(lo, hi);
         }
@@ -383,6 +441,43 @@ mod tests {
         let mut t = Tensor::from_vec(vec![-2.0, 0.5, 9.0], &[3]);
         t.clamp_inplace(-1.0, 1.0);
         assert_eq!(t.data(), &[-1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn version_changes_on_every_mutation_path() {
+        let mut t = Tensor::zeros(&[2, 2]);
+        let mut seen = vec![t.version()];
+        t.data_mut()[0] = 1.0;
+        seen.push(t.version());
+        *t.at_mut(&[0, 1]) = 2.0;
+        seen.push(t.version());
+        t.map_inplace(|v| v + 1.0);
+        seen.push(t.version());
+        t.axpy(1.0, &Tensor::zeros(&[2, 2]));
+        seen.push(t.version());
+        t.scale(2.0);
+        seen.push(t.version());
+        t.clamp_inplace(-1.0, 1.0);
+        seen.push(t.version());
+        t.fill_zero();
+        seen.push(t.version());
+        for w in seen.windows(2) {
+            assert!(w[1] > w[0], "mutation must strictly advance the version");
+        }
+    }
+
+    #[test]
+    fn clones_share_version_and_diverge_on_write() {
+        let t = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let mut c = t.clone();
+        assert_eq!(t.version(), c.version(), "clone has identical contents");
+        c.data_mut()[0] = 5.0;
+        assert_ne!(t.version(), c.version());
+        // Equality ignores the stamp: same contents compare equal even
+        // though the versions differ.
+        let fresh = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_ne!(t.version(), fresh.version());
+        assert_eq!(t, fresh);
     }
 
     #[test]

@@ -1,0 +1,194 @@
+//! Micro-kernel and SIMD-path parity suite for the int8 engine.
+//!
+//! The blocked int8 GEMM dispatches between scalar, SSE2, and AVX2
+//! micro-kernels at runtime ([`KernelKind`]), and quantization takes an
+//! AVX2 bulk path for long slices. Every one of those paths does exact
+//! integer (or exactly-emulated rounding) arithmetic, so the contract is
+//! *bit identity*, not tolerance: each wide path must agree with the
+//! portable scalar reference on every element. This suite pins that
+//! across random shapes, the `MAX_K` overflow boundary, and adversarial
+//! rounding inputs, and it degrades gracefully on hosts without AVX2 by
+//! iterating only [`KernelKind::all_supported`].
+
+use proptest::prelude::*;
+use rhb_nn::gemm_i8::{
+    self, gemm_i8_nt_pb, gemm_i8_pa_serial_with_kernel, gemm_i8_serial_with_kernel, KernelKind,
+    PackedA, PackedB, MAX_K,
+};
+use rhb_nn::quant::QuantScheme;
+
+/// Deterministic i8 fill (xorshift over the full value range).
+fn fill_i8(seed: u64, len: usize) -> Vec<i8> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 32) as i8
+        })
+        .collect()
+}
+
+/// Textbook i64 reference — immune to any i32 accumulation mistake.
+fn naive_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    let mut c = vec![0i32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0i64;
+            for p in 0..k {
+                acc += i64::from(a[i * k + p]) * i64::from(b[p * n + j]);
+            }
+            c[i * n + j] = i32::try_from(acc).expect("shape fits i32 by construction");
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every supported kernel width is bit-identical to the i64 naive
+    /// reference (and therefore to the scalar kernel) at any shape,
+    /// including tile-remainder rows/columns and odd `k`.
+    #[test]
+    fn every_supported_kernel_matches_naive_reference(
+        seed in 0u64..1000,
+        m in 1usize..24,
+        k in 1usize..96,
+        n in 1usize..40,
+    ) {
+        let a = fill_i8(seed, m * k);
+        let b = fill_i8(seed ^ 0xb0b, k * n);
+        let want = naive_i8(&a, &b, m, k, n);
+        for kernel in KernelKind::all_supported() {
+            let mut c = vec![0i32; m * n];
+            gemm_i8_serial_with_kernel(kernel, &a, &b, &mut c, m, k, n);
+            prop_assert_eq!(&c, &want, "{:?} diverges at m={} k={} n={}", kernel, m, k, n);
+        }
+    }
+
+    /// The persistent-panel paths (`PackedA` for conv, `PackedB` for
+    /// linear) reproduce the unpacked GEMM bit-for-bit under every
+    /// supported kernel — the packing layout transform is lossless.
+    #[test]
+    fn packed_panel_paths_match_unpacked_gemm(
+        seed in 0u64..1000,
+        m in 1usize..16,
+        k in 1usize..64,
+        n in 1usize..40,
+    ) {
+        let a = fill_i8(seed, m * k);
+        let b = fill_i8(seed ^ 0xfeed, k * n);
+        let want = naive_i8(&a, &b, m, k, n);
+
+        let pa = PackedA::pack(&a, m, k);
+        for kernel in KernelKind::all_supported() {
+            let mut c = vec![0i32; m * n];
+            gemm_i8_pa_serial_with_kernel(kernel, &pa, &b, &mut c, n);
+            prop_assert_eq!(&c, &want, "PackedA/{:?} at m={} k={} n={}", kernel, m, k, n);
+        }
+
+        // B^T layout for the PackedB (linear-weight) path.
+        let mut bt = vec![0i8; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        for kernel in KernelKind::all_supported() {
+            let pb = PackedB::pack_nt_with_kernel(kernel, &bt, n, k);
+            let mut c = vec![0i32; m * n];
+            gemm_i8_nt_pb(&a, &pb, &mut c, m);
+            prop_assert_eq!(&c, &want, "PackedB/{:?} at m={} k={} n={}", kernel, m, k, n);
+        }
+    }
+
+    /// The AVX2 bulk quantizer is bit-identical to the scalar
+    /// `quantize` on adversarial inputs: exact .5 ties on both signs
+    /// (round half away from zero), values straddling the clamp
+    /// boundaries, subnormals, infinities, and NaN (which maps to 0).
+    #[test]
+    fn simd_quantize_matches_scalar_elementwise(
+        seed in 0u64..1000,
+        scale_idx in 0usize..4,
+    ) {
+        let scale = [1.0f32 / 127.0, 0.037, 3.2e-4, 117.0][scale_idx];
+        let scheme = QuantScheme { scale };
+        let mut src = Vec::with_capacity(512);
+        // Grid points and exact tie points: v = (q + f)·scale.
+        let mut state = seed | 1;
+        for _ in 0..400 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let q = (state % 321) as i64 - 160; // beyond the clamp range
+            let f = match state >> 32 & 3 {
+                0 => 0.0f32,
+                1 => 0.5,
+                2 => -0.5,
+                _ => 0.499_999_9,
+            };
+            src.push((q as f32 + f) * scale);
+        }
+        src.extend_from_slice(&[
+            0.0, -0.0, f32::INFINITY, f32::NEG_INFINITY, f32::NAN, f32::MAX, f32::MIN,
+            f32::MIN_POSITIVE, -f32::MIN_POSITIVE, 1e-42, -1e-42, 127.5 * scale,
+            -127.5 * scale, 128.0 * scale, -128.5 * scale,
+        ]);
+        let mut got = vec![0i8; src.len()];
+        scheme.quantize_into(&src, &mut got);
+        for (i, (&v, &g)) in src.iter().zip(&got).enumerate() {
+            prop_assert_eq!(g, scheme.quantize(v), "element {} = {:e}", i, v);
+        }
+    }
+}
+
+/// At the documented overflow boundary `k = MAX_K`, the worst-case dot
+/// product `MAX_K · (−128)² = 2 147 467 264` still fits `i32`; every
+/// kernel must produce it exactly.
+#[test]
+fn max_k_worst_case_is_exact_in_every_kernel() {
+    let a = vec![-128i8; MAX_K];
+    let b = vec![-128i8; MAX_K];
+    let want = i32::try_from(MAX_K as i64 * 128 * 128).expect("MAX_K is defined to fit");
+    for kernel in KernelKind::all_supported() {
+        let mut c = vec![0i32; 1];
+        gemm_i8_serial_with_kernel(kernel, &a, &b, &mut c, 1, MAX_K, 1);
+        assert_eq!(c[0], want, "{kernel:?} overflowed at the MAX_K boundary");
+    }
+}
+
+/// One past the boundary must refuse loudly instead of silently
+/// wrapping the accumulator.
+#[test]
+#[should_panic(expected = "overflow")]
+fn k_beyond_max_k_panics() {
+    let a = vec![1i8; MAX_K + 1];
+    let b = vec![1i8; MAX_K + 1];
+    let mut c = vec![0i32; 1];
+    gemm_i8::gemm_i8_serial(&a, &b, &mut c, 1, MAX_K + 1, 1);
+}
+
+/// Fallback contract for hosts without AVX2 (e.g. CI runners): the
+/// scalar kernel is always present, `all_supported` never lists an
+/// unsupported width, and `auto` resolves to a supported kernel — so
+/// this whole suite still covers every path such a host can run.
+#[test]
+fn kernel_selection_degrades_gracefully_without_avx2() {
+    let supported = KernelKind::all_supported();
+    assert!(supported.contains(&KernelKind::Scalar));
+    assert!(supported.iter().all(|k| k.is_supported()));
+    assert!(KernelKind::auto().is_supported());
+    if !KernelKind::Avx2.is_supported() {
+        assert!(!supported.contains(&KernelKind::Avx2));
+    }
+    for (name, kind) in [
+        ("scalar", KernelKind::Scalar),
+        ("SSE2", KernelKind::Sse2),
+        ("Avx2", KernelKind::Avx2),
+    ] {
+        assert_eq!(KernelKind::parse(name), Some(kind), "RHB_I8_KERNEL={name}");
+    }
+    assert_eq!(KernelKind::parse("avx512"), None);
+}

@@ -250,4 +250,46 @@ proptest! {
             }
         }
     }
+
+    /// Packed-cache invalidation contract: a bit flip delivered via
+    /// `load_quantized` must never be masked by a stale packed-weight
+    /// panel. A model whose caches are warm (one int8 forward already
+    /// ran) produces logits bit-identical to a fresh model flipped
+    /// before its first forward — serially and multi-threaded.
+    #[test]
+    fn packed_caches_never_mask_a_weight_flip(
+        seed in 0u64..500,
+        widx in 0usize..36,
+        bit in 0u8..8,
+    ) {
+        let _guard = GLOBAL_POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let x = Tensor::from_vec(fill(seed ^ 0xc0de, 4 * 36), &[4, 1, 6, 6]);
+
+        for threads in [1usize, 4] {
+            rhb_par::set_global_threads(threads);
+
+            // Warm path: forward once to build the panels, then flip the
+            // conv weight (params[0], 1·4·3·3 = 36 steps) and reload.
+            let mut warm = deployed_cnn(seed);
+            let _ = warm.forward(&x, Mode::Int8);
+            let mut images = warm.quantized_params();
+            images[0].flip_bit(widx, bit).unwrap();
+            warm.load_quantized(&images);
+            let y_warm = warm.forward(&x, Mode::Int8);
+
+            // Cold path: same flip, but before any int8 forward.
+            let mut cold = deployed_cnn(seed);
+            let mut images = cold.quantized_params();
+            images[0].flip_bit(widx, bit).unwrap();
+            cold.load_quantized(&images);
+            let y_cold = cold.forward(&x, Mode::Int8);
+
+            prop_assert_eq!(
+                y_warm.data(),
+                y_cold.data(),
+                "stale panel at {} threads", threads
+            );
+        }
+        rhb_par::set_global_threads(rhb_par::default_threads());
+    }
 }
