@@ -109,4 +109,17 @@ cargo run --release -p rhb-bench --bin rhb-report -- \
   campaign results/campaigns/ci-kill \
   --require-complete --require-retried --forbid-duplicates
 
+
+echo "== victim serving gate (blocking) =="
+# Serve live inference traffic while the attacker flips weight pages
+# in the running server (no restart): a seeded open-loop generator
+# drives 600 requests against the batched int8 service while flips are
+# replayed into the hot model mid-window. `rhb-report serve --check`
+# then audits the frozen trajectory: traffic must complete, the
+# backdoor must activate, and windowed ASR must cross the 90%
+# threshold after the flip window.
+RHB_TELEMETRY=off cargo run --release -p rhb-bench --bin exp_serve_attack -- \
+  --seed 7 --out ci_serve.json
+cargo run --release -p rhb-bench --bin rhb-report -- serve ci_serve.json --check
+
 echo "CI OK"

@@ -701,6 +701,33 @@ pub fn builtin_rules() -> Vec<Rule> {
             },
             "hammer recovery retries observed this run",
         ),
+        // Victim-serving SLO: end-to-end request latency of the
+        // inference service (rhb-serve). The histogram only exists when
+        // a server is running, so offline runs never see this fire.
+        Rule::new(
+            "serve-slo-breach",
+            Severity::Warn,
+            Predicate::Compare {
+                signal: Signal::HistP99("serve/latency_s".into()),
+                cmp: Cmp::Gt,
+                threshold: 0.5,
+            },
+            "serving p99 end-to-end latency breached the 500ms SLO",
+        )
+        .sustained(2, 2),
+        // Admission control engaged: the bounded queue shed load this
+        // window — expected under hammering interference, worth marking
+        // on the timeline either way.
+        Rule::new(
+            "serve-load-shedding",
+            Severity::Info,
+            Predicate::Compare {
+                signal: Signal::CounterDelta("serve/shed".into()),
+                cmp: Cmp::Gt,
+                threshold: 0.0,
+            },
+            "inference service shed requests at admission control",
+        ),
         // Campaign fleet health: the supervisor's heartbeat exports
         // seconds-since-last-settled-run. A missing gauge makes the
         // rule inert, so non-campaign runs never see it fire.
@@ -1110,6 +1137,8 @@ mod tests {
             "run-class-downgrade",
             "attack-stall",
             "recovery-pressure",
+            "serve-slo-breach",
+            "serve-load-shedding",
             "campaign-stall",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");

@@ -134,6 +134,66 @@ impl Default for RecoverySummary {
     }
 }
 
+/// One fixed-width window of the serving trajectory, as persisted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeWindow {
+    /// Window end offset on the serving clock, microseconds.
+    pub end_us: u64,
+    /// Clean requests completed in the window.
+    pub clean_total: u64,
+    /// Clean requests answered with the true label.
+    pub clean_correct: u64,
+    /// Triggered requests (true label ≠ target) in the window.
+    pub triggered_total: u64,
+    /// Triggered requests funneled into the target class.
+    pub triggered_hits: u64,
+}
+
+impl ServeWindow {
+    /// Clean accuracy over the window, when clean traffic landed.
+    pub fn clean_accuracy(&self) -> Option<f64> {
+        (self.clean_total > 0).then(|| self.clean_correct as f64 / self.clean_total as f64)
+    }
+
+    /// Attack success rate over the window, when triggered traffic landed.
+    pub fn asr(&self) -> Option<f64> {
+        (self.triggered_total > 0).then(|| self.triggered_hits as f64 / self.triggered_total as f64)
+    }
+}
+
+/// Victim-as-a-service summary: what live traffic saw while the attack
+/// flipped the served weights. `None` on artifacts from offline-only
+/// drivers and on artifacts written before the field existed, which
+/// parse leniently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeSummary {
+    /// Requests the traffic schedule generated.
+    pub requests: u64,
+    /// Requests admitted past admission control.
+    pub admitted: u64,
+    /// Requests shed by the bounded queue.
+    pub shed: u64,
+    /// Requests served to completion.
+    pub completed: u64,
+    /// Trajectory window width, microseconds.
+    pub window_us: u64,
+    /// Serving-clock offset when the flip window opened, microseconds.
+    pub flip_start_us: u64,
+    /// Serving-clock offset when the last flip landed, microseconds.
+    pub flip_end_us: u64,
+    /// Time-to-first-backdoor-activation on the serving clock (`null`
+    /// when the backdoor never fired on live traffic).
+    pub first_activation_us: Option<u64>,
+    /// End of the first window whose ASR crossed 90%.
+    pub asr_cross_us: Option<u64>,
+    /// p99 end-to-end latency before the flip window, seconds.
+    pub baseline_p99_s: Option<f64>,
+    /// p99 end-to-end latency at/after the flip window opened, seconds.
+    pub attacked_p99_s: Option<f64>,
+    /// The clean-accuracy/ASR trajectory, in window order.
+    pub windows: Vec<ServeWindow>,
+}
+
 /// One alert the run's rule engine fired, as persisted. Artifacts carry
 /// the post-hoc evaluation of the built-in rules against the end-of-run
 /// snapshot (plus anything a live recorder observed is in the timeline,
@@ -195,6 +255,8 @@ pub struct RunArtifact {
     pub recovery: RecoverySummary,
     /// Alerts the built-in rules fired against the end-of-run snapshot.
     pub alerts: Vec<AlertRecord>,
+    /// Serving-under-attack summary (`None` for offline-only runs).
+    pub serve: Option<ServeSummary>,
     /// Flip provenance ledger, in request order.
     pub flips: Vec<FlipRecord>,
 }
@@ -389,7 +451,40 @@ impl RunArtifact {
                 comma(i, self.alerts.len())
             ));
         }
-        s.push_str("],\n\"flips\": [\n");
+        s.push_str("],\n");
+        if let Some(sv) = &self.serve {
+            s.push_str(&format!(
+                "\"serve\": {{\"requests\": {}, \"admitted\": {}, \"shed\": {}, \
+                 \"completed\": {}, \"window_us\": {}, \"flip_start_us\": {}, \
+                 \"flip_end_us\": {}, \"first_activation_us\": {}, \"asr_cross_us\": {}, \
+                 \"baseline_p99_s\": {}, \"attacked_p99_s\": {}, \"windows\": [\n",
+                sv.requests,
+                sv.admitted,
+                sv.shed,
+                sv.completed,
+                sv.window_us,
+                sv.flip_start_us,
+                sv.flip_end_us,
+                opt_u64(sv.first_activation_us),
+                opt_u64(sv.asr_cross_us),
+                opt_f64(sv.baseline_p99_s),
+                opt_f64(sv.attacked_p99_s),
+            ));
+            for (i, w) in sv.windows.iter().enumerate() {
+                s.push_str(&format!(
+                    " {{\"end_us\": {}, \"clean_total\": {}, \"clean_correct\": {}, \
+                     \"triggered_total\": {}, \"triggered_hits\": {}}}{}\n",
+                    w.end_us,
+                    w.clean_total,
+                    w.clean_correct,
+                    w.triggered_total,
+                    w.triggered_hits,
+                    comma(i, sv.windows.len())
+                ));
+            }
+            s.push_str("]},\n");
+        }
+        s.push_str("\"flips\": [\n");
         for (i, f) in self.flips.iter().enumerate() {
             s.push_str(&format!(
                 " {{\"weight_idx\": {}, \"page\": {}, \"page_group\": {}, \"bit\": {}, \
@@ -529,6 +624,39 @@ impl RunArtifact {
                 ..RecoverySummary::default()
             },
         };
+        // Offline-only (and pre-serving) artifacts parse with no serve
+        // block.
+        let serve = match doc.get("serve") {
+            Some(sv) => Some(ServeSummary {
+                requests: u64_field(sv, "requests")?,
+                admitted: u64_field(sv, "admitted")?,
+                shed: u64_field(sv, "shed")?,
+                completed: u64_field(sv, "completed")?,
+                window_us: u64_field(sv, "window_us")?,
+                flip_start_us: u64_field(sv, "flip_start_us")?,
+                flip_end_us: u64_field(sv, "flip_end_us")?,
+                first_activation_us: opt_field(sv, "first_activation_us")?.map(|n| n as u64),
+                asr_cross_us: opt_field(sv, "asr_cross_us")?.map(|n| n as u64),
+                baseline_p99_s: opt_f64_field(sv, "baseline_p99_s")?,
+                attacked_p99_s: opt_f64_field(sv, "attacked_p99_s")?,
+                windows: sv
+                    .get("windows")
+                    .and_then(JsonValue::as_array)
+                    .ok_or("serve block missing windows")?
+                    .iter()
+                    .map(|w| {
+                        Ok(ServeWindow {
+                            end_us: u64_field(w, "end_us")?,
+                            clean_total: u64_field(w, "clean_total")?,
+                            clean_correct: u64_field(w, "clean_correct")?,
+                            triggered_total: u64_field(w, "triggered_total")?,
+                            triggered_hits: u64_field(w, "triggered_hits")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            }),
+            None => None,
+        };
         // Pre-alerting artifacts parse as alert-free.
         let alerts = match doc.get("alerts").and_then(JsonValue::as_array) {
             Some(list) => list
@@ -578,6 +706,7 @@ impl RunArtifact {
             },
             recovery,
             alerts,
+            serve,
             flips,
         })
     }
@@ -630,6 +759,34 @@ fn opt(v: Option<usize>) -> String {
     match v {
         Some(n) => n.to_string(),
         None => "null".to_string(),
+    }
+}
+
+fn opt_u64(v: Option<u64>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+fn opt_f64(v: Option<f64>) -> String {
+    match v {
+        Some(n) => {
+            let mut s = String::new();
+            json::write_f64(n, &mut s);
+            s
+        }
+        None => "null".to_string(),
+    }
+}
+
+fn opt_f64_field(v: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        Some(JsonValue::Null) | None => Ok(None),
+        Some(n) => n
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' is neither null nor a number")),
     }
 }
 
@@ -785,6 +942,7 @@ pub fn smoke_run_with_chaos(
             recovery_time_ms: online.recovery_time.as_millis() as u64,
         },
         alerts,
+        serve: None,
         flips: online.ledger.clone(),
     };
     artifact.fold_report(&report);
@@ -859,6 +1017,35 @@ mod tests {
                 threshold: 0.0,
                 message: "attack health model entered a stall".into(),
             }],
+            serve: Some(ServeSummary {
+                requests: 400,
+                admitted: 390,
+                shed: 10,
+                completed: 390,
+                window_us: 250_000,
+                flip_start_us: 500_000,
+                flip_end_us: 900_000,
+                first_activation_us: Some(612_000),
+                asr_cross_us: Some(1_000_000),
+                baseline_p99_s: Some(0.018),
+                attacked_p99_s: Some(0.031),
+                windows: vec![
+                    ServeWindow {
+                        end_us: 250_000,
+                        clean_total: 60,
+                        clean_correct: 50,
+                        triggered_total: 30,
+                        triggered_hits: 1,
+                    },
+                    ServeWindow {
+                        end_us: 500_000,
+                        clean_total: 55,
+                        clean_correct: 46,
+                        triggered_total: 35,
+                        triggered_hits: 33,
+                    },
+                ],
+            }),
             flips: vec![FlipRecord {
                 weight_idx: 12_345,
                 page: 3,
@@ -890,7 +1077,34 @@ mod tests {
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.recovery, b.recovery);
         assert_eq!(a.alerts, b.alerts);
+        assert_eq!(a.serve, b.serve);
         assert_eq!(a.flips, b.flips);
+    }
+
+    #[test]
+    fn serve_block_round_trips_nulls_and_parses_leniently_when_absent() {
+        // Null activation markers and latency splits survive the trip.
+        let mut a = sample();
+        {
+            let sv = a.serve.as_mut().unwrap();
+            sv.first_activation_us = None;
+            sv.asr_cross_us = None;
+            sv.baseline_p99_s = None;
+        }
+        let b = RunArtifact::from_json(&a.to_json()).unwrap();
+        let sv = b.serve.as_ref().unwrap();
+        assert_eq!(sv.first_activation_us, None);
+        assert_eq!(sv.asr_cross_us, None);
+        assert_eq!(sv.baseline_p99_s, None);
+        assert_eq!(sv.attacked_p99_s, Some(0.031));
+        assert_eq!(sv.windows.len(), 2);
+        assert_eq!(sv.windows[1].asr(), Some(33.0 / 35.0));
+        // Offline-only artifacts (serve: None) simply omit the block.
+        let mut offline = sample();
+        offline.serve = None;
+        let text = offline.to_json();
+        assert!(!text.contains("\"serve\""));
+        assert_eq!(RunArtifact::from_json(&text).unwrap().serve, None);
     }
 
     #[test]

@@ -31,6 +31,15 @@
 //!                                            # before the first anomaly
 //!                                            # and diff them against a
 //!                                            # healthy baseline window
+//! rhb-report serve <run.json> [--check]     # victim-serving view of an
+//!                                            # exp_serve_attack artifact:
+//!                                            # ASR / clean-accuracy
+//!                                            # trajectory sparklines,
+//!                                            # time-to-activation,
+//!                                            # tail-latency interference;
+//!                                            # --check exits 1 unless the
+//!                                            # backdoor activated and ASR
+//!                                            # crossed threshold
 //! rhb-report campaign <campaign-dir> [--require-complete]
 //!                     [--require-retried] [--forbid-duplicates]
 //!                                            # replay a campaign's
@@ -63,7 +72,7 @@ use std::path::Path;
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json> | watch <host:port> [--once] [--check] [--interval-ms N] | timeline <timeline-dir> | postmortem <timeline-dir> [--last N] [--require-alert substr[,substr...]] | campaign <campaign-dir> [--require-complete] [--require-retried] [--forbid-duplicates]>";
+const USAGE: &str = "usage: rhb-report <show <run.json> | diff <baseline.json> <candidate.json> | bench [--out <path>] | bench-compute [--out <path>] | diff-compute <baseline.json> <candidate.json> | bench-int8 [--out <path>] | diff-int8 <baseline.json> <candidate.json> | watch <host:port> [--once] [--check] [--interval-ms N] | timeline <timeline-dir> | postmortem <timeline-dir> [--last N] [--require-alert substr[,substr...]] | serve <run.json> [--check] | campaign <campaign-dir> [--require-complete] [--require-retried] [--forbid-duplicates]>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -113,6 +122,19 @@ fn main() -> ExitCode {
                 Err(code) => code,
             },
             None => usage_error("postmortem needs a timeline directory"),
+        },
+        Some("serve") => match args.get(1) {
+            Some(path) => {
+                let mut check = false;
+                for flag in &args[2..] {
+                    match flag.as_str() {
+                        "--check" => check = true,
+                        other => return usage_error(&format!("unknown serve flag '{other}'")),
+                    }
+                }
+                serve_cmd(Path::new(path), check)
+            }
+            None => usage_error("serve needs a run file"),
         },
         Some("campaign") => match args.get(1) {
             Some(dir) => match CampaignOpts::parse(&args[2..]) {
@@ -874,6 +896,120 @@ fn postmortem_cmd(dir: &Path, opts: &PostmortemOpts) -> ExitCode {
         );
     }
     ExitCode::SUCCESS
+}
+
+// --- serve ------------------------------------------------------------------
+
+/// Renders the victim-serving block of an `exp_serve_attack` artifact:
+/// trajectory sparklines across observation windows, time-to-activation,
+/// and the tail-latency interference the hammering threads caused.
+/// `--check` is the CI gate: exit 1 unless the run actually served
+/// traffic, the backdoor activated after the flip window opened, and the
+/// per-window ASR crossed the experiment's threshold.
+fn serve_cmd(path: &Path, check: bool) -> ExitCode {
+    let a = match load(path) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let Some(s) = &a.serve else {
+        eprintln!(
+            "rhb-report: {}: artifact has no serve block (not an exp_serve_attack run?)",
+            path.display()
+        );
+        return ExitCode::from(2);
+    };
+    print!("{}", render_serve(&a.exp, s));
+    if !check {
+        return ExitCode::SUCCESS;
+    }
+    let mut failures = Vec::new();
+    if s.requests == 0 || s.completed == 0 {
+        failures.push(format!(
+            "no traffic served (requests {}, completed {})",
+            s.requests, s.completed
+        ));
+    }
+    if s.first_activation_us.is_none() {
+        failures.push("backdoor never activated (no triggered request hit the target)".into());
+    }
+    if s.asr_cross_us.is_none() {
+        failures.push("windowed ASR never crossed the experiment threshold".into());
+    }
+    if failures.is_empty() {
+        println!("  check: traffic served, backdoor activated, ASR crossed threshold");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("rhb-report: serve check failed: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn render_serve(exp: &str, s: &rhb_bench::artifact::ServeSummary) -> String {
+    let ms = |us: u64| us as f64 / 1e3;
+    let mut out = format!(
+        "serve {} — {} requests ({} admitted, {} shed), {} completed\n",
+        exp, s.requests, s.admitted, s.shed, s.completed
+    );
+    out.push_str(&format!(
+        "  flip window: {:.1} ms .. {:.1} ms (trajectory windows {:.1} ms wide)\n",
+        ms(s.flip_start_us),
+        ms(s.flip_end_us),
+        ms(s.window_us)
+    ));
+    out.push_str(&format!(
+        "  activation: first triggered hit {}  ASR crossed {}\n",
+        s.first_activation_us
+            .map_or("never".into(), |us| format!("@{:.1} ms", ms(us))),
+        s.asr_cross_us
+            .map_or("never".into(), |us| format!("@{:.1} ms", ms(us))),
+    ));
+    let asr: Vec<f64> = s
+        .windows
+        .iter()
+        .map(|w| w.asr().unwrap_or(f64::NAN))
+        .collect();
+    let clean: Vec<f64> = s
+        .windows
+        .iter()
+        .map(|w| w.clean_accuracy().unwrap_or(f64::NAN))
+        .collect();
+    if !s.windows.is_empty() {
+        let last = |series: &[f64]| {
+            series
+                .iter()
+                .rev()
+                .find(|v| v.is_finite())
+                .map_or("?".into(), |v| format!("{:.1}%", v * 100.0))
+        };
+        out.push_str(&format!(
+            "    {:<18} {}  last {}\n",
+            "ASR",
+            sparkline(&downsample(&asr, SPARK_WIDTH)),
+            last(&asr)
+        ));
+        out.push_str(&format!(
+            "    {:<18} {}  last {}\n",
+            "clean accuracy",
+            sparkline(&downsample(&clean, SPARK_WIDTH)),
+            last(&clean)
+        ));
+    }
+    match (s.baseline_p99_s, s.attacked_p99_s) {
+        (Some(b), Some(h)) => out.push_str(&format!(
+            "  latency p99: {:.3} ms before flips, {:.3} ms under attack ({:+.0}%)\n",
+            b * 1e3,
+            h * 1e3,
+            (h / b.max(1e-12) - 1.0) * 100.0
+        )),
+        (b, h) => out.push_str(&format!(
+            "  latency p99: {} before flips, {} under attack\n",
+            b.map_or("?".into(), |v| format!("{:.3} ms", v * 1e3)),
+            h.map_or("?".into(), |v| format!("{:.3} ms", v * 1e3)),
+        )),
+    }
+    out
 }
 
 // --- campaign ---------------------------------------------------------------

@@ -334,6 +334,7 @@ mod tests {
                 ..RecoverySummary::default()
             },
             alerts: Vec::new(),
+            serve: None,
             flips: flipped
                 .iter()
                 .map(|&flipped| FlipRecord {

@@ -369,15 +369,32 @@ impl Timeline {
                 after,
             });
         }
-        diffs.sort_by(|a, b| {
-            b.relative_change()
-                .abs()
-                .partial_cmp(&a.relative_change().abs())
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.name.cmp(&b.name))
-        });
+        rank_diffs(&mut diffs);
         diffs
     }
+}
+
+/// Sorts metric diffs by relative-change magnitude, largest first, with
+/// a deterministic name tie-break. The comparison runs under
+/// `f64::total_cmp` and a NaN delta (e.g. `inf − inf` from a corrupt
+/// recorded rate) ranks *below* every real movement: the old
+/// `partial_cmp`-based sort handed such pairs an incomparable
+/// `Ordering::Equal`, destabilizing the ranking run-to-run.
+pub fn rank_diffs(diffs: &mut [MetricDiff]) {
+    fn magnitude(d: &MetricDiff) -> f64 {
+        let m = d.relative_change().abs();
+        // abs() is never negative, so −1 sorts NaN after all real deltas.
+        if m.is_nan() {
+            -1.0
+        } else {
+            m
+        }
+    }
+    diffs.sort_by(|a, b| {
+        magnitude(b)
+            .total_cmp(&magnitude(a))
+            .then_with(|| a.name.cmp(&b.name))
+    });
 }
 
 /// What ended the run's health.
@@ -579,6 +596,45 @@ mod tests {
             seq as f64 * 0.25,
             if seq > 3 && stall_total > 0 { 1 } else { 0 },
         )
+    }
+
+    #[test]
+    fn rank_diffs_is_nan_safe_and_deterministic() {
+        let diff = |name: &str, before: f64, after: f64| MetricDiff {
+            name: name.to_string(),
+            kind: "counter-rate",
+            before,
+            after,
+        };
+        // inf → inf yields a NaN relative change; 0 → 0 gauges a 0.0 one.
+        let mut diffs = vec![
+            diff("z/nan-delta", f64::INFINITY, f64::INFINITY),
+            diff("b/doubled", 10.0, 20.0),
+            diff("a/doubled", 5.0, 10.0),
+            diff("c/flat", 7.0, 7.0),
+            diff("a/nan-delta", f64::NEG_INFINITY, f64::NEG_INFINITY),
+        ];
+        rank_diffs(&mut diffs);
+        let order: Vec<&str> = diffs.iter().map(|d| d.name.as_str()).collect();
+        // Largest magnitude first, equal magnitudes by name, NaN deltas
+        // last (also by name) — and no panic.
+        assert_eq!(
+            order,
+            [
+                "a/doubled",
+                "b/doubled",
+                "c/flat",
+                "a/nan-delta",
+                "z/nan-delta"
+            ]
+        );
+        // Stable under re-sorting (the old partial_cmp sort was not).
+        let mut again = diffs.clone();
+        rank_diffs(&mut again);
+        assert_eq!(
+            again.iter().map(|d| &d.name).collect::<Vec<_>>(),
+            diffs.iter().map(|d| &d.name).collect::<Vec<_>>()
+        );
     }
 
     #[test]

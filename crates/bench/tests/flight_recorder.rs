@@ -207,6 +207,7 @@ fn fixture_json(offline_us: u64) -> String {
             attack_time_ms: 800,
         },
         alerts: Vec::new(),
+        serve: None,
         flips: Vec::new(),
         recovery: rhb_bench::artifact::RecoverySummary::default(),
     };

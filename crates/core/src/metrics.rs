@@ -47,16 +47,8 @@ pub fn attack_success_rate(
         let (x, _) = data.batch(chunk);
         let triggered = trigger.apply(&x);
         let logits = net.forward(&triggered, mode);
-        let classes = logits.shape().dim(1);
-        for b in 0..chunk.len() {
-            let row = &logits.data()[b * classes..(b + 1) * classes];
-            let mut best = 0;
-            for (i, &v) in row.iter().enumerate() {
-                if v > row[best] {
-                    best = i;
-                }
-            }
-            if best == target_label {
+        for predicted in rhb_nn::network::argmax_classes(&logits) {
+            if predicted == target_label {
                 hits += 1;
             }
             total += 1;

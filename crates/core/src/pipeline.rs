@@ -227,6 +227,11 @@ pub struct AttackPipeline {
     pub seed: u64,
     /// Online hammer configuration.
     pub hammer: HammerConfig,
+    /// Optional override of the trigger patch side length. `None` keeps
+    /// the paper's proportions ([`TriggerMask::paper_default`]); the
+    /// serving experiment sets a larger patch so the backdoor saturates
+    /// on the width-scaled victims.
+    pub trigger_patch: Option<usize>,
     /// Chaos-mode fault injection for the online phase (`None` or an
     /// inactive config leaves the DRAM fully cooperative and the online
     /// outcome byte-identical to a pipeline without chaos support).
@@ -264,6 +269,7 @@ impl AttackPipeline {
             profile_pages: 8192,
             seed,
             hammer: HammerConfig::default(),
+            trigger_patch: None,
             chaos: None,
             recovery: RecoveryPolicy::default(),
             template_cache: None,
@@ -276,9 +282,15 @@ impl AttackPipeline {
         self
     }
 
-    /// The victim's trigger mask (paper proportions for its image size).
+    /// The victim's trigger mask: paper proportions for its image size,
+    /// or the explicit `trigger_patch` override (clamped to the side).
     pub fn trigger_mask(&self) -> TriggerMask {
-        TriggerMask::paper_default(self.model.test_data.channels(), self.model.test_data.side())
+        let channels = self.model.test_data.channels();
+        let side = self.model.test_data.side();
+        match self.trigger_patch {
+            Some(patch) => TriggerMask::bottom_right_square(channels, side, patch.min(side)),
+            None => TriggerMask::paper_default(channels, side),
+        }
     }
 
     /// Flip budget for the constrained methods. The paper's only hard

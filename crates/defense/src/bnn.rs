@@ -112,6 +112,19 @@ pub fn binarize_aware_finetune(
     binarize(net)
 }
 
+/// The distinct values of a tensor, sorted by `f32::total_cmp` — NaN-safe
+/// (a weight file corrupted into NaN must not panic the audit) and
+/// deterministic: NaNs sort to the ends of the total order, and repeated
+/// bit patterns collapse to a single entry.
+pub fn distinct_values(t: &Tensor) -> Vec<f32> {
+    let mut distinct: Vec<f32> = t.data().to_vec();
+    distinct.sort_by(f32::total_cmp);
+    // PartialEq-based dedup would never merge NaNs (NaN != NaN); compare
+    // under the same total order the sort used.
+    distinct.dedup_by(|a, b| a.total_cmp(b) == std::cmp::Ordering::Equal);
+    distinct
+}
+
 fn mean_abs(t: &Tensor) -> f32 {
     if t.numel() == 0 {
         return 0.0;
@@ -130,9 +143,7 @@ mod tests {
         let mut model = pretrained(Architecture::ResNet20, &ZooConfig::tiny(), 3);
         binarize(model.net.as_mut());
         for p in model.net.params() {
-            let mut distinct: Vec<f32> = p.value.data().to_vec();
-            distinct.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            distinct.dedup();
+            let distinct = distinct_values(&p.value);
             assert!(
                 distinct.len() <= 2,
                 "{} has {} distinct values",
@@ -176,6 +187,23 @@ mod tests {
             aware_acc > naive_acc,
             "aware {aware_acc} should beat naive {naive_acc}"
         );
+    }
+
+    #[test]
+    fn distinct_values_survives_nan_weights() {
+        // Regression: the old `partial_cmp(..).unwrap()` sort panicked the
+        // moment a corrupted weight file introduced a NaN (same bug class
+        // fixed in core/baselines.rs). The audit must instead report NaN
+        // as one deterministic extra value.
+        let t = Tensor::from_vec(vec![0.5, f32::NAN, -0.5, 0.5, f32::NAN, -0.5], &[6]);
+        let distinct = distinct_values(&t);
+        assert_eq!(distinct.len(), 3, "−0.5, 0.5, and one NaN");
+        assert_eq!(distinct[0], -0.5);
+        assert_eq!(distinct[1], 0.5);
+        assert!(distinct[2].is_nan(), "NaN sorts last under total_cmp");
+        // Deterministic across calls.
+        let again = distinct_values(&t);
+        assert_eq!(distinct.len(), again.len());
     }
 
     #[test]

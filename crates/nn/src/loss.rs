@@ -71,24 +71,16 @@ pub fn cross_entropy(logits: &Tensor, targets: &[usize]) -> LossOutput {
     }
 }
 
-/// Fraction of rows whose argmax equals the target.
+/// Fraction of rows whose argmax equals the target (classification via
+/// [`crate::network::argmax_classes`], sharing its tie and NaN rules).
 pub fn accuracy(logits: &Tensor, targets: &[usize]) -> f64 {
-    let dims = logits.shape().dims();
-    let (batch, classes) = (dims[0], dims[1]);
+    let batch = logits.shape().dim(0);
     assert_eq!(targets.len(), batch);
-    let mut correct = 0usize;
-    for (b, &t) in targets.iter().enumerate() {
-        let row = &logits.data()[b * classes..(b + 1) * classes];
-        let mut best = 0;
-        for (i, &v) in row.iter().enumerate() {
-            if v > row[best] {
-                best = i;
-            }
-        }
-        if best == t {
-            correct += 1;
-        }
-    }
+    let correct = crate::network::argmax_classes(logits)
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
     correct as f64 / batch as f64
 }
 

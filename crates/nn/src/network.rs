@@ -137,6 +137,44 @@ pub fn eval_mode(net: &dyn Network) -> Mode {
     }
 }
 
+/// Argmax class per row of a `[batch, classes]` logits tensor — the
+/// batched classification entry shared by offline evaluation and the
+/// serving path. Ties break toward the lower class index, and a NaN
+/// logit never wins (`>` keeps the incumbent), so corrupted weights
+/// degrade to a deterministic class instead of a poisoned sort.
+///
+/// # Panics
+///
+/// Panics when the logits tensor has no class dimension.
+pub fn argmax_classes(logits: &Tensor) -> Vec<usize> {
+    let dims = logits.shape().dims();
+    let classes = *dims.last().expect("logits need a class dimension");
+    assert!(classes > 0, "logits need a non-empty class dimension");
+    logits
+        .data()
+        .chunks_exact(classes)
+        .map(|row| {
+            let mut best = 0;
+            let mut best_v = row[0];
+            for (i, &v) in row.iter().enumerate().skip(1) {
+                if v > best_v || (best_v.is_nan() && !v.is_nan()) {
+                    best = i;
+                    best_v = v;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+/// Runs one batched classification on the engine the victim deploys
+/// (int8 when deployed, f32 otherwise — see [`eval_mode`]), returning
+/// the predicted class per sample.
+pub fn classify_batch(net: &mut dyn Network, input: &Tensor) -> Vec<usize> {
+    let mode = eval_mode(net);
+    argmax_classes(&net.forward(input, mode))
+}
+
 /// Blanket helper: snapshot all float parameter values.
 pub fn snapshot_params(net: &dyn Network) -> Vec<Tensor> {
     net.params().iter().map(|p| p.value.clone()).collect()
@@ -230,5 +268,40 @@ mod tests {
     fn num_params_counts_all_tensors() {
         let net = Mlp::new(6);
         assert_eq!(net.num_params(), 4 * 8 + 8 + 8 * 3 + 3);
+    }
+
+    #[test]
+    fn argmax_classes_picks_per_row_maxima_with_stable_ties() {
+        let logits = Tensor::from_vec(
+            vec![
+                0.1,
+                0.9,
+                0.3, // row 0 → 1
+                2.0,
+                2.0,
+                -1.0, // row 1: tie → lower index 0
+                f32::NAN,
+                0.5,
+                0.4, // row 2: NaN never wins → 1
+                -3.0,
+                -2.0,
+                -1.0, // row 3 → 2
+            ],
+            &[4, 3],
+        );
+        assert_eq!(argmax_classes(&logits), vec![1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn classify_batch_matches_manual_forward_argmax() {
+        let mut net = Mlp::new(7);
+        net.deploy().unwrap();
+        let x = Tensor::from_vec(
+            (0..8).map(|i| (i as f32 * 0.37).sin()).collect::<Vec<_>>(),
+            &[2, 4],
+        );
+        let mode = eval_mode(&net);
+        let expected = argmax_classes(&net.forward(&x, mode));
+        assert_eq!(classify_batch(&mut net, &x), expected);
     }
 }

@@ -1,11 +1,13 @@
 //! # rhb-obs
 //!
 //! Live observability plane for the rowhammer-backdoor pipeline: a
-//! dependency-free blocking HTTP server (one listener thread, std-only —
-//! the same no-external-deps discipline as `rhb-par`) exposing the
-//! global telemetry registry while an attack runs, plus the flight-data
-//! recorder and alert engine that turn each run into an analyzable
-//! artifact.
+//! dependency-free blocking HTTP server (one accept thread feeding a
+//! small handler pool, std-only — the same no-external-deps discipline
+//! as `rhb-par`) exposing the global telemetry registry while an attack
+//! runs, plus the flight-data recorder and alert engine that turn each
+//! run into an analyzable artifact. Per-connection read/write timeouts
+//! plus the pool mean a scraper that connects and never reads cannot
+//! stall `/metrics` for well-behaved clients.
 //!
 //! Routes:
 //!
@@ -257,8 +259,16 @@ pub struct ObsServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     handle: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
     sampler: Option<Arc<Sampler>>,
 }
+
+/// Connection-handler threads behind the accept loop. Small on purpose:
+/// scrapes are rare and tiny, so this is head-of-line-blocking
+/// insurance, not a throughput knob — it bounds how many stalled or
+/// malicious clients can be in flight before `/metrics` degrades, while
+/// keeping the server too small to amplify load on the attack.
+const HANDLER_THREADS: usize = 4;
 
 impl ObsServer {
     /// Binds `addr` (e.g. `127.0.0.1:9184`, or port 0 for an ephemeral
@@ -299,8 +309,34 @@ impl ObsServer {
     ) -> std::io::Result<ObsServer> {
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
+        // Accepted streams flow through a channel to a small handler
+        // pool: a scraper that connects and never reads (or sends half a
+        // request and stalls) ties up one handler for at most its 2 s
+        // socket timeout instead of stalling the accept loop — the
+        // slow-client head-of-line fix. Dropping the sender (listener
+        // exit) is the pool's shutdown signal.
+        let (tx, rx) = std::sync::mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let mut handlers = Vec::with_capacity(HANDLER_THREADS);
+        for i in 0..HANDLER_THREADS {
+            let rx = Arc::clone(&rx);
+            let sampler = Arc::clone(&sampler);
+            let alerts = Arc::clone(&alerts);
+            handlers.push(
+                std::thread::Builder::new()
+                    .name(format!("rhb-obs-h{i}"))
+                    .spawn(move || loop {
+                        let next = rx.lock().unwrap_or_else(|e| e.into_inner()).recv();
+                        match next {
+                            Ok(stream) => {
+                                let _ = handle_connection(stream, &sampler, &alerts);
+                            }
+                            Err(_) => return, // listener gone: drain done
+                        }
+                    })?,
+            );
+        }
         let thread_stop = Arc::clone(&stop);
-        let thread_sampler = Arc::clone(&sampler);
         let handle = std::thread::Builder::new()
             .name("rhb-obs".into())
             .spawn(move || {
@@ -309,16 +345,16 @@ impl ObsServer {
                         return;
                     }
                     let Ok(stream) = conn else { continue };
-                    // Serial handling: scrapes are rare (one per poll
-                    // interval) and tiny, so one thread is plenty and the
-                    // server can never amplify load on the attack.
-                    let _ = handle_connection(stream, &thread_sampler, &alerts);
+                    if tx.send(stream).is_err() {
+                        return;
+                    }
                 }
             })?;
         Ok(ObsServer {
             addr: local,
             stop,
             handle: Some(handle),
+            handlers,
             sampler: Some(sampler),
         })
     }
@@ -350,6 +386,13 @@ impl ObsServer {
         // flag when a connection arrives, so give it one.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
         if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+        // Joining the listener dropped the channel sender; the handler
+        // pool drains any already-accepted connections and exits. A
+        // stalled in-flight client delays this by at most its socket
+        // timeout.
+        for handle in self.handlers.drain(..) {
             let _ = handle.join();
         }
         if let Some(sampler) = self.sampler.take() {
@@ -589,6 +632,40 @@ mod tests {
                 assert!(len > 0, "HEAD {path} advertises the GET body length");
             }
         }
+        server.shutdown();
+    }
+
+    #[test]
+    fn stalled_clients_do_not_block_other_scrapers() {
+        // Regression for slow-client head-of-line blocking: the old
+        // single-thread server handled connections inline on the accept
+        // loop, so one scraper that sent half a request and stalled made
+        // every other client wait out its 2 s socket timeout. With the
+        // handler pool, a healthy scrape must complete promptly while
+        // several clients sit stalled mid-request.
+        let server = serving();
+        let addr = server.local_addr().to_string();
+        let mut stalled = Vec::new();
+        for _ in 0..HANDLER_THREADS - 1 {
+            let mut stream = TcpStream::connect(&addr).expect("connect stalled client");
+            // Incomplete head: no terminating blank line, then silence.
+            stream
+                .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n")
+                .expect("send partial request");
+            stalled.push(stream);
+        }
+        // Give the pool a beat to pick the stalled connections up.
+        std::thread::sleep(Duration::from_millis(50));
+        let begin = Instant::now();
+        let (code, body) = http_get(&addr, "/metrics", T).expect("healthy scrape");
+        let elapsed = begin.elapsed();
+        assert_eq!(code, 200);
+        text::validate(&body).expect("exposition must validate");
+        assert!(
+            elapsed < Duration::from_millis(1500),
+            "healthy scrape waited {elapsed:?} behind stalled clients"
+        );
+        drop(stalled);
         server.shutdown();
     }
 

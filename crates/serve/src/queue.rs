@@ -1,0 +1,195 @@
+//! Bounded request queue with admission control.
+//!
+//! The queue is the service's only buffer: submissions beyond the
+//! capacity bound are *shed* immediately (admission control) instead of
+//! growing an unbounded backlog — under a hammering-induced slowdown the
+//! victim degrades by rejecting load, never by queueing toward OOM or
+//! unbounded latency. Workers drain in FIFO order, up to a batch at a
+//! time, so the int8 engine amortizes its per-forward cost.
+//!
+//! Telemetry: `serve/submitted` / `serve/shed` counters,
+//! `serve/queue_depth` gauge (sampled on every transition), and the
+//! `serve/queue_wait_s` histogram is recorded by the worker that
+//! dequeues (see `server.rs`).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// One inference request as it sits in the queue.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Schedule position (request id).
+    pub seq: usize,
+    /// Flattened `[C*H*W]` image payload, trigger already stamped by the
+    /// client when `triggered`.
+    pub input: Vec<f32>,
+    /// Ground-truth label of the underlying test sample.
+    pub true_label: usize,
+    /// Whether the client stamped the backdoor trigger.
+    pub triggered: bool,
+    /// Submission instant (starts the end-to-end latency clock).
+    pub submitted: Instant,
+}
+
+struct QueueState {
+    items: VecDeque<Request>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue: producers shed when full, consumers block for
+/// work until the queue is closed *and* drained.
+pub struct RequestQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl RequestQueue {
+    /// Creates a queue admitting at most `capacity` waiting requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize) -> RequestQueue {
+        assert!(capacity > 0, "queue capacity must be positive");
+        RequestQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current backlog depth.
+    pub fn depth(&self) -> usize {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .items
+            .len()
+    }
+
+    /// Admits a request, or sheds it when the queue is full or closed.
+    /// The shed request is handed back so the caller can account for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the request itself when shed.
+    pub fn submit(&self, request: Request) -> Result<(), Request> {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if state.closed || state.items.len() >= self.capacity {
+            drop(state);
+            rhb_telemetry::counter!("serve/shed", 1);
+            return Err(request);
+        }
+        state.items.push_back(request);
+        let depth = state.items.len();
+        drop(state);
+        rhb_telemetry::counter!("serve/submitted", 1);
+        rhb_telemetry::gauge!("serve/queue_depth", depth);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available, then pops up to `max_batch`
+    /// requests in FIFO order. Returns an empty vector only when the
+    /// queue has been closed and fully drained (worker shutdown signal).
+    pub fn pop_batch(&self, max_batch: usize) -> Vec<Request> {
+        let max_batch = max_batch.max(1);
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if !state.items.is_empty() {
+                let n = state.items.len().min(max_batch);
+                let batch: Vec<Request> = state.items.drain(..n).collect();
+                let depth = state.items.len();
+                drop(state);
+                rhb_telemetry::gauge!("serve/queue_depth", depth);
+                return batch;
+            }
+            if state.closed {
+                return Vec::new();
+            }
+            state = self.ready.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Closes the queue: further submissions shed, and blocked workers
+    /// wake to drain the remaining backlog and exit.
+    pub fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn request(seq: usize) -> Request {
+        Request {
+            seq,
+            input: vec![0.0; 4],
+            true_label: 0,
+            triggered: false,
+            submitted: Instant::now(),
+        }
+    }
+
+    #[test]
+    fn submissions_beyond_capacity_are_shed() {
+        let q = RequestQueue::new(2);
+        assert!(q.submit(request(0)).is_ok());
+        assert!(q.submit(request(1)).is_ok());
+        let shed = q.submit(request(2)).unwrap_err();
+        assert_eq!(shed.seq, 2, "the shed request is handed back");
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn pop_batch_is_fifo_and_bounded() {
+        let q = RequestQueue::new(8);
+        for seq in 0..5 {
+            q.submit(request(seq)).unwrap();
+        }
+        let batch = q.pop_batch(3);
+        assert_eq!(batch.iter().map(|r| r.seq).collect::<Vec<_>>(), [0, 1, 2]);
+        let batch = q.pop_batch(3);
+        assert_eq!(batch.iter().map(|r| r.seq).collect::<Vec<_>>(), [3, 4]);
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers_and_drains_backlog() {
+        let q = Arc::new(RequestQueue::new(4));
+        q.submit(request(7)).unwrap();
+        let worker = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                loop {
+                    let batch = q.pop_batch(16);
+                    if batch.is_empty() {
+                        return seen;
+                    }
+                    seen.extend(batch.into_iter().map(|r| r.seq));
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.submit(request(8)).unwrap();
+        q.close();
+        let seen = worker.join().unwrap();
+        assert_eq!(seen, [7, 8], "backlog drains before shutdown");
+        assert!(q.submit(request(9)).is_err(), "closed queue sheds");
+    }
+}

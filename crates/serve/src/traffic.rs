@@ -1,0 +1,224 @@
+//! Deterministic open-loop synthetic traffic.
+//!
+//! The generator materializes the *entire* request schedule up front from
+//! one seed: a Poisson arrival process (exponential inter-arrival gaps at
+//! the configured rate), a uniformly drawn test-set sample per request,
+//! and a Bernoulli clean/triggered coin. Generation is strictly serial
+//! and never touches the `rhb-par` pool, so the same seed and config
+//! yield a bit-identical schedule at any `RHB_THREADS` — the property
+//! the determinism suite pins. Only *submission* happens on the wall
+//! clock (open loop: requests arrive when the schedule says, whether or
+//! not the victim has kept up, which is what makes queue pressure and
+//! shedding measurable).
+
+use std::time::Duration;
+
+/// Configuration of one synthetic traffic session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// Seed for arrivals, sample choice, and clean/triggered labeling.
+    pub seed: u64,
+    /// Total requests to generate.
+    pub requests: usize,
+    /// Mean arrival rate, requests per second (Poisson process).
+    pub rate_rps: f64,
+    /// Fraction of requests carrying the backdoor trigger.
+    pub trigger_fraction: f64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            seed: 41,
+            requests: 600,
+            rate_rps: 150.0,
+            trigger_fraction: 0.35,
+        }
+    }
+}
+
+/// One scheduled request, before payload materialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestSpec {
+    /// Position in the schedule (also the request id).
+    pub seq: usize,
+    /// Arrival offset from session start, microseconds.
+    pub arrival_us: u64,
+    /// Test-set sample index the client sends.
+    pub sample_idx: usize,
+    /// Whether the client stamps the backdoor trigger on the image.
+    pub triggered: bool,
+}
+
+impl RequestSpec {
+    /// Arrival offset as a [`Duration`].
+    pub fn arrival(&self) -> Duration {
+        Duration::from_micros(self.arrival_us)
+    }
+}
+
+/// The fully materialized arrival schedule of one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    specs: Vec<RequestSpec>,
+}
+
+impl Schedule {
+    /// Generates the schedule for `config` over a test set of
+    /// `samples` images. Purely serial and seed-deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `samples == 0` or the rate is not positive.
+    pub fn generate(config: &TrafficConfig, samples: usize) -> Schedule {
+        assert!(samples > 0, "traffic needs a non-empty test set");
+        assert!(
+            config.rate_rps > 0.0 && config.rate_rps.is_finite(),
+            "arrival rate must be positive"
+        );
+        let mut rng = TrafficRng::new(config.seed);
+        let mean_gap_us = 1e6 / config.rate_rps;
+        let mut clock_us = 0f64;
+        let specs = (0..config.requests)
+            .map(|seq| {
+                // Exponential inter-arrival gap: -ln(U) * mean.
+                clock_us += -rng.unit_open().ln() * mean_gap_us;
+                RequestSpec {
+                    seq,
+                    arrival_us: clock_us as u64,
+                    sample_idx: rng.below(samples),
+                    triggered: rng.unit() < config.trigger_fraction,
+                }
+            })
+            .collect();
+        Schedule { specs }
+    }
+
+    /// The scheduled requests, in arrival order.
+    pub fn specs(&self) -> &[RequestSpec] {
+        &self.specs
+    }
+
+    /// Number of scheduled requests.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// Count of triggered requests in the schedule.
+    pub fn triggered(&self) -> usize {
+        self.specs.iter().filter(|s| s.triggered).count()
+    }
+
+    /// Scheduled end of the session (last arrival offset).
+    pub fn span(&self) -> Duration {
+        self.specs
+            .last()
+            .map(RequestSpec::arrival)
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+/// splitmix64-backed generator: tiny, full-avalanche, and — unlike the
+/// global pool — owned entirely by the schedule being built.
+struct TrafficRng {
+    state: u64,
+}
+
+impl TrafficRng {
+    fn new(seed: u64) -> TrafficRng {
+        TrafficRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut x = self.state;
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    fn unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `(0, 1]` — safe to feed `ln()`.
+    fn unit_open(&mut self) -> f64 {
+        1.0 - self.unit()
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let cfg = TrafficConfig::default();
+        assert_eq!(Schedule::generate(&cfg, 64), Schedule::generate(&cfg, 64));
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = Schedule::generate(&TrafficConfig::default(), 64);
+        let b = Schedule::generate(
+            &TrafficConfig {
+                seed: 42,
+                ..TrafficConfig::default()
+            },
+            64,
+        );
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn arrivals_are_monotone_and_rate_is_roughly_honored() {
+        let cfg = TrafficConfig {
+            seed: 7,
+            requests: 4000,
+            rate_rps: 1000.0,
+            trigger_fraction: 0.3,
+        };
+        let schedule = Schedule::generate(&cfg, 10);
+        for pair in schedule.specs().windows(2) {
+            assert!(pair[0].arrival_us <= pair[1].arrival_us);
+        }
+        // 4000 requests at 1000 rps should take ~4s; allow wide slack.
+        let span = schedule.span().as_secs_f64();
+        assert!((2.5..6.0).contains(&span), "span {span}s");
+    }
+
+    #[test]
+    fn trigger_fraction_is_roughly_honored() {
+        let cfg = TrafficConfig {
+            seed: 9,
+            requests: 4000,
+            rate_rps: 500.0,
+            trigger_fraction: 0.35,
+        };
+        let schedule = Schedule::generate(&cfg, 32);
+        let frac = schedule.triggered() as f64 / schedule.len() as f64;
+        assert!((0.30..0.40).contains(&frac), "triggered fraction {frac}");
+        for s in schedule.specs() {
+            assert!(s.sample_idx < 32);
+        }
+    }
+
+    #[test]
+    fn zero_trigger_fraction_is_all_clean() {
+        let cfg = TrafficConfig {
+            trigger_fraction: 0.0,
+            ..TrafficConfig::default()
+        };
+        assert_eq!(Schedule::generate(&cfg, 8).triggered(), 0);
+    }
+}

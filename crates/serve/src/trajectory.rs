@@ -1,0 +1,252 @@
+//! Post-hoc trajectory analysis of a serving session.
+//!
+//! Folds the completion log into fixed-width time windows and derives
+//! the quantities the paper cannot measure offline: the per-window
+//! clean-accuracy and attack-success-rate trajectories, the instant the
+//! backdoor first *activates* on live traffic (first triggered request
+//! funneled into the target class after the flip window opens), the
+//! first window where ASR crosses a threshold, and the tail-latency
+//! interference of hammering versus the pre-attack baseline.
+
+use crate::server::CompletionRecord;
+
+/// Aggregates of one fixed-width trajectory window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WindowStat {
+    /// Window start offset from server start, microseconds.
+    pub start_us: u64,
+    /// Window end offset (exclusive), microseconds.
+    pub end_us: u64,
+    /// Clean requests completed in the window.
+    pub clean_total: u64,
+    /// Clean requests answered with the true label.
+    pub clean_correct: u64,
+    /// Triggered requests (true label ≠ target) completed in the window.
+    pub triggered_total: u64,
+    /// Triggered requests funneled into the target class.
+    pub triggered_hits: u64,
+}
+
+impl WindowStat {
+    /// Clean accuracy over the window; `None` when no clean traffic landed.
+    pub fn clean_accuracy(&self) -> Option<f64> {
+        (self.clean_total > 0).then(|| self.clean_correct as f64 / self.clean_total as f64)
+    }
+
+    /// Attack success rate over the window; `None` without triggered traffic.
+    pub fn asr(&self) -> Option<f64> {
+        (self.triggered_total > 0).then(|| self.triggered_hits as f64 / self.triggered_total as f64)
+    }
+}
+
+/// Bins completions into windows of `window_us` microseconds, covering
+/// `[0, last completion]`. A triggered request counts toward ASR only
+/// when its true label differs from `target_label`, mirroring
+/// `rhb_core::metrics::attack_success_rate` — a correct classification
+/// of a target-class sample is not an attack success.
+///
+/// # Panics
+///
+/// Panics when `window_us == 0`.
+pub fn windows(
+    records: &[CompletionRecord],
+    window_us: u64,
+    target_label: usize,
+) -> Vec<WindowStat> {
+    assert!(window_us > 0, "trajectory windows need a positive width");
+    let Some(last) = records.iter().map(|r| r.done_us).max() else {
+        return Vec::new();
+    };
+    let n = (last / window_us + 1) as usize;
+    let mut out: Vec<WindowStat> = (0..n)
+        .map(|i| WindowStat {
+            start_us: i as u64 * window_us,
+            end_us: (i as u64 + 1) * window_us,
+            ..WindowStat::default()
+        })
+        .collect();
+    for r in records {
+        let w = &mut out[(r.done_us / window_us) as usize];
+        if r.triggered {
+            if r.true_label != target_label {
+                w.triggered_total += 1;
+                if r.predicted == target_label {
+                    w.triggered_hits += 1;
+                }
+            }
+        } else {
+            w.clean_total += 1;
+            if r.predicted == r.true_label {
+                w.clean_correct += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Time-to-first-backdoor-activation: the completion offset of the first
+/// triggered request (true label ≠ target) answered with the target
+/// class at or after `after_us` (the flip-window start). `None` when the
+/// backdoor never fires.
+pub fn first_activation_us(
+    records: &[CompletionRecord],
+    target_label: usize,
+    after_us: u64,
+) -> Option<u64> {
+    records
+        .iter()
+        .filter(|r| {
+            r.done_us >= after_us
+                && r.triggered
+                && r.true_label != target_label
+                && r.predicted == target_label
+        })
+        .map(|r| r.done_us)
+        .min()
+}
+
+/// End offset of the first window whose ASR reaches `threshold`, looking
+/// only at windows ending after `after_us`. `None` when no window crosses.
+pub fn first_asr_cross_us(stats: &[WindowStat], threshold: f64, after_us: u64) -> Option<u64> {
+    stats
+        .iter()
+        .filter(|w| w.end_us > after_us)
+        .find(|w| w.asr().is_some_and(|asr| asr >= threshold))
+        .map(|w| w.end_us)
+}
+
+/// The p-th percentile (`p` in `[0, 1]`) of the given latencies, by the
+/// nearest-rank method over a `total_cmp` sort (NaN-safe: NaN sorts
+/// last, so a corrupted sample can only inflate, never poison, the
+/// tail). `None` on an empty set.
+pub fn latency_percentile(latencies: &[f64], p: f64) -> Option<f64> {
+    if latencies.is_empty() {
+        return None;
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).max(1) - 1;
+    Some(sorted[rank.min(sorted.len() - 1)])
+}
+
+/// Tail-latency interference: p99 end-to-end latency of requests
+/// completing before `split_us` versus at-or-after it. Either side is
+/// `None` when it saw no traffic.
+pub fn tail_latency_split(
+    records: &[CompletionRecord],
+    split_us: u64,
+) -> (Option<f64>, Option<f64>) {
+    let (mut before, mut after) = (Vec::new(), Vec::new());
+    for r in records {
+        if r.done_us < split_us {
+            before.push(r.latency_s);
+        } else {
+            after.push(r.latency_s);
+        }
+    }
+    (
+        latency_percentile(&before, 0.99),
+        latency_percentile(&after, 0.99),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        done_us: u64,
+        triggered: bool,
+        true_label: usize,
+        predicted: usize,
+        latency_s: f64,
+    ) -> CompletionRecord {
+        CompletionRecord {
+            seq: done_us as usize,
+            done_us,
+            latency_s,
+            queue_wait_s: 0.0,
+            predicted,
+            true_label,
+            triggered,
+        }
+    }
+
+    const TARGET: usize = 2;
+
+    #[test]
+    fn windows_bin_clean_and_triggered_traffic_separately() {
+        let records = vec![
+            record(100, false, 1, 1, 0.01),            // window 0: clean correct
+            record(900, false, 3, 0, 0.01),            // window 0: clean wrong
+            record(1_100, true, 1, TARGET, 0.01),      // window 1: hit
+            record(1_900, true, 4, 4, 0.01),           // window 1: miss
+            record(2_500, true, TARGET, TARGET, 0.01), // target-class: excluded
+        ];
+        let stats = windows(&records, 1_000, TARGET);
+        assert_eq!(stats.len(), 3);
+        assert_eq!(stats[0].clean_accuracy(), Some(0.5));
+        assert_eq!(stats[0].asr(), None);
+        assert_eq!(stats[1].asr(), Some(0.5));
+        assert_eq!(
+            stats[2].triggered_total, 0,
+            "target-class samples never count toward ASR"
+        );
+        assert_eq!(stats[1].start_us, 1_000);
+        assert_eq!(stats[1].end_us, 2_000);
+    }
+
+    #[test]
+    fn activation_is_first_target_funnel_after_the_flip_start() {
+        let records = vec![
+            record(500, true, 1, TARGET, 0.01),   // before flips: ignored
+            record(1_200, true, 0, 0, 0.01),      // miss
+            record(1_400, true, 1, TARGET, 0.01), // first real activation
+            record(1_600, true, 3, TARGET, 0.01),
+        ];
+        assert_eq!(first_activation_us(&records, TARGET, 1_000), Some(1_400));
+        assert_eq!(first_activation_us(&records, TARGET, 2_000), None);
+    }
+
+    #[test]
+    fn asr_cross_reports_the_first_qualifying_window() {
+        let records: Vec<CompletionRecord> = (0..40)
+            .map(|i| {
+                let done = i * 100;
+                // First 2 windows (0..2000us): all misses; later: all hits.
+                let hit = done >= 2_000;
+                record(done, true, 1, if hit { TARGET } else { 1 }, 0.01)
+            })
+            .collect();
+        let stats = windows(&records, 1_000, TARGET);
+        assert_eq!(first_asr_cross_us(&stats, 0.9, 0), Some(3_000));
+        assert_eq!(first_asr_cross_us(&stats, 0.9, 3_500), Some(4_000));
+    }
+
+    #[test]
+    fn latency_percentile_is_nan_safe_and_nearest_rank() {
+        let lat = vec![0.010, 0.020, 0.030, 0.040];
+        assert_eq!(latency_percentile(&lat, 0.5), Some(0.020));
+        assert_eq!(latency_percentile(&lat, 0.99), Some(0.040));
+        assert_eq!(latency_percentile(&[], 0.99), None);
+        // NaN sorts last and the median stays finite.
+        let with_nan = vec![0.010, f64::NAN, 0.020, 0.030];
+        assert_eq!(latency_percentile(&with_nan, 0.5), Some(0.020));
+    }
+
+    #[test]
+    fn tail_latency_split_partitions_on_the_flip_instant() {
+        let records = vec![
+            record(100, false, 0, 0, 0.010),
+            record(200, false, 0, 0, 0.012),
+            record(5_000, false, 0, 0, 0.050),
+            record(6_000, false, 0, 0, 0.055),
+        ];
+        let (before, after) = tail_latency_split(&records, 1_000);
+        assert_eq!(before, Some(0.012));
+        assert_eq!(after, Some(0.055));
+        let (none_before, all_after) = tail_latency_split(&records, 0);
+        assert_eq!(none_before, None);
+        assert_eq!(all_after, Some(0.055));
+    }
+}
